@@ -1,0 +1,50 @@
+// Shared helpers for the figure/table reproduction binaries.
+//
+// Each bench prints the rows/series of one table or figure from the paper's
+// evaluation section, with the paper's reported values alongside where they
+// are given, so the shape comparison is immediate.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "workload/synthetic.hpp"
+
+namespace bm::bench {
+
+inline void title(const std::string& text) {
+  std::printf("\n=== %s ===\n", text.c_str());
+}
+
+inline void rule(int width = 78) {
+  for (int i = 0; i < width; ++i) std::putchar('-');
+  std::putchar('\n');
+}
+
+/// The paper's standard setup: smallbank, 2-outof-2, 4-org network.
+inline workload::SyntheticSpec standard_spec() {
+  workload::SyntheticSpec spec;
+  spec.blocks = 40;
+  spec.block_size = 150;
+  spec.ends_attached = 2;
+  spec.chaincode = "smallbank";
+  spec.policy_text = "2-outof-2 orgs";
+  spec.org_count = 4;
+  spec.reads_per_tx = 2.0;
+  spec.writes_per_tx = 2.0;
+  spec.hw.tx_validators = 8;
+  spec.hw.engines_per_vscc = 2;
+  return spec;
+}
+
+/// drm has fewer database requests per transaction (Fig. 8 discussion).
+inline workload::SyntheticSpec drm_spec() {
+  workload::SyntheticSpec spec = standard_spec();
+  spec.chaincode = "drm";
+  spec.reads_per_tx = 2.0 / 3.0;
+  spec.writes_per_tx = 1.0;
+  return spec;
+}
+
+}  // namespace bm::bench

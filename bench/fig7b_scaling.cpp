@@ -1,0 +1,36 @@
+// Figure 7b: smallbank throughput vs vCPUs (software) / tx_validators (BMac)
+// at block size 150.
+//
+// Paper anchors: sw 3,500 -> ~4,600 -> 5,300 tps (a mere 1.5x for 4x the
+// cores: mvcc and commit are sequential); BMac 25,800 -> 49,200 -> 86,100
+// tps (3.3x for 4x the validators); BMac with 4 validators beats software
+// with 16 vCPUs by 4.8x.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace bm;
+  bench::title("Fig 7b - throughput vs vCPUs / tx_validators (block 150)");
+  std::printf("%-16s %14s %12s %12s\n", "vcpus/tx_vals", "sw_validator",
+              "bmac", "bmac lat");
+  std::printf("%-16s %14s %12s %12s\n", "", "(tps)", "(tps)", "(ms)");
+  bench::rule();
+
+  double sw_at16 = 0, hw_at4 = 0, hw_at16 = 0, sw_at4 = 0;
+  for (const int n : {4, 8, 16}) {
+    auto spec = bench::standard_spec();
+    spec.hw.tx_validators = n;
+    const auto hw = workload::run_hw_workload(spec);
+    const auto sw = workload::run_sw_model(spec, n);
+    if (n == 4) { hw_at4 = hw.tps; sw_at4 = sw.validator_tps; }
+    if (n == 16) { hw_at16 = hw.tps; sw_at16 = sw.validator_tps; }
+    std::printf("%-16d %14.0f %12.0f %12.2f\n", n, sw.validator_tps, hw.tps,
+                hw.block_latency_ms);
+  }
+  bench::rule();
+  std::printf("sw scaling 4->16 vCPUs: %.2fx (paper: 1.5x)\n",
+              sw_at16 / sw_at4);
+  std::printf("bmac scaling 4->16 validators: %.2fx (paper: 3.3x, ideal 4x)\n",
+              hw_at16 / hw_at4);
+  std::printf("bmac@4 vs sw@16: %.1fx (paper: 4.8x)\n", hw_at4 / sw_at16);
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Microbenchmarks for the crypto substrate (google-benchmark).
+//
+// These measure the host CPU's software implementations — the operations
+// the paper offloads. A software ECDSA verification in the hundreds of
+// microseconds is exactly the §4.3 observation that motivates parallel
+// ecdsa_engines (145 us each in hardware).
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "crypto/der.hpp"
+#include "crypto/ecdsa.hpp"
+
+namespace {
+
+using namespace bm;
+using namespace bm::crypto;
+
+void BM_Sha256(benchmark::State& state) {
+  const Bytes data = Rng(1).bytes(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sha256(data));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Sha256)->Arg(64)->Arg(1024)->Arg(65536);
+
+void BM_EcdsaSign(benchmark::State& state) {
+  const PrivateKey key = key_from_seed(to_bytes("bench"));
+  const Digest digest = sha256(to_bytes("message"));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sign(key, digest));
+  }
+}
+BENCHMARK(BM_EcdsaSign);
+
+void BM_EcdsaVerify(benchmark::State& state) {
+  const PrivateKey key = key_from_seed(to_bytes("bench"));
+  const PublicKey pub = key.public_key();
+  const Digest digest = sha256(to_bytes("message"));
+  const Signature sig = sign(key, digest);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(verify(pub, digest, sig));
+  }
+}
+BENCHMARK(BM_EcdsaVerify);
+
+void BM_DerRoundTrip(benchmark::State& state) {
+  const PrivateKey key = key_from_seed(to_bytes("bench"));
+  const Signature sig = sign(key, sha256(to_bytes("m")));
+  for (auto _ : state) {
+    const Bytes der = der_encode_signature(sig);
+    benchmark::DoNotOptimize(der_decode_signature(der));
+  }
+}
+BENCHMARK(BM_DerRoundTrip);
+
+void BM_FieldMul(benchmark::State& state) {
+  Rng rng(2);
+  U256 a = mod(U256::from_bytes_be(rng.bytes(32)), p256_p());
+  const U256 b = mod(U256::from_bytes_be(rng.bytes(32)), p256_p());
+  for (auto _ : state) {
+    a = fp_mul(a, b);
+    benchmark::DoNotOptimize(a);
+  }
+}
+BENCHMARK(BM_FieldMul);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,103 @@
+// Microbenchmarks for the BMac protocol hot paths: sender-side block
+// sectioning (DataRemover + AnnotationGenerator) and the receiver-side
+// reconstruction + extraction, plus policy-circuit compilation/evaluation.
+#include <benchmark/benchmark.h>
+
+#include "bmac/policy_circuit.hpp"
+#include "bmac/protocol.hpp"
+#include "workload/network_harness.hpp"
+
+namespace {
+
+using namespace bm;
+
+struct ProtocolFixture {
+  ProtocolFixture() : harness(make_options()), sender(harness.msp()) {
+    block = harness.next_block();
+    warm = sender.send(block);  // identities cached after this
+  }
+  static workload::NetworkOptions make_options() {
+    workload::NetworkOptions options;
+    options.block_size = 50;
+    return options;
+  }
+  workload::FabricNetworkHarness harness;
+  bmac::ProtocolSender sender;
+  fabric::Block block;
+  bmac::SendResult warm;
+};
+
+void BM_ProtocolSend(benchmark::State& state) {
+  static ProtocolFixture fixture;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fixture.sender.send(fixture.block));
+  }
+  state.SetItemsProcessed(state.iterations() * 50);  // transactions
+}
+BENCHMARK(BM_ProtocolSend);
+
+void BM_ProtocolReceive(benchmark::State& state) {
+  static ProtocolFixture fixture;
+  bmac::HwIdentityCache cache;
+  // Load identities from the warm-up sync packets.
+  for (const auto& pkt : fixture.warm.packets)
+    if (pkt.header.section == bmac::SectionType::kIdentitySync)
+      cache.insert(pkt.annotations[0].id, pkt.payload);
+  const bmac::SendResult steady = fixture.sender.send(fixture.block);
+  for (auto _ : state) {
+    bmac::ProtocolReceiver receiver(cache);
+    for (const auto& pkt : steady.packets)
+      benchmark::DoNotOptimize(receiver.on_packet(pkt));
+  }
+  state.SetItemsProcessed(state.iterations() * 50);
+}
+BENCHMARK(BM_ProtocolReceive);
+
+void BM_PacketEncodeDecode(benchmark::State& state) {
+  static ProtocolFixture fixture;
+  const bmac::SendResult steady = fixture.sender.send(fixture.block);
+  const bmac::BmacPacket& pkt = steady.packets[1];
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bmac::BmacPacket::decode(pkt.encode()));
+  }
+}
+BENCHMARK(BM_PacketEncodeDecode);
+
+void BM_PolicyCompile(benchmark::State& state) {
+  fabric::Msp msp;
+  std::vector<std::string> orgs;
+  for (int i = 1; i <= 4; ++i) {
+    orgs.push_back("Org" + std::to_string(i));
+    msp.add_org(orgs.back());
+  }
+  const auto policy = fabric::parse_policy_or_throw(
+      "(Org1 & Org2) | (Org1 & Org4) | (Org2 & Org3) | (Org2 & Org4) | "
+      "(Org3 & Org4)",
+      orgs);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bmac::PolicyCircuit::compile(policy, msp));
+  }
+}
+BENCHMARK(BM_PolicyCompile);
+
+void BM_PolicyCircuitEval(benchmark::State& state) {
+  fabric::Msp msp;
+  std::vector<std::string> orgs;
+  for (int i = 1; i <= 4; ++i) {
+    orgs.push_back("Org" + std::to_string(i));
+    msp.add_org(orgs.back());
+  }
+  const auto circuit = bmac::PolicyCircuit::compile(
+      fabric::parse_policy_or_throw("2-outof-4 orgs", orgs), msp);
+  bmac::RegisterFile regs(16);
+  regs.set(fabric::EncodedId::make(1, fabric::Role::kPeer, 0), true);
+  regs.set(fabric::EncodedId::make(3, fabric::Role::kPeer, 0), true);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(circuit.evaluate(regs));
+  }
+}
+BENCHMARK(BM_PolicyCircuitEval);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,83 @@
+// Table 1: hardware resource utilization of BMac architectures on the
+// Xilinx Alveo U250 (4x2, 5x3, 8x2, 12x2, 16x2), from the analytic resource
+// model fit to the paper's numbers, plus the per-module breakdown and the
+// policy-circuit ablation.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "bmac/peer.hpp"
+#include "bmac/resource_model.hpp"
+
+int main() {
+  using namespace bm;
+  using bmac::HwConfig;
+  using bmac::ResourceModel;
+
+  const ResourceModel model;
+
+  bench::title("Table 1 - BMac hardware utilization on Alveo U250");
+  struct Arch { int v; int e; double paper_lut, paper_ff; };
+  const Arch archs[] = {{4, 2, 20.9, 6.9}, {5, 3, 25.4, 7.3},
+                        {8, 2, 28.5, 8.0}, {12, 2, 35.8, 9.1},
+                        {16, 2, 43.3, 10.3}};
+
+  std::printf("%-14s", "Resource");
+  for (const auto& a : archs) {
+    HwConfig config{.tx_validators = a.v, .engines_per_vscc = a.e};
+    std::printf("%9s", config.name().c_str());
+  }
+  std::printf("\n");
+  bench::rule(60);
+
+  std::printf("%-14s", "LUT/LUTRAM");
+  for (const auto& a : archs) {
+    HwConfig config{.tx_validators = a.v, .engines_per_vscc = a.e};
+    std::printf("%8.1f%%", model.estimate(config).lut_pct());
+  }
+  std::printf("\n%-14s", "  (paper)");
+  for (const auto& a : archs) std::printf("%8.1f%%", a.paper_lut);
+
+  std::printf("\n%-14s", "FF");
+  for (const auto& a : archs) {
+    HwConfig config{.tx_validators = a.v, .engines_per_vscc = a.e};
+    std::printf("%8.1f%%", model.estimate(config).ff_pct());
+  }
+  std::printf("\n%-14s", "  (paper)");
+  for (const auto& a : archs) std::printf("%8.1f%%", a.paper_ff);
+
+  std::printf("\n%-14s", "BRAM/URAM");
+  for (const auto& a : archs) {
+    HwConfig config{.tx_validators = a.v, .engines_per_vscc = a.e};
+    std::printf("%8.1f%%", model.estimate(config).bram_pct());
+  }
+  std::printf("\n%-14s", "  (paper)");
+  for (std::size_t i = 0; i < 5; ++i) std::printf("%8.1f%%", 13.1);
+  std::printf("\n");
+  bench::rule(60);
+  const auto fixed = model.fixed();
+  std::printf("Fixed: GT %.1f%%, BUFG %.1f%%, MMCM %.1f%%, PCIe %.1f%% "
+              "(same for all architectures)\n",
+              fixed.gt_pct, fixed.bufg_pct, fixed.mmcm_pct, fixed.pcie_pct);
+
+  bench::title("Per-module breakdown (8x2, with smallbank+drm policies)");
+  fabric::Msp msp;
+  for (int i = 1; i <= 4; ++i) msp.add_org("Org" + std::to_string(i));
+  std::map<std::string, fabric::EndorsementPolicy> policies;
+  policies.emplace("smallbank", fabric::parse_policy_or_throw(
+                                    "2-outof-2 orgs", msp.org_names()));
+  policies.emplace("drm", fabric::parse_policy_or_throw("2-outof-4 orgs",
+                                                        msp.org_names()));
+  const auto circuits = bmac::compile_policies(policies, msp);
+  HwConfig config;
+  std::printf("%-64s %9s %9s %6s %6s\n", "module", "LUT", "FF", "BRAM",
+              "URAM");
+  bench::rule(98);
+  for (const auto& module : model.breakdown(config, circuits)) {
+    std::printf("%-64s %9llu %9llu %6llu %6llu\n", module.name.c_str(),
+                static_cast<unsigned long long>(module.lut),
+                static_cast<unsigned long long>(module.ff),
+                static_cast<unsigned long long>(module.bram36),
+                static_cast<unsigned long long>(module.uram));
+  }
+  return 0;
+}

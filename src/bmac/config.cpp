@@ -1,0 +1,171 @@
+#include "bmac/config.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace bm::bmac {
+
+namespace {
+
+std::string trim(std::string_view s) {
+  std::size_t begin = 0;
+  std::size_t end = s.size();
+  while (begin < end && std::isspace(static_cast<unsigned char>(s[begin])))
+    ++begin;
+  while (end > begin && std::isspace(static_cast<unsigned char>(s[end - 1])))
+    --end;
+  return std::string(s.substr(begin, end - begin));
+}
+
+std::string strip_quotes(std::string s) {
+  if (s.size() >= 2 && ((s.front() == '"' && s.back() == '"') ||
+                        (s.front() == '\'' && s.back() == '\'')))
+    return s.substr(1, s.size() - 2);
+  return s;
+}
+
+std::size_t indent_of(std::string_view line) {
+  std::size_t i = 0;
+  while (i < line.size() && line[i] == ' ') ++i;
+  return i;
+}
+
+/// "[a, b, c]" -> {"a","b","c"}
+std::vector<std::string> parse_inline_list(const std::string& value) {
+  std::vector<std::string> out;
+  std::string body = value;
+  if (!body.empty() && body.front() == '[') body = body.substr(1);
+  if (!body.empty() && body.back() == ']') body.pop_back();
+  std::stringstream ss(body);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    const std::string trimmed = strip_quotes(trim(item));
+    if (!trimmed.empty()) out.push_back(trimmed);
+  }
+  return out;
+}
+
+}  // namespace
+
+void BmacConfig::populate_msp(fabric::Msp& msp) const {
+  for (const std::string& org : orgs) msp.add_org(org);
+}
+
+std::map<std::string, fabric::EndorsementPolicy> BmacConfig::parse_policies()
+    const {
+  std::map<std::string, fabric::EndorsementPolicy> out;
+  for (const auto& [name, text] : chaincode_policies)
+    out.emplace(name, fabric::parse_policy_or_throw(text, orgs));
+  return out;
+}
+
+std::variant<BmacConfig, BmacConfigError> parse_config(std::string_view text) {
+  BmacConfig config;
+  enum class Section { kNone, kNetwork, kChaincodes, kHardware };
+  Section section = Section::kNone;
+  std::string current_chaincode;
+
+  std::size_t line_no = 0;
+  std::stringstream input{std::string(text)};
+  std::string raw;
+  while (std::getline(input, raw)) {
+    ++line_no;
+    // Strip comments.
+    if (const auto hash = raw.find('#'); hash != std::string::npos)
+      raw = raw.substr(0, hash);
+    const std::string line = trim(raw);
+    if (line.empty()) continue;
+    const std::size_t indent = indent_of(raw);
+
+    if (indent == 0) {
+      if (line == "network:") section = Section::kNetwork;
+      else if (line == "chaincodes:") section = Section::kChaincodes;
+      else if (line == "hardware:") section = Section::kHardware;
+      else
+        return BmacConfigError{"unknown top-level key: " + line, line_no};
+      continue;
+    }
+
+    const auto colon = line.find(':');
+    const bool is_list_item = line.rfind("- ", 0) == 0;
+
+    switch (section) {
+      case Section::kNone:
+        return BmacConfigError{"content before any section", line_no};
+      case Section::kNetwork: {
+        if (colon == std::string::npos)
+          return BmacConfigError{"expected key: value", line_no};
+        const std::string key = trim(line.substr(0, colon));
+        const std::string value = trim(line.substr(colon + 1));
+        if (key == "orgs") config.orgs = parse_inline_list(value);
+        else
+          return BmacConfigError{"unknown network key: " + key, line_no};
+        break;
+      }
+      case Section::kChaincodes: {
+        std::string body = line;
+        if (is_list_item) body = trim(body.substr(2));
+        const auto body_colon = body.find(':');
+        if (body_colon == std::string::npos)
+          return BmacConfigError{"expected key: value", line_no};
+        const std::string key = trim(body.substr(0, body_colon));
+        const std::string value =
+            strip_quotes(trim(body.substr(body_colon + 1)));
+        if (key == "name") {
+          current_chaincode = value;
+          config.chaincode_policies[current_chaincode] = "";
+        } else if (key == "policy") {
+          if (current_chaincode.empty())
+            return BmacConfigError{"policy before chaincode name", line_no};
+          config.chaincode_policies[current_chaincode] = value;
+        } else {
+          return BmacConfigError{"unknown chaincode key: " + key, line_no};
+        }
+        break;
+      }
+      case Section::kHardware: {
+        if (colon == std::string::npos)
+          return BmacConfigError{"expected key: value", line_no};
+        const std::string key = trim(line.substr(0, colon));
+        const std::string value = trim(line.substr(colon + 1));
+        int number = 0;
+        try {
+          number = std::stoi(value);
+        } catch (const std::exception&) {
+          return BmacConfigError{"expected integer for " + key, line_no};
+        }
+        if (key == "tx_validators") config.hw.tx_validators = number;
+        else if (key == "engines_per_vscc") config.hw.engines_per_vscc = number;
+        else if (key == "max_block_txs")
+          config.hw.max_block_txs = static_cast<std::size_t>(number);
+        else if (key == "db_capacity")
+          config.hw.db_capacity = static_cast<std::size_t>(number);
+        else
+          return BmacConfigError{"unknown hardware key: " + key, line_no};
+        break;
+      }
+    }
+  }
+
+  if (config.orgs.empty())
+    return BmacConfigError{"network.orgs must list at least one org", 0};
+  for (const auto& [name, policy] : config.chaincode_policies)
+    if (policy.empty())
+      return BmacConfigError{"chaincode '" + name + "' has no policy", 0};
+  return config;
+}
+
+BmacConfig load_config_file(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) throw std::runtime_error("cannot open config file: " + path);
+  std::stringstream buffer;
+  buffer << file.rdbuf();
+  auto result = parse_config(buffer.str());
+  if (auto* err = std::get_if<BmacConfigError>(&result))
+    throw std::runtime_error("config parse error at line " +
+                             std::to_string(err->line) + ": " + err->message);
+  return std::move(std::get<BmacConfig>(result));
+}
+
+}  // namespace bm::bmac

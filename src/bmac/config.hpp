@@ -1,0 +1,54 @@
+// BMac deployment configuration (§3.5).
+//
+// The paper drives hardware generation from a YAML file listing the Fabric
+// network's identities and the chaincode endorsement policies; a script
+// derives encoded ids and regenerates the ends_policy_evaluator. This
+// module parses an equivalent YAML subset:
+//
+//   network:
+//     orgs: [Org1, Org2]
+//   chaincodes:
+//     - name: smallbank
+//       policy: "2-outof-2 orgs"
+//   hardware:
+//     tx_validators: 8
+//     engines_per_vscc: 2
+//     max_block_txs: 256
+//     db_capacity: 8192
+//
+// and materializes the Msp (one CA per org), the parsed endorsement
+// policies and the HwConfig.
+#pragma once
+
+#include <variant>
+
+#include "bmac/block_processor.hpp"
+#include "fabric/policy.hpp"
+
+namespace bm::bmac {
+
+struct BmacConfigError {
+  std::string message;
+  std::size_t line = 0;
+};
+
+struct BmacConfig {
+  std::vector<std::string> orgs;
+  std::map<std::string, std::string> chaincode_policies;  ///< name -> text
+  HwConfig hw;
+
+  /// Build the MSP (registers every org, in order) — org indices follow
+  /// list order, giving the same encoded ids on sender and receiver.
+  void populate_msp(fabric::Msp& msp) const;
+
+  /// Parse every chaincode policy against this config's org universe.
+  std::map<std::string, fabric::EndorsementPolicy> parse_policies() const;
+};
+
+/// Parse the YAML subset above from a string.
+std::variant<BmacConfig, BmacConfigError> parse_config(std::string_view text);
+
+/// Parse from a file; throws std::runtime_error on IO or parse failure.
+BmacConfig load_config_file(const std::string& path);
+
+}  // namespace bm::bmac

@@ -1,0 +1,95 @@
+#include "bmac/hw_kvstore.hpp"
+
+namespace bm::bmac {
+
+void HwKvStore::touch(Entry& entry) {
+  lru_.splice(lru_.begin(), lru_, entry.lru);
+}
+
+bool HwKvStore::insert_on_chip(const std::string& key, ReadResult value) {
+  if (data_.size() >= capacity_) {
+    if (host_ == nullptr) {
+      ++overflows_;
+      return false;
+    }
+    // Evict the least-recently-used entry to the host tier.
+    const std::string victim = lru_.back();
+    lru_.pop_back();
+    auto it = data_.find(victim);
+    host_->put(victim, std::move(it->second.value.value),
+               it->second.value.version);
+    data_.erase(it);
+    ++evictions_;
+  }
+  lru_.push_front(key);
+  data_.emplace(key, Entry{std::move(value), lru_.begin()});
+  return true;
+}
+
+HwKvStore::Entry* HwKvStore::fetch_from_host(const std::string& key) {
+  if (host_ == nullptr) return nullptr;
+  ++host_accesses_;
+  last_tier_ = AccessTier::kHost;
+  const auto host_value = host_->get(key);
+  if (!host_value) return nullptr;
+  // Promote the hot entry on-chip (§5: actively accessed data lives in
+  // hardware).
+  if (!insert_on_chip(key, ReadResult{host_value->value, host_value->version}))
+    return nullptr;
+  host_->erase(key);
+  return &data_.find(key)->second;
+}
+
+std::optional<HwKvStore::ReadResult> HwKvStore::read(const std::string& key) {
+  ++reads_;
+  last_tier_ = AccessTier::kHardware;
+  if (locked_.count(key) > 0) return std::nullopt;
+  auto it = data_.find(key);
+  if (it == data_.end()) {
+    Entry* fetched = fetch_from_host(key);
+    if (fetched == nullptr) return std::nullopt;
+    return fetched->value;
+  }
+  touch(it->second);
+  return it->second.value;
+}
+
+bool HwKvStore::write(const std::string& key, Bytes value,
+                      fabric::Version version) {
+  ++writes_;
+  last_tier_ = AccessTier::kHardware;
+  auto it = data_.find(key);
+  if (it != data_.end()) {
+    it->second.value = ReadResult{std::move(value), version};
+    touch(it->second);
+    return true;
+  }
+  // An update of a host-resident key counts as a host access (the stale
+  // host copy must be superseded); the fresh value lands on-chip.
+  if (host_ != nullptr && host_->get(key).has_value()) {
+    ++host_accesses_;
+    last_tier_ = AccessTier::kHost;
+    host_->erase(key);
+  }
+  return insert_on_chip(key, ReadResult{std::move(value), version});
+}
+
+bool HwKvStore::version_matches(
+    const std::string& key, const std::optional<fabric::Version>& expected) {
+  ++reads_;
+  last_tier_ = AccessTier::kHardware;
+  auto it = data_.find(key);
+  if (it != data_.end()) {
+    touch(it->second);
+    return expected.has_value() && *expected == it->second.value.version;
+  }
+  if (host_ != nullptr) {
+    ++host_accesses_;
+    last_tier_ = AccessTier::kHost;
+    if (const auto host_value = host_->get(key))
+      return expected.has_value() && *expected == host_value->version;
+  }
+  return !expected.has_value();
+}
+
+}  // namespace bm::bmac

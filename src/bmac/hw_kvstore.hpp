@@ -1,0 +1,100 @@
+// In-hardware versioned key-value store (§3.3), with the optional
+// host-backed tier proposed in §5.
+//
+// Base mode: fixed capacity (8192 entries in the paper's configuration —
+// limited by FPGA BRAM/URAM), versioned values {value, (block, tx)}, and a
+// per-key lock so a key being written cannot be read mid-update.
+//
+// Tiered mode (§5: "use in-hardware database for small amount of actively
+// accessed data, while keeping a persistent database on the host CPU"):
+// attach_host_store() turns the on-chip table into an LRU cache; capacity
+// overflow evicts the least-recently-used entry to the host store, misses
+// fall through to the host and promote the entry back on-chip. Every access
+// reports which tier served it so the pipeline model can charge the PCIe
+// round-trip for host accesses.
+#pragma once
+
+#include <list>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "fabric/statedb.hpp"
+
+namespace bm::bmac {
+
+/// Which tier served the last access (timing differs by ~an order of
+/// magnitude: BRAM lookup vs PCIe round trip).
+enum class AccessTier { kHardware, kHost };
+
+class HwKvStore {
+ public:
+  explicit HwKvStore(std::size_t capacity) : capacity_(capacity) {}
+
+  struct ReadResult {
+    Bytes value;
+    fabric::Version version;
+  };
+
+  /// Read a key; nullopt when absent (in every tier) or locked for writing.
+  std::optional<ReadResult> read(const std::string& key);
+
+  /// Write a key (insert or update). Without a host store, returns false
+  /// when the table is full; with one, evicts the LRU entry to the host.
+  bool write(const std::string& key, Bytes value, fabric::Version version);
+
+  /// Version check used by the mvcc stage.
+  bool version_matches(const std::string& key,
+                       const std::optional<fabric::Version>& expected);
+
+  /// §5: attach the host CPU's persistent database as the backing tier.
+  void attach_host_store(fabric::StateDb* host) { host_ = host; }
+  bool has_host_store() const { return host_ != nullptr; }
+
+  /// Tier that served the most recent read/write/version_matches call.
+  AccessTier last_tier() const { return last_tier_; }
+
+  /// Internal locking used by the commit datapath.
+  void lock(const std::string& key) { locked_.insert(key); }
+  void unlock(const std::string& key) { locked_.erase(key); }
+  bool is_locked(const std::string& key) const {
+    return locked_.count(key) > 0;
+  }
+
+  std::size_t size() const { return data_.size(); }
+  std::size_t capacity() const { return capacity_; }
+  std::uint64_t overflow_count() const { return overflows_; }
+  std::uint64_t eviction_count() const { return evictions_; }
+  std::uint64_t host_accesses() const { return host_accesses_; }
+  std::uint64_t total_reads() const { return reads_; }
+  std::uint64_t total_writes() const { return writes_; }
+
+ private:
+  struct Entry {
+    ReadResult value;
+    std::list<std::string>::iterator lru;
+  };
+
+  void touch(Entry& entry);
+  /// Insert into the on-chip table, evicting to the host if needed.
+  /// Returns false on overflow without a host store.
+  bool insert_on_chip(const std::string& key, ReadResult value);
+  /// Fetch from the host tier (if attached) and promote on-chip.
+  Entry* fetch_from_host(const std::string& key);
+
+  std::size_t capacity_;
+  std::unordered_map<std::string, Entry> data_;
+  std::list<std::string> lru_;  ///< front = most recently used
+  std::unordered_set<std::string> locked_;
+  fabric::StateDb* host_ = nullptr;
+
+  AccessTier last_tier_ = AccessTier::kHardware;
+  std::uint64_t overflows_ = 0;
+  std::uint64_t evictions_ = 0;
+  std::uint64_t host_accesses_ = 0;
+  std::uint64_t reads_ = 0;
+  std::uint64_t writes_ = 0;
+};
+
+}  // namespace bm::bmac

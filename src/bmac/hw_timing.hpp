@@ -1,0 +1,77 @@
+// Calibrated timing constants of the BMac hardware (250 MHz target, §3.5).
+//
+// Anchors from the paper:
+//   * §4.3: "an ecdsa_engine takes much longer (~145 us per verification)
+//     than the rest of the operations (tens of us)" — the single constant
+//     that dominates pipeline behaviour. 145 us at 250 MHz is ~36k cycles,
+//     consistent with published FPGA P-256 verifier latencies.
+//   * Fig. 6a table: protocol_processor sustains up to 30 Gbps, translating
+//     to "at least 205,000 tps" — i.e. a per-packet pipeline initiation
+//     interval of ~4.8 us alongside the byte-rate bound.
+//   * Non-crypto modules (schedulers, collector, mvcc datapath, reg_map)
+//     run at a few hundred cycles per operation: sub-microsecond to a few
+//     microseconds. These only matter when they would approach the
+//     145 us / V per-transaction budget (they never do in the paper's
+//     configurations — that is the point of the design).
+// With these constants the DES reproduces Fig. 7's hardware numbers to a
+// few percent — e.g. 8 validators, block 150, 2of2 -> ~49 k tps (paper:
+// 49,200), 16x2 at block 250 -> ~96 k tps (paper: 95,600).
+#pragma once
+
+#include "sim/simulation.hpp"
+
+namespace bm::bmac {
+
+struct HwTimingModel {
+  /// One ECDSA P-256 verification in an ecdsa_engine.
+  sim::Time ecdsa_verify = 145 * sim::kMicrosecond;
+
+  /// tx_scheduler: read tx_fifo + ends_fifo and dispatch to a validator.
+  sim::Time scheduler_dispatch = 1 * sim::kMicrosecond;
+
+  /// One FIFO pop by a pipeline stage.
+  sim::Time fifo_read = 200;  // ns
+
+  /// ends_policy_evaluator register write + combinational settle.
+  sim::Time policy_update = 200;  // ns
+
+  /// tx_collector in-order collection per transaction.
+  sim::Time collector_per_tx = 500;  // ns
+
+  /// In-hardware KV store access (read or write), per operation.
+  sim::Time db_op = 500;  // ns
+
+  /// State-database access that falls through to the host tier (§5):
+  /// a PCIe round trip plus the host-side lookup.
+  sim::Time db_op_host = 3 * sim::kMicrosecond;
+
+  /// tx_mvcc_commit per-transaction control overhead.
+  sim::Time mvcc_per_tx = 1 * sim::kMicrosecond;
+
+  /// res_fifo write + reg_map register update.
+  sim::Time result_write = 2 * sim::kMicrosecond;
+
+  // --- protocol_processor --------------------------------------------------
+  /// Internal processing byte-rate (Fig. 6a: up to 30 Gbps).
+  double line_rate_gbps = 30.0;
+  /// Per-packet pipeline initiation interval (~205k packets/s).
+  sim::Time packet_interval = 4800;  // ns
+
+  // --- host software side ---------------------------------------------------
+  /// GetBlockData(): reg_map read over AXI-Lite/PCIe.
+  sim::Time host_result_read = 20 * sim::kMicrosecond;
+  /// Ledger commit on the host (excluded from the commit-throughput metric,
+  /// §4.2, but it must overlap with hardware validation of the next block).
+  sim::Time ledger_commit_fixed = 500 * sim::kMicrosecond;
+  sim::Time ledger_commit_per_tx = 2 * sim::kMicrosecond;
+
+  /// protocol_processor time to ingest one packet of `bytes`.
+  sim::Time packet_processing_time(std::size_t bytes) const {
+    const auto byte_time = static_cast<sim::Time>(
+        static_cast<double>(bytes) * 8.0 / (line_rate_gbps * 1e9) *
+        sim::kSecond);
+    return std::max(byte_time, packet_interval);
+  }
+};
+
+}  // namespace bm::bmac

@@ -1,0 +1,68 @@
+#include "bmac/packet.hpp"
+
+namespace bm::bmac {
+
+Bytes BmacPacket::encode() const {
+  Bytes out;
+  out.reserve(wire_size());
+  put_u64be(out, header.block_num);
+  out.push_back(static_cast<std::uint8_t>(header.section));
+  put_u16be(out, header.section_index);
+  put_u16be(out, header.total_sections);
+  put_u16be(out, static_cast<std::uint16_t>(annotations.size()));
+  put_u32be(out, static_cast<std::uint32_t>(payload.size()));
+  for (const Annotation& a : annotations) {
+    out.push_back(static_cast<std::uint8_t>(a.kind));
+    out.push_back(static_cast<std::uint8_t>(a.field));
+    out.push_back(a.index);
+    put_u32be(out, a.offset);
+    put_u32be(out, a.length);
+    put_u16be(out, a.id.value);
+  }
+  append(out, payload);
+  return out;
+}
+
+std::optional<BmacPacket> BmacPacket::decode(ByteView data) {
+  if (data.size() < kPacketHeaderSize) return std::nullopt;
+  BmacPacket pkt;
+  pkt.header.block_num = get_u64be(data, 0);
+  const std::uint8_t section = data[8];
+  if (section > static_cast<std::uint8_t>(SectionType::kIdentitySync))
+    return std::nullopt;
+  pkt.header.section = static_cast<SectionType>(section);
+  pkt.header.section_index = get_u16be(data, 9);
+  pkt.header.total_sections = get_u16be(data, 11);
+  pkt.header.annotation_count = get_u16be(data, 13);
+  pkt.header.payload_size = get_u32be(data, 15);
+
+  std::size_t pos = kPacketHeaderSize;
+  const std::size_t ann_bytes = pkt.header.annotation_count * kAnnotationSize;
+  if (pos + ann_bytes + pkt.header.payload_size != data.size())
+    return std::nullopt;
+
+  pkt.annotations.reserve(pkt.header.annotation_count);
+  for (std::uint16_t i = 0; i < pkt.header.annotation_count; ++i) {
+    Annotation a;
+    const std::uint8_t kind = data[pos];
+    if (kind > 1) return std::nullopt;
+    a.kind = static_cast<Annotation::Kind>(kind);
+    a.field = static_cast<FieldId>(data[pos + 1]);
+    a.index = data[pos + 2];
+    a.offset = get_u32be(data, pos + 3);
+    a.length = get_u32be(data, pos + 7);
+    a.id = fabric::EncodedId{get_u16be(data, pos + 11)};
+    pkt.annotations.push_back(a);
+    pos += kAnnotationSize;
+  }
+  pkt.payload.assign(data.begin() + static_cast<std::ptrdiff_t>(pos),
+                     data.end());
+  return pkt;
+}
+
+std::size_t BmacPacket::wire_size() const {
+  return kPacketHeaderSize + annotations.size() * kAnnotationSize +
+         payload.size();
+}
+
+}  // namespace bm::bmac

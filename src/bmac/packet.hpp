@@ -1,0 +1,81 @@
+// BMac protocol packets: L7 header, annotations and section payloads (§3.2).
+//
+// A block is broken into 1 header section + one section per transaction +
+// 1 metadata section; each section travels in its own self-contained UDP
+// packet. The L7 header has a fixed part (block number, section type/index,
+// counts, payload size) and a variable part (the annotations). Identity
+// certificates in the payload are replaced by 16-bit encoded ids; locator
+// annotations record where, pointer annotations record where the data
+// fields the accelerator needs live in the *original* (reconstructed)
+// section bytes.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "fabric/identity.hpp"
+
+namespace bm::bmac {
+
+enum class SectionType : std::uint8_t {
+  kHeader = 0,
+  kTransaction = 1,
+  kMetadata = 2,
+  kIdentitySync = 3,  ///< sender pushes a new identity into the hw cache
+};
+
+/// Data fields the hardware needs to locate (the DataExtractor routes each
+/// to DataWriter, DataProcessor or HashCalculator based on this tag).
+enum class FieldId : std::uint8_t {
+  kHeaderBytes = 0,     ///< whole marshaled block header (hash input)
+  kOrdererSig = 1,      ///< DER signature in the metadata section
+  kPayloadBytes = 2,    ///< envelope payload (client-signature hash input)
+  kCreatorSig = 3,      ///< DER client signature
+  kChaincodeId = 4,
+  kRwset = 5,           ///< marshaled rwset (decode + endorsement hash input)
+  kEndorsementSig = 6,  ///< DER endorser signature (indexed)
+};
+
+struct Annotation {
+  enum class Kind : std::uint8_t { kPointer = 0, kLocator = 1 };
+
+  Kind kind = Kind::kPointer;
+  FieldId field = FieldId::kHeaderBytes;  ///< pointer annotations only
+  std::uint8_t index = 0;   ///< which endorsement / identity slot
+  std::uint32_t offset = 0; ///< pointer: offset in original section bytes;
+                            ///< locator: offset in the *modified* payload
+  std::uint32_t length = 0; ///< pointer: field length; locator: removed length
+  fabric::EncodedId id;     ///< locator annotations only
+};
+
+struct PacketHeader {
+  std::uint64_t block_num = 0;
+  SectionType section = SectionType::kHeader;
+  std::uint16_t section_index = 0;   ///< tx index for transaction sections
+  std::uint16_t total_sections = 0;  ///< 2 + tx count
+  std::uint16_t annotation_count = 0;
+  std::uint32_t payload_size = 0;
+};
+
+struct BmacPacket {
+  // Defaulted ctor: FIFO payloads must not be aggregates (see sim/fifo.hpp).
+  BmacPacket() = default;
+
+  PacketHeader header;
+  std::vector<Annotation> annotations;
+  Bytes payload;
+
+  /// Serialized wire bytes (L7 header + annotations + payload).
+  Bytes encode() const;
+  static std::optional<BmacPacket> decode(ByteView data);
+
+  /// Size on the wire including L7 header and annotations (excluding
+  /// L2/IP/UDP overhead, which the network layer adds).
+  std::size_t wire_size() const;
+};
+
+/// Fixed L7 header size and per-annotation size (for size accounting).
+constexpr std::size_t kPacketHeaderSize = 8 + 1 + 2 + 2 + 2 + 4;
+constexpr std::size_t kAnnotationSize = 1 + 1 + 1 + 4 + 4 + 2;
+
+}  // namespace bm::bmac

@@ -1,0 +1,99 @@
+#include "bmac/peer.hpp"
+
+#include <cassert>
+
+namespace bm::bmac {
+
+std::map<std::string, PolicyCircuit> compile_policies(
+    const std::map<std::string, fabric::EndorsementPolicy>& policies,
+    const fabric::Msp& msp) {
+  std::map<std::string, PolicyCircuit> circuits;
+  for (const auto& [chaincode, policy] : policies)
+    circuits.emplace(chaincode, PolicyCircuit::compile(policy, msp));
+  return circuits;
+}
+
+BmacPeer::BmacPeer(
+    sim::Simulation& sim, const fabric::Msp& msp, HwConfig config,
+    const std::map<std::string, fabric::EndorsementPolicy>& policies)
+    : sim_(sim),
+      config_(config),
+      rx_queue_(sim, 65536, "rx_queue"),
+      receiver_(cache_),
+      processor_(sim, config, compile_policies(policies, msp)) {}
+
+void BmacPeer::start() {
+  processor_.start();
+  sim_.spawn(protocol_processor_proc());
+  sim_.spawn(host_commit_proc());
+}
+
+void BmacPeer::deliver_packet(BmacPacket packet) {
+  const bool accepted = rx_queue_.try_put(std::move(packet));
+  assert(accepted && "rx queue overflow");
+  (void)accepted;
+}
+
+void BmacPeer::deliver_block(fabric::Block block) {
+  pending_blocks_.emplace(block.header.number, std::move(block));
+}
+
+sim::Process BmacPeer::protocol_processor_proc() {
+  const HwTimingModel& t = config_.timing;
+  for (;;) {
+    BmacPacket packet = co_await rx_queue_.get();
+    co_await sim_.delay(t.packet_processing_time(packet.wire_size()));
+    ProtocolReceiver::Emitted emitted = receiver_.on_packet(packet);
+    // DataWriter: push each record as soon as it is complete. Back-pressure
+    // from full FIFOs stalls the protocol_processor, like real hardware.
+    for (auto& end : emitted.ends) co_await processor_.ends_fifo().put(std::move(end));
+    for (auto& read : emitted.reads)
+      co_await processor_.rdset_fifo().put(std::move(read));
+    for (auto& write : emitted.writes)
+      co_await processor_.wrset_fifo().put(std::move(write));
+    for (auto& tx : emitted.txs) co_await processor_.tx_fifo().put(std::move(tx));
+    if (emitted.block)
+      co_await processor_.block_fifo().put(std::move(*emitted.block));
+  }
+}
+
+sim::Process BmacPeer::host_commit_proc() {
+  const HwTimingModel& t = config_.timing;
+  for (;;) {
+    // GetBlockData(): returns when reg_map holds the validation result.
+    ResultEntry result = co_await processor_.reg_map().get();
+    co_await sim_.delay(t.host_result_read);
+
+    // The same block arrives via Gossip/forwarded UDP; normally it is
+    // already here since hardware validation takes far longer than block
+    // delivery. Poll briefly otherwise.
+    auto it = pending_blocks_.find(result.block_num);
+    while (it == pending_blocks_.end()) {
+      co_await sim_.delay(100 * sim::kMicrosecond);
+      it = pending_blocks_.find(result.block_num);
+    }
+    fabric::Block block = std::move(it->second);
+    pending_blocks_.erase(it);
+
+    if (result.block_valid) {
+      assert(result.flags.size() == block.envelopes.size());
+      for (std::size_t i = 0; i < result.flags.size(); ++i)
+        block.metadata.tx_flags[i] =
+            static_cast<std::uint8_t>(result.flags[i]);
+      co_await sim_.delay(
+          t.ledger_commit_fixed +
+          t.ledger_commit_per_tx * static_cast<sim::Time>(result.flags.size()));
+      ledger_.append(std::move(block));
+      ++host_metrics_.blocks_committed;
+      host_metrics_.transactions_committed += result.flags.size();
+      for (const auto flag : result.flags)
+        if (flag == fabric::TxValidationCode::kValid)
+          ++host_metrics_.valid_transactions;
+    } else {
+      ++host_metrics_.blocks_rejected;
+    }
+    results_.push_back(std::move(result));
+  }
+}
+
+}  // namespace bm::bmac

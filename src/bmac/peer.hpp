@@ -1,0 +1,75 @@
+// BMac peer: the hardware/software co-designed validator peer (§3.1, §3.4).
+//
+// Hardware side (simulated): packets arrive from the network interface into
+// the protocol_processor, which extracts records into the block_processor's
+// FIFOs; results surface in reg_map. Host side (software): the peer also
+// receives the block itself (Gossip or forwarded UDP), waits on
+// GetBlockData() for the hardware verdict, merges the transaction flags
+// into the block and commits it to the disk-based ledger — overlapping with
+// hardware validation of the next block.
+#pragma once
+
+#include "bmac/block_processor.hpp"
+#include "bmac/protocol.hpp"
+#include "fabric/ledger.hpp"
+#include "fabric/policy.hpp"
+
+namespace bm::bmac {
+
+class BmacPeer {
+ public:
+  BmacPeer(sim::Simulation& sim, const fabric::Msp& msp, HwConfig config,
+           const std::map<std::string, fabric::EndorsementPolicy>& policies);
+
+  /// Spawn the protocol_processor, block_processor and host processes.
+  void start();
+
+  /// Network ingress: a BMac packet arrives at the FPGA's interface.
+  /// Callable from event context (network delivery callbacks).
+  void deliver_packet(BmacPacket packet);
+
+  /// Host ingress: the marshaled block as received by the peer software
+  /// (needed only for the final ledger commit).
+  void deliver_block(fabric::Block block);
+
+  // --- results / inspection -------------------------------------------------
+  const fabric::Ledger& ledger() const { return ledger_; }
+  BlockProcessor& processor() { return processor_; }
+  const BlockProcessor& processor() const { return processor_; }
+  HwIdentityCache& identity_cache() { return cache_; }
+
+  struct HostMetrics {
+    std::uint64_t blocks_committed = 0;
+    std::uint64_t blocks_rejected = 0;
+    std::uint64_t transactions_committed = 0;  ///< valid + invalid, in blocks
+    std::uint64_t valid_transactions = 0;
+  };
+  const HostMetrics& host_metrics() const { return host_metrics_; }
+
+  /// All per-block results in commit order (flags + block_monitor stats).
+  const std::vector<ResultEntry>& results() const { return results_; }
+
+ private:
+  sim::Process protocol_processor_proc();
+  sim::Process host_commit_proc();
+
+  sim::Simulation& sim_;
+  HwConfig config_;
+  sim::Fifo<BmacPacket> rx_queue_;
+  HwIdentityCache cache_;
+  ProtocolReceiver receiver_;
+  BlockProcessor processor_;
+
+  std::map<std::uint64_t, fabric::Block> pending_blocks_;
+  fabric::Ledger ledger_;
+  HostMetrics host_metrics_;
+  std::vector<ResultEntry> results_;
+};
+
+/// Compile every chaincode policy into its hardware circuit (the YAML-driven
+/// generation step of §3.5).
+std::map<std::string, PolicyCircuit> compile_policies(
+    const std::map<std::string, fabric::EndorsementPolicy>& policies,
+    const fabric::Msp& msp);
+
+}  // namespace bm::bmac

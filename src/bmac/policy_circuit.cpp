@@ -1,0 +1,191 @@
+#include "bmac/policy_circuit.hpp"
+
+#include <functional>
+
+namespace bm::bmac {
+
+void RegisterFile::set(fabric::EncodedId id, bool valid) {
+  const std::uint8_t org = id.org();
+  if (org == 0 || org >= bits_.size()) return;  // unknown org: no register
+  const auto bit = static_cast<std::uint8_t>(1u << static_cast<int>(id.role()));
+  if (valid) bits_[org] |= bit;
+  else bits_[org] &= static_cast<std::uint8_t>(~bit);
+}
+
+bool RegisterFile::get(std::uint8_t org, fabric::Role role) const {
+  if (org == 0 || org >= bits_.size()) return false;
+  return (bits_[org] >> static_cast<int>(role)) & 1;
+}
+
+namespace {
+
+/// Expansion limit for k-of-n -> sum-of-products (n choose k AND terms).
+constexpr std::size_t kMaxExpansionTerms = 64;
+
+std::size_t choose(std::size_t n, std::size_t k) {
+  if (k > n) return 0;
+  std::size_t result = 1;
+  for (std::size_t i = 0; i < k; ++i) {
+    result = result * (n - i) / (i + 1);
+    if (result > 10 * kMaxExpansionTerms) return result;  // avoid overflow
+  }
+  return result;
+}
+
+class Compiler {
+ public:
+  Compiler(const fabric::Msp& msp, std::vector<Gate>& gates)
+      : msp_(msp), gates_(gates) {}
+
+  std::uint32_t compile(const fabric::PolicyNode& node) {
+    switch (node.kind) {
+      case fabric::PolicyNode::Kind::kPrincipal:
+        return input_gate(node.principal);
+      case fabric::PolicyNode::Kind::kAnd:
+        return nary(Gate::Type::kAnd, node.children);
+      case fabric::PolicyNode::Kind::kOr:
+        return nary(Gate::Type::kOr, node.children);
+      case fabric::PolicyNode::Kind::kKOutOf:
+        return k_out_of(node);
+    }
+    return input_gate({});  // unreachable
+  }
+
+ private:
+  std::uint32_t emit(Gate gate) {
+    gates_.push_back(std::move(gate));
+    return static_cast<std::uint32_t>(gates_.size() - 1);
+  }
+
+  std::uint32_t input_gate(const fabric::PolicyPrincipal& principal) {
+    Gate gate;
+    gate.type = Gate::Type::kInput;
+    const auto* ca = msp_.find_org(principal.org);
+    gate.org = ca ? ca->org_index() : 0;  // org 0 reads constant false
+    gate.role = principal.role;
+    return emit(std::move(gate));
+  }
+
+  std::uint32_t nary(Gate::Type type,
+                     const std::vector<fabric::PolicyNodePtr>& children) {
+    Gate gate;
+    gate.type = type;
+    gate.inputs.reserve(children.size());
+    for (const auto& child : children) gate.inputs.push_back(compile(*child));
+    return emit(std::move(gate));
+  }
+
+  std::uint32_t k_out_of(const fabric::PolicyNode& node) {
+    const std::size_t n = node.children.size();
+    const auto k = static_cast<std::size_t>(node.k);
+
+    std::vector<std::uint32_t> child_gates;
+    child_gates.reserve(n);
+    for (const auto& child : node.children)
+      child_gates.push_back(compile(*child));
+
+    if (choose(n, k) <= kMaxExpansionTerms) {
+      // Sum-of-products expansion: OR over all k-subsets of AND terms.
+      std::vector<std::uint32_t> terms;
+      std::vector<std::size_t> pick(k);
+      std::function<void(std::size_t, std::size_t)> recurse =
+          [&](std::size_t start, std::size_t depth) {
+            if (depth == k) {
+              if (k == 1) {
+                terms.push_back(child_gates[pick[0]]);
+                return;
+              }
+              Gate and_gate;
+              and_gate.type = Gate::Type::kAnd;
+              for (std::size_t i = 0; i < k; ++i)
+                and_gate.inputs.push_back(child_gates[pick[i]]);
+              terms.push_back(emit(std::move(and_gate)));
+              return;
+            }
+            for (std::size_t i = start; i + (k - depth) <= n; ++i) {
+              pick[depth] = i;
+              recurse(i + 1, depth + 1);
+            }
+          };
+      recurse(0, 0);
+      if (terms.size() == 1) return terms[0];
+      Gate or_gate;
+      or_gate.type = Gate::Type::kOr;
+      or_gate.inputs = std::move(terms);
+      return emit(std::move(or_gate));
+    }
+
+    Gate threshold;
+    threshold.type = Gate::Type::kThreshold;
+    threshold.k = node.k;
+    threshold.inputs = std::move(child_gates);
+    return emit(std::move(threshold));
+  }
+
+  const fabric::Msp& msp_;
+  std::vector<Gate>& gates_;
+};
+
+}  // namespace
+
+PolicyCircuit PolicyCircuit::compile(const fabric::EndorsementPolicy& policy,
+                                     const fabric::Msp& msp) {
+  PolicyCircuit circuit;
+  circuit.source_text_ = policy.text();
+  if (!policy.empty()) {
+    Compiler compiler(msp, circuit.gates_);
+    compiler.compile(policy.root());
+  }
+  return circuit;
+}
+
+bool PolicyCircuit::evaluate(const RegisterFile& regs) const {
+  if (gates_.empty()) return false;
+  std::vector<std::uint8_t> values(gates_.size(), 0);
+  for (std::size_t i = 0; i < gates_.size(); ++i) {
+    const Gate& gate = gates_[i];
+    switch (gate.type) {
+      case Gate::Type::kInput:
+        values[i] = regs.get(gate.org, gate.role) ? 1 : 0;
+        break;
+      case Gate::Type::kAnd: {
+        bool all = true;
+        for (const std::uint32_t input : gate.inputs)
+          all = all && values[input] != 0;
+        values[i] = all ? 1 : 0;
+        break;
+      }
+      case Gate::Type::kOr: {
+        bool any = false;
+        for (const std::uint32_t input : gate.inputs)
+          any = any || values[input] != 0;
+        values[i] = any ? 1 : 0;
+        break;
+      }
+      case Gate::Type::kThreshold: {
+        int count = 0;
+        for (const std::uint32_t input : gate.inputs)
+          count += values[input] != 0 ? 1 : 0;
+        values[i] = count >= gate.k ? 1 : 0;
+        break;
+      }
+    }
+  }
+  return values.back() != 0;
+}
+
+CircuitStats PolicyCircuit::stats() const {
+  CircuitStats stats;
+  for (const Gate& gate : gates_) {
+    switch (gate.type) {
+      case Gate::Type::kInput: ++stats.inputs; break;
+      case Gate::Type::kAnd: ++stats.and_gates; break;
+      case Gate::Type::kOr: ++stats.or_gates; break;
+      case Gate::Type::kThreshold: ++stats.threshold_gates; break;
+    }
+    stats.total_gate_inputs += gate.inputs.size();
+  }
+  return stats;
+}
+
+}  // namespace bm::bmac

@@ -1,0 +1,80 @@
+// Endorsement policies compiled to combinational circuits (§3.3).
+//
+// The ends_policy_evaluator holds a register file with one register per
+// organization and one bit per role; endorsement verification results are
+// written to (org, role) bits, and the policy is a combinational circuit
+// over those bits — all sub-expressions evaluate in parallel, which is why
+// the "complex policy" of Fig. 7f costs the hardware nothing while the
+// software peer (sequential sub-expression evaluation) collapses.
+//
+// k-out-of-n nodes are expanded into an OR of all n-choose-k AND terms
+// (e.g. "2-outof-3" -> three 2-input ANDs + one 3-input OR, exactly the
+// paper's example) when the expansion is small; larger thresholds keep a
+// threshold gate (hardware: adder tree + comparator).
+#pragma once
+
+#include <vector>
+
+#include "fabric/policy.hpp"
+
+namespace bm::bmac {
+
+/// The ends_policy_evaluator register file: one register per org (indices
+/// 1..N), 4 role bits each.
+class RegisterFile {
+ public:
+  explicit RegisterFile(std::size_t org_count)
+      : bits_(org_count + 1, 0) {}  // index 0 unused (org indices start at 1)
+
+  void clear() { std::fill(bits_.begin(), bits_.end(), 0); }
+
+  /// Write a verification result bit for an endorser id (set on valid).
+  void set(fabric::EncodedId id, bool valid);
+
+  bool get(std::uint8_t org, fabric::Role role) const;
+
+  std::size_t org_count() const { return bits_.size() - 1; }
+
+ private:
+  std::vector<std::uint8_t> bits_;  ///< 4 role bits per org
+};
+
+struct Gate {
+  enum class Type : std::uint8_t { kInput, kAnd, kOr, kThreshold };
+  Type type = Type::kInput;
+  // kInput:
+  std::uint8_t org = 0;
+  fabric::Role role = fabric::Role::kPeer;
+  // kAnd / kOr / kThreshold:
+  int k = 0;  ///< threshold gates only
+  std::vector<std::uint32_t> inputs;  ///< indices of earlier gates
+};
+
+struct CircuitStats {
+  std::size_t inputs = 0;
+  std::size_t and_gates = 0;
+  std::size_t or_gates = 0;
+  std::size_t threshold_gates = 0;
+  std::size_t total_gate_inputs = 0;  ///< sum of fan-ins (LUT cost proxy)
+};
+
+class PolicyCircuit {
+ public:
+  /// Compile a policy; org names resolve through the MSP. Principals whose
+  /// org is unknown compile to constant-false inputs.
+  static PolicyCircuit compile(const fabric::EndorsementPolicy& policy,
+                               const fabric::Msp& msp);
+
+  /// Combinational evaluation over the register file.
+  bool evaluate(const RegisterFile& regs) const;
+
+  CircuitStats stats() const;
+  std::size_t gate_count() const { return gates_.size(); }
+  const std::string& source_text() const { return source_text_; }
+
+ private:
+  std::vector<Gate> gates_;  ///< topologically ordered; last gate = output
+  std::string source_text_;
+};
+
+}  // namespace bm::bmac

@@ -1,0 +1,74 @@
+#include "bmac/reliable.hpp"
+
+namespace bm::bmac {
+
+GbnSender::GbnSender(sim::Simulation& sim, Config config, TransmitFn transmit)
+    : sim_(sim), config_(config), transmit_(std::move(transmit)) {}
+
+void GbnSender::send(Bytes encoded_packet) {
+  backlog_.push_back(std::move(encoded_packet));
+  pump();
+}
+
+void GbnSender::pump() {
+  while (!backlog_.empty() && outstanding_.size() < config_.window) {
+    SequencedFrame frame;
+    frame.seq = next_seq_++;
+    frame.payload = std::move(backlog_.front());
+    backlog_.pop_front();
+    transmit_(frame);
+    ++stats_.frames_sent;
+    outstanding_.push_back(std::move(frame));
+  }
+  if (!outstanding_.empty()) arm_timer();
+}
+
+void GbnSender::arm_timer() {
+  if (timer_armed_) return;
+  timer_armed_ = true;
+  timer_ = sim_.schedule(config_.retransmit_timeout, [this] {
+    timer_armed_ = false;
+    on_timeout();
+  });
+}
+
+void GbnSender::on_timeout() {
+  if (outstanding_.empty()) return;
+  // Go-Back-N: retransmit every unacknowledged frame, oldest first.
+  ++stats_.timeouts;
+  for (const SequencedFrame& frame : outstanding_) {
+    transmit_(frame);
+    ++stats_.retransmissions;
+  }
+  arm_timer();
+}
+
+void GbnSender::on_ack(std::uint64_t next_expected) {
+  ++stats_.acks_received;
+  if (next_expected <= base_) return;  // stale cumulative ACK
+  while (base_ < next_expected && !outstanding_.empty()) {
+    outstanding_.pop_front();
+    ++base_;
+  }
+  if (timer_armed_) {
+    sim_.cancel(timer_);
+    timer_armed_ = false;
+  }
+  pump();
+}
+
+void GbnReceiver::on_frame(const SequencedFrame& frame) {
+  if (frame.seq == next_expected_) {
+    ++next_expected_;
+    ++stats_.frames_delivered;
+    deliver_(frame.payload);
+  } else {
+    // Out-of-order or duplicate: Go-Back-N receivers keep no buffer.
+    ++stats_.frames_discarded;
+  }
+  // Cumulative ACK either way (re-ACKs trigger fast recovery at the sender
+  // when combined with the timeout).
+  ack_(next_expected_);
+}
+
+}  // namespace bm::bmac

@@ -1,0 +1,108 @@
+// Go-Back-N reliability layer for the BMac protocol (§5).
+//
+// The paper does not implement retransmission but points at Go-Back-N as
+// used by RDMA-over-Ethernet deployments. This implements exactly that, as
+// the optional reliability shim between the ProtocolSender and the UDP
+// network:
+//   - the sender stamps every packet of a stream with a sequence number and
+//     keeps a window of unacknowledged packets;
+//   - the receiver accepts only the next expected sequence number, drops
+//     everything else, and returns cumulative ACKs;
+//   - on timeout (or a duplicate-ACK burst), the sender retransmits from
+//     the first unacknowledged packet.
+// Because delivery is in order, the protocol_processor's assumption that
+// sections arrive sequentially keeps holding even on a lossy link.
+#pragma once
+
+#include <deque>
+#include <functional>
+
+#include "bmac/packet.hpp"
+#include "sim/simulation.hpp"
+
+namespace bm::bmac {
+
+/// A sequenced frame on the wire: 8-byte sequence header + encoded packet.
+struct SequencedFrame {
+  SequencedFrame() = default;  // FIFO payload: must not be an aggregate
+
+  std::uint64_t seq = 0;
+  Bytes payload;  ///< encoded BmacPacket
+
+  std::size_t wire_size() const { return 8 + payload.size(); }
+};
+
+struct GbnStats {
+  std::uint64_t frames_sent = 0;        ///< first transmissions
+  std::uint64_t retransmissions = 0;
+  std::uint64_t timeouts = 0;
+  std::uint64_t acks_received = 0;
+  std::uint64_t frames_delivered = 0;   ///< in-order, to the application
+  std::uint64_t frames_discarded = 0;   ///< out-of-order arrivals dropped
+};
+
+/// Sender half. The caller provides the datagram transmit function (which
+/// may lose frames) and receives ACK callbacks via on_ack().
+class GbnSender {
+ public:
+  struct Config {
+    std::size_t window = 32;
+    sim::Time retransmit_timeout = 2 * sim::kMillisecond;
+  };
+
+  using TransmitFn = std::function<void(const SequencedFrame&)>;
+
+  GbnSender(sim::Simulation& sim, Config config, TransmitFn transmit);
+
+  /// Queue a packet for reliable delivery; transmits immediately if the
+  /// window has room.
+  void send(Bytes encoded_packet);
+
+  /// Deliver a cumulative ACK from the receiver ("everything below
+  /// `next_expected` arrived").
+  void on_ack(std::uint64_t next_expected);
+
+  bool idle() const { return outstanding_.empty() && backlog_.empty(); }
+  const GbnStats& stats() const { return stats_; }
+
+ private:
+  void pump();
+  void arm_timer();
+  void on_timeout();
+
+  sim::Simulation& sim_;
+  Config config_;
+  TransmitFn transmit_;
+
+  std::uint64_t next_seq_ = 0;   ///< next new sequence number
+  std::uint64_t base_ = 0;       ///< oldest unacknowledged
+  std::deque<SequencedFrame> outstanding_;  ///< [base_, next_seq_)
+  std::deque<Bytes> backlog_;    ///< waiting for window space
+  sim::EventId timer_ = 0;
+  bool timer_armed_ = false;
+  GbnStats stats_;
+};
+
+/// Receiver half: in-order filter producing cumulative ACKs.
+class GbnReceiver {
+ public:
+  using DeliverFn = std::function<void(Bytes)>;       ///< in-order payloads
+  using AckFn = std::function<void(std::uint64_t)>;   ///< cumulative ACK
+
+  GbnReceiver(DeliverFn deliver, AckFn ack)
+      : deliver_(std::move(deliver)), ack_(std::move(ack)) {}
+
+  /// A frame arrived from the network (possibly out of order / duplicate).
+  void on_frame(const SequencedFrame& frame);
+
+  std::uint64_t next_expected() const { return next_expected_; }
+  const GbnStats& stats() const { return stats_; }
+
+ private:
+  DeliverFn deliver_;
+  AckFn ack_;
+  std::uint64_t next_expected_ = 0;
+  GbnStats stats_;
+};
+
+}  // namespace bm::bmac

@@ -1,0 +1,83 @@
+#include "bmac/resource_model.hpp"
+
+namespace bm::bmac {
+
+namespace {
+
+// Fixed modules. LUT/FF totals chosen so the base sums to the Table 1 fit
+// (base LUT = 13.5% of 1,728k = 233.3k; base FF = 5.7% of 3,456k = 197k;
+// BRAM 352 = 13.1% of 2,688; URAM 168 = 13.1% of 1,280).
+const ModuleCost kShell{"opennic_shell (Ethernet+DMA+AXI)", 100'000, 110'000,
+                        140, 40};
+const ModuleCost kProtocolProcessor{
+    "protocol_processor (P4 parser + DataInserter/Extractor + 3x SHA-256)",
+    80'000, 60'000, 15, 60};
+const ModuleCost kIdentityCache{"identity_cache", 4'000, 2'000, 0, 32};
+const ModuleCost kBlockLevel{
+    "block_verify engine + block_monitor + reg_map", 22'300, 15'000, 5, 0};
+const ModuleCost kMvccCommit{"tx_mvcc_commit datapath", 12'000, 6'000, 0, 0};
+const ModuleCost kStateDb{"in-hardware state database (8192 entries)",
+                          15'000, 4'000, 192, 36};
+
+// Per-instance modules (the Table 1 scaling knobs).
+constexpr std::uint64_t kEcdsaEngineLut = 9'158;   // 0.53% of 1,728k
+constexpr std::uint64_t kEcdsaEngineFf = 691;      // 0.02% of 3,456k
+constexpr std::uint64_t kValidatorCtlLut = 4'493;  // 0.79% - engine share
+constexpr std::uint64_t kValidatorCtlFf = 8'295;   // 0.26% - engine share
+
+// Policy circuits: a LUT6 absorbs ~3 gate inputs; one FF per gate output.
+constexpr std::uint64_t kLutPerGateInput = 1;
+
+}  // namespace
+
+std::vector<ModuleCost> ResourceModel::breakdown(
+    const HwConfig& config,
+    const std::map<std::string, PolicyCircuit>& policies) const {
+  std::vector<ModuleCost> modules = {kShell,      kProtocolProcessor,
+                                     kIdentityCache, kBlockLevel,
+                                     kMvccCommit, kStateDb};
+
+  const auto validators = static_cast<std::uint64_t>(config.tx_validators);
+  const auto engines =
+      validators * static_cast<std::uint64_t>(config.engines_per_vscc);
+
+  modules.push_back(ModuleCost{
+      "tx_validators (" + config.name() + "): tx_verify engine + control",
+      validators * (kEcdsaEngineLut + kValidatorCtlLut),
+      validators * (kEcdsaEngineFf + kValidatorCtlFf), 0, 0});
+  modules.push_back(ModuleCost{
+      "tx_vscc ecdsa_engines (" + std::to_string(engines) + ")",
+      engines * kEcdsaEngineLut, engines * kEcdsaEngineFf, 0, 0});
+
+  std::uint64_t circuit_inputs = 0;
+  std::uint64_t circuit_gates = 0;
+  for (const auto& [name, circuit] : policies) {
+    const CircuitStats stats = circuit.stats();
+    circuit_inputs += stats.total_gate_inputs + stats.inputs;
+    circuit_gates += circuit.gate_count();
+  }
+  if (circuit_gates > 0) {
+    // One evaluator per tx_vscc instance.
+    modules.push_back(ModuleCost{
+        "ends_policy_evaluator circuits (x" +
+            std::to_string(config.tx_validators) + ")",
+        validators * circuit_inputs * kLutPerGateInput,
+        validators * circuit_gates, 0, 0});
+  }
+  return modules;
+}
+
+ResourceUsage ResourceModel::estimate(
+    const HwConfig& config,
+    const std::map<std::string, PolicyCircuit>& policies) const {
+  ResourceUsage usage;
+  for (const ModuleCost& module : breakdown(config, policies)) {
+    usage.lut += module.lut;
+    usage.ff += module.ff;
+    usage.bram36 += module.bram36;
+    usage.uram += module.uram;
+  }
+  return usage;
+}
+
+}  // namespace bm::bmac

@@ -1,0 +1,83 @@
+// Analytic FPGA resource model for BMac architectures on a Xilinx Alveo
+// U250, reproducing Table 1.
+//
+// Utilization is linear in the architecture knobs: a fixed base (OpenNIC
+// shell + protocol_processor + block-level modules + in-hardware state
+// database) plus a per-tx_validator cost (tx_verify control and its
+// dedicated ecdsa_engine, tx_vscc control, collector port) plus a per-vscc-
+// engine cost. The coefficients are fit to the five architectures of
+// Table 1 (LUT: 13.5% + 0.79%/validator + 0.53%/engine; FF: 5.7% + 0.26%/
+// validator + 0.02%/engine; BRAM/URAM constant at 13.1% — FIFOs, identity
+// cache and the 8192-entry database do not scale with V or E).
+// Policy circuits add a handful of LUTs per gate input — visible only in
+// the ablation bench, exactly as the paper's "about the same for all
+// architectures" footprint implies.
+#pragma once
+
+#include "bmac/block_processor.hpp"
+
+namespace bm::bmac {
+
+/// Alveo U250 device budget.
+struct DeviceBudget {
+  std::uint64_t lut = 1'728'000;
+  std::uint64_t ff = 3'456'000;
+  std::uint64_t bram36 = 2'688;
+  std::uint64_t uram = 1'280;
+};
+
+struct ModuleCost {
+  std::string name;
+  std::uint64_t lut = 0;
+  std::uint64_t ff = 0;
+  std::uint64_t bram36 = 0;
+  std::uint64_t uram = 0;
+};
+
+struct ResourceUsage {
+  std::uint64_t lut = 0;
+  std::uint64_t ff = 0;
+  std::uint64_t bram36 = 0;
+  std::uint64_t uram = 0;
+
+  double lut_pct(const DeviceBudget& dev = {}) const {
+    return 100.0 * static_cast<double>(lut) / static_cast<double>(dev.lut);
+  }
+  double ff_pct(const DeviceBudget& dev = {}) const {
+    return 100.0 * static_cast<double>(ff) / static_cast<double>(dev.ff);
+  }
+  double bram_pct(const DeviceBudget& dev = {}) const {
+    return 100.0 * static_cast<double>(bram36) /
+           static_cast<double>(dev.bram36);
+  }
+  double uram_pct(const DeviceBudget& dev = {}) const {
+    return 100.0 * static_cast<double>(uram) / static_cast<double>(dev.uram);
+  }
+};
+
+/// Fixed-function resources that do not depend on the architecture
+/// (Table 1's footnote: GT 83.3%, BUFG 2.2%, MMCM 6.3%, PCIe 25%).
+struct FixedUtilization {
+  double gt_pct = 83.3;
+  double bufg_pct = 2.2;
+  double mmcm_pct = 6.3;
+  double pcie_pct = 25.0;
+};
+
+class ResourceModel {
+ public:
+  /// Estimate total usage for an architecture, including the compiled
+  /// endorsement-policy circuits.
+  ResourceUsage estimate(
+      const HwConfig& config,
+      const std::map<std::string, PolicyCircuit>& policies = {}) const;
+
+  /// Per-module breakdown (for the ablation bench / documentation).
+  std::vector<ModuleCost> breakdown(
+      const HwConfig& config,
+      const std::map<std::string, PolicyCircuit>& policies = {}) const;
+
+  FixedUtilization fixed() const { return FixedUtilization{}; }
+};
+
+}  // namespace bm::bmac

@@ -1,0 +1,13 @@
+// CRC-32 (IEEE 802.3 polynomial, reflected) for on-disk record integrity.
+#pragma once
+
+#include "common/bytes.hpp"
+
+namespace bm {
+
+std::uint32_t crc32(ByteView data);
+
+/// Incremental form: pass the previous result to continue a running CRC.
+std::uint32_t crc32_update(std::uint32_t crc, ByteView data);
+
+}  // namespace bm

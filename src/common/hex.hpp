@@ -1,0 +1,17 @@
+// Hex encoding/decoding for digests, keys and debug dumps.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "common/bytes.hpp"
+
+namespace bm {
+
+/// Lower-case hex string of a byte range.
+std::string hex_encode(ByteView b);
+
+/// Parse hex (upper or lower case); nullopt on odd length or bad digit.
+std::optional<Bytes> hex_decode(std::string_view s);
+
+}  // namespace bm

@@ -1,0 +1,38 @@
+// Minimal leveled logger for examples and benches.
+//
+// The library itself stays quiet by default (level = Warn); examples raise
+// the level to Info to narrate what the system is doing.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace bm {
+
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+namespace detail {
+void log_line(LogLevel level, const std::string& msg);
+}
+
+template <typename... Args>
+void log(LogLevel level, const Args&... args) {
+  if (level < log_level()) return;
+  std::ostringstream os;
+  (os << ... << args);
+  detail::log_line(level, os.str());
+}
+
+template <typename... Args>
+void log_debug(const Args&... args) { log(LogLevel::Debug, args...); }
+template <typename... Args>
+void log_info(const Args&... args) { log(LogLevel::Info, args...); }
+template <typename... Args>
+void log_warn(const Args&... args) { log(LogLevel::Warn, args...); }
+template <typename... Args>
+void log_error(const Args&... args) { log(LogLevel::Error, args...); }
+
+}  // namespace bm

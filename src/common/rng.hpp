@@ -1,0 +1,44 @@
+// Deterministic pseudo-random generation.
+//
+// Everything stochastic in the repository (workload generation, network
+// jitter, nonce derivation fallbacks, property-test inputs) flows through
+// this xoshiro256** generator so that a fixed seed reproduces a run exactly.
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytes.hpp"
+
+namespace bm {
+
+/// SplitMix64 step; used to seed xoshiro and for cheap hashing.
+std::uint64_t splitmix64(std::uint64_t& state);
+
+/// xoshiro256** 1.0 (Blackman & Vigna). Not cryptographic; the crypto layer
+/// derives nonces deterministically from message+key material instead.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull);
+
+  std::uint64_t next_u64();
+
+  /// Uniform in [0, bound) without modulo bias; bound must be > 0.
+  std::uint64_t uniform(std::uint64_t bound);
+
+  /// Uniform in [lo, hi] inclusive; requires lo <= hi.
+  std::int64_t uniform_range(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double uniform_double();
+
+  /// Fill a fresh buffer with `n` random bytes.
+  Bytes bytes(std::size_t n);
+
+  /// Bernoulli trial with probability p (clamped to [0,1]).
+  bool chance(double p);
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace bm

@@ -1,0 +1,112 @@
+#include "crypto/der.hpp"
+
+namespace bm::crypto {
+
+namespace {
+
+/// Minimal DER INTEGER body for an unsigned 256-bit value: strip leading
+/// zero bytes, then prepend 0x00 if the top bit is set.
+Bytes integer_body(const U256& v) {
+  const Bytes be = v.to_bytes_be();
+  std::size_t start = 0;
+  while (start < be.size() - 1 && be[start] == 0) ++start;
+  Bytes body;
+  if (be[start] & 0x80) body.push_back(0x00);
+  body.insert(body.end(), be.begin() + static_cast<std::ptrdiff_t>(start),
+              be.end());
+  return body;
+}
+
+struct Reader {
+  ByteView data;
+  std::size_t pos = 0;
+
+  bool read_byte(std::uint8_t& out) {
+    if (pos >= data.size()) return false;
+    out = data[pos++];
+    return true;
+  }
+
+  /// Short-form and 1-byte long-form lengths only (enough for signatures).
+  bool read_length(std::size_t& out) {
+    std::uint8_t first;
+    if (!read_byte(first)) return false;
+    if (first < 0x80) {
+      out = first;
+      return true;
+    }
+    if (first == 0x81) {
+      std::uint8_t next;
+      if (!read_byte(next)) return false;
+      if (next < 0x80) return false;  // non-minimal long form
+      out = next;
+      return true;
+    }
+    return false;
+  }
+
+  bool read_integer(U256& out) {
+    std::uint8_t tag;
+    if (!read_byte(tag) || tag != 0x02) return false;
+    std::size_t len;
+    if (!read_length(len) || len == 0 || pos + len > data.size()) return false;
+    ByteView body = data.subspan(pos, len);
+    pos += len;
+    if (body[0] & 0x80) return false;  // negative integers never valid here
+    if (len > 1 && body[0] == 0x00 && !(body[1] & 0x80))
+      return false;  // non-minimal
+    if (body[0] == 0x00) body = body.subspan(1);
+    if (body.size() > 32) return false;
+    Bytes padded(32, 0);
+    std::copy(body.begin(), body.end(),
+              padded.begin() + static_cast<std::ptrdiff_t>(32 - body.size()));
+    out = U256::from_bytes_be(padded);
+    return true;
+  }
+};
+
+void write_length(Bytes& out, std::size_t len) {
+  if (len < 0x80) {
+    out.push_back(static_cast<std::uint8_t>(len));
+  } else {
+    out.push_back(0x81);
+    out.push_back(static_cast<std::uint8_t>(len));
+  }
+}
+
+}  // namespace
+
+Bytes der_encode_signature(const Signature& sig) {
+  const Bytes r_body = integer_body(sig.r);
+  const Bytes s_body = integer_body(sig.s);
+  Bytes inner;
+  inner.push_back(0x02);
+  write_length(inner, r_body.size());
+  append(inner, r_body);
+  inner.push_back(0x02);
+  write_length(inner, s_body.size());
+  append(inner, s_body);
+
+  Bytes out;
+  out.push_back(0x30);
+  write_length(out, inner.size());
+  append(out, inner);
+  return out;
+}
+
+std::optional<Signature> der_decode_signature(ByteView der) {
+  Reader reader{der};
+  std::uint8_t tag;
+  if (!reader.read_byte(tag) || tag != 0x30) return std::nullopt;
+  std::size_t seq_len;
+  if (!reader.read_length(seq_len)) return std::nullopt;
+  if (reader.pos + seq_len != der.size()) return std::nullopt;
+
+  Signature sig;
+  if (!reader.read_integer(sig.r)) return std::nullopt;
+  if (!reader.read_integer(sig.s)) return std::nullopt;
+  if (reader.pos != der.size()) return std::nullopt;
+  return sig;
+}
+
+}  // namespace bm::crypto

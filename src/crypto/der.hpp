@@ -1,0 +1,22 @@
+// ASN.1 DER encoding of ECDSA signatures (ITU-T X.690), as used by Fabric.
+//
+// A signature is SEQUENCE { INTEGER r, INTEGER s } with minimal two's
+// complement integer encodings. The paper's DataProcessor (§3.2) decodes
+// this format in hardware to recover the raw (r, s) pair for the
+// ecdsa_engine; decode() mirrors that post-processor.
+#pragma once
+
+#include <optional>
+
+#include "crypto/ecdsa.hpp"
+
+namespace bm::crypto {
+
+/// Serialize (r, s) as a DER SEQUENCE of two INTEGERs.
+Bytes der_encode_signature(const Signature& sig);
+
+/// Strict DER parse; rejects non-minimal encodings, trailing bytes and
+/// integers wider than 256 bits.
+std::optional<Signature> der_decode_signature(ByteView der);
+
+}  // namespace bm::crypto

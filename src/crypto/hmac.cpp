@@ -1,0 +1,49 @@
+#include "crypto/hmac.hpp"
+
+#include <cstring>
+
+namespace bm::crypto {
+
+namespace {
+
+struct PaddedKey {
+  std::array<std::uint8_t, 64> ipad;
+  std::array<std::uint8_t, 64> opad;
+};
+
+PaddedKey pad_key(ByteView key) {
+  std::array<std::uint8_t, 64> block{};
+  if (key.size() > 64) {
+    const Digest d = sha256(key);
+    std::memcpy(block.data(), d.data(), d.size());
+  } else if (!key.empty()) {
+    std::memcpy(block.data(), key.data(), key.size());
+  }
+  PaddedKey out;
+  for (std::size_t i = 0; i < 64; ++i) {
+    out.ipad[i] = block[i] ^ 0x36;
+    out.opad[i] = block[i] ^ 0x5c;
+  }
+  return out;
+}
+
+}  // namespace
+
+Digest hmac_sha256_parts(ByteView key, std::initializer_list<ByteView> parts) {
+  const PaddedKey pk = pad_key(key);
+  Sha256 inner;
+  inner.update(ByteView(pk.ipad.data(), pk.ipad.size()));
+  for (const auto& p : parts) inner.update(p);
+  const Digest inner_digest = inner.finish();
+
+  Sha256 outer;
+  outer.update(ByteView(pk.opad.data(), pk.opad.size()));
+  outer.update(digest_view(inner_digest));
+  return outer.finish();
+}
+
+Digest hmac_sha256(ByteView key, ByteView message) {
+  return hmac_sha256_parts(key, {message});
+}
+
+}  // namespace bm::crypto

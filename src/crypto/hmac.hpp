@@ -1,0 +1,14 @@
+// HMAC-SHA256 (RFC 2104), used by the deterministic ECDSA nonce derivation.
+#pragma once
+
+#include "crypto/sha256.hpp"
+
+namespace bm::crypto {
+
+Digest hmac_sha256(ByteView key, ByteView message);
+
+/// HMAC over the concatenation of several fragments (avoids copies in the
+/// RFC 6979 inner loop).
+Digest hmac_sha256_parts(ByteView key, std::initializer_list<ByteView> parts);
+
+}  // namespace bm::crypto

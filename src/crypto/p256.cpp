@@ -1,0 +1,215 @@
+#include "crypto/p256.hpp"
+
+#include <cassert>
+
+namespace bm::crypto {
+
+namespace {
+
+const U256 kP = U256::from_hex(
+    "ffffffff00000001000000000000000000000000ffffffffffffffffffffffff");
+const U256 kN = U256::from_hex(
+    "ffffffff00000000ffffffffffffffffbce6faada7179e84f3b9cac2fc632551");
+const U256 kB = U256::from_hex(
+    "5ac635d8aa3a93e7b3ebbd55769886bc651d06b0cc53b0f63bce3c3e27d2604b");
+const AffinePoint kG = {
+    U256::from_hex(
+        "6b17d1f2e12c4247f8bce6e563a440f277037d812deb33a0f4a13945d898c296"),
+    U256::from_hex(
+        "4fe342e2fe1a7f9b8ee7eb4a7c0f9e162bce33576b315ececbb6406837bf51f5"),
+    false};
+
+}  // namespace
+
+const U256& p256_p() { return kP; }
+const U256& p256_n() { return kN; }
+const U256& p256_b() { return kB; }
+const AffinePoint& p256_generator() { return kG; }
+
+U256 fp_add(const U256& a, const U256& b) { return add_mod(a, b, kP); }
+U256 fp_sub(const U256& a, const U256& b) { return sub_mod(a, b, kP); }
+
+U256 fp_reduce(const U512& a) {
+  // Split the 512-bit input into sixteen 32-bit words c[0..15] (little
+  // endian) and combine per Hankerson Alg. 2.29:
+  //   r = s1 + 2*s2 + 2*s3 + s4 + s5 - s6 - s7 - s8 - s9 (mod p).
+  std::uint32_t c[16];
+  for (int i = 0; i < 8; ++i) {
+    c[2 * i] = static_cast<std::uint32_t>(a.w[i]);
+    c[2 * i + 1] = static_cast<std::uint32_t>(a.w[i] >> 32);
+  }
+
+  // Per-lane signed accumulation (each lane sums at most 9 32-bit words, so
+  // an int64 cannot overflow).
+  std::int64_t acc[8] = {};
+  auto lane = [&](int j) -> std::int64_t& { return acc[j]; };
+
+  // s1
+  for (int j = 0; j < 8; ++j) lane(j) += c[j];
+  // 2*s2 = 2*(c15,c14,c13,c12,c11,0,0,0)
+  for (int j = 3; j < 8; ++j) lane(j) += 2 * static_cast<std::int64_t>(c[j + 8]);
+  // 2*s3 = 2*(0,c15,c14,c13,c12,0,0,0)
+  for (int j = 3; j < 7; ++j) lane(j) += 2 * static_cast<std::int64_t>(c[j + 9]);
+  // s4 = (c15,c14,0,0,0,c10,c9,c8)
+  lane(0) += c[8]; lane(1) += c[9]; lane(2) += c[10];
+  lane(6) += c[14]; lane(7) += c[15];
+  // s5 = (c8,c13,c15,c14,c13,c11,c10,c9)
+  lane(0) += c[9]; lane(1) += c[10]; lane(2) += c[11]; lane(3) += c[13];
+  lane(4) += c[14]; lane(5) += c[15]; lane(6) += c[13]; lane(7) += c[8];
+  // s6 = (c10,c8,0,0,0,c13,c12,c11)
+  lane(0) -= c[11]; lane(1) -= c[12]; lane(2) -= c[13];
+  lane(6) -= c[8]; lane(7) -= c[10];
+  // s7 = (c11,c9,0,0,c15,c14,c13,c12)
+  lane(0) -= c[12]; lane(1) -= c[13]; lane(2) -= c[14]; lane(3) -= c[15];
+  lane(6) -= c[9]; lane(7) -= c[11];
+  // s8 = (c12,0,c10,c9,c8,c15,c14,c13)
+  lane(0) -= c[13]; lane(1) -= c[14]; lane(2) -= c[15]; lane(3) -= c[8];
+  lane(4) -= c[9]; lane(5) -= c[10]; lane(7) -= c[12];
+  // s9 = (c13,0,c11,c10,c9,0,c15,c14)
+  lane(0) -= c[14]; lane(1) -= c[15]; lane(3) -= c[9]; lane(4) -= c[10];
+  lane(5) -= c[11]; lane(7) -= c[13];
+
+  // Carry-propagate the signed lanes into a 256-bit value plus a signed
+  // overflow word.
+  U256 r;
+  std::int64_t carry = 0;
+  for (int j = 0; j < 8; ++j) {
+    const std::int64_t t = acc[j] + carry;
+    const auto low = static_cast<std::uint32_t>(t & 0xffffffff);
+    carry = (t - low) >> 32;
+    if (j % 2 == 0) {
+      r.w[j / 2] = low;
+    } else {
+      r.w[j / 2] |= static_cast<std::uint64_t>(low) << 32;
+    }
+  }
+
+  // Fold the overflow word: total value = carry * 2^256 + r. |carry| is tiny
+  // (< 8), so a short loop of +/- p suffices.
+  while (carry < 0) {
+    carry += static_cast<std::int64_t>(add(r, r, kP));
+  }
+  while (carry > 0) {
+    carry -= static_cast<std::int64_t>(sub(r, r, kP));
+  }
+  while (cmp(r, kP) >= 0) sub(r, r, kP);
+  return r;
+}
+
+U256 fp_mul(const U256& a, const U256& b) {
+  return fp_reduce(mul_wide(a, b));
+}
+
+U256 fp_sqr(const U256& a) { return fp_mul(a, a); }
+
+U256 fp_inv(const U256& a) { return inv_mod_prime(a, kP); }
+
+JacobianPoint to_jacobian(const AffinePoint& p) {
+  if (p.infinity) return JacobianPoint{};
+  return JacobianPoint{p.x, p.y, U256::from_u64(1)};
+}
+
+AffinePoint to_affine(const JacobianPoint& p) {
+  if (p.is_infinity()) return AffinePoint{{}, {}, true};
+  const U256 zinv = fp_inv(p.z);
+  const U256 zinv2 = fp_sqr(zinv);
+  const U256 zinv3 = fp_mul(zinv2, zinv);
+  return AffinePoint{fp_mul(p.x, zinv2), fp_mul(p.y, zinv3), false};
+}
+
+JacobianPoint point_double(const JacobianPoint& p) {
+  if (p.is_infinity() || p.y.is_zero()) return JacobianPoint{};
+  // dbl-2001-b formulas for a = -3.
+  const U256 delta = fp_sqr(p.z);
+  const U256 gamma = fp_sqr(p.y);
+  const U256 beta = fp_mul(p.x, gamma);
+  const U256 alpha =
+      fp_mul(fp_add(fp_add(fp_sub(p.x, delta), fp_sub(p.x, delta)),
+                    fp_sub(p.x, delta)),
+             fp_add(p.x, delta));
+  const U256 beta8 = fp_add(fp_add(fp_add(beta, beta), fp_add(beta, beta)),
+                            fp_add(fp_add(beta, beta), fp_add(beta, beta)));
+  JacobianPoint r;
+  r.x = fp_sub(fp_sqr(alpha), beta8);
+  const U256 ypz = fp_add(p.y, p.z);
+  r.z = fp_sub(fp_sub(fp_sqr(ypz), gamma), delta);
+  const U256 beta4 = fp_add(fp_add(beta, beta), fp_add(beta, beta));
+  const U256 gamma2 = fp_sqr(gamma);
+  const U256 gamma2_8 =
+      fp_add(fp_add(fp_add(gamma2, gamma2), fp_add(gamma2, gamma2)),
+             fp_add(fp_add(gamma2, gamma2), fp_add(gamma2, gamma2)));
+  r.y = fp_sub(fp_mul(alpha, fp_sub(beta4, r.x)), gamma2_8);
+  return r;
+}
+
+JacobianPoint point_add(const JacobianPoint& p, const JacobianPoint& q) {
+  if (p.is_infinity()) return q;
+  if (q.is_infinity()) return p;
+  const U256 z1z1 = fp_sqr(p.z);
+  const U256 z2z2 = fp_sqr(q.z);
+  const U256 u1 = fp_mul(p.x, z2z2);
+  const U256 u2 = fp_mul(q.x, z1z1);
+  const U256 s1 = fp_mul(p.y, fp_mul(z2z2, q.z));
+  const U256 s2 = fp_mul(q.y, fp_mul(z1z1, p.z));
+  if (u1 == u2) {
+    if (s1 == s2) return point_double(p);
+    return JacobianPoint{};  // p + (-p)
+  }
+  const U256 h = fp_sub(u2, u1);
+  const U256 r = fp_sub(s2, s1);
+  const U256 h2 = fp_sqr(h);
+  const U256 h3 = fp_mul(h2, h);
+  const U256 u1h2 = fp_mul(u1, h2);
+  JacobianPoint out;
+  out.x = fp_sub(fp_sub(fp_sqr(r), h3), fp_add(u1h2, u1h2));
+  out.y = fp_sub(fp_mul(r, fp_sub(u1h2, out.x)), fp_mul(s1, h3));
+  out.z = fp_mul(fp_mul(p.z, q.z), h);
+  return out;
+}
+
+JacobianPoint point_add_affine(const JacobianPoint& p, const AffinePoint& q) {
+  if (q.infinity) return p;
+  return point_add(p, to_jacobian(q));
+}
+
+JacobianPoint scalar_mult(const U256& k, const AffinePoint& p) {
+  JacobianPoint acc{};
+  const JacobianPoint base = to_jacobian(p);
+  const int top = k.top_bit();
+  for (int i = top; i >= 0; --i) {
+    acc = point_double(acc);
+    if (k.bit(i)) acc = point_add(acc, base);
+  }
+  return acc;
+}
+
+JacobianPoint double_scalar_mult(const U256& u1, const U256& u2,
+                                 const AffinePoint& q) {
+  const JacobianPoint g = to_jacobian(p256_generator());
+  const JacobianPoint qj = to_jacobian(q);
+  const JacobianPoint gq = point_add(g, qj);
+  JacobianPoint acc{};
+  const int top = std::max(u1.top_bit(), u2.top_bit());
+  for (int i = top; i >= 0; --i) {
+    acc = point_double(acc);
+    const bool b1 = i <= u1.top_bit() && u1.bit(i);
+    const bool b2 = i <= u2.top_bit() && u2.bit(i);
+    if (b1 && b2) acc = point_add(acc, gq);
+    else if (b1) acc = point_add(acc, g);
+    else if (b2) acc = point_add(acc, qj);
+  }
+  return acc;
+}
+
+bool on_curve(const AffinePoint& p) {
+  if (p.infinity) return true;
+  if (cmp(p.x, kP) >= 0 || cmp(p.y, kP) >= 0) return false;
+  const U256 y2 = fp_sqr(p.y);
+  const U256 x3 = fp_mul(fp_sqr(p.x), p.x);
+  // x^3 - 3x + b
+  const U256 three_x = fp_add(fp_add(p.x, p.x), p.x);
+  const U256 rhs = fp_add(fp_sub(x3, three_x), kB);
+  return y2 == rhs;
+}
+
+}  // namespace bm::crypto

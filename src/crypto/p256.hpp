@@ -1,0 +1,63 @@
+// NIST P-256 (secp256r1) curve arithmetic.
+//
+// Field elements are U256 values < p with a dedicated fast reduction for the
+// NIST prime (Hankerson et al., Alg. 2.29). Points use Jacobian projective
+// coordinates; the point at infinity is represented by Z = 0.
+#pragma once
+
+#include "crypto/u256.hpp"
+
+namespace bm::crypto {
+
+/// Curve parameters (y^2 = x^3 - 3x + b over F_p, group order n).
+const U256& p256_p();
+const U256& p256_n();
+const U256& p256_b();
+
+/// Field arithmetic mod p (inputs must be < p).
+U256 fp_add(const U256& a, const U256& b);
+U256 fp_sub(const U256& a, const U256& b);
+U256 fp_mul(const U256& a, const U256& b);
+U256 fp_sqr(const U256& a);
+U256 fp_inv(const U256& a);
+/// Fast reduction of a 512-bit product modulo the P-256 prime.
+U256 fp_reduce(const U512& a);
+
+struct AffinePoint {
+  U256 x;
+  U256 y;
+  bool infinity = false;
+
+  friend bool operator==(const AffinePoint&, const AffinePoint&) = default;
+};
+
+struct JacobianPoint {
+  U256 x;
+  U256 y;
+  U256 z;  ///< Zero limbs mean the point at infinity.
+
+  bool is_infinity() const { return z.is_zero(); }
+};
+
+/// The group generator G.
+const AffinePoint& p256_generator();
+
+JacobianPoint to_jacobian(const AffinePoint& p);
+AffinePoint to_affine(const JacobianPoint& p);
+
+JacobianPoint point_double(const JacobianPoint& p);
+JacobianPoint point_add(const JacobianPoint& p, const JacobianPoint& q);
+JacobianPoint point_add_affine(const JacobianPoint& p, const AffinePoint& q);
+
+/// k * P by left-to-right double-and-add.
+JacobianPoint scalar_mult(const U256& k, const AffinePoint& p);
+
+/// u1*G + u2*Q with interleaved doubling (Shamir's trick); the ECDSA
+/// verification hot path.
+JacobianPoint double_scalar_mult(const U256& u1, const U256& u2,
+                                 const AffinePoint& q);
+
+/// True iff (x, y) satisfies the curve equation and both are < p.
+bool on_curve(const AffinePoint& p);
+
+}  // namespace bm::crypto

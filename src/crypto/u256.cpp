@@ -1,0 +1,184 @@
+#include "crypto/u256.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace bm::crypto {
+
+U256 U256::from_u64(std::uint64_t v) {
+  U256 r;
+  r.w[0] = v;
+  return r;
+}
+
+U256 U256::from_bytes_be(ByteView b) {
+  assert(b.size() == 32);
+  U256 r;
+  for (int limb = 0; limb < 4; ++limb) {
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v = (v << 8) | b[(3 - limb) * 8 + i];
+    r.w[limb] = v;
+  }
+  return r;
+}
+
+U256 U256::from_hex(std::string_view hex) {
+  if (hex.size() > 64) throw std::invalid_argument("hex too long for U256");
+  U256 r;
+  for (char c : hex) {
+    int d;
+    if (c >= '0' && c <= '9') d = c - '0';
+    else if (c >= 'a' && c <= 'f') d = c - 'a' + 10;
+    else if (c >= 'A' && c <= 'F') d = c - 'A' + 10;
+    else throw std::invalid_argument("bad hex digit");
+    // r = r*16 + d
+    std::uint64_t carry = static_cast<std::uint64_t>(d);
+    for (auto& limb : r.w) {
+      const std::uint64_t hi = limb >> 60;
+      limb = (limb << 4) | carry;
+      carry = hi;
+    }
+  }
+  return r;
+}
+
+Bytes U256::to_bytes_be() const {
+  Bytes out(32);
+  for (int limb = 0; limb < 4; ++limb)
+    for (int i = 0; i < 8; ++i)
+      out[(3 - limb) * 8 + i] =
+          static_cast<std::uint8_t>(w[limb] >> (56 - 8 * i));
+  return out;
+}
+
+bool U256::is_zero() const {
+  return (w[0] | w[1] | w[2] | w[3]) == 0;
+}
+
+bool U256::bit(int i) const {
+  return (w[i / 64] >> (i % 64)) & 1;
+}
+
+int U256::top_bit() const {
+  for (int limb = 3; limb >= 0; --limb) {
+    if (w[limb] != 0) return limb * 64 + 63 - __builtin_clzll(w[limb]);
+  }
+  return -1;
+}
+
+int cmp(const U256& a, const U256& b) {
+  for (int i = 3; i >= 0; --i) {
+    if (a.w[i] < b.w[i]) return -1;
+    if (a.w[i] > b.w[i]) return 1;
+  }
+  return 0;
+}
+
+std::uint64_t add(U256& r, const U256& a, const U256& b) {
+  unsigned __int128 carry = 0;
+  for (int i = 0; i < 4; ++i) {
+    carry += a.w[i];
+    carry += b.w[i];
+    r.w[i] = static_cast<std::uint64_t>(carry);
+    carry >>= 64;
+  }
+  return static_cast<std::uint64_t>(carry);
+}
+
+std::uint64_t sub(U256& r, const U256& a, const U256& b) {
+  std::uint64_t borrow = 0;
+  for (int i = 0; i < 4; ++i) {
+    const unsigned __int128 lhs = a.w[i];
+    const unsigned __int128 rhs =
+        static_cast<unsigned __int128>(b.w[i]) + borrow;
+    r.w[i] = static_cast<std::uint64_t>(lhs - rhs);
+    borrow = lhs < rhs ? 1 : 0;
+  }
+  return borrow;
+}
+
+U512 mul_wide(const U256& a, const U256& b) {
+  U512 r;
+  for (int i = 0; i < 4; ++i) {
+    unsigned __int128 carry = 0;
+    for (int j = 0; j < 4; ++j) {
+      carry += static_cast<unsigned __int128>(a.w[i]) * b.w[j];
+      carry += r.w[i + j];
+      r.w[i + j] = static_cast<std::uint64_t>(carry);
+      carry >>= 64;
+    }
+    r.w[i + 4] = static_cast<std::uint64_t>(carry);
+  }
+  return r;
+}
+
+namespace {
+
+bool u512_bit(const U512& a, int i) {
+  return (a.w[i / 64] >> (i % 64)) & 1;
+}
+
+int u512_top_bit(const U512& a) {
+  for (int limb = 7; limb >= 0; --limb)
+    if (a.w[limb] != 0) return limb * 64 + 63 - __builtin_clzll(a.w[limb]);
+  return -1;
+}
+
+}  // namespace
+
+U256 mod(const U512& a, const U256& m) {
+  assert(!m.is_zero());
+  U256 r;
+  const int top = u512_top_bit(a);
+  for (int i = top; i >= 0; --i) {
+    // r = 2r + bit; the transient value fits in 257 bits tracked by `hi`.
+    const bool hi = (r.w[3] >> 63) & 1;
+    for (int limb = 3; limb > 0; --limb)
+      r.w[limb] = (r.w[limb] << 1) | (r.w[limb - 1] >> 63);
+    r.w[0] = (r.w[0] << 1) | (u512_bit(a, i) ? 1u : 0u);
+    if (hi || cmp(r, m) >= 0) sub(r, r, m);
+  }
+  return r;
+}
+
+U256 mod(const U256& a, const U256& m) {
+  U512 wide;
+  for (int i = 0; i < 4; ++i) wide.w[i] = a.w[i];
+  return mod(wide, m);
+}
+
+U256 add_mod(const U256& a, const U256& b, const U256& m) {
+  U256 r;
+  const std::uint64_t carry = add(r, a, b);
+  if (carry || cmp(r, m) >= 0) sub(r, r, m);
+  return r;
+}
+
+U256 sub_mod(const U256& a, const U256& b, const U256& m) {
+  U256 r;
+  if (sub(r, a, b)) add(r, r, m);
+  return r;
+}
+
+U256 mul_mod(const U256& a, const U256& b, const U256& m) {
+  return mod(mul_wide(a, b), m);
+}
+
+U256 pow_mod(const U256& a, const U256& e, const U256& m) {
+  U256 result = U256::from_u64(1);
+  const int top = e.top_bit();
+  for (int i = top; i >= 0; --i) {
+    result = mul_mod(result, result, m);
+    if (e.bit(i)) result = mul_mod(result, a, m);
+  }
+  return result;
+}
+
+U256 inv_mod_prime(const U256& a, const U256& m) {
+  U256 e = m;
+  const U256 two = U256::from_u64(2);
+  sub(e, e, two);
+  return pow_mod(a, e, m);
+}
+
+}  // namespace bm::crypto

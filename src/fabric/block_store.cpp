@@ -1,0 +1,130 @@
+#include "fabric/block_store.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+
+#include "common/crc32.hpp"
+#include "fabric/statedb.hpp"
+#include "fabric/transaction.hpp"
+
+namespace bm::fabric {
+
+namespace {
+constexpr std::uint32_t kMagic = 0x424D4C47;  // "BMLG"
+
+void put_u32le(Bytes& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i)
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+std::uint32_t get_u32le(ByteView b, std::size_t offset) {
+  std::uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) v = (v << 8) | b[offset + static_cast<std::size_t>(i)];
+  return v;
+}
+}  // namespace
+
+FileBlockStore::FileBlockStore(std::string path) : path_(std::move(path)) {
+  std::FILE* f = std::fopen(path_.c_str(), "ab");
+  if (f == nullptr)
+    throw std::runtime_error("cannot open block store: " + path_);
+  file_ = f;
+}
+
+FileBlockStore::~FileBlockStore() {
+  if (file_ != nullptr) std::fclose(static_cast<std::FILE*>(file_));
+}
+
+void FileBlockStore::append(const CommittedBlock& block) {
+  Bytes payload;
+  bm::append(payload, crypto::digest_view(block.commit_hash));
+  bm::append(payload, block.block.marshal());
+
+  Bytes frame;
+  put_u32le(frame, kMagic);
+  put_u32le(frame, static_cast<std::uint32_t>(payload.size()));
+  put_u32le(frame, crc32(payload));
+  bm::append(frame, payload);
+
+  auto* f = static_cast<std::FILE*>(file_);
+  if (std::fwrite(frame.data(), 1, frame.size(), f) != frame.size())
+    throw std::runtime_error("block store write failed: " + path_);
+  std::fflush(f);
+  ++blocks_written_;
+}
+
+FileBlockStore::RecoveredChain FileBlockStore::recover(
+    const std::string& path) {
+  RecoveredChain chain;
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return chain;  // no file yet: empty chain
+
+  Bytes contents;
+  std::uint8_t buffer[65536];
+  std::size_t n;
+  while ((n = std::fread(buffer, 1, sizeof(buffer), f)) > 0)
+    contents.insert(contents.end(), buffer, buffer + n);
+  std::fclose(f);
+
+  std::size_t pos = 0;
+  crypto::Digest prev_commit{};
+  while (pos + 12 <= contents.size()) {
+    if (get_u32le(contents, pos) != kMagic) break;
+    const std::uint32_t len = get_u32le(contents, pos + 4);
+    const std::uint32_t crc = get_u32le(contents, pos + 8);
+    if (pos + 12 + len > contents.size()) break;  // torn tail
+    const ByteView payload = ByteView(contents).subspan(pos + 12, len);
+    if (crc32(payload) != crc || len < 32) break;
+
+    CommittedBlock committed;
+    std::copy(payload.begin(), payload.begin() + 32,
+              committed.commit_hash.begin());
+    auto block = Block::unmarshal(payload.subspan(32));
+    if (!block) break;
+    committed.block = std::move(*block);
+
+    // Verify the commit-hash chain: H(prev_commit || marshaled block).
+    crypto::Sha256 h;
+    h.update(crypto::digest_view(prev_commit));
+    h.update(payload.subspan(32));
+    if (h.finish() != committed.commit_hash) break;
+    prev_commit = committed.commit_hash;
+
+    chain.blocks.push_back(std::move(committed));
+    pos += 12 + len;
+  }
+  chain.torn_bytes = contents.size() - pos;
+  return chain;
+}
+
+bool replay_chain(const FileBlockStore::RecoveredChain& chain, Ledger& ledger,
+                  StateDb* state) {
+  for (const CommittedBlock& committed : chain.blocks) {
+    crypto::Digest recomputed;
+    try {
+      recomputed = ledger.append(committed.block);
+    } catch (const std::invalid_argument&) {
+      return false;  // numbering / prev_hash broken
+    }
+    if (recomputed != committed.commit_hash) return false;
+
+    if (state != nullptr) {
+      const Block& block = committed.block;
+      for (std::size_t i = 0; i < block.tx_count(); ++i) {
+        if (block.metadata.tx_flags[i] !=
+            static_cast<std::uint8_t>(TxValidationCode::kValid))
+          continue;
+        const auto tx = parse_envelope(block.envelopes[i]);
+        if (!tx) return false;
+        const Version version{block.header.number,
+                              static_cast<std::uint32_t>(i)};
+        for (const KVWrite& write : tx->rwset.writes)
+          state->put(StateDb::namespaced(tx->chaincode_id, write.key),
+                     write.value, version);
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace bm::fabric

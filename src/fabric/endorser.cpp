@@ -1,0 +1,122 @@
+#include "fabric/endorser.hpp"
+
+#include "crypto/der.hpp"
+
+namespace bm::fabric {
+
+crypto::Digest Proposal::digest() const {
+  crypto::Sha256 h;
+  h.update(to_bytes(channel_id));
+  h.update(to_bytes(chaincode_id));
+  h.update(to_bytes(tx_id));
+  h.update(args);
+  h.update(creator_cert);
+  return h.finish();
+}
+
+Proposal make_proposal(const Identity& client, std::string channel_id,
+                       std::string chaincode_id, std::string tx_id,
+                       Bytes args) {
+  Proposal proposal;
+  proposal.channel_id = std::move(channel_id);
+  proposal.chaincode_id = std::move(chaincode_id);
+  proposal.tx_id = std::move(tx_id);
+  proposal.args = std::move(args);
+  proposal.creator_cert = client.cert.marshal();
+  proposal.signature =
+      crypto::der_encode_signature(client.sign(proposal.digest()));
+  return proposal;
+}
+
+EndorserPeer::EndorserPeer(Identity identity, const Msp& msp,
+                           std::map<std::string, EndorsementPolicy> policies)
+    : identity_(std::move(identity)),
+      msp_(msp),
+      validator_(msp, std::move(policies)) {}
+
+void EndorserPeer::install_chaincode(const std::string& name,
+                                     ChaincodeHandler handler) {
+  chaincodes_[name] = std::move(handler);
+}
+
+ProposalResponse EndorserPeer::endorse(const Proposal& proposal) {
+  ProposalResponse response;
+  auto reject = [&](std::string message) {
+    response.ok = false;
+    response.message = std::move(message);
+    ++proposals_rejected_;
+    return response;
+  };
+
+  // Authenticate the client: certificate chains to a registered org and
+  // the proposal signature verifies against its key.
+  const auto creator = Certificate::unmarshal(proposal.creator_cert);
+  if (!creator || !msp_.validate(*creator))
+    return reject("unknown or invalid creator identity");
+  const auto signature = crypto::der_decode_signature(proposal.signature);
+  if (!signature ||
+      !crypto::verify(creator->public_key, proposal.digest(), *signature))
+    return reject("proposal signature verification failed");
+
+  const auto chaincode = chaincodes_.find(proposal.chaincode_id);
+  if (chaincode == chaincodes_.end())
+    return reject("chaincode not installed: " + proposal.chaincode_id);
+
+  // Execute against this peer's committed state (the paper's execute step:
+  // read versions observed here become the transaction's read set).
+  response.rwset = chaincode->second(proposal.args, state_);
+  response.rwset_bytes = response.rwset.marshal();
+  response.endorser_cert = identity_.cert.marshal();
+  const crypto::Digest digest = endorsement_digest(
+      proposal.chaincode_id, response.rwset_bytes, response.endorser_cert);
+  response.signature =
+      crypto::der_encode_signature(identity_.sign(digest));
+  response.ok = true;
+  ++proposals_endorsed_;
+  return response;
+}
+
+BlockValidationResult EndorserPeer::deliver_block(const Block& block) {
+  return validator_.validate_and_commit(block, state_, ledger_);
+}
+
+std::optional<Bytes> assemble_envelope(
+    const Proposal& proposal, const Identity& client, const Msp& msp,
+    const std::vector<ProposalResponse>& responses, std::string* error) {
+  auto fail = [&](std::string message) -> std::optional<Bytes> {
+    if (error != nullptr) *error = std::move(message);
+    return std::nullopt;
+  };
+  if (responses.empty()) return fail("no endorsements gathered");
+
+  std::vector<Endorsement> endorsements;
+  for (const ProposalResponse& response : responses) {
+    if (!response.ok) return fail("endorser rejected: " + response.message);
+    // All endorsers must have computed the same result; a divergent rwset
+    // means inconsistent peer state and an unassemblable transaction.
+    if (!equal(response.rwset_bytes, responses.front().rwset_bytes))
+      return fail("endorsers produced divergent read/write sets");
+
+    // Verify the endorsement before paying for ordering.
+    const auto cert = Certificate::unmarshal(response.endorser_cert);
+    if (!cert || !msp.validate(*cert))
+      return fail("endorser certificate invalid");
+    const auto signature = crypto::der_decode_signature(response.signature);
+    const crypto::Digest digest = endorsement_digest(
+        proposal.chaincode_id, response.rwset_bytes, response.endorser_cert);
+    if (!signature || !crypto::verify(cert->public_key, digest, *signature))
+      return fail("endorsement signature verification failed");
+
+    endorsements.push_back(
+        Endorsement{response.endorser_cert, response.signature});
+  }
+
+  TxProposal tx;
+  tx.channel_id = proposal.channel_id;
+  tx.chaincode_id = proposal.chaincode_id;
+  tx.tx_id = proposal.tx_id;
+  tx.rwset = responses.front().rwset;
+  return build_envelope_with_endorsements(tx, client, endorsements);
+}
+
+}  // namespace bm::fabric

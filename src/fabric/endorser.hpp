@@ -1,0 +1,95 @@
+// The endorsement phase: execute, of execute-order-validate (§2.1).
+//
+// A client signs a proposal and sends it to the endorser peers named by the
+// chaincode's policy. Each endorser verifies the client, executes the
+// installed chaincode against its own committed state (producing the
+// read/write sets with observed versions) and returns a signed endorsement.
+// The client verifies every response, checks that all endorsers computed
+// identical rwsets (divergent peers mean inconsistent state — the
+// transaction cannot be assembled) and builds the envelope for ordering.
+//
+// EndorserPeer is also a committing peer: it validates/commits blocks like
+// the validator peers, which is precisely why the paper measures it slower
+// (endorsement competes with validation for the same cores — Fig. 7a).
+#pragma once
+
+#include <functional>
+
+#include "fabric/validator.hpp"
+
+namespace bm::fabric {
+
+/// A signed chaincode invocation request.
+struct Proposal {
+  std::string channel_id;
+  std::string chaincode_id;
+  std::string tx_id;
+  Bytes args;          ///< opaque chaincode arguments
+  Bytes creator_cert;  ///< marshaled client certificate
+  Bytes signature;     ///< DER over the proposal digest
+
+  crypto::Digest digest() const;
+};
+
+/// Build and sign a proposal as `client`.
+Proposal make_proposal(const Identity& client, std::string channel_id,
+                       std::string chaincode_id, std::string tx_id,
+                       Bytes args);
+
+/// A chaincode implementation: execute the invocation against committed
+/// state, producing the rwset (versions observed from `state`).
+using ChaincodeHandler =
+    std::function<ReadWriteSet(ByteView args, const StateDb& state)>;
+
+struct ProposalResponse {
+  bool ok = false;
+  std::string message;     ///< error text when !ok
+  ReadWriteSet rwset;
+  Bytes rwset_bytes;       ///< marshaled (what the endorsement signs over)
+  Bytes endorser_cert;     ///< marshaled certificate
+  Bytes signature;         ///< DER over endorsement_digest(...)
+};
+
+class EndorserPeer {
+ public:
+  EndorserPeer(Identity identity, const Msp& msp,
+               std::map<std::string, EndorsementPolicy> policies);
+
+  /// Install (or upgrade) a chaincode.
+  void install_chaincode(const std::string& name, ChaincodeHandler handler);
+  bool has_chaincode(const std::string& name) const {
+    return chaincodes_.count(name) > 0;
+  }
+
+  /// The endorsement path: verify the client, execute, sign.
+  ProposalResponse endorse(const Proposal& proposal);
+
+  /// The committing path (endorsers also validate/commit every block).
+  BlockValidationResult deliver_block(const Block& block);
+
+  const StateDb& state() const { return state_; }
+  const Ledger& ledger() const { return ledger_; }
+  const Identity& identity() const { return identity_; }
+  std::uint64_t proposals_endorsed() const { return proposals_endorsed_; }
+  std::uint64_t proposals_rejected() const { return proposals_rejected_; }
+
+ private:
+  Identity identity_;
+  const Msp& msp_;
+  std::map<std::string, ChaincodeHandler> chaincodes_;
+  StateDb state_;
+  Ledger ledger_;
+  SoftwareValidator validator_;
+  std::uint64_t proposals_endorsed_ = 0;
+  std::uint64_t proposals_rejected_ = 0;
+};
+
+/// Client-side assembly: verify every response signature, require all
+/// endorsers to have produced identical rwsets, and build the envelope.
+/// Returns nullopt (with `error` filled) when the endorsements do not
+/// support a valid transaction.
+std::optional<Bytes> assemble_envelope(
+    const Proposal& proposal, const Identity& client, const Msp& msp,
+    const std::vector<ProposalResponse>& responses, std::string* error);
+
+}  // namespace bm::fabric

@@ -1,0 +1,40 @@
+#include "fabric/ledger.hpp"
+
+#include <stdexcept>
+
+namespace bm::fabric {
+
+crypto::Digest Ledger::append(Block block) {
+  if (block.header.number != blocks_.size())
+    throw std::invalid_argument("ledger: non-sequential block number");
+  if (!blocks_.empty()) {
+    const crypto::Digest prev = blocks_.back().block.block_hash();
+    if (!equal(block.header.prev_hash, crypto::digest_view(prev)))
+      throw std::invalid_argument("ledger: prev_hash mismatch");
+  }
+  if (block.metadata.tx_flags.size() != block.envelopes.size())
+    throw std::invalid_argument("ledger: tx_flags not filled in");
+
+  const Bytes marshaled = block.marshal();
+  bytes_written_ += marshaled.size();
+
+  crypto::Sha256 h;
+  h.update(crypto::digest_view(last_commit_hash_));
+  h.update(marshaled);
+  const crypto::Digest commit_hash = h.finish();
+
+  blocks_.push_back(CommittedBlock{std::move(block), commit_hash});
+  last_commit_hash_ = commit_hash;
+  return commit_hash;
+}
+
+const CommittedBlock& Ledger::at(std::uint64_t index) const {
+  return blocks_.at(index);
+}
+
+const CommittedBlock& Ledger::last() const {
+  if (blocks_.empty()) throw std::out_of_range("ledger is empty");
+  return blocks_.back();
+}
+
+}  // namespace bm::fabric

@@ -1,0 +1,41 @@
+// Append-only block ledger with a commit-hash chain.
+//
+// Step 4 of the validation pipeline writes the whole block — including the
+// per-transaction validity flags — to the ledger together with a commit
+// hash. The commit hash chains H(prev_commit_hash || marshaled block), so
+// two peers that committed the same blocks with the same flags agree on it;
+// the paper uses exactly this to check that the BMac peer never diverges
+// from the software-only peer (§4.1).
+#pragma once
+
+#include "fabric/block.hpp"
+
+namespace bm::fabric {
+
+struct CommittedBlock {
+  Block block;                ///< with metadata.tx_flags filled in
+  crypto::Digest commit_hash;
+};
+
+class Ledger {
+ public:
+  /// Append a validated block. The block's number must equal height() and
+  /// its prev_hash must match the previous header hash (genesis excepted).
+  /// Returns the commit hash.
+  crypto::Digest append(Block block);
+
+  std::uint64_t height() const { return blocks_.size(); }
+  const CommittedBlock& at(std::uint64_t index) const;
+  const CommittedBlock& last() const;
+  const crypto::Digest& last_commit_hash() const { return last_commit_hash_; }
+
+  /// Total marshaled bytes appended (disk-footprint proxy).
+  std::uint64_t bytes_written() const { return bytes_written_; }
+
+ private:
+  std::vector<CommittedBlock> blocks_;
+  crypto::Digest last_commit_hash_{};  // zero for the empty chain
+  std::uint64_t bytes_written_ = 0;
+};
+
+}  // namespace bm::fabric

@@ -1,0 +1,41 @@
+#include "fabric/orderer.hpp"
+
+#include "crypto/der.hpp"
+
+namespace bm::fabric {
+
+Orderer::Orderer(Identity identity, Config config)
+    : identity_(std::move(identity)), config_(config) {}
+
+std::optional<Block> Orderer::submit(Bytes envelope) {
+  pending_.push_back(std::move(envelope));
+  if (pending_.size() >= config_.max_tx_per_block) return cut_block();
+  return std::nullopt;
+}
+
+std::optional<Block> Orderer::flush() {
+  if (pending_.empty()) return std::nullopt;
+  return cut_block();
+}
+
+Block Orderer::cut_block() {
+  Block block;
+  block.envelopes = std::move(pending_);
+  pending_.clear();
+
+  block.header.number = next_number_++;
+  block.header.prev_hash = prev_hash_;
+  block.header.data_hash = crypto::digest_bytes(block.compute_data_hash());
+
+  block.metadata.orderer_cert = identity_.cert.marshal();
+  block.metadata.orderer_sig = crypto::der_encode_signature(
+      identity_.sign(block.signing_digest()));
+  block.metadata.tx_flags.assign(
+      block.envelopes.size(),
+      static_cast<std::uint8_t>(TxValidationCode::kNotValidated));
+
+  prev_hash_ = crypto::digest_bytes(block.block_hash());
+  return block;
+}
+
+}  // namespace bm::fabric

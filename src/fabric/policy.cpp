@@ -1,0 +1,425 @@
+#include "fabric/policy.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <stdexcept>
+
+namespace bm::fabric {
+
+PolicyNodePtr PolicyNode::clone() const {
+  auto copy = std::make_unique<PolicyNode>();
+  copy->kind = kind;
+  copy->principal = principal;
+  copy->k = k;
+  copy->children.reserve(children.size());
+  for (const auto& child : children) copy->children.push_back(child->clone());
+  return copy;
+}
+
+EndorsementPolicy::EndorsementPolicy(PolicyNodePtr root, std::string text)
+    : root_(std::move(root)), text_(std::move(text)) {}
+
+EndorsementPolicy::EndorsementPolicy(const EndorsementPolicy& other)
+    : root_(other.root_ ? other.root_->clone() : nullptr),
+      text_(other.text_) {}
+
+EndorsementPolicy& EndorsementPolicy::operator=(
+    const EndorsementPolicy& other) {
+  if (this != &other) {
+    root_ = other.root_ ? other.root_->clone() : nullptr;
+    text_ = other.text_;
+  }
+  return *this;
+}
+
+namespace {
+
+bool eval_node(const PolicyNode& node, const PrincipalPredicate& satisfied) {
+  switch (node.kind) {
+    case PolicyNode::Kind::kPrincipal:
+      return satisfied(node.principal);
+    case PolicyNode::Kind::kAnd:
+      return std::all_of(node.children.begin(), node.children.end(),
+                         [&](const PolicyNodePtr& c) {
+                           return eval_node(*c, satisfied);
+                         });
+    case PolicyNode::Kind::kOr:
+      return std::any_of(node.children.begin(), node.children.end(),
+                         [&](const PolicyNodePtr& c) {
+                           return eval_node(*c, satisfied);
+                         });
+    case PolicyNode::Kind::kKOutOf: {
+      int count = 0;
+      for (const auto& child : node.children)
+        if (eval_node(*child, satisfied)) ++count;
+      return count >= node.k;
+    }
+  }
+  return false;
+}
+
+void collect_principals(const PolicyNode& node,
+                        std::vector<PolicyPrincipal>& out) {
+  if (node.kind == PolicyNode::Kind::kPrincipal) {
+    if (std::find(out.begin(), out.end(), node.principal) == out.end())
+      out.push_back(node.principal);
+    return;
+  }
+  for (const auto& child : node.children) collect_principals(*child, out);
+}
+
+/// Minimum number of distinct satisfied principals that can make the node
+/// true (assuming principals are independent).
+int min_cost(const PolicyNode& node) {
+  switch (node.kind) {
+    case PolicyNode::Kind::kPrincipal:
+      return 1;
+    case PolicyNode::Kind::kAnd: {
+      int total = 0;
+      for (const auto& child : node.children) total += min_cost(*child);
+      return total;
+    }
+    case PolicyNode::Kind::kOr: {
+      int best = 1 << 20;
+      for (const auto& child : node.children)
+        best = std::min(best, min_cost(*child));
+      return best;
+    }
+    case PolicyNode::Kind::kKOutOf: {
+      std::vector<int> costs;
+      costs.reserve(node.children.size());
+      for (const auto& child : node.children)
+        costs.push_back(min_cost(*child));
+      std::sort(costs.begin(), costs.end());
+      int total = 0;
+      for (int i = 0; i < node.k && i < static_cast<int>(costs.size()); ++i)
+        total += costs[i];
+      return total;
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+bool EndorsementPolicy::evaluate(const PrincipalPredicate& satisfied) const {
+  return root_ != nullptr && eval_node(*root_, satisfied);
+}
+
+bool EndorsementPolicy::evaluate_ids(
+    const std::vector<EncodedId>& valid_endorsers, const Msp& msp) const {
+  return evaluate([&](const PolicyPrincipal& principal) {
+    const CertificateAuthority* ca = msp.find_org(principal.org);
+    if (ca == nullptr) return false;
+    return std::any_of(valid_endorsers.begin(), valid_endorsers.end(),
+                       [&](EncodedId id) {
+                         return id.org() == ca->org_index() &&
+                                id.role() == principal.role;
+                       });
+  });
+}
+
+std::vector<PolicyPrincipal> EndorsementPolicy::principals() const {
+  std::vector<PolicyPrincipal> out;
+  if (root_) collect_principals(*root_, out);
+  return out;
+}
+
+int EndorsementPolicy::min_endorsements_to_satisfy() const {
+  return root_ ? min_cost(*root_) : 0;
+}
+
+namespace {
+int count_literals(const PolicyNode& node) {
+  if (node.kind == PolicyNode::Kind::kPrincipal) return 1;
+  int total = 0;
+  for (const auto& child : node.children) total += count_literals(*child);
+  return total;
+}
+}  // namespace
+
+int EndorsementPolicy::literal_references() const {
+  return root_ ? count_literals(*root_) : 0;
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct Token {
+  enum class Type { kInt, kIdent, kAnd, kOr, kOf, kOrgs, kLParen, kRParen,
+                    kComma, kEnd };
+  Type type = Type::kEnd;
+  std::string text;
+  std::uint64_t number = 0;
+  std::size_t pos = 0;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view text) : text_(normalize(text)) { advance(); }
+
+  const Token& peek() const { return current_; }
+  Token take() {
+    Token t = current_;
+    advance();
+    return t;
+  }
+
+ private:
+  /// Rewrite "-outof-" as " of " and split "2of3" into "2 of 3" so the
+  /// simple word lexer below can handle the paper's shorthand forms.
+  static std::string normalize(std::string_view in) {
+    std::string s(in);
+    for (std::size_t i = 0; (i = s.find("-outof-", i)) != std::string::npos;)
+      s.replace(i, 7, " of ");
+    std::string out;
+    for (std::size_t i = 0; i < s.size(); ++i) {
+      if (s[i] == 'o' && i + 1 < s.size() && s[i + 1] == 'f' && i > 0 &&
+          std::isdigit(static_cast<unsigned char>(s[i - 1])) &&
+          i + 2 < s.size() &&
+          (std::isdigit(static_cast<unsigned char>(s[i + 2])) ||
+           s[i + 2] == '(' || s[i + 2] == ' ')) {
+        out += " of ";
+        ++i;  // skip 'f'
+      } else {
+        out += s[i];
+      }
+    }
+    return out;
+  }
+
+  void advance() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])))
+      ++pos_;
+    current_ = Token{};
+    current_.pos = pos_;
+    if (pos_ >= text_.size()) {
+      current_.type = Token::Type::kEnd;
+      return;
+    }
+    const char c = text_[pos_];
+    if (c == '(') { current_.type = Token::Type::kLParen; ++pos_; return; }
+    if (c == ')') { current_.type = Token::Type::kRParen; ++pos_; return; }
+    if (c == ',') { current_.type = Token::Type::kComma; ++pos_; return; }
+    if (c == '&') {
+      current_.type = Token::Type::kAnd;
+      pos_ += (pos_ + 1 < text_.size() && text_[pos_ + 1] == '&') ? 2 : 1;
+      return;
+    }
+    if (c == '|') {
+      current_.type = Token::Type::kOr;
+      pos_ += (pos_ + 1 < text_.size() && text_[pos_ + 1] == '|') ? 2 : 1;
+      return;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::uint64_t v = 0;
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_])))
+        v = v * 10 + static_cast<std::uint64_t>(text_[pos_++] - '0');
+      current_.type = Token::Type::kInt;
+      current_.number = v;
+      return;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::string word;
+      while (pos_ < text_.size() &&
+             (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+              text_[pos_] == '_' || text_[pos_] == '.'))
+        word += text_[pos_++];
+      std::string lower = word;
+      std::transform(lower.begin(), lower.end(), lower.begin(),
+                     [](unsigned char ch) { return std::tolower(ch); });
+      if (lower == "and") current_.type = Token::Type::kAnd;
+      else if (lower == "or") current_.type = Token::Type::kOr;
+      else if (lower == "of" || lower == "outof")
+        current_.type = Token::Type::kOf;
+      else if (lower == "orgs" || lower == "org")
+        current_.type = Token::Type::kOrgs;
+      else {
+        current_.type = Token::Type::kIdent;
+        current_.text = word;
+      }
+      return;
+    }
+    current_.type = Token::Type::kEnd;
+    current_.text = std::string(1, c);
+    error_ = true;
+  }
+
+  std::string text_;
+  std::size_t pos_ = 0;
+  Token current_;
+  bool error_ = false;
+};
+
+class Parser {
+ public:
+  Parser(std::string_view text, const std::vector<std::string>& orgs)
+      : lexer_(text), orgs_(orgs) {}
+
+  std::variant<PolicyNodePtr, PolicyParseError> parse() {
+    auto node = parse_or();
+    if (failed_) return error_;
+    if (lexer_.peek().type != Token::Type::kEnd) {
+      return PolicyParseError{"unexpected trailing input", lexer_.peek().pos};
+    }
+    return node;
+  }
+
+ private:
+  PolicyNodePtr fail(std::string message) {
+    if (!failed_) {
+      failed_ = true;
+      error_ = PolicyParseError{std::move(message), lexer_.peek().pos};
+    }
+    return nullptr;
+  }
+
+  PolicyNodePtr parse_or() {
+    auto left = parse_and();
+    if (failed_) return nullptr;
+    while (lexer_.peek().type == Token::Type::kOr) {
+      lexer_.take();
+      auto right = parse_and();
+      if (failed_) return nullptr;
+      auto node = std::make_unique<PolicyNode>();
+      node->kind = PolicyNode::Kind::kOr;
+      node->children.push_back(std::move(left));
+      node->children.push_back(std::move(right));
+      left = std::move(node);
+    }
+    return left;
+  }
+
+  PolicyNodePtr parse_and() {
+    auto left = parse_primary();
+    if (failed_) return nullptr;
+    while (lexer_.peek().type == Token::Type::kAnd) {
+      lexer_.take();
+      auto right = parse_primary();
+      if (failed_) return nullptr;
+      auto node = std::make_unique<PolicyNode>();
+      node->kind = PolicyNode::Kind::kAnd;
+      node->children.push_back(std::move(left));
+      node->children.push_back(std::move(right));
+      left = std::move(node);
+    }
+    return left;
+  }
+
+  PolicyNodePtr parse_primary() {
+    const Token& t = lexer_.peek();
+    if (t.type == Token::Type::kLParen) {
+      lexer_.take();
+      auto inner = parse_or();
+      if (failed_) return nullptr;
+      if (lexer_.peek().type != Token::Type::kRParen)
+        return fail("expected ')'");
+      lexer_.take();
+      return inner;
+    }
+    if (t.type == Token::Type::kInt) return parse_kofn();
+    if (t.type == Token::Type::kIdent) return parse_principal();
+    return fail("expected '(', number or principal");
+  }
+
+  PolicyNodePtr parse_kofn() {
+    const Token k_tok = lexer_.take();
+    if (lexer_.peek().type != Token::Type::kOf)
+      return fail("expected 'of' / '-outof-' after threshold");
+    lexer_.take();
+
+    auto node = std::make_unique<PolicyNode>();
+    node->kind = PolicyNode::Kind::kKOutOf;
+    node->k = static_cast<int>(k_tok.number);
+
+    if (lexer_.peek().type == Token::Type::kInt) {
+      // "k of n [orgs]": draw the first n orgs from the universe.
+      const auto n = lexer_.take().number;
+      if (lexer_.peek().type == Token::Type::kOrgs) lexer_.take();
+      if (n > orgs_.size())
+        return fail("policy needs more orgs than the network has");
+      for (std::size_t i = 0; i < n; ++i) {
+        auto leaf = std::make_unique<PolicyNode>();
+        leaf->kind = PolicyNode::Kind::kPrincipal;
+        leaf->principal = PolicyPrincipal{orgs_[i], Role::kPeer};
+        node->children.push_back(std::move(leaf));
+      }
+    } else if (lexer_.peek().type == Token::Type::kLParen) {
+      // "k of (expr, expr, ...)"
+      lexer_.take();
+      for (;;) {
+        auto child = parse_or();
+        if (failed_) return nullptr;
+        node->children.push_back(std::move(child));
+        if (lexer_.peek().type == Token::Type::kComma) {
+          lexer_.take();
+          continue;
+        }
+        break;
+      }
+      if (lexer_.peek().type != Token::Type::kRParen)
+        return fail("expected ')' closing k-of list");
+      lexer_.take();
+    } else {
+      return fail("expected count or '(' after 'of'");
+    }
+
+    if (node->k <= 0 || node->k > static_cast<int>(node->children.size()))
+      return fail("k-out-of-n threshold out of range");
+    return node;
+  }
+
+  PolicyNodePtr parse_principal() {
+    const Token t = lexer_.take();
+    auto node = std::make_unique<PolicyNode>();
+    node->kind = PolicyNode::Kind::kPrincipal;
+    std::string org = t.text;
+    Role role = Role::kPeer;
+    if (const auto dot = org.find('.'); dot != std::string::npos) {
+      std::string role_str = org.substr(dot + 1);
+      org = org.substr(0, dot);
+      std::transform(role_str.begin(), role_str.end(), role_str.begin(),
+                     [](unsigned char ch) { return std::tolower(ch); });
+      if (role_str == "orderer") role = Role::kOrderer;
+      else if (role_str == "admin") role = Role::kAdmin;
+      else if (role_str == "peer") role = Role::kPeer;
+      else if (role_str == "client") role = Role::kClient;
+      else return fail("unknown role '" + role_str + "'");
+    }
+    node->principal = PolicyPrincipal{std::move(org), role};
+    return node;
+  }
+
+  Lexer lexer_;
+  const std::vector<std::string>& orgs_;
+  bool failed_ = false;
+  PolicyParseError error_;
+};
+
+}  // namespace
+
+std::variant<EndorsementPolicy, PolicyParseError> parse_policy(
+    std::string_view text, const std::vector<std::string>& org_universe) {
+  Parser parser(text, org_universe);
+  auto result = parser.parse();
+  if (auto* err = std::get_if<PolicyParseError>(&result)) return *err;
+  return EndorsementPolicy(std::move(std::get<PolicyNodePtr>(result)),
+                           std::string(text));
+}
+
+EndorsementPolicy parse_policy_or_throw(
+    std::string_view text, const std::vector<std::string>& org_universe) {
+  auto result = parse_policy(text, org_universe);
+  if (auto* err = std::get_if<PolicyParseError>(&result))
+    throw std::invalid_argument("policy parse error at " +
+                                std::to_string(err->position) + ": " +
+                                err->message);
+  return std::move(std::get<EndorsementPolicy>(result));
+}
+
+}  // namespace bm::fabric

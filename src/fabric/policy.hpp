@@ -1,0 +1,101 @@
+// Endorsement policy language: parsing and evaluation.
+//
+// Supports the forms used in the paper (§2.2, §4.3):
+//   "Org1 & Org2"                      conjunction of principals
+//   "Org1 | Org2"                      disjunction
+//   "2-outof-3 orgs" / "2of3"          k-out-of-n over the network's orgs
+//   "2of(Org1, Org2, Org3)"            k-out-of explicit sub-policies
+//   "(Org1 & Org2) | (Org3 & Org4)"    arbitrary nesting
+// A principal is "OrgN" (peer role implied) or "OrgN.Role". The hardware
+// side compiles the same AST into a combinational circuit (bmac/policy_circuit).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "fabric/identity.hpp"
+
+namespace bm::fabric {
+
+struct PolicyPrincipal {
+  std::string org;
+  Role role = Role::kPeer;
+
+  auto operator<=>(const PolicyPrincipal&) const = default;
+};
+
+struct PolicyNode;
+using PolicyNodePtr = std::unique_ptr<PolicyNode>;
+
+struct PolicyNode {
+  enum class Kind { kPrincipal, kAnd, kOr, kKOutOf };
+
+  Kind kind = Kind::kPrincipal;
+  PolicyPrincipal principal;          ///< kPrincipal
+  int k = 0;                          ///< kKOutOf threshold
+  std::vector<PolicyNodePtr> children;  ///< kAnd / kOr / kKOutOf
+
+  PolicyNodePtr clone() const;
+};
+
+/// Predicate answering "does the endorsement set satisfy this principal?".
+using PrincipalPredicate = std::function<bool(const PolicyPrincipal&)>;
+
+class EndorsementPolicy {
+ public:
+  EndorsementPolicy() = default;
+  EndorsementPolicy(PolicyNodePtr root, std::string text);
+  EndorsementPolicy(const EndorsementPolicy& other);
+  EndorsementPolicy& operator=(const EndorsementPolicy& other);
+  EndorsementPolicy(EndorsementPolicy&&) noexcept = default;
+  EndorsementPolicy& operator=(EndorsementPolicy&&) noexcept = default;
+
+  bool empty() const { return root_ == nullptr; }
+  const PolicyNode& root() const { return *root_; }
+  const std::string& text() const { return text_; }
+
+  /// Evaluate against an arbitrary principal predicate.
+  bool evaluate(const PrincipalPredicate& satisfied) const;
+
+  /// Evaluate against a set of endorsers given by encoded id, resolving org
+  /// names through the MSP.
+  bool evaluate_ids(const std::vector<EncodedId>& valid_endorsers,
+                    const Msp& msp) const;
+
+  /// All distinct principals mentioned, in first-appearance order. Clients
+  /// gather endorsements from exactly these peers (the paper's workloads
+  /// attach one endorsement per principal, e.g. 3 for "2-outof-3").
+  std::vector<PolicyPrincipal> principals() const;
+
+  /// Minimum number of satisfied principals that can make the policy pass
+  /// (2 for "2-outof-3"). Drives the short-circuit win in Fig. 7e.
+  int min_endorsements_to_satisfy() const;
+
+  /// Total principal references in the expression, with repetition (10 for
+  /// the "complex policy" of Fig. 7f). Fabric's software evaluator walks
+  /// every sub-expression sequentially, so its cost scales with this.
+  int literal_references() const;
+
+ private:
+  PolicyNodePtr root_;
+  std::string text_;
+};
+
+struct PolicyParseError {
+  std::string message;
+  std::size_t position = 0;
+};
+
+/// Parse a policy expression. `org_universe` supplies the org list that the
+/// "k-outof-n orgs" form draws from (its first n entries).
+std::variant<EndorsementPolicy, PolicyParseError> parse_policy(
+    std::string_view text, const std::vector<std::string>& org_universe);
+
+/// Convenience: parse or throw std::invalid_argument.
+EndorsementPolicy parse_policy_or_throw(
+    std::string_view text, const std::vector<std::string>& org_universe);
+
+}  // namespace bm::fabric

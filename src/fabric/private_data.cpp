@@ -1,0 +1,47 @@
+#include "fabric/private_data.hpp"
+
+#include "common/hex.hpp"
+
+namespace bm::fabric {
+
+std::string private_hashed_key(const std::string& collection,
+                               const std::string& key) {
+  const crypto::Digest digest = crypto::sha256(to_bytes(key));
+  return "pvt~" + collection + "~" +
+         hex_encode(ByteView(digest.data(), 16));  // 128 bits suffice
+}
+
+Bytes private_value_hash(ByteView value) {
+  return crypto::digest_bytes(crypto::sha256(value));
+}
+
+void add_private_write(ReadWriteSet& rwset, const std::string& collection,
+                       const std::string& key, ByteView value) {
+  rwset.writes.push_back(
+      KVWrite{private_hashed_key(collection, key), private_value_hash(value)});
+}
+
+void add_private_read(ReadWriteSet& rwset, const std::string& collection,
+                      const std::string& key,
+                      std::optional<Version> version) {
+  rwset.reads.push_back(KVRead{private_hashed_key(collection, key), version});
+}
+
+void PrivateDataStore::put(const std::string& collection,
+                           const std::string& key, Bytes value) {
+  data_[private_hashed_key(collection, key)] = std::move(value);
+}
+
+std::optional<Bytes> PrivateDataStore::get(const std::string& collection,
+                                           const std::string& key) const {
+  const auto it = data_.find(private_hashed_key(collection, key));
+  if (it == data_.end()) return std::nullopt;
+  return it->second;
+}
+
+bool PrivateDataStore::matches_ledger_hash(ByteView disclosed_value,
+                                           ByteView ledger_value_hash) {
+  return equal(private_value_hash(disclosed_value), ledger_value_hash);
+}
+
+}  // namespace bm::fabric

@@ -1,0 +1,63 @@
+// Private data collections (§5).
+//
+// Fabric keeps private data off the public ledger: the transaction's public
+// read/write set carries only SHA-256 hashes of the private keys and
+// values, namespaced by collection. "The validation phase does not need to
+// access the contents of a private data collection, and treats its hashed
+// key-value as any other key-value pair" — so once a private write is
+// folded into the rwset via these helpers, both the software validator and
+// the BMac hardware pipeline handle it with no changes (which is exactly
+// the paper's argument that supporting collections is a simple extension).
+//
+// The actual private payloads travel out of band between authorized peers;
+// PrivateDataStore models that side channel so endorsing organizations can
+// verify a disclosed value against the on-ledger hash.
+#pragma once
+
+#include <map>
+
+#include "crypto/sha256.hpp"
+#include "fabric/rwset.hpp"
+
+namespace bm::fabric {
+
+/// Deterministic hashed key for a private collection entry:
+/// "pvt~<collection>~H(key)" — collision-free across collections and
+/// disjoint from normal keys (no real key starts with "pvt~").
+std::string private_hashed_key(const std::string& collection,
+                               const std::string& key);
+
+/// H(value): what the public write set stores in place of the value.
+Bytes private_value_hash(ByteView value);
+
+/// Fold a private write into the public read/write set (hash-only).
+void add_private_write(ReadWriteSet& rwset, const std::string& collection,
+                       const std::string& key, ByteView value);
+
+/// Fold a private read into the public read set: the version observed for
+/// the hashed key (nullopt when the private entry did not exist).
+void add_private_read(ReadWriteSet& rwset, const std::string& collection,
+                      const std::string& key,
+                      std::optional<Version> version);
+
+/// The authorized-peer side store holding actual private payloads,
+/// addressed by the same hashed keys that appear on the ledger.
+class PrivateDataStore {
+ public:
+  void put(const std::string& collection, const std::string& key, Bytes value);
+  std::optional<Bytes> get(const std::string& collection,
+                           const std::string& key) const;
+
+  /// Check a disclosed value against the hash committed on the ledger (in
+  /// any versioned store — the world state holds H(value) under the hashed
+  /// key).
+  static bool matches_ledger_hash(ByteView disclosed_value,
+                                  ByteView ledger_value_hash);
+
+  std::size_t size() const { return data_.size(); }
+
+ private:
+  std::map<std::string, Bytes> data_;  ///< hashed key -> cleartext value
+};
+
+}  // namespace bm::fabric

@@ -1,0 +1,85 @@
+#include "fabric/rwset.hpp"
+
+#include "wire/proto.hpp"
+
+namespace bm::fabric {
+
+namespace {
+// ReadWriteSet: repeated reads (1), repeated writes (2).
+// KVRead: key (1), exists (2), block (3), tx (4).
+// KVWrite: key (1), value (2).
+enum : std::uint32_t {
+  kReads = 1,
+  kWrites = 2,
+  kKey = 1,
+  kExists = 2,
+  kBlockNum = 3,
+  kTxNum = 4,
+  kValue = 2,
+};
+}  // namespace
+
+Bytes ReadWriteSet::marshal() const {
+  wire::ProtoWriter w;
+  for (const auto& read : reads) {
+    wire::ProtoWriter r;
+    r.string_field(kKey, read.key);
+    r.bool_field(kExists, read.version.has_value());
+    if (read.version) {
+      r.varint_field(kBlockNum, read.version->block_num);
+      r.varint_field(kTxNum, read.version->tx_num);
+    }
+    w.message_field(kReads, r);
+  }
+  for (const auto& write : writes) {
+    wire::ProtoWriter r;
+    r.string_field(kKey, write.key);
+    r.bytes_field(kValue, write.value);
+    w.message_field(kWrites, r);
+  }
+  return w.take();
+}
+
+std::optional<ReadWriteSet> ReadWriteSet::unmarshal(ByteView data) {
+  ReadWriteSet out;
+  wire::ProtoReader reader(data);
+  while (auto f = reader.next()) {
+    if (f->type != wire::WireType::kLengthDelimited) continue;
+    if (f->number == kReads) {
+      KVRead read;
+      bool exists = false;
+      Version version;
+      wire::ProtoReader inner(f->bytes);
+      while (auto g = inner.next()) {
+        switch (g->number) {
+          case kKey: read.key = to_string(g->bytes); break;
+          case kExists: exists = g->varint != 0; break;
+          case kBlockNum: version.block_num = g->varint; break;
+          case kTxNum:
+            version.tx_num = static_cast<std::uint32_t>(g->varint);
+            break;
+          default: break;
+        }
+      }
+      if (!inner.ok()) return std::nullopt;
+      if (exists) read.version = version;
+      out.reads.push_back(std::move(read));
+    } else if (f->number == kWrites) {
+      KVWrite write;
+      wire::ProtoReader inner(f->bytes);
+      while (auto g = inner.next()) {
+        switch (g->number) {
+          case kKey: write.key = to_string(g->bytes); break;
+          case kValue: write.value.assign(g->bytes.begin(), g->bytes.end()); break;
+          default: break;
+        }
+      }
+      if (!inner.ok()) return std::nullopt;
+      out.writes.push_back(std::move(write));
+    }
+  }
+  if (!reader.ok()) return std::nullopt;
+  return out;
+}
+
+}  // namespace bm::fabric

@@ -1,0 +1,50 @@
+// Read/write sets with MVCC versions (Fabric's rwset model).
+//
+// A transaction's read set records each key it read and the version it saw
+// at endorsement time; the write set records the keys it updates. Versions
+// are (block number, tx number) pairs assigned at commit — the same scheme
+// the in-hardware key-value store uses (§3.3).
+#pragma once
+
+#include <compare>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/bytes.hpp"
+
+namespace bm::fabric {
+
+struct Version {
+  std::uint64_t block_num = 0;
+  std::uint32_t tx_num = 0;
+
+  auto operator<=>(const Version&) const = default;
+};
+
+struct KVRead {
+  std::string key;
+  /// Version observed at endorsement; nullopt when the key did not exist.
+  std::optional<Version> version;
+
+  friend bool operator==(const KVRead&, const KVRead&) = default;
+};
+
+struct KVWrite {
+  std::string key;
+  Bytes value;
+
+  friend bool operator==(const KVWrite&, const KVWrite&) = default;
+};
+
+struct ReadWriteSet {
+  std::vector<KVRead> reads;
+  std::vector<KVWrite> writes;
+
+  Bytes marshal() const;
+  static std::optional<ReadWriteSet> unmarshal(ByteView data);
+
+  friend bool operator==(const ReadWriteSet&, const ReadWriteSet&) = default;
+};
+
+}  // namespace bm::fabric

@@ -1,0 +1,48 @@
+#include "fabric/statedb.hpp"
+
+namespace bm::fabric {
+
+std::optional<VersionedValue> StateDb::get(const std::string& key) const {
+  ++reads_;
+  const auto it = data_.find(key);
+  if (it == data_.end()) return std::nullopt;
+  return it->second;
+}
+
+void StateDb::put(const std::string& key, Bytes value, Version version) {
+  ++writes_;
+  data_[key] = VersionedValue{std::move(value), version};
+}
+
+void StateDb::apply_writes(const std::vector<KVWrite>& writes,
+                           Version version) {
+  for (const KVWrite& write : writes) put(write.key, write.value, version);
+}
+
+bool StateDb::version_matches(const KVRead& read) const {
+  ++reads_;
+  const auto it = data_.find(read.key);
+  if (it == data_.end()) return !read.version.has_value();
+  return read.version.has_value() && *read.version == it->second.version;
+}
+
+std::string StateDb::namespaced(const std::string& chaincode,
+                                const std::string& key) {
+  std::string out;
+  out.reserve(chaincode.size() + 1 + key.size());
+  out += chaincode;
+  out += '\0';
+  out += key;
+  return out;
+}
+
+void HistoryDb::record(const std::string& key, Version version) {
+  data_[key].push_back(version);
+}
+
+const std::vector<Version>* HistoryDb::history(const std::string& key) const {
+  const auto it = data_.find(key);
+  return it == data_.end() ? nullptr : &it->second;
+}
+
+}  // namespace bm::fabric

@@ -1,0 +1,69 @@
+// Versioned key-value state database (LevelDB-style world state).
+//
+// Values carry the (block, tx) version assigned at commit; mvcc validation
+// compares a transaction's read-set versions against these. A separate
+// history index records which blocks/transactions touched each key (the
+// "miscellaneous" step 5 of the validation pipeline, §2.2).
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "fabric/rwset.hpp"
+
+namespace bm::fabric {
+
+struct VersionedValue {
+  Bytes value;
+  Version version;
+
+  friend bool operator==(const VersionedValue&, const VersionedValue&) = default;
+};
+
+class StateDb {
+ public:
+  /// Current value+version, or nullopt if the key was never written.
+  std::optional<VersionedValue> get(const std::string& key) const;
+
+  /// Write (insert or overwrite) with an explicit version.
+  void put(const std::string& key, Bytes value, Version version);
+
+  /// Apply a whole write set at version {block, tx}.
+  void apply_writes(const std::vector<KVWrite>& writes, Version version);
+
+  /// Remove a key (used by the tiered hardware cache when promoting an
+  /// entry back on-chip). No-op if absent.
+  void erase(const std::string& key) { data_.erase(key); }
+
+  /// True iff a read-set entry's expected version matches current state.
+  bool version_matches(const KVRead& read) const;
+
+  std::size_t size() const { return data_.size(); }
+  void clear() { data_.clear(); }
+
+  /// Namespacing helper: Fabric stores keys as "<chaincode>\x00<key>".
+  static std::string namespaced(const std::string& chaincode,
+                                const std::string& key);
+
+  // Access statistics (feed the timing models).
+  std::uint64_t total_reads() const { return reads_; }
+  std::uint64_t total_writes() const { return writes_; }
+
+ private:
+  std::map<std::string, VersionedValue> data_;
+  mutable std::uint64_t reads_ = 0;
+  std::uint64_t writes_ = 0;
+};
+
+/// History database: key -> list of (block, tx) that wrote it.
+class HistoryDb {
+ public:
+  void record(const std::string& key, Version version);
+  const std::vector<Version>* history(const std::string& key) const;
+  std::size_t key_count() const { return data_.size(); }
+
+ private:
+  std::map<std::string, std::vector<Version>> data_;
+};
+
+}  // namespace bm::fabric

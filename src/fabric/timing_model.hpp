@@ -1,0 +1,106 @@
+// Calibrated service-time model of the software-only peers.
+//
+// The functional SoftwareValidator (validator.hpp) establishes *what* the
+// peer computes; this model establishes *how long* the real Go peer takes,
+// so the DES benches reproduce the paper's performance figures without the
+// authors' testbed. Every constant below is fit to numbers reported in the
+// paper (§4.3) — see the derivations next to each constant.
+//
+// Model of one block's validation latency (ledger commit excluded, §4.2):
+//
+//   T(nTx, E, L, R, W, v) = t_block_fixed
+//                         + nTx * ( t_tx_serial
+//                                 + L * t_policy_literal
+//                                 + R * t_db_read + W * t_db_write )
+//                         + nTx * E * t_sig_verify / v
+// where
+//   E = endorsement signatures verified per tx (Fabric verifies ALL
+//       endorsements attached, irrespective of the policy),
+//   L = literal references in the policy expression (Fabric evaluates all
+//       sub-expressions sequentially),
+//   R/W = state-db reads/writes per tx, v = vCPUs (= vscc threads).
+//
+// Calibration anchors (block size 150, smallbank, 2-outof-2):
+//   * Fig 7b: 3,500 / ~4,600 / 5,300 tps at 4 / 8 / 16 vCPUs
+//       => parallel work per tx = 2 * t_sig_verify, serial part 23.4 ms.
+//   * §4.3: vscc latency 18.3 / 23.2 / 28.0 ms for 1of1 / 2of2 / 3of3
+//       => one endorsement column = 4.85 ms per 150-tx block at 8 vCPUs
+//       => t_sig_verify = 4.85ms * 8 / 150 = 259 us.
+//   * §4.3: "fixed cost of policy evaluation is quite high (~13 ms)".
+//   * Fig 7g: going from 3 to 13 db accesses per tx costs the software
+//     peer ~16% throughput => t_db ~4.5 us per access.
+//   * Fig 7a: throughput grows with block size (fixed per-block cost
+//     amortized) => t_block_fixed = 6 ms reproduces the 50->250 trend.
+// With these, the model lands on the paper's software numbers to within a
+// few percent across Figs. 7a/7b/7e/7g (see EXPERIMENTS.md).
+#pragma once
+
+#include <algorithm>
+
+#include "sim/simulation.hpp"
+
+namespace bm::fabric {
+
+struct SwBlockWorkload {
+  int n_tx = 100;
+  int endorsements_verified_per_tx = 2;  ///< Fabric: all attached endorsements
+  int policy_literals = 2;  ///< principal references in the policy expression
+  double db_reads_per_tx = 2;
+  double db_writes_per_tx = 2;
+  int vcpus = 8;
+};
+
+struct SwTimingModel {
+  // Fixed per-block cost: gossip receipt, block unmarshal, orderer-signature
+  // check, ledger bookkeeping (Fig. 7a amortization trend).
+  sim::Time block_fixed = 6 * sim::kMillisecond;
+
+  // Serial per-transaction cost: envelope unmarshal (the ~23-layer protobuf
+  // nest), creator signature handling amortized across the validator pool,
+  // mvcc bookkeeping. Residual after the anchors above are subtracted.
+  sim::Time tx_serial = 78 * sim::kMicrosecond;
+
+  // Per policy-literal evaluation cost; Fabric walks every sub-expression
+  // sequentially (the "complex policy" collapse in Fig. 7f).
+  sim::Time policy_literal = 10 * sim::kMicrosecond;
+
+  // One software ECDSA-P256 verification (vscc worker).
+  sim::Time sig_verify = 259 * sim::kMicrosecond;
+
+  // LevelDB accesses during mvcc / commit.
+  sim::Time db_read = 5 * sim::kMicrosecond;
+  sim::Time db_write = 4 * sim::kMicrosecond;
+
+  // An endorser peer also executes/endorses transactions on the same cores;
+  // the paper observes the validator sustains >= 35% more throughput than
+  // the endorser (Fig. 7a). Modeled as a uniform slowdown of the pipeline.
+  double endorser_load_factor = 1.40;
+
+  /// Validation+commit latency for one block (ledger commit excluded).
+  sim::Time block_latency(const SwBlockWorkload& w) const {
+    const double per_tx_serial =
+        static_cast<double>(tx_serial) +
+        static_cast<double>(policy_literal) * w.policy_literals +
+        static_cast<double>(db_read) * w.db_reads_per_tx +
+        static_cast<double>(db_write) * w.db_writes_per_tx;
+    const double parallel = static_cast<double>(sig_verify) *
+                            w.endorsements_verified_per_tx /
+                            std::max(1, w.vcpus);
+    return block_fixed +
+           static_cast<sim::Time>(w.n_tx * (per_tx_serial + parallel));
+  }
+
+  /// Same block processed by an endorser peer (endorsement load included).
+  sim::Time endorser_block_latency(const SwBlockWorkload& w) const {
+    return static_cast<sim::Time>(
+        static_cast<double>(block_latency(w)) * endorser_load_factor);
+  }
+
+  /// Commit throughput in transactions/second implied by block_latency.
+  double throughput_tps(const SwBlockWorkload& w) const {
+    return static_cast<double>(w.n_tx) /
+           (static_cast<double>(block_latency(w)) / sim::kSecond);
+  }
+};
+
+}  // namespace bm::fabric

@@ -1,0 +1,156 @@
+#include "fabric/transaction.hpp"
+
+#include "crypto/der.hpp"
+#include "wire/proto.hpp"
+
+namespace bm::fabric {
+
+using namespace txfield;
+
+crypto::Digest endorsement_digest(std::string_view chaincode_id,
+                                  ByteView rwset_bytes,
+                                  ByteView endorser_cert) {
+  crypto::Sha256 h;
+  h.update(to_bytes(chaincode_id));
+  h.update(rwset_bytes);
+  h.update(endorser_cert);
+  return h.finish();
+}
+
+Bytes build_envelope(const TxProposal& proposal, const Identity& client,
+                     const std::vector<const Identity*>& endorsers) {
+  const Bytes rwset_bytes = proposal.rwset.marshal();
+  std::vector<Endorsement> ends;
+  ends.reserve(endorsers.size());
+  for (const Identity* endorser : endorsers) {
+    Endorsement e;
+    e.endorser_cert = endorser->cert.marshal();
+    const crypto::Digest digest = endorsement_digest(
+        proposal.chaincode_id, rwset_bytes, e.endorser_cert);
+    e.signature = crypto::der_encode_signature(endorser->sign(digest));
+    ends.push_back(std::move(e));
+  }
+  return build_envelope_with_endorsements(proposal, client, ends);
+}
+
+Bytes build_envelope_with_endorsements(const TxProposal& proposal,
+                                       const Identity& client,
+                                       const std::vector<Endorsement>& ends) {
+  const Bytes rwset_bytes = proposal.rwset.marshal();
+
+  // TransactionAction
+  wire::ProtoWriter action;
+  action.string_field(kChaincodeId, proposal.chaincode_id);
+  action.bytes_field(kRwset, rwset_bytes);
+  // ProposalResponsePayload equivalent: proposal hash + chaincode events.
+  // Real Fabric transactions carry this alongside the rwset; it is part of
+  // the non-identity payload the BMac protocol cannot strip.
+  {
+    wire::ProtoWriter response;
+    response.bytes_field(1, crypto::digest_bytes(crypto::sha256(rwset_bytes)));
+    Bytes events;
+    crypto::Digest seed = crypto::sha256(to_bytes(proposal.tx_id));
+    while (events.size() < 224) {
+      append(events, crypto::digest_view(seed));
+      seed = crypto::sha256(crypto::digest_view(seed));
+    }
+    events.resize(224);
+    response.bytes_field(2, events);
+    response.varint_field(3, 200);  // response status
+    action.message_field(kResponsePayload, response);
+  }
+  for (const Endorsement& endorsement : ends) {
+    wire::ProtoWriter e;
+    e.bytes_field(kEndorserCert, endorsement.endorser_cert);
+    e.bytes_field(kEndorserSig, endorsement.signature);
+    action.message_field(kEndorsement, e);
+  }
+
+  // Header
+  wire::ProtoWriter channel_header;
+  channel_header.string_field(kChannelId, proposal.channel_id);
+  channel_header.string_field(kTxId, proposal.tx_id);
+  channel_header.varint_field(kEpoch, 0);
+  channel_header.varint_field(kType, 3);  // ENDORSER_TRANSACTION
+
+  wire::ProtoWriter signature_header;
+  const Bytes creator_cert = client.cert.marshal();
+  signature_header.bytes_field(kCreatorCert, creator_cert);
+  signature_header.bytes_field(
+      kNonce, crypto::digest_bytes(crypto::sha256(to_bytes(proposal.tx_id))));
+
+  wire::ProtoWriter header;
+  header.message_field(kChannelHeader, channel_header);
+  header.message_field(kSignatureHeader, signature_header);
+
+  // Payload
+  wire::ProtoWriter payload;
+  payload.message_field(kHeader, header);
+  payload.message_field(kAction, action);
+  const Bytes payload_bytes = payload.take();
+
+  // Envelope
+  wire::ProtoWriter envelope;
+  envelope.bytes_field(kPayload, payload_bytes);
+  envelope.bytes_field(kSignature, crypto::der_encode_signature(client.sign(
+                                       crypto::sha256(payload_bytes))));
+  return envelope.take();
+}
+
+std::optional<ParsedTransaction> parse_envelope(ByteView envelope) {
+  ParsedTransaction tx;
+
+  const auto payload = wire::find_bytes_field(envelope, kPayload);
+  const auto signature = wire::find_bytes_field(envelope, kSignature);
+  if (!payload || !signature) return std::nullopt;
+  tx.payload_bytes.assign(payload->begin(), payload->end());
+  tx.signature.assign(signature->begin(), signature->end());
+
+  const auto header = wire::find_bytes_field(*payload, kHeader);
+  const auto action = wire::find_bytes_field(*payload, kAction);
+  if (!header || !action) return std::nullopt;
+
+  const auto channel_header = wire::find_bytes_field(*header, kChannelHeader);
+  const auto signature_header =
+      wire::find_bytes_field(*header, kSignatureHeader);
+  if (!channel_header || !signature_header) return std::nullopt;
+
+  if (const auto channel_id =
+          wire::find_bytes_field(*channel_header, kChannelId))
+    tx.channel_id = to_string(*channel_id);
+  if (const auto tx_id = wire::find_bytes_field(*channel_header, kTxId))
+    tx.tx_id = to_string(*tx_id);
+
+  const auto creator = wire::find_bytes_field(*signature_header, kCreatorCert);
+  if (!creator) return std::nullopt;
+  tx.creator_cert.assign(creator->begin(), creator->end());
+  auto creator_cert = Certificate::unmarshal(*creator);
+  if (!creator_cert) return std::nullopt;
+  tx.creator = std::move(*creator_cert);
+
+  if (const auto chaincode = wire::find_bytes_field(*action, kChaincodeId))
+    tx.chaincode_id = to_string(*chaincode);
+  const auto rwset_bytes = wire::find_bytes_field(*action, kRwset);
+  if (!rwset_bytes) return std::nullopt;
+  tx.rwset_bytes.assign(rwset_bytes->begin(), rwset_bytes->end());
+  auto rwset = ReadWriteSet::unmarshal(*rwset_bytes);
+  if (!rwset) return std::nullopt;
+  tx.rwset = std::move(*rwset);
+
+  for (const ByteView endorsement_bytes :
+       wire::find_repeated_bytes(*action, kEndorsement)) {
+    ParsedTransaction::ParsedEndorsement endorsement;
+    const auto cert = wire::find_bytes_field(endorsement_bytes, kEndorserCert);
+    const auto sig = wire::find_bytes_field(endorsement_bytes, kEndorserSig);
+    if (!cert || !sig) return std::nullopt;
+    endorsement.cert_bytes.assign(cert->begin(), cert->end());
+    auto parsed_cert = Certificate::unmarshal(*cert);
+    if (!parsed_cert) return std::nullopt;
+    endorsement.cert = std::move(*parsed_cert);
+    endorsement.signature.assign(sig->begin(), sig->end());
+    tx.endorsements.push_back(std::move(endorsement));
+  }
+  return tx;
+}
+
+}  // namespace bm::fabric

@@ -1,0 +1,109 @@
+// Transactions: Fabric's nested envelope structure, endorsement and parsing.
+//
+// The marshaled layering mirrors Fabric (§2.1/§3.2):
+//   Envelope { payload, creator signature }
+//     Payload { Header { ChannelHeader, SignatureHeader{creator cert} },
+//               TransactionAction { chaincode id, rwset, endorsements[] } }
+//       Endorsement { endorser cert, endorser signature }
+// Every layer is an independently marshaled protobuf embedded as a bytes
+// field in its parent — the recursive-decoding burden the BMac protocol is
+// designed to avoid.
+#pragma once
+
+#include "fabric/identity.hpp"
+#include "fabric/rwset.hpp"
+
+namespace bm::fabric {
+
+struct Endorsement {
+  Bytes endorser_cert;  ///< marshaled Certificate
+  Bytes signature;      ///< DER ECDSA over the endorsed-data digest
+
+  friend bool operator==(const Endorsement&, const Endorsement&) = default;
+};
+
+/// What an endorser signs: H(chaincode id || rwset bytes || endorser cert).
+crypto::Digest endorsement_digest(std::string_view chaincode_id,
+                                  ByteView rwset_bytes,
+                                  ByteView endorser_cert);
+
+/// A transaction proposal: the client-visible inputs before endorsement.
+struct TxProposal {
+  std::string channel_id;
+  std::string chaincode_id;
+  std::string tx_id;
+  ReadWriteSet rwset;
+};
+
+/// Build a fully endorsed, client-signed envelope. `endorsers` sign the
+/// proposal's rwset (simulating the execution phase having produced it).
+Bytes build_envelope(const TxProposal& proposal, const Identity& client,
+                     const std::vector<const Identity*>& endorsers);
+
+/// Same, but with pre-signed endorsements (the real endorsement flow: the
+/// client gathers ProposalResponses and assembles the transaction). Each
+/// endorsement's signature must cover endorsement_digest(chaincode id,
+/// marshaled rwset, endorser cert) or validation will reject it.
+Bytes build_envelope_with_endorsements(const TxProposal& proposal,
+                                       const Identity& client,
+                                       const std::vector<Endorsement>& ends);
+
+/// Everything the validator needs, parsed out of a marshaled envelope, with
+/// the raw byte ranges retained for signature verification.
+struct ParsedTransaction {
+  std::string channel_id;
+  std::string chaincode_id;
+  std::string tx_id;
+
+  Bytes payload_bytes;    ///< signed by the creator
+  Bytes signature;        ///< creator's DER signature
+  Bytes creator_cert;     ///< marshaled Certificate
+  Certificate creator;    ///< parsed creator certificate
+
+  ReadWriteSet rwset;
+  Bytes rwset_bytes;
+
+  struct ParsedEndorsement {
+    Bytes cert_bytes;
+    Certificate cert;
+    Bytes signature;
+  };
+  std::vector<ParsedEndorsement> endorsements;
+};
+
+/// Full recursive unmarshal of an envelope (the software validator path).
+std::optional<ParsedTransaction> parse_envelope(ByteView envelope);
+
+/// Wire field numbers, shared with the BMac protocol's annotation generator
+/// (which locates the same fields without recursive decoding).
+namespace txfield {
+enum : std::uint32_t {
+  // Envelope
+  kPayload = 1,
+  kSignature = 2,
+  // Payload
+  kHeader = 1,
+  kAction = 2,
+  // Header
+  kChannelHeader = 1,
+  kSignatureHeader = 2,
+  // ChannelHeader
+  kChannelId = 1,
+  kTxId = 2,
+  kEpoch = 3,
+  kType = 4,
+  // SignatureHeader
+  kCreatorCert = 1,
+  kNonce = 2,
+  // TransactionAction
+  kChaincodeId = 1,
+  kRwset = 2,
+  kEndorsement = 3,  // repeated
+  kResponsePayload = 4,
+  // Endorsement
+  kEndorserCert = 1,
+  kEndorserSig = 2,
+};
+}  // namespace txfield
+
+}  // namespace bm::fabric

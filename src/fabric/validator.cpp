@@ -1,0 +1,132 @@
+#include "fabric/validator.hpp"
+
+#include "crypto/der.hpp"
+
+namespace bm::fabric {
+
+SoftwareValidator::SoftwareValidator(
+    const Msp& msp, std::map<std::string, EndorsementPolicy> policies)
+    : msp_(msp), policies_(std::move(policies)) {}
+
+bool SoftwareValidator::verify_block_signature(const Block& block) {
+  ++stats_.block_signature_checks;
+  const auto cert = Certificate::unmarshal(block.metadata.orderer_cert);
+  if (!cert || cert->role != Role::kOrderer || !msp_.validate(*cert))
+    return false;
+  const auto sig = crypto::der_decode_signature(block.metadata.orderer_sig);
+  if (!sig) return false;
+  if (!crypto::verify(cert->public_key, block.signing_digest(), *sig))
+    return false;
+  // Retrieving block data also re-checks the data hash.
+  return equal(block.header.data_hash,
+               crypto::digest_view(block.compute_data_hash()));
+}
+
+TxValidationCode SoftwareValidator::validate_transaction(
+    const ParsedTransaction& tx) {
+  // Step 2a: transaction verification — creator identity and signature.
+  if (!msp_.validate(tx.creator)) return TxValidationCode::kBadCreatorSignature;
+  const auto creator_sig = crypto::der_decode_signature(tx.signature);
+  if (!creator_sig) return TxValidationCode::kBadCreatorSignature;
+  ++stats_.creator_signature_checks;
+  if (!crypto::verify(tx.creator.public_key, crypto::sha256(tx.payload_bytes),
+                      *creator_sig))
+    return TxValidationCode::kBadCreatorSignature;
+
+  // Step 2b: vscc — verify endorsements, then evaluate the policy.
+  const auto policy_it = policies_.find(tx.chaincode_id);
+  if (policy_it == policies_.end())
+    return TxValidationCode::kInvalidEndorserTransaction;
+
+  // Fabric always verifies all endorsements, irrespective of the policy.
+  std::vector<EncodedId> valid_endorsers;
+  for (const auto& endorsement : tx.endorsements) {
+    if (!msp_.validate(endorsement.cert)) continue;
+    const auto sig = crypto::der_decode_signature(endorsement.signature);
+    if (!sig) continue;
+    ++stats_.endorsement_signature_checks;
+    const crypto::Digest digest = endorsement_digest(
+        tx.chaincode_id, tx.rwset_bytes, endorsement.cert_bytes);
+    if (!crypto::verify(endorsement.cert.public_key, digest, *sig)) continue;
+    if (const auto id = msp_.encode(endorsement.cert))
+      valid_endorsers.push_back(*id);
+  }
+  if (!policy_it->second.evaluate_ids(valid_endorsers, msp_))
+    return TxValidationCode::kEndorsementPolicyFailure;
+
+  return TxValidationCode::kValid;
+}
+
+BlockValidationResult SoftwareValidator::validate_and_commit(
+    const Block& block, StateDb& db, Ledger& ledger, HistoryDb* history) {
+  ++stats_.blocks_processed;
+  BlockValidationResult result;
+  result.flags.assign(block.tx_count(), TxValidationCode::kNotValidated);
+
+  // Step 1: block verification. A block failing verification is rejected
+  // outright — nothing is committed.
+  result.block_valid = verify_block_signature(block);
+  if (!result.block_valid) return result;
+
+  // Step 2: per-transaction verification + vscc.
+  std::vector<ParsedTransaction> parsed(block.tx_count());
+  for (std::size_t i = 0; i < block.tx_count(); ++i) {
+    ++stats_.envelopes_parsed;
+    auto tx = parse_envelope(block.envelopes[i]);
+    if (!tx) {
+      result.flags[i] = TxValidationCode::kBadPayload;
+      continue;
+    }
+    parsed[i] = std::move(*tx);
+    result.flags[i] = validate_transaction(parsed[i]);
+  }
+
+  // Step 3: mvcc — sequential, in transaction order. Reads must match the
+  // committed state, and keys written by an earlier valid transaction of
+  // this block invalidate later readers.
+  std::map<std::string, Version> pending_writes;
+  for (std::size_t i = 0; i < block.tx_count(); ++i) {
+    if (result.flags[i] != TxValidationCode::kValid) continue;
+    const ParsedTransaction& tx = parsed[i];
+    bool conflict = false;
+    for (const KVRead& read : tx.rwset.reads) {
+      ++stats_.db_reads;
+      const std::string key = StateDb::namespaced(tx.chaincode_id, read.key);
+      if (pending_writes.count(key) != 0 ||
+          !db.version_matches(KVRead{key, read.version})) {
+        conflict = true;
+        break;
+      }
+    }
+    if (conflict) {
+      result.flags[i] = TxValidationCode::kMvccReadConflict;
+      continue;
+    }
+    const Version version{block.header.number,
+                          static_cast<std::uint32_t>(i)};
+    for (const KVWrite& write : tx.rwset.writes)
+      pending_writes[StateDb::namespaced(tx.chaincode_id, write.key)] = version;
+  }
+
+  // Step 4: commit — state database writes for valid transactions, then the
+  // flagged block to the ledger.
+  Block committed = block;
+  for (std::size_t i = 0; i < block.tx_count(); ++i) {
+    committed.metadata.tx_flags[i] = static_cast<std::uint8_t>(result.flags[i]);
+    if (result.flags[i] != TxValidationCode::kValid) continue;
+    ++result.valid_tx_count;
+    const ParsedTransaction& tx = parsed[i];
+    const Version version{block.header.number, static_cast<std::uint32_t>(i)};
+    for (const KVWrite& write : tx.rwset.writes) {
+      ++stats_.db_writes;
+      const std::string key = StateDb::namespaced(tx.chaincode_id, write.key);
+      db.put(key, write.value, version);
+      // Step 5: history database update.
+      if (history != nullptr) history->record(key, version);
+    }
+  }
+  result.commit_hash = ledger.append(std::move(committed));
+  return result;
+}
+
+}  // namespace bm::fabric

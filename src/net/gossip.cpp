@@ -1,0 +1,99 @@
+#include "net/gossip.hpp"
+
+namespace bm::net {
+
+GossipNetwork::GossipNetwork(sim::Simulation& sim, int peers, Config config)
+    : sim_(sim),
+      config_(config),
+      rng_(config.seed ^ 0x60551Bull),
+      peers_(static_cast<std::size_t>(peers)) {}
+
+void GossipNetwork::publish(int origin, std::uint64_t block_num,
+                            std::size_t bytes) {
+  receive(origin, block_num, bytes, /*from_repair=*/false);
+}
+
+void GossipNetwork::push_to(int from, int to, std::uint64_t block_num,
+                            std::size_t bytes, bool is_repair) {
+  ++messages_sent_;
+  if (rng_.chance(config_.message_loss)) return;
+  const auto serialization = static_cast<sim::Time>(
+      static_cast<double>(bytes) * 8.0 / (config_.gbps * 1e9) * sim::kSecond);
+  sim::Time delay = serialization + config_.hop_delay;
+  if (config_.hop_jitter > 0)
+    delay += static_cast<sim::Time>(
+        rng_.uniform(static_cast<std::uint64_t>(config_.hop_jitter)));
+  sim_.schedule(delay, [this, to, block_num, bytes, is_repair] {
+    if (is_repair &&
+        peers_[static_cast<std::size_t>(to)].known.count(block_num) == 0)
+      ++repairs_;
+    receive(to, block_num, bytes, is_repair);
+  });
+  (void)from;
+}
+
+void GossipNetwork::receive(int peer, std::uint64_t block_num,
+                            std::size_t bytes, bool from_repair) {
+  PeerState& state = peers_[static_cast<std::size_t>(peer)];
+  if (!state.known.insert(block_num).second) {
+    ++duplicates_;
+    return;
+  }
+  state.sizes[block_num] = bytes;
+  if (on_deliver_) on_deliver_(peer, block_num, bytes);
+  (void)from_repair;
+
+  // Forward to `fanout` distinct random neighbours after local processing.
+  const int n = peer_count();
+  if (n <= 1) return;
+  std::set<int> targets;
+  while (static_cast<int>(targets.size()) <
+         std::min(config_.fanout, n - 1)) {
+    const int target = static_cast<int>(rng_.uniform(
+        static_cast<std::uint64_t>(n)));
+    if (target != peer) targets.insert(target);
+  }
+  for (const int target : targets) {
+    sim_.schedule(config_.forward_processing, [this, peer, target, block_num,
+                                               bytes] {
+      push_to(peer, target, block_num, bytes, /*is_repair=*/false);
+    });
+  }
+}
+
+void GossipNetwork::start_anti_entropy() {
+  if (anti_entropy_running_) return;
+  anti_entropy_running_ = true;
+  for (int peer = 0; peer < peer_count(); ++peer) {
+    // Staggered periodic rounds per peer; each round re-arms itself.
+    const sim::Time phase = static_cast<sim::Time>(rng_.uniform(
+        static_cast<std::uint64_t>(config_.anti_entropy_interval)));
+    sim_.schedule(phase, [this, peer] { anti_entropy_round(peer); });
+  }
+}
+
+void GossipNetwork::anti_entropy_round(int peer) {
+  if (!anti_entropy_running_) return;
+  const int n = peer_count();
+  if (n <= 1) return;
+  int partner = peer;
+  while (partner == peer)
+    partner = static_cast<int>(rng_.uniform(static_cast<std::uint64_t>(n)));
+
+  // Digest exchange: the partner pushes everything `peer` is missing (and
+  // vice versa) — reliable repair path, smaller than re-gossiping.
+  const PeerState& mine = peers_[static_cast<std::size_t>(peer)];
+  const PeerState& theirs = peers_[static_cast<std::size_t>(partner)];
+  for (const auto& [block_num, bytes] : theirs.sizes)
+    if (mine.known.count(block_num) == 0)
+      push_to(partner, peer, block_num, bytes, /*is_repair=*/true);
+  for (const auto& [block_num, bytes] : mine.sizes)
+    if (theirs.known.count(block_num) == 0)
+      push_to(peer, partner, block_num, bytes, /*is_repair=*/true);
+
+  // Re-arm.
+  sim_.schedule(config_.anti_entropy_interval,
+                [this, peer] { anti_entropy_round(peer); });
+}
+
+}  // namespace bm::net

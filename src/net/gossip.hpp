@@ -1,0 +1,84 @@
+// Peer-to-peer gossip dissemination of blocks (§2.2: Fabric's Gossip
+// protocol spreads blocks from the lead peer of each org to the others).
+//
+// Push gossip with bounded fanout plus periodic anti-entropy pulls: a peer
+// that first learns a block forwards it to `fanout` random neighbours;
+// losses are repaired when a peer's periodic digest exchange reveals a gap.
+// Message timing charges the block's wire size against a per-hop link rate,
+// so disseminating the 4-5x smaller BMac-protocol encoding measurably beats
+// full Gossip blocks — §5's "our protocol can also be used by the lead peer
+// to send blocks to other peers in its own organization".
+#pragma once
+
+#include <functional>
+#include <map>
+#include <set>
+
+#include "common/rng.hpp"
+#include "sim/simulation.hpp"
+
+namespace bm::net {
+
+class GossipNetwork {
+ public:
+  struct Config {
+    int fanout = 2;
+    double gbps = 1.0;  ///< per-hop link rate (serialization delay)
+    sim::Time hop_delay = 300 * sim::kMicrosecond;  ///< propagation + stack
+    sim::Time hop_jitter = 200 * sim::kMicrosecond;
+    sim::Time forward_processing = 200 * sim::kMicrosecond;
+    double message_loss = 0.0;
+    sim::Time anti_entropy_interval = 50 * sim::kMillisecond;
+    std::uint64_t seed = 1;
+  };
+
+  /// Fired exactly once per (peer, block): first delivery.
+  using DeliverFn = std::function<void(int peer, std::uint64_t block_num,
+                                       std::size_t bytes)>;
+
+  GossipNetwork(sim::Simulation& sim, int peers, Config config);
+
+  void set_deliver_callback(DeliverFn fn) { on_deliver_ = std::move(fn); }
+
+  /// Start the anti-entropy processes (optional; push-only without it).
+  void start_anti_entropy();
+  void stop_anti_entropy() { anti_entropy_running_ = false; }
+
+  /// Inject a block at `origin` (e.g. the org's lead peer).
+  void publish(int origin, std::uint64_t block_num, std::size_t bytes);
+
+  bool peer_has(int peer, std::uint64_t block_num) const {
+    return peers_[static_cast<std::size_t>(peer)].known.count(block_num) > 0;
+  }
+  int peer_count() const { return static_cast<int>(peers_.size()); }
+
+  // --- statistics -------------------------------------------------------------
+  std::uint64_t messages_sent() const { return messages_sent_; }
+  std::uint64_t duplicates_received() const { return duplicates_; }
+  std::uint64_t anti_entropy_repairs() const { return repairs_; }
+
+ private:
+  struct PeerState {
+    std::set<std::uint64_t> known;
+    std::map<std::uint64_t, std::size_t> sizes;  ///< for anti-entropy pulls
+  };
+
+  void receive(int peer, std::uint64_t block_num, std::size_t bytes,
+               bool from_repair);
+  void push_to(int from, int to, std::uint64_t block_num, std::size_t bytes,
+               bool is_repair);
+  void anti_entropy_round(int peer);
+
+  sim::Simulation& sim_;
+  Config config_;
+  Rng rng_;
+  std::vector<PeerState> peers_;
+  DeliverFn on_deliver_;
+  bool anti_entropy_running_ = false;
+
+  std::uint64_t messages_sent_ = 0;
+  std::uint64_t duplicates_ = 0;
+  std::uint64_t repairs_ = 0;
+};
+
+}  // namespace bm::net

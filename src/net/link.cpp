@@ -1,0 +1,35 @@
+#include "net/link.hpp"
+
+#include <algorithm>
+
+namespace bm::net {
+
+sim::Time Link::serialization_delay(std::size_t bytes) const {
+  const double seconds = static_cast<double>(bytes) * 8.0 /
+                         (config_.gbps * 1e9);
+  return static_cast<sim::Time>(seconds * sim::kSecond);
+}
+
+void Link::send(std::size_t bytes, std::function<void()> on_delivery) {
+  ++frames_sent_;
+  bytes_sent_ += bytes;
+
+  // The link transmits frames back to back: a frame starts serializing when
+  // the previous one finishes.
+  const sim::Time start = std::max(sim_.now(), busy_until_);
+  const sim::Time done = start + serialization_delay(bytes);
+  busy_until_ = done;
+
+  if (rng_.chance(config_.loss_probability)) {
+    ++frames_lost_;
+    return;
+  }
+  sim::Time jitter = 0;
+  if (config_.jitter_max > 0)
+    jitter = static_cast<sim::Time>(
+        rng_.uniform(static_cast<std::uint64_t>(config_.jitter_max)));
+  sim_.schedule(done - sim_.now() + config_.propagation + jitter,
+                std::move(on_delivery));
+}
+
+}  // namespace bm::net

@@ -1,0 +1,50 @@
+// Point-to-point network link model.
+//
+// Models the 1 Gbps LAN of the paper's testbed (Fig. 5): a transmit queue
+// with serialization delay (bytes / rate), propagation delay, bounded
+// random jitter and an optional loss probability. Deterministic for a fixed
+// RNG seed.
+#pragma once
+
+#include <functional>
+
+#include "common/rng.hpp"
+#include "sim/simulation.hpp"
+
+namespace bm::net {
+
+class Link {
+ public:
+  struct Config {
+    double gbps = 1.0;                           ///< line rate
+    sim::Time propagation = 50 * sim::kMicrosecond;  ///< LAN + switch latency
+    sim::Time jitter_max = 0;  ///< uniform [0, jitter_max) added per frame
+    double loss_probability = 0.0;
+    std::uint64_t seed = 1;
+  };
+
+  Link(sim::Simulation& sim, Config config)
+      : sim_(sim), config_(config), rng_(config.seed) {}
+
+  /// Queue a frame of `bytes` for transmission; `on_delivery` fires at
+  /// arrival time (never, if the frame is lost).
+  void send(std::size_t bytes, std::function<void()> on_delivery);
+
+  /// Time to serialize `bytes` at line rate.
+  sim::Time serialization_delay(std::size_t bytes) const;
+
+  std::uint64_t frames_sent() const { return frames_sent_; }
+  std::uint64_t frames_lost() const { return frames_lost_; }
+  std::uint64_t bytes_sent() const { return bytes_sent_; }
+
+ private:
+  sim::Simulation& sim_;
+  Config config_;
+  Rng rng_;
+  sim::Time busy_until_ = 0;
+  std::uint64_t frames_sent_ = 0;
+  std::uint64_t frames_lost_ = 0;
+  std::uint64_t bytes_sent_ = 0;
+};
+
+}  // namespace bm::net

@@ -1,0 +1,55 @@
+#include "net/transport.hpp"
+
+namespace bm::net {
+
+void TcpStream::send_message(std::size_t bytes,
+                             std::function<void()> on_delivery) {
+  // Sender-side software cost: protobuf marshal of the whole block, gRPC
+  // framing, kernel copies. Scales with message size.
+  sim::Time software =
+      config_.software_base +
+      static_cast<sim::Time>(static_cast<double>(config_.software_per_mb) *
+                             (static_cast<double>(bytes) / (1024.0 * 1024.0)));
+  if (config_.software_jitter_max > 0)
+    software += static_cast<sim::Time>(
+        rng_.uniform(static_cast<std::uint64_t>(config_.software_jitter_max)));
+
+  // Window stalls: one RTT of dead air each time the in-flight window
+  // drains before the application can push more.
+  const std::size_t stalls = bytes / config_.window_bytes;
+  const sim::Time stall_time =
+      static_cast<sim::Time>(stalls) * config_.rtt + config_.rtt / 2;
+
+  const std::size_t segments = (bytes + kTcpMss - 1) / kTcpMss;
+  const std::size_t last_segment =
+      bytes - (segments - 1) * kTcpMss + kEthIpTcpOverhead;
+
+  sim_.schedule(software + stall_time, [this, segments, last_segment,
+                                        cb = std::move(on_delivery)]() mutable {
+    // Queue every segment on the link; completion fires with the last one.
+    for (std::size_t i = 0; i + 1 < segments; ++i)
+      link_.send(kTcpMss + kEthIpTcpOverhead, [] {});
+    link_.send(last_segment, std::move(cb));
+  });
+}
+
+void UdpChannel::send_datagram(std::size_t bytes,
+                               std::function<void()> on_delivery) {
+  sim::Time software = config_.software_per_packet;
+  if (config_.software_jitter_max > 0)
+    software += static_cast<sim::Time>(
+        rng_.uniform(static_cast<std::uint64_t>(config_.software_jitter_max)));
+
+  const std::size_t fragments = (bytes + kUdpMtuPayload - 1) / kUdpMtuPayload;
+  const std::size_t last_fragment =
+      bytes - (fragments - 1) * kUdpMtuPayload + kEthIpUdpOverhead;
+
+  sim_.schedule(software, [this, fragments, last_fragment,
+                           cb = std::move(on_delivery)]() mutable {
+    for (std::size_t i = 0; i + 1 < fragments; ++i)
+      link_.send(kUdpMtuPayload + kEthIpUdpOverhead, [] {});
+    link_.send(last_fragment, std::move(cb));
+  });
+}
+
+}  // namespace bm::net

@@ -1,0 +1,72 @@
+// Transport models: a TCP/gRPC-like reliable stream (Fabric's Gossip path)
+// and a UDP datagram path (the BMac protocol).
+//
+// The paper contrasts the two in Fig. 1b vs Fig. 3: Gossip sends one large
+// marshaled block over gRPC/HTTP2/TCP (multiple segments, sender-side
+// marshaling cost, window stalls), while the BMac protocol sends small
+// self-contained UDP packets that the hardware consumes as they arrive.
+// These models reproduce the end-to-end block transmission CDF of Fig. 6b.
+#pragma once
+
+#include "net/link.hpp"
+
+namespace bm::net {
+
+/// Per-frame overheads on the wire.
+constexpr std::size_t kEthIpUdpOverhead = 46;   ///< Eth+IP+UDP headers + FCS
+constexpr std::size_t kEthIpTcpOverhead = 78;   ///< Eth+IP+TCP + gRPC framing
+constexpr std::size_t kTcpMss = 1448;
+constexpr std::size_t kUdpMtuPayload = 1452;
+
+/// TCP/gRPC stream model for Gossip block dissemination. A message of size
+/// S is segmented; the sender additionally pays a software cost (protobuf
+/// marshal, gRPC, kernel stack) and stalls once per congestion window.
+class TcpStream {
+ public:
+  struct Config {
+    sim::Time software_base = 3 * sim::kMillisecond;  ///< per-message stack cost
+    sim::Time software_per_mb = 9 * sim::kMillisecond;  ///< marshal/copy cost
+    std::size_t window_bytes = 128 * 1024;  ///< effective in-flight window
+    sim::Time rtt = 400 * sim::kMicrosecond;
+    std::uint64_t seed = 7;
+    sim::Time software_jitter_max = 4 * sim::kMillisecond;
+  };
+
+  TcpStream(sim::Simulation& sim, Link& link, Config config)
+      : sim_(sim), link_(link), config_(config), rng_(config.seed) {}
+
+  /// Send a message; `on_delivery` fires when the final byte has arrived.
+  void send_message(std::size_t bytes, std::function<void()> on_delivery);
+
+ private:
+  sim::Simulation& sim_;
+  Link& link_;
+  Config config_;
+  Rng rng_;
+};
+
+/// UDP datagram path for the BMac protocol. Each datagram is fragmented at
+/// the MTU if needed; the sender's software cost is small (no marshaling —
+/// sections are sliced out of the already-marshaled block).
+class UdpChannel {
+ public:
+  struct Config {
+    sim::Time software_per_packet = 8 * sim::kMicrosecond;  ///< sendto() cost
+    std::uint64_t seed = 11;
+    sim::Time software_jitter_max = 2 * sim::kMillisecond;  ///< OS scheduling
+  };
+
+  UdpChannel(sim::Simulation& sim, Link& link, Config config)
+      : sim_(sim), link_(link), config_(config), rng_(config.seed) {}
+
+  /// Send one datagram; `on_delivery` fires when it arrives (if not lost).
+  void send_datagram(std::size_t bytes, std::function<void()> on_delivery);
+
+ private:
+  sim::Simulation& sim_;
+  Link& link_;
+  Config config_;
+  Rng rng_;
+};
+
+}  // namespace bm::net

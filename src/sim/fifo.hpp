@@ -1,0 +1,160 @@
+// Bounded FIFO channel between simulation processes.
+//
+// Models the hardware FIFO buffers between BMac modules (block_fifo,
+// tx_fifo, ends_fifo, rdset_fifo, wrset_fifo, res_fifo — §3.1). Producers
+// block when the buffer is full (back-pressure), consumers block when it is
+// empty. Occupancy statistics feed the block_monitor model.
+#pragma once
+
+#include <cassert>
+#include <deque>
+#include <optional>
+#include <string>
+
+#include "sim/simulation.hpp"
+
+namespace bm::sim {
+
+template <typename T>
+class Fifo {
+ public:
+  Fifo(Simulation& sim, std::size_t capacity, std::string name = "fifo")
+      : sim_(sim), capacity_(capacity), name_(std::move(name)) {
+    assert(capacity_ >= 1);
+  }
+  Fifo(const Fifo&) = delete;
+  Fifo& operator=(const Fifo&) = delete;
+
+  std::size_t size() const { return buffer_.size(); }
+  std::size_t capacity() const { return capacity_; }
+  bool empty() const { return buffer_.empty(); }
+  const std::string& name() const { return name_; }
+
+  /// Awaitable pop: suspends while the buffer is empty.
+  ///
+  /// NOTE: the awaiter types have user-declared constructors on purpose —
+  /// as aggregates, GCC 12 fails to promote the co_await operand temporary
+  /// into the coroutine frame, leaving registered awaiter pointers dangling
+  /// across suspension.
+  struct GetAwaiter {
+    explicit GetAwaiter(Fifo* f) : fifo(f) {}
+
+    Fifo* fifo;
+    std::optional<T> slot;  ///< filled on direct producer-to-consumer handoff
+    std::coroutine_handle<> handle;
+
+    bool await_ready() const noexcept { return !fifo->buffer_.empty(); }
+    void await_suspend(std::coroutine_handle<> h) {
+      handle = h;
+      fifo->waiting_getters_.push_back(this);
+    }
+    T await_resume() {
+      if (slot.has_value()) return std::move(*slot);
+      assert(!fifo->buffer_.empty());
+      T value = std::move(fifo->buffer_.front());
+      fifo->buffer_.pop_front();
+      fifo->admit_waiting_putter();
+      return value;
+    }
+  };
+
+  /// Awaitable push: suspends while the buffer is full (back-pressure).
+  struct PutAwaiter {
+    PutAwaiter(Fifo* f, T v) : fifo(f), value(std::move(v)) {}
+
+    Fifo* fifo;
+    T value;
+    std::coroutine_handle<> handle;
+
+    bool await_ready() {
+      if (!fifo->waiting_getters_.empty()) {
+        fifo->deliver_to_getter(std::move(value));
+        return true;
+      }
+      if (fifo->buffer_.size() < fifo->capacity_) {
+        fifo->push(std::move(value));
+        return true;
+      }
+      return false;
+    }
+    void await_suspend(std::coroutine_handle<> h) {
+      handle = h;
+      fifo->waiting_putters_.push_back(this);
+      fifo->blocked_put_events_++;
+    }
+    void await_resume() const noexcept {}
+  };
+
+  GetAwaiter get() { return GetAwaiter(this); }
+  PutAwaiter put(T value) { return PutAwaiter(this, std::move(value)); }
+
+  /// Non-blocking pop; also admits one waiting producer.
+  std::optional<T> try_get() {
+    if (buffer_.empty()) return std::nullopt;
+    T value = std::move(buffer_.front());
+    buffer_.pop_front();
+    admit_waiting_putter();
+    return value;
+  }
+
+  /// Non-blocking push; false when full and no consumer is waiting.
+  bool try_put(T value) {
+    if (!waiting_getters_.empty()) {
+      deliver_to_getter(std::move(value));
+      return true;
+    }
+    if (buffer_.size() < capacity_) {
+      push(std::move(value));
+      return true;
+    }
+    return false;
+  }
+
+  // --- statistics (read by monitors) ---
+  std::uint64_t total_pushed() const { return total_pushed_; }
+  std::size_t max_occupancy() const { return max_occupancy_; }
+  std::uint64_t blocked_put_events() const { return blocked_put_events_; }
+
+ private:
+  friend struct GetAwaiter;
+  friend struct PutAwaiter;
+
+  void push(T value) {
+    buffer_.push_back(std::move(value));
+    ++total_pushed_;
+    max_occupancy_ = std::max(max_occupancy_, buffer_.size());
+  }
+
+  /// A consumer freed a slot: move one blocked producer's value in.
+  void admit_waiting_putter() {
+    if (waiting_putters_.empty()) return;
+    PutAwaiter* putter = waiting_putters_.front();
+    waiting_putters_.pop_front();
+    push(std::move(putter->value));
+    sim_.resume_later(putter->handle);
+  }
+
+  /// A producer arrived while consumers were blocked on an empty buffer:
+  /// hand the value straight to the oldest one.
+  void deliver_to_getter(T value) {
+    assert(buffer_.empty());
+    GetAwaiter* getter = waiting_getters_.front();
+    waiting_getters_.pop_front();
+    getter->slot = std::move(value);
+    ++total_pushed_;
+    sim_.resume_later(getter->handle);
+  }
+
+  Simulation& sim_;
+  std::size_t capacity_;
+  std::string name_;
+  std::deque<T> buffer_;
+  std::deque<GetAwaiter*> waiting_getters_;
+  std::deque<PutAwaiter*> waiting_putters_;
+
+  std::uint64_t total_pushed_ = 0;
+  std::size_t max_occupancy_ = 0;
+  std::uint64_t blocked_put_events_ = 0;
+};
+
+}  // namespace bm::sim

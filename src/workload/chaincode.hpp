@@ -1,0 +1,81 @@
+// Chaincode workload models: smallbank and drm (Hyperledger Caliper
+// benchmarks [19], the applications evaluated in §4).
+//
+// A chaincode here is an endorsement-phase executor: given an operation, it
+// reads the endorser's committed state (recording versions into the read
+// set) and produces the write set — the execute step of execute-order-
+// validate. The smallbank model implements the classic banking operations
+// (create account, deposit, withdraw, send payment, amalgamate); drm models
+// digital-asset management (create asset, update asset, transfer rights).
+// The modified smallbank "split payment to n accounts" of Fig. 7g is
+// exposed through SmallbankChaincode::Config::split_payment_accounts.
+#pragma once
+
+#include "common/rng.hpp"
+#include "fabric/statedb.hpp"
+
+namespace bm::workload {
+
+/// A generated operation: the rwset produced by endorsement-time execution.
+struct ChaincodeResult {
+  std::string op;
+  fabric::ReadWriteSet rwset;
+};
+
+class SmallbankChaincode {
+ public:
+  struct Config {
+    std::uint32_t accounts = 2000;
+    /// 0 = standard smallbank. Otherwise every op is a split payment that
+    /// debits one account and credits `split_payment_accounts` accounts
+    /// (Fig. 7g's variable database-request workload).
+    std::uint32_t split_payment_accounts = 0;
+  };
+
+  explicit SmallbankChaincode(Config config) : config_(config) {}
+
+  static constexpr const char* kName = "smallbank";
+
+  /// Execute a random operation against committed state.
+  ChaincodeResult execute(Rng& rng, const fabric::StateDb& state) const;
+
+  /// Average db accesses per op (feeds the software timing model).
+  double avg_reads() const;
+  double avg_writes() const;
+
+ private:
+  ChaincodeResult create_account(Rng& rng, const fabric::StateDb& s) const;
+  ChaincodeResult transact_savings(Rng& rng, const fabric::StateDb& s) const;
+  ChaincodeResult deposit_checking(Rng& rng, const fabric::StateDb& s) const;
+  ChaincodeResult send_payment(Rng& rng, const fabric::StateDb& s) const;
+  ChaincodeResult amalgamate(Rng& rng, const fabric::StateDb& s) const;
+  ChaincodeResult write_check(Rng& rng, const fabric::StateDb& s) const;
+  ChaincodeResult split_payment(Rng& rng, const fabric::StateDb& s) const;
+
+  Config config_;
+};
+
+class DrmChaincode {
+ public:
+  struct Config {
+    std::uint32_t assets = 2000;
+  };
+
+  explicit DrmChaincode(Config config) : config_(config) {}
+
+  static constexpr const char* kName = "drm";
+
+  ChaincodeResult execute(Rng& rng, const fabric::StateDb& state) const;
+
+  double avg_reads() const;
+  double avg_writes() const;
+
+ private:
+  ChaincodeResult create_asset(Rng& rng, const fabric::StateDb& s) const;
+  ChaincodeResult update_asset(Rng& rng, const fabric::StateDb& s) const;
+  ChaincodeResult transfer_rights(Rng& rng, const fabric::StateDb& s) const;
+
+  Config config_;
+};
+
+}  // namespace bm::workload

@@ -1,0 +1,37 @@
+#include "workload/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace bm::workload {
+
+double mean(const std::vector<double>& values) {
+  if (values.empty()) return 0;
+  double sum = 0;
+  for (const double v : values) sum += v;
+  return sum / static_cast<double>(values.size());
+}
+
+double percentile(std::vector<double> values, double p) {
+  if (values.empty()) return 0;
+  std::sort(values.begin(), values.end());
+  const double rank = p / 100.0 * static_cast<double>(values.size() - 1);
+  const auto lo = static_cast<std::size_t>(std::floor(rank));
+  const auto hi = static_cast<std::size_t>(std::ceil(rank));
+  const double frac = rank - std::floor(rank);
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+Summary summarize(const std::vector<double>& values) {
+  Summary s;
+  if (values.empty()) return s;
+  s.mean = mean(values);
+  s.p50 = percentile(values, 50);
+  s.p95 = percentile(values, 95);
+  s.p99 = percentile(values, 99);
+  s.min = *std::min_element(values.begin(), values.end());
+  s.max = *std::max_element(values.begin(), values.end());
+  return s;
+}
+
+}  // namespace bm::workload

@@ -1,0 +1,24 @@
+// Small statistics helpers for the benchmark harnesses.
+#pragma once
+
+#include <vector>
+
+namespace bm::workload {
+
+double mean(const std::vector<double>& values);
+
+/// p in [0,100]; linear interpolation between order statistics.
+double percentile(std::vector<double> values, double p);
+
+struct Summary {
+  double mean = 0;
+  double p50 = 0;
+  double p95 = 0;
+  double p99 = 0;
+  double min = 0;
+  double max = 0;
+};
+
+Summary summarize(const std::vector<double>& values);
+
+}  // namespace bm::workload

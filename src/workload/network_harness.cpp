@@ -1,0 +1,117 @@
+#include "workload/network_harness.hpp"
+
+namespace bm::workload {
+
+FabricNetworkHarness::FabricNetworkHarness(NetworkOptions options)
+    : options_(std::move(options)), rng_(options_.seed) {
+  for (int i = 1; i <= options_.orgs; ++i)
+    msp_.add_org("Org" + std::to_string(i));
+
+  chaincode_name_ = options_.chaincode == ChaincodeKind::kSmallbank
+                        ? SmallbankChaincode::kName
+                        : DrmChaincode::kName;
+  policies_.emplace(chaincode_name_, fabric::parse_policy_or_throw(
+                                         options_.policy_text,
+                                         msp_.org_names()));
+
+  for (int i = 1; i <= options_.orgs; ++i) {
+    const auto* ca = msp_.find_org("Org" + std::to_string(i));
+    endorsers_.push_back(
+        ca->issue(fabric::Role::kPeer, 0,
+                  "peer0.org" + std::to_string(i) + ".example.com"));
+  }
+  const auto* org1 = msp_.find_org("Org1");
+  client_ = org1->issue(fabric::Role::kClient, 0, "client0.org1.example.com");
+  // The rogue client holds client1's certificate but signs with an
+  // unrelated key: its envelopes carry a valid identity and an invalid
+  // signature (TxValidationCode::kBadCreatorSignature).
+  rogue_client_ =
+      org1->issue(fabric::Role::kClient, 1, "client1.org1.example.com");
+  rogue_client_.key = crypto::key_from_seed(to_bytes("rogue-key"));
+
+  const auto* orderer_org = msp_.find_org("Org1");
+  orderer_ = std::make_unique<fabric::Orderer>(
+      orderer_org->issue(fabric::Role::kOrderer, 0,
+                         "orderer0.org1.example.com"),
+      fabric::Orderer::Config{options_.block_size});
+
+  if (options_.chaincode == ChaincodeKind::kSmallbank)
+    smallbank_.emplace(options_.smallbank);
+  else
+    drm_.emplace(options_.drm);
+
+  reference_validator_ =
+      std::make_unique<fabric::SoftwareValidator>(msp_, policies_);
+}
+
+ChaincodeResult FabricNetworkHarness::execute_chaincode() {
+  return smallbank_ ? smallbank_->execute(rng_, state_)
+                    : drm_->execute(rng_, state_);
+}
+
+fabric::Block FabricNetworkHarness::next_block() {
+  // Endorsers named by the policy (one per principal, like the paper's
+  // clients, which gather an endorsement from every org in the policy).
+  const auto principals = policies_.at(chaincode_name_).principals();
+
+  std::optional<fabric::Block> block;
+  while (!block) {
+    ChaincodeResult executed = execute_chaincode();
+
+    fabric::TxProposal proposal;
+    proposal.channel_id = "mychannel";
+    proposal.chaincode_id = chaincode_name_;
+    proposal.tx_id = "tx" + std::to_string(next_tx_id_++);
+    proposal.rwset = std::move(executed.rwset);
+
+    if (options_.conflicting_read_rate > 0 &&
+        rng_.chance(options_.conflicting_read_rate) &&
+        !proposal.rwset.reads.empty()) {
+      // Endorsed against stale state: bump the expected version so the mvcc
+      // re-read cannot match.
+      auto& read = proposal.rwset.reads.front();
+      if (read.version) read.version->tx_num += 1;
+      else read.version = fabric::Version{9999, 0};
+    }
+
+    std::vector<const fabric::Identity*> endorsing;
+    for (const auto& principal : principals) {
+      const auto* ca = msp_.find_org(principal.org);
+      if (ca == nullptr) continue;
+      endorsing.push_back(&endorsers_.at(ca->org_index() - 1));
+    }
+    if (options_.missing_endorsement_rate > 0 && endorsing.size() > 1 &&
+        rng_.chance(options_.missing_endorsement_rate)) {
+      endorsing.resize(endorsing.size() -
+                       (1 + rng_.uniform(endorsing.size() - 1)));
+    }
+
+    const bool rogue = options_.bad_signature_rate > 0 &&
+                       rng_.chance(options_.bad_signature_rate);
+    const fabric::Identity& signer = rogue ? rogue_client_ : client_;
+    block = orderer_->submit(
+        fabric::build_envelope(proposal, signer, endorsing));
+  }
+
+  // Reference-commit so the endorsement state observes this block.
+  fabric::BlockValidationResult result =
+      reference_validator_->validate_and_commit(*block, state_, ledger_);
+  reference_results_[block->header.number] = std::move(result);
+  return *block;
+}
+
+fabric::Block FabricNetworkHarness::next_tampered_block() {
+  fabric::Block block = next_block();
+  // Undo the reference commit's view: a tampered block is rejected by every
+  // correct validator, so the reference result is "invalid block".
+  if (!block.metadata.orderer_sig.empty())
+    block.metadata.orderer_sig.back() ^= 0x01;
+  fabric::BlockValidationResult rejected;
+  rejected.block_valid = false;
+  rejected.flags.assign(block.tx_count(),
+                        fabric::TxValidationCode::kNotValidated);
+  reference_results_[block.header.number] = rejected;
+  return block;
+}
+
+}  // namespace bm::workload

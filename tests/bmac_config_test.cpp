@@ -1,0 +1,77 @@
+#include <gtest/gtest.h>
+
+#include "bmac/config.hpp"
+
+namespace bm::bmac {
+namespace {
+
+constexpr const char* kSample = R"(
+# Blockchain Machine deployment configuration
+network:
+  orgs: [Org1, Org2, Org3]
+chaincodes:
+  - name: smallbank
+    policy: "2-outof-2 orgs"
+  - name: drm
+    policy: "Org1 & Org2"
+hardware:
+  tx_validators: 8
+  engines_per_vscc: 2
+  max_block_txs: 256
+  db_capacity: 8192
+)";
+
+TEST(BmacConfig, ParsesFullDocument) {
+  const auto result = parse_config(kSample);
+  ASSERT_TRUE(std::holds_alternative<BmacConfig>(result));
+  const auto& config = std::get<BmacConfig>(result);
+  EXPECT_EQ(config.orgs, (std::vector<std::string>{"Org1", "Org2", "Org3"}));
+  EXPECT_EQ(config.chaincode_policies.at("smallbank"), "2-outof-2 orgs");
+  EXPECT_EQ(config.chaincode_policies.at("drm"), "Org1 & Org2");
+  EXPECT_EQ(config.hw.tx_validators, 8);
+  EXPECT_EQ(config.hw.engines_per_vscc, 2);
+  EXPECT_EQ(config.hw.max_block_txs, 256u);
+  EXPECT_EQ(config.hw.db_capacity, 8192u);
+}
+
+TEST(BmacConfig, PopulatesMspInOrder) {
+  const auto config = std::get<BmacConfig>(parse_config(kSample));
+  fabric::Msp msp;
+  config.populate_msp(msp);
+  EXPECT_EQ(msp.org_count(), 3u);
+  EXPECT_EQ(msp.find_org("Org2")->org_index(), 2);
+}
+
+TEST(BmacConfig, ParsesPolicies) {
+  const auto config = std::get<BmacConfig>(parse_config(kSample));
+  const auto policies = config.parse_policies();
+  EXPECT_EQ(policies.at("smallbank").min_endorsements_to_satisfy(), 2);
+  EXPECT_EQ(policies.at("drm").principals().size(), 2u);
+}
+
+TEST(BmacConfig, DefaultsWhenHardwareOmitted) {
+  const auto result = parse_config(
+      "network:\n  orgs: [Org1]\nchaincodes:\n  - name: cc\n    policy: Org1\n");
+  ASSERT_TRUE(std::holds_alternative<BmacConfig>(result));
+  EXPECT_EQ(std::get<BmacConfig>(result).hw.tx_validators, 8);
+}
+
+TEST(BmacConfig, Errors) {
+  auto expect_error = [](const std::string& text) {
+    const auto result = parse_config(text);
+    EXPECT_TRUE(std::holds_alternative<BmacConfigError>(result)) << text;
+  };
+  expect_error("");                                  // no orgs
+  expect_error("bogus:\n  x: 1\n");                  // unknown section
+  expect_error("network:\n  orgs: [Org1]\nchaincodes:\n  - name: cc\n");
+  expect_error("network:\n  orgs: [Org1]\nhardware:\n  tx_validators: lots\n");
+  expect_error("network:\n  cheese: [Org1]\n");
+  expect_error("  indented: before section\n");
+}
+
+TEST(BmacConfig, LoadFileThrowsOnMissing) {
+  EXPECT_THROW(load_config_file("/nonexistent/path.yaml"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace bm::bmac

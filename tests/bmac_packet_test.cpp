@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include "bmac/packet.hpp"
+#include "common/rng.hpp"
+
+namespace bm::bmac {
+namespace {
+
+BmacPacket sample_packet() {
+  BmacPacket pkt;
+  pkt.header.block_num = 0x1122334455667788ull;
+  pkt.header.section = SectionType::kTransaction;
+  pkt.header.section_index = 7;
+  pkt.header.total_sections = 52;
+
+  Annotation pointer;
+  pointer.kind = Annotation::Kind::kPointer;
+  pointer.field = FieldId::kRwset;
+  pointer.index = 0;
+  pointer.offset = 1234;
+  pointer.length = 567;
+  pkt.annotations.push_back(pointer);
+
+  Annotation locator;
+  locator.kind = Annotation::Kind::kLocator;
+  locator.index = 255;
+  locator.offset = 42;
+  locator.length = 861;
+  locator.id = fabric::EncodedId::make(2, fabric::Role::kPeer, 3);
+  pkt.annotations.push_back(locator);
+
+  pkt.payload = bm::Rng(1).bytes(300);
+  pkt.header.annotation_count = 2;
+  pkt.header.payload_size = 300;
+  return pkt;
+}
+
+TEST(BmacPacket, EncodeDecodeRoundTrip) {
+  const BmacPacket pkt = sample_packet();
+  const Bytes wire = pkt.encode();
+  EXPECT_EQ(wire.size(), pkt.wire_size());
+
+  const auto decoded = BmacPacket::decode(wire);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->header.block_num, pkt.header.block_num);
+  EXPECT_EQ(decoded->header.section, pkt.header.section);
+  EXPECT_EQ(decoded->header.section_index, pkt.header.section_index);
+  EXPECT_EQ(decoded->header.total_sections, pkt.header.total_sections);
+  ASSERT_EQ(decoded->annotations.size(), 2u);
+  EXPECT_EQ(decoded->annotations[0].kind, Annotation::Kind::kPointer);
+  EXPECT_EQ(decoded->annotations[0].field, FieldId::kRwset);
+  EXPECT_EQ(decoded->annotations[0].offset, 1234u);
+  EXPECT_EQ(decoded->annotations[0].length, 567u);
+  EXPECT_EQ(decoded->annotations[1].kind, Annotation::Kind::kLocator);
+  EXPECT_EQ(decoded->annotations[1].index, 255);
+  EXPECT_EQ(decoded->annotations[1].id.org(), 2);
+  EXPECT_EQ(decoded->annotations[1].id.seq(), 3);
+  EXPECT_TRUE(equal(decoded->payload, pkt.payload));
+}
+
+TEST(BmacPacket, EmptyPayloadAndAnnotations) {
+  BmacPacket pkt;
+  pkt.header.block_num = 9;
+  pkt.header.section = SectionType::kHeader;
+  const auto decoded = BmacPacket::decode(pkt.encode());
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_TRUE(decoded->annotations.empty());
+  EXPECT_TRUE(decoded->payload.empty());
+}
+
+TEST(BmacPacket, DecodeRejectsMalformed) {
+  const Bytes wire = sample_packet().encode();
+
+  EXPECT_FALSE(BmacPacket::decode(Bytes{}).has_value());
+  EXPECT_FALSE(BmacPacket::decode(Bytes(5, 0)).has_value());
+
+  Bytes truncated(wire.begin(), wire.end() - 10);
+  EXPECT_FALSE(BmacPacket::decode(truncated).has_value());
+
+  Bytes trailing = wire;
+  trailing.push_back(0);
+  EXPECT_FALSE(BmacPacket::decode(trailing).has_value());
+
+  Bytes bad_section = wire;
+  bad_section[8] = 99;  // invalid SectionType
+  EXPECT_FALSE(BmacPacket::decode(bad_section).has_value());
+
+  // Annotation count inconsistent with the buffer length.
+  Bytes bad_count = wire;
+  bad_count[13] = 0x7f;
+  EXPECT_FALSE(BmacPacket::decode(bad_count).has_value());
+}
+
+TEST(BmacPacket, WireSizeAccounting) {
+  const BmacPacket pkt = sample_packet();
+  EXPECT_EQ(pkt.wire_size(),
+            kPacketHeaderSize + 2 * kAnnotationSize + pkt.payload.size());
+}
+
+TEST(BmacPacket, FuzzDecodeNeverCrashes) {
+  Rng rng(77);
+  for (int i = 0; i < 500; ++i) {
+    const Bytes junk = rng.bytes(rng.uniform(200));
+    (void)BmacPacket::decode(junk);  // must not crash or overflow
+  }
+  // Mutated valid packets.
+  const Bytes wire = sample_packet().encode();
+  for (int i = 0; i < 500; ++i) {
+    Bytes mutated = wire;
+    mutated[rng.uniform(mutated.size())] ^=
+        static_cast<std::uint8_t>(1 + rng.uniform(255));
+    (void)BmacPacket::decode(mutated);
+  }
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace bm::bmac

@@ -1,0 +1,175 @@
+#include <gtest/gtest.h>
+
+#include "bmac/policy_circuit.hpp"
+
+namespace bm::bmac {
+namespace {
+
+using fabric::EncodedId;
+using fabric::Msp;
+using fabric::Role;
+
+Msp make_msp(int orgs) {
+  Msp msp;
+  for (int i = 1; i <= orgs; ++i) msp.add_org("Org" + std::to_string(i));
+  return msp;
+}
+
+TEST(RegisterFile, SetAndClear) {
+  RegisterFile regs(4);
+  const EncodedId peer2 = EncodedId::make(2, Role::kPeer, 0);
+  EXPECT_FALSE(regs.get(2, Role::kPeer));
+  regs.set(peer2, true);
+  EXPECT_TRUE(regs.get(2, Role::kPeer));
+  EXPECT_FALSE(regs.get(2, Role::kAdmin));  // role bits independent
+  EXPECT_FALSE(regs.get(1, Role::kPeer));   // org registers independent
+  regs.set(peer2, false);
+  EXPECT_FALSE(regs.get(2, Role::kPeer));
+  regs.set(peer2, true);
+  regs.clear();
+  EXPECT_FALSE(regs.get(2, Role::kPeer));
+}
+
+TEST(RegisterFile, OutOfRangeOrgIsConstantFalse) {
+  RegisterFile regs(2);
+  regs.set(EncodedId::make(9, Role::kPeer, 0), true);  // ignored
+  EXPECT_FALSE(regs.get(9, Role::kPeer));
+  EXPECT_FALSE(regs.get(0, Role::kPeer));
+}
+
+TEST(PolicyCircuit, PaperExampleGateCount) {
+  // §3.3: "2-outof-3 orgs" compiles to three 2-input ANDs + one 3-input OR.
+  const Msp msp = make_msp(3);
+  const auto policy =
+      fabric::parse_policy_or_throw("2-outof-3 orgs", msp.org_names());
+  const PolicyCircuit circuit = PolicyCircuit::compile(policy, msp);
+  const CircuitStats stats = circuit.stats();
+  EXPECT_EQ(stats.inputs, 3u);
+  EXPECT_EQ(stats.and_gates, 3u);
+  EXPECT_EQ(stats.or_gates, 1u);
+  EXPECT_EQ(stats.threshold_gates, 0u);
+}
+
+// Property: the compiled circuit agrees with the AST evaluator on every
+// subset of valid endorsements.
+class CircuitEquivalence : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(CircuitEquivalence, MatchesAstOnAllSubsets) {
+  const Msp msp = make_msp(4);
+  const auto policy =
+      fabric::parse_policy_or_throw(GetParam(), msp.org_names());
+  const PolicyCircuit circuit = PolicyCircuit::compile(policy, msp);
+
+  for (unsigned mask = 0; mask < 16; ++mask) {
+    RegisterFile regs(16);
+    std::vector<EncodedId> valid;
+    for (int org = 0; org < 4; ++org) {
+      if (mask & (1u << org)) {
+        const EncodedId id =
+            EncodedId::make(static_cast<std::uint8_t>(org + 1), Role::kPeer, 0);
+        regs.set(id, true);
+        valid.push_back(id);
+      }
+    }
+    EXPECT_EQ(circuit.evaluate(regs), policy.evaluate_ids(valid, msp))
+        << GetParam() << " mask=" << mask;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Policies, CircuitEquivalence,
+    ::testing::Values(
+        "Org1 & Org2", "Org1 | Org3", "1of1", "2of2", "2of3", "3of3", "2of4",
+        "3of4", "4of4", "Org1 & (Org2 | Org3)",
+        "(Org1 & Org2) | (Org3 & Org4)",
+        "(Org1 & Org2) | (Org1 & Org4) | (Org2 & Org3) | (Org2 & Org4) | "
+        "(Org3 & Org4)",
+        "2of(Org1 & Org2, Org3, Org4)"));
+
+TEST(PolicyCircuit, RoleSensitivity) {
+  const Msp msp = make_msp(2);
+  const auto policy =
+      fabric::parse_policy_or_throw("Org1.admin & Org2", msp.org_names());
+  const PolicyCircuit circuit = PolicyCircuit::compile(policy, msp);
+
+  RegisterFile regs(16);
+  regs.set(EncodedId::make(1, Role::kPeer, 0), true);  // wrong role
+  regs.set(EncodedId::make(2, Role::kPeer, 0), true);
+  EXPECT_FALSE(circuit.evaluate(regs));
+  regs.set(EncodedId::make(1, Role::kAdmin, 0), true);
+  EXPECT_TRUE(circuit.evaluate(regs));
+}
+
+TEST(PolicyCircuit, UnknownOrgCompilesToConstantFalse) {
+  const Msp msp = make_msp(2);
+  const auto policy =
+      fabric::parse_policy_or_throw("Org1 | OrgUnknown", {"Org1", "OrgUnknown"});
+  const PolicyCircuit circuit = PolicyCircuit::compile(policy, msp);
+  RegisterFile regs(16);
+  regs.set(EncodedId::make(1, Role::kPeer, 0), true);
+  EXPECT_TRUE(circuit.evaluate(regs));  // Org1 branch satisfies
+  regs.clear();
+  EXPECT_FALSE(circuit.evaluate(regs));
+}
+
+TEST(PolicyCircuit, LargeThresholdUsesThresholdGate) {
+  // 5-of-10 over explicit sub-policies: C(10,5)=252 > expansion limit.
+  Msp msp;
+  std::vector<std::string> orgs;
+  for (int i = 1; i <= 10; ++i) {
+    orgs.push_back("Org" + std::to_string(i));
+    msp.add_org(orgs.back());
+  }
+  const auto policy = fabric::parse_policy_or_throw("5of10", orgs);
+  const PolicyCircuit circuit = PolicyCircuit::compile(policy, msp);
+  EXPECT_EQ(circuit.stats().threshold_gates, 1u);
+
+  RegisterFile regs(16);
+  for (int org = 1; org <= 4; ++org)
+    regs.set(EncodedId::make(static_cast<std::uint8_t>(org), Role::kPeer, 0),
+             true);
+  EXPECT_FALSE(circuit.evaluate(regs));
+  regs.set(EncodedId::make(5, Role::kPeer, 0), true);
+  EXPECT_TRUE(circuit.evaluate(regs));
+}
+
+TEST(PolicyCircuit, MonotoneUnderMoreEndorsements) {
+  // Adding endorsements can never turn a satisfied policy unsatisfied —
+  // the property that makes short-circuit evaluation sound.
+  const Msp msp = make_msp(4);
+  for (const char* text : {"2of3", "Org1 & Org2", "(Org1 & Org2) | Org4"}) {
+    const auto policy = fabric::parse_policy_or_throw(text, msp.org_names());
+    const PolicyCircuit circuit = PolicyCircuit::compile(policy, msp);
+    for (unsigned mask = 0; mask < 16; ++mask) {
+      RegisterFile regs(16);
+      for (int org = 0; org < 4; ++org)
+        if (mask & (1u << org))
+          regs.set(EncodedId::make(static_cast<std::uint8_t>(org + 1),
+                                   Role::kPeer, 0),
+                   true);
+      if (!circuit.evaluate(regs)) continue;
+      for (int extra = 0; extra < 4; ++extra) {
+        RegisterFile more(16);
+        for (int org = 0; org < 4; ++org)
+          if ((mask | (1u << extra)) & (1u << org))
+            more.set(EncodedId::make(static_cast<std::uint8_t>(org + 1),
+                                     Role::kPeer, 0),
+                     true);
+        EXPECT_TRUE(circuit.evaluate(more)) << text;
+      }
+    }
+  }
+}
+
+TEST(PolicyCircuit, StatsGateInputsCounted) {
+  const Msp msp = make_msp(3);
+  const auto policy =
+      fabric::parse_policy_or_throw("2-outof-3 orgs", msp.org_names());
+  const PolicyCircuit circuit = PolicyCircuit::compile(policy, msp);
+  // 3 ANDs x 2 inputs + 1 OR x 3 inputs = 9.
+  EXPECT_EQ(circuit.stats().total_gate_inputs, 9u);
+  EXPECT_EQ(circuit.source_text(), "2-outof-3 orgs");
+}
+
+}  // namespace
+}  // namespace bm::bmac

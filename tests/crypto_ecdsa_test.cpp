@@ -1,0 +1,217 @@
+#include <gtest/gtest.h>
+
+#include "common/hex.hpp"
+#include "common/rng.hpp"
+#include "crypto/der.hpp"
+#include "crypto/ecdsa.hpp"
+
+namespace bm::crypto {
+namespace {
+
+// RFC 6979 A.2.5 key for NIST P-256.
+const char* kRfcPrivate =
+    "c9afa9d845ba75166b5c215767b1d6934e50c3db36e89b127b8a622b120f6721";
+
+TEST(P256Curve, GeneratorOnCurve) {
+  EXPECT_TRUE(on_curve(p256_generator()));
+}
+
+TEST(P256Curve, GeneratorOrder) {
+  // n * G == infinity, (n-1) * G == -G.
+  const JacobianPoint nG = scalar_mult(p256_n(), p256_generator());
+  EXPECT_TRUE(nG.is_infinity());
+
+  U256 n_minus_1 = p256_n();
+  U256 one = U256::from_u64(1);
+  sub(n_minus_1, n_minus_1, one);
+  const AffinePoint neg_g = to_affine(scalar_mult(n_minus_1, p256_generator()));
+  EXPECT_EQ(neg_g.x, p256_generator().x);
+  EXPECT_EQ(fp_add(neg_g.y, p256_generator().y), U256{});  // y + (-y) = 0
+}
+
+TEST(P256Curve, AdditionLaws) {
+  Rng rng(1);
+  const PrivateKey k1 = key_from_seed(to_bytes("k1"));
+  const PrivateKey k2 = key_from_seed(to_bytes("k2"));
+  const JacobianPoint p = scalar_mult(k1.d, p256_generator());
+  const JacobianPoint q = scalar_mult(k2.d, p256_generator());
+
+  // Commutativity.
+  EXPECT_EQ(to_affine(point_add(p, q)), to_affine(point_add(q, p)));
+  // P + infinity = P.
+  EXPECT_EQ(to_affine(point_add(p, JacobianPoint{})), to_affine(p));
+  // P + P = double(P).
+  EXPECT_EQ(to_affine(point_add(p, p)), to_affine(point_double(p)));
+  // (k1 + k2) * G == k1*G + k2*G.
+  const U256 sum = add_mod(k1.d, k2.d, p256_n());
+  EXPECT_EQ(to_affine(scalar_mult(sum, p256_generator())),
+            to_affine(point_add(p, q)));
+}
+
+TEST(P256Curve, DoubleScalarMatchesSeparate) {
+  const PrivateKey key = key_from_seed(to_bytes("dsm"));
+  const AffinePoint q = key.public_key().point;
+  Rng rng(2);
+  for (int i = 0; i < 5; ++i) {
+    const U256 u1 = mod(U256::from_bytes_be(rng.bytes(32)), p256_n());
+    const U256 u2 = mod(U256::from_bytes_be(rng.bytes(32)), p256_n());
+    const JacobianPoint combined = double_scalar_mult(u1, u2, q);
+    const JacobianPoint separate = point_add(
+        scalar_mult(u1, p256_generator()), scalar_mult(u2, q));
+    EXPECT_EQ(to_affine(combined), to_affine(separate));
+  }
+}
+
+TEST(Ecdsa, Rfc6979PublicKey) {
+  const PrivateKey key{U256::from_hex(kRfcPrivate)};
+  const PublicKey pub = key.public_key();
+  EXPECT_EQ(hex_encode(pub.point.x.to_bytes_be()),
+            "60fed4ba255a9d31c961eb74c6356d68c049b8923b61fa6ce669622e60f29fb6");
+  EXPECT_EQ(hex_encode(pub.point.y.to_bytes_be()),
+            "7903fe1008b8bc99a41ae9e95628bc64f2f1b20c2d7e9f5177a3c294d4462299");
+}
+
+TEST(Ecdsa, Rfc6979SampleVector) {
+  const PrivateKey key{U256::from_hex(kRfcPrivate)};
+  const Signature sig = sign(key, sha256(to_bytes("sample")));
+  EXPECT_EQ(hex_encode(sig.r.to_bytes_be()),
+            "efd48b2aacb6a8fd1140dd9cd45e81d69d2c877b56aaf991c34d0ea84eaf3716");
+  EXPECT_EQ(hex_encode(sig.s.to_bytes_be()),
+            "f7cb1c942d657c41d436c7a1b6e29f65f3e900dbb9aff4064dc4ab2f843acda8");
+}
+
+TEST(Ecdsa, Rfc6979TestVector) {
+  const PrivateKey key{U256::from_hex(kRfcPrivate)};
+  const Signature sig = sign(key, sha256(to_bytes("test")));
+  EXPECT_EQ(hex_encode(sig.r.to_bytes_be()),
+            "f1abb023518351cd71d881567b1ea663ed3efcf6c5132b354f28d3b0b7d38367");
+  EXPECT_EQ(hex_encode(sig.s.to_bytes_be()),
+            "019f4113742a2b14bd25926b49c649155f267e60d3814b4c0cc84250e46f0083");
+}
+
+class EcdsaRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(EcdsaRoundTrip, SignVerify) {
+  const int i = GetParam();
+  const PrivateKey key =
+      key_from_seed(to_bytes("roundtrip-" + std::to_string(i)));
+  const PublicKey pub = key.public_key();
+  EXPECT_TRUE(on_curve(pub.point));
+
+  const Digest digest = sha256(to_bytes("message-" + std::to_string(i)));
+  const Signature sig = sign(key, digest);
+  EXPECT_TRUE(verify(pub, digest, sig));
+
+  // Tampered message fails.
+  EXPECT_FALSE(verify(pub, sha256(to_bytes("other")), sig));
+  // Tampered signature fails.
+  Signature bad = sig;
+  bad.r = add_mod(bad.r, U256::from_u64(1), p256_n());
+  EXPECT_FALSE(verify(pub, digest, bad));
+  // Wrong key fails.
+  const PublicKey other = key_from_seed(to_bytes("other-key")).public_key();
+  EXPECT_FALSE(verify(other, digest, sig));
+}
+
+INSTANTIATE_TEST_SUITE_P(Keys, EcdsaRoundTrip, ::testing::Range(0, 10));
+
+TEST(Ecdsa, RejectsDegenerateSignatures) {
+  const PrivateKey key = key_from_seed(to_bytes("degenerate"));
+  const Digest d = sha256(to_bytes("m"));
+  EXPECT_FALSE(verify(key.public_key(), d, Signature{U256{}, U256::from_u64(1)}));
+  EXPECT_FALSE(verify(key.public_key(), d, Signature{U256::from_u64(1), U256{}}));
+  // r >= n rejected.
+  EXPECT_FALSE(verify(key.public_key(), d, Signature{p256_n(), U256::from_u64(1)}));
+}
+
+TEST(Ecdsa, DeterministicSigning) {
+  const PrivateKey key = key_from_seed(to_bytes("det"));
+  const Digest d = sha256(to_bytes("same message"));
+  EXPECT_EQ(sign(key, d), sign(key, d));
+}
+
+TEST(Ecdsa, KeyFromSeedInRange) {
+  for (int i = 0; i < 20; ++i) {
+    const PrivateKey key = key_from_seed(to_bytes("seed" + std::to_string(i)));
+    EXPECT_FALSE(key.d.is_zero());
+    EXPECT_LT(cmp(key.d, p256_n()), 0);
+  }
+}
+
+TEST(PublicKey, EncodeDecodeRoundTrip) {
+  const PublicKey pub = key_from_seed(to_bytes("enc")).public_key();
+  const Bytes encoded = pub.encode();
+  EXPECT_EQ(encoded.size(), 65u);
+  EXPECT_EQ(encoded[0], 0x04);
+  const auto decoded = PublicKey::decode(encoded);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, pub);
+}
+
+TEST(PublicKey, DecodeRejectsOffCurveAndMalformed) {
+  const PublicKey pub = key_from_seed(to_bytes("bad")).public_key();
+  Bytes encoded = pub.encode();
+  encoded[40] ^= 0xFF;  // corrupt Y
+  EXPECT_FALSE(PublicKey::decode(encoded).has_value());
+  EXPECT_FALSE(PublicKey::decode(Bytes(64, 0)).has_value());
+  Bytes wrong_prefix = pub.encode();
+  wrong_prefix[0] = 0x02;
+  EXPECT_FALSE(PublicKey::decode(wrong_prefix).has_value());
+}
+
+// --- DER --------------------------------------------------------------------
+
+TEST(Der, RoundTripRandomSignatures) {
+  for (int i = 0; i < 20; ++i) {
+    const PrivateKey key = key_from_seed(to_bytes("der" + std::to_string(i)));
+    const Signature sig = sign(key, sha256(to_bytes(std::to_string(i))));
+    const auto decoded = der_decode_signature(der_encode_signature(sig));
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(*decoded, sig);
+  }
+}
+
+TEST(Der, MinimalIntegerEncoding) {
+  // Small r/s values encode minimally (no leading zeros).
+  const Signature sig{U256::from_u64(1), U256::from_u64(0x80)};
+  const Bytes der = der_encode_signature(sig);
+  // SEQUENCE(0x30) len, INTEGER(02) 01 01, INTEGER(02) 02 00 80
+  const Bytes expected = {0x30, 0x07, 0x02, 0x01, 0x01, 0x02, 0x02, 0x00, 0x80};
+  EXPECT_TRUE(equal(der, expected));
+}
+
+TEST(Der, RejectsMalformedInputs) {
+  const Signature sig{U256::from_u64(1234567), U256::from_u64(7654321)};
+  const Bytes good = der_encode_signature(sig);
+
+  EXPECT_FALSE(der_decode_signature(Bytes{}).has_value());
+  Bytes wrong_tag = good;
+  wrong_tag[0] = 0x31;
+  EXPECT_FALSE(der_decode_signature(wrong_tag).has_value());
+  Bytes truncated(good.begin(), good.end() - 1);
+  EXPECT_FALSE(der_decode_signature(truncated).has_value());
+  Bytes trailing = good;
+  trailing.push_back(0x00);
+  EXPECT_FALSE(der_decode_signature(trailing).has_value());
+  // Non-minimal integer: 0x00 prefix on a small positive value.
+  const Bytes non_minimal = {0x30, 0x08, 0x02, 0x02, 0x00, 0x01,
+                             0x02, 0x02, 0x00, 0x80};
+  EXPECT_FALSE(der_decode_signature(non_minimal).has_value());
+  // Negative integer.
+  const Bytes negative = {0x30, 0x06, 0x02, 0x01, 0x81, 0x02, 0x01, 0x01};
+  EXPECT_FALSE(der_decode_signature(negative).has_value());
+}
+
+TEST(Der, Rfc6979SampleSignatureEncoding) {
+  // The DataProcessor post-processor path: DER -> (r, s) -> 256-bit values.
+  const PrivateKey key{U256::from_hex(kRfcPrivate)};
+  const Signature sig = sign(key, sha256(to_bytes("sample")));
+  const Bytes der = der_encode_signature(sig);
+  EXPECT_EQ(der[0], 0x30);
+  const auto back = der_decode_signature(der);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_TRUE(verify(key.public_key(), sha256(to_bytes("sample")), *back));
+}
+
+}  // namespace
+}  // namespace bm::crypto

@@ -1,0 +1,172 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "crypto/p256.hpp"
+#include "crypto/u256.hpp"
+
+namespace bm::crypto {
+namespace {
+
+U256 random_u256(Rng& rng) {
+  U256 r;
+  for (auto& w : r.w) w = rng.next_u64();
+  return r;
+}
+
+TEST(U256, FromHexAndBytes) {
+  const U256 v = U256::from_hex("0123456789abcdef");
+  EXPECT_EQ(v.w[0], 0x0123456789abcdefull);
+  EXPECT_EQ(v.w[1], 0u);
+
+  Rng rng(1);
+  for (int i = 0; i < 50; ++i) {
+    const U256 x = random_u256(rng);
+    EXPECT_EQ(U256::from_bytes_be(x.to_bytes_be()), x);
+  }
+}
+
+TEST(U256, HexRoundTripViaBytes) {
+  const U256 x = U256::from_hex(
+      "ffffffff00000001000000000000000000000000fffffffffffffffffffffffe");
+  EXPECT_EQ(x.to_bytes_be()[31], 0xfe);
+  EXPECT_EQ(x.to_bytes_be()[0], 0xff);
+}
+
+TEST(U256, CompareAndBits) {
+  const U256 a = U256::from_u64(5);
+  const U256 b = U256::from_u64(7);
+  EXPECT_EQ(cmp(a, b), -1);
+  EXPECT_EQ(cmp(b, a), 1);
+  EXPECT_EQ(cmp(a, a), 0);
+  EXPECT_TRUE(a.bit(0));
+  EXPECT_FALSE(a.bit(1));
+  EXPECT_TRUE(a.bit(2));
+  EXPECT_EQ(a.top_bit(), 2);
+  EXPECT_EQ(U256{}.top_bit(), -1);
+  EXPECT_TRUE(U256{}.is_zero());
+}
+
+TEST(U256, AddSubInverse) {
+  Rng rng(2);
+  for (int i = 0; i < 200; ++i) {
+    const U256 a = random_u256(rng);
+    const U256 b = random_u256(rng);
+    U256 sum, back;
+    const std::uint64_t carry = add(sum, a, b);
+    const std::uint64_t borrow = sub(back, sum, b);
+    EXPECT_EQ(back, a);
+    // carry out of a+b equals borrow of (a+b)-b wrapping behaviour
+    EXPECT_EQ(carry, borrow);
+  }
+}
+
+TEST(U256, MulWideMatchesSmallProducts) {
+  Rng rng(3);
+  for (int i = 0; i < 200; ++i) {
+    const std::uint64_t a = rng.next_u64();
+    const std::uint64_t b = rng.next_u64();
+    const U512 p = mul_wide(U256::from_u64(a), U256::from_u64(b));
+    const unsigned __int128 expected =
+        static_cast<unsigned __int128>(a) * b;
+    EXPECT_EQ(p.w[0], static_cast<std::uint64_t>(expected));
+    EXPECT_EQ(p.w[1], static_cast<std::uint64_t>(expected >> 64));
+    for (int j = 2; j < 8; ++j) EXPECT_EQ(p.w[j], 0u);
+  }
+}
+
+TEST(U256, ModAgainstSmallOracle) {
+  Rng rng(4);
+  for (int i = 0; i < 500; ++i) {
+    const std::uint64_t a = rng.next_u64();
+    const std::uint64_t b = rng.next_u64();
+    const std::uint64_t m = rng.next_u64() | 1;
+    const U512 wide = mul_wide(U256::from_u64(a), U256::from_u64(b));
+    const unsigned __int128 prod = static_cast<unsigned __int128>(a) * b;
+    EXPECT_EQ(mod(wide, U256::from_u64(m)),
+              U256::from_u64(static_cast<std::uint64_t>(prod % m)));
+  }
+}
+
+TEST(U256, ModularAlgebra) {
+  // (a + b) - b == a, (a*b) mod m == (b*a) mod m, distributivity.
+  Rng rng(5);
+  const U256 m = p256_n();
+  for (int i = 0; i < 100; ++i) {
+    const U256 a = mod(random_u256(rng), m);
+    const U256 b = mod(random_u256(rng), m);
+    const U256 c = mod(random_u256(rng), m);
+    EXPECT_EQ(sub_mod(add_mod(a, b, m), b, m), a);
+    EXPECT_EQ(mul_mod(a, b, m), mul_mod(b, a, m));
+    // a*(b+c) == a*b + a*c (mod m)
+    EXPECT_EQ(mul_mod(a, add_mod(b, c, m), m),
+              add_mod(mul_mod(a, b, m), mul_mod(a, c, m), m));
+  }
+}
+
+TEST(U256, PowModIdentities) {
+  const U256 m = p256_p();
+  Rng rng(6);
+  const U256 a = mod(random_u256(rng), m);
+  EXPECT_EQ(pow_mod(a, U256::from_u64(0), m), U256::from_u64(1));
+  EXPECT_EQ(pow_mod(a, U256::from_u64(1), m), a);
+  EXPECT_EQ(pow_mod(a, U256::from_u64(2), m), mul_mod(a, a, m));
+}
+
+TEST(U256, InverseModPrime) {
+  Rng rng(7);
+  for (const U256& m : {p256_p(), p256_n()}) {
+    for (int i = 0; i < 20; ++i) {
+      U256 a = mod(random_u256(rng), m);
+      if (a.is_zero()) a = U256::from_u64(1);
+      const U256 inv = inv_mod_prime(a, m);
+      EXPECT_EQ(mul_mod(a, inv, m), U256::from_u64(1));
+    }
+  }
+}
+
+TEST(P256, FastReductionMatchesGenericMod) {
+  // fp_reduce is the dedicated NIST-prime reduction; cross-check against the
+  // generic shift-subtract division on random products a*b with a,b < p.
+  Rng rng(8);
+  const U256& p = p256_p();
+  for (int i = 0; i < 500; ++i) {
+    const U256 a = mod(random_u256(rng), p);
+    const U256 b = mod(random_u256(rng), p);
+    const U512 wide = mul_wide(a, b);
+    EXPECT_EQ(fp_reduce(wide), mod(wide, p));
+  }
+}
+
+TEST(P256, FastReductionEdgeCases) {
+  const U256& p = p256_p();
+  U256 p_minus_1;
+  sub(p_minus_1, p, U256::from_u64(1));
+
+  // 0, 1, (p-1)^2, p*p-ish values.
+  EXPECT_EQ(fp_reduce(U512{}), U256{});
+  EXPECT_EQ(fp_reduce(mul_wide(p_minus_1, p_minus_1)),
+            mod(mul_wide(p_minus_1, p_minus_1), p));
+  EXPECT_EQ(fp_reduce(mul_wide(p, p)), U256{});
+
+  U512 max;
+  for (auto& w : max.w) w = ~0ull;
+  EXPECT_EQ(fp_reduce(max), mod(max, p));
+}
+
+TEST(P256, FieldOpsConsistency) {
+  Rng rng(9);
+  const U256& p = p256_p();
+  for (int i = 0; i < 100; ++i) {
+    const U256 a = mod(random_u256(rng), p);
+    const U256 b = mod(random_u256(rng), p);
+    EXPECT_EQ(fp_mul(a, b), mul_mod(a, b, p));
+    EXPECT_EQ(fp_add(a, b), add_mod(a, b, p));
+    EXPECT_EQ(fp_sub(a, b), sub_mod(a, b, p));
+    EXPECT_EQ(fp_sqr(a), fp_mul(a, a));
+    if (!a.is_zero())
+      EXPECT_EQ(fp_mul(a, fp_inv(a)), U256::from_u64(1));
+  }
+}
+
+}  // namespace
+}  // namespace bm::crypto

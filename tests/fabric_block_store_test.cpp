@@ -1,0 +1,146 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "common/crc32.hpp"
+#include "fabric/block_store.hpp"
+#include "fabric/validator.hpp"
+#include "workload/network_harness.hpp"
+
+namespace bm::fabric {
+namespace {
+
+std::string temp_path(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+struct StoreFixture : ::testing::Test {
+  StoreFixture() {
+    options.block_size = 4;
+    options.seed = 31;
+  }
+  void TearDown() override { std::remove(path.c_str()); }
+
+  /// Produce n committed blocks and persist them.
+  void persist(int n) {
+    workload::FabricNetworkHarness harness(options);
+    SoftwareValidator validator(harness.msp(), harness.policies());
+    FileBlockStore store(path);
+    for (int i = 0; i < n; ++i) {
+      const Block block = harness.next_block();
+      validator.validate_and_commit(block, state, ledger);
+      store.append(ledger.last());
+    }
+  }
+
+  workload::NetworkOptions options;
+  std::string path = temp_path("bm_block_store_test.log");
+  StateDb state;
+  Ledger ledger;
+};
+
+TEST(Crc32, KnownVectors) {
+  EXPECT_EQ(crc32(to_bytes("123456789")), 0xCBF43926u);
+  EXPECT_EQ(crc32(Bytes{}), 0u);
+  // Incremental == one-shot.
+  const Bytes data = to_bytes("hello block store");
+  std::uint32_t crc = crc32(ByteView(data).subspan(0, 5));
+  crc = crc32_update(crc, ByteView(data).subspan(5));
+  EXPECT_EQ(crc, crc32(data));
+}
+
+TEST_F(StoreFixture, PersistAndRecover) {
+  persist(5);
+  const auto chain = FileBlockStore::recover(path);
+  EXPECT_EQ(chain.blocks.size(), 5u);
+  EXPECT_EQ(chain.torn_bytes, 0u);
+
+  Ledger recovered;
+  StateDb recovered_state;
+  ASSERT_TRUE(replay_chain(chain, recovered, &recovered_state));
+  EXPECT_EQ(recovered.height(), ledger.height());
+  EXPECT_EQ(recovered.last().commit_hash, ledger.last().commit_hash);
+  EXPECT_EQ(recovered_state.size(), state.size());
+}
+
+TEST_F(StoreFixture, RecoverMissingFileIsEmpty) {
+  const auto chain = FileBlockStore::recover(temp_path("does_not_exist.log"));
+  EXPECT_TRUE(chain.blocks.empty());
+}
+
+TEST_F(StoreFixture, TornTailIsDiscarded) {
+  persist(3);
+  // Simulate a crash mid-append: truncate the file inside the last record.
+  const auto full_size = std::filesystem::file_size(path);
+  std::filesystem::resize_file(path, full_size - 17);
+
+  const auto chain = FileBlockStore::recover(path);
+  EXPECT_EQ(chain.blocks.size(), 2u);
+  EXPECT_GT(chain.torn_bytes, 0u);
+
+  Ledger recovered;
+  EXPECT_TRUE(replay_chain(chain, recovered));
+  EXPECT_EQ(recovered.height(), 2u);
+}
+
+TEST_F(StoreFixture, CorruptionDetectedByCrc) {
+  persist(3);
+  // Flip one byte in the middle of the second record's payload.
+  {
+    std::FILE* f = std::fopen(path.c_str(), "rb+");
+    ASSERT_NE(f, nullptr);
+    std::fseek(f, static_cast<long>(std::filesystem::file_size(path) / 2),
+               SEEK_SET);
+    const int c = std::fgetc(f);
+    std::fseek(f, -1, SEEK_CUR);
+    std::fputc(c ^ 0x40, f);
+    std::fclose(f);
+  }
+  const auto chain = FileBlockStore::recover(path);
+  EXPECT_LT(chain.blocks.size(), 3u);  // corrupt record and successors dropped
+  Ledger recovered;
+  EXPECT_TRUE(replay_chain(chain, recovered));  // surviving prefix replays
+}
+
+TEST_F(StoreFixture, AppendAfterRecoveryContinuesChain) {
+  persist(2);
+  // Recover, then keep appending to the same file.
+  auto chain = FileBlockStore::recover(path);
+  ASSERT_EQ(chain.blocks.size(), 2u);
+
+  workload::NetworkOptions more = options;
+  more.seed = 32;
+  // Rebuild the pipeline state from disk, then commit new blocks on top.
+  Ledger recovered;
+  StateDb recovered_state;
+  ASSERT_TRUE(replay_chain(chain, recovered, &recovered_state));
+
+  FileBlockStore store(path);
+  workload::FabricNetworkHarness harness(options);
+  SoftwareValidator validator(harness.msp(), harness.policies());
+  // Regenerate the first two blocks (deterministic seed) to resync the
+  // harness, then a third block goes through the recovered ledger.
+  harness.next_block();
+  harness.next_block();
+  const Block third = harness.next_block();
+  validator.validate_and_commit(third, recovered_state, recovered);
+  store.append(recovered.last());
+
+  const auto final_chain = FileBlockStore::recover(path);
+  EXPECT_EQ(final_chain.blocks.size(), 3u);
+  EXPECT_EQ(final_chain.blocks.back().commit_hash,
+            recovered.last().commit_hash);
+}
+
+TEST_F(StoreFixture, ReplayRejectsTamperedChain) {
+  persist(2);
+  auto chain = FileBlockStore::recover(path);
+  ASSERT_EQ(chain.blocks.size(), 2u);
+  chain.blocks[1].commit_hash[0] ^= 1;
+  Ledger recovered;
+  EXPECT_FALSE(replay_chain(chain, recovered));
+}
+
+}  // namespace
+}  // namespace bm::fabric

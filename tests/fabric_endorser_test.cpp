@@ -1,0 +1,203 @@
+#include <gtest/gtest.h>
+
+#include "fabric/endorser.hpp"
+#include "fabric/orderer.hpp"
+
+namespace bm::fabric {
+namespace {
+
+/// A tiny "accounts" chaincode: args = "set <key> <value>" writes,
+/// args = "move <from> <to>" reads both and swaps their values.
+ReadWriteSet accounts_chaincode(ByteView args, const StateDb& state) {
+  const std::string text = to_string(args);
+  ReadWriteSet rwset;
+  if (text.rfind("set ", 0) == 0) {
+    const auto space = text.find(' ', 4);
+    rwset.writes.push_back(
+        {text.substr(4, space - 4), to_bytes(text.substr(space + 1))});
+    return rwset;
+  }
+  // "move a b"
+  const auto space = text.find(' ', 5);
+  const std::string a = text.substr(5, space - 5);
+  const std::string b = text.substr(space + 1);
+  for (const std::string& key : {a, b}) {
+    KVRead read{key, std::nullopt};
+    if (const auto value = state.get(StateDb::namespaced("accounts", key)))
+      read.version = value->version;
+    rwset.reads.push_back(std::move(read));
+  }
+  const auto value_a = state.get(StateDb::namespaced("accounts", a));
+  const auto value_b = state.get(StateDb::namespaced("accounts", b));
+  rwset.writes.push_back({a, value_b ? value_b->value : Bytes{}});
+  rwset.writes.push_back({b, value_a ? value_a->value : Bytes{}});
+  return rwset;
+}
+
+struct EndorserFixture : ::testing::Test {
+  EndorserFixture() {
+    org1 = &msp.add_org("Org1");
+    org2 = &msp.add_org("Org2");
+    client = org1->issue(Role::kClient, 0, "c0.org1");
+    policies.emplace("accounts",
+                     parse_policy_or_throw("Org1 & Org2", msp.org_names()));
+    peer1 = std::make_unique<EndorserPeer>(
+        org1->issue(Role::kPeer, 0, "p0.org1"), msp, policies);
+    peer2 = std::make_unique<EndorserPeer>(
+        org2->issue(Role::kPeer, 0, "p0.org2"), msp, policies);
+    peer1->install_chaincode("accounts", accounts_chaincode);
+    peer2->install_chaincode("accounts", accounts_chaincode);
+    orderer = std::make_unique<Orderer>(
+        org1->issue(Role::kOrderer, 0, "o0.org1"),
+        Orderer::Config{.max_tx_per_block = 1});
+  }
+
+  /// Full execute-order-validate round for one invocation.
+  BlockValidationResult run_tx(const std::string& args_text) {
+    const Proposal proposal =
+        make_proposal(client, "ch", "accounts",
+                      "tx" + std::to_string(next_tx_++), to_bytes(args_text));
+    const std::vector<ProposalResponse> responses = {
+        peer1->endorse(proposal), peer2->endorse(proposal)};
+    std::string error;
+    const auto envelope =
+        assemble_envelope(proposal, client, msp, responses, &error);
+    EXPECT_TRUE(envelope.has_value()) << error;
+    auto block = orderer->submit(*envelope);
+    EXPECT_TRUE(block.has_value());
+    const auto r1 = peer1->deliver_block(*block);
+    const auto r2 = peer2->deliver_block(*block);
+    EXPECT_EQ(r1.flags, r2.flags);
+    EXPECT_EQ(r1.commit_hash, r2.commit_hash);
+    return r1;
+  }
+
+  Msp msp;
+  CertificateAuthority* org1;
+  CertificateAuthority* org2;
+  Identity client;
+  std::map<std::string, EndorsementPolicy> policies;
+  std::unique_ptr<EndorserPeer> peer1, peer2;
+  std::unique_ptr<Orderer> orderer;
+  int next_tx_ = 0;
+};
+
+TEST_F(EndorserFixture, ExecuteOrderValidateRoundTrip) {
+  const auto r1 = run_tx("set alice 100");
+  EXPECT_EQ(r1.flags[0], TxValidationCode::kValid);
+  const auto r2 = run_tx("set bob 50");
+  EXPECT_EQ(r2.flags[0], TxValidationCode::kValid);
+
+  // The move reads the committed versions it endorsed against -> valid.
+  const auto r3 = run_tx("move alice bob");
+  EXPECT_EQ(r3.flags[0], TxValidationCode::kValid);
+  EXPECT_EQ(to_string(
+                peer1->state().get(StateDb::namespaced("accounts", "alice"))
+                    ->value),
+            "50");
+  EXPECT_EQ(to_string(
+                peer2->state().get(StateDb::namespaced("accounts", "bob"))
+                    ->value),
+            "100");
+}
+
+TEST_F(EndorserFixture, RejectsBadProposalSignature) {
+  Proposal proposal =
+      make_proposal(client, "ch", "accounts", "t", to_bytes("set x 1"));
+  proposal.signature.back() ^= 1;
+  const ProposalResponse response = peer1->endorse(proposal);
+  EXPECT_FALSE(response.ok);
+  EXPECT_NE(response.message.find("signature"), std::string::npos);
+  EXPECT_EQ(peer1->proposals_rejected(), 1u);
+}
+
+TEST_F(EndorserFixture, RejectsUnknownClient) {
+  CertificateAuthority foreign("OrgX", 9);
+  const Identity stranger = foreign.issue(Role::kClient, 0, "c0.orgx");
+  const Proposal proposal =
+      make_proposal(stranger, "ch", "accounts", "t", to_bytes("set x 1"));
+  EXPECT_FALSE(peer1->endorse(proposal).ok);
+}
+
+TEST_F(EndorserFixture, RejectsUninstalledChaincode) {
+  const Proposal proposal =
+      make_proposal(client, "ch", "nonexistent", "t", to_bytes("set x 1"));
+  const ProposalResponse response = peer1->endorse(proposal);
+  EXPECT_FALSE(response.ok);
+  EXPECT_NE(response.message.find("not installed"), std::string::npos);
+}
+
+TEST_F(EndorserFixture, ClientDetectsDivergentEndorsers) {
+  // Desynchronize peer2's state: it commits an extra block that peer1 never
+  // sees, so the two peers execute "move" against different worlds.
+  run_tx("set alice 100");
+  {
+    const Proposal proposal =
+        make_proposal(client, "ch", "accounts", "side", to_bytes("set alice 7"));
+    const auto responses = std::vector<ProposalResponse>{
+        peer1->endorse(proposal), peer2->endorse(proposal)};
+    std::string error;
+    const auto envelope =
+        assemble_envelope(proposal, client, msp, responses, &error);
+    ASSERT_TRUE(envelope.has_value());
+    auto block = orderer->submit(*envelope);
+    peer2->deliver_block(*block);  // only peer2 commits
+  }
+  const Proposal proposal =
+      make_proposal(client, "ch", "accounts", "diverge", to_bytes("move alice bob"));
+  const auto responses = std::vector<ProposalResponse>{
+      peer1->endorse(proposal), peer2->endorse(proposal)};
+  std::string error;
+  EXPECT_FALSE(assemble_envelope(proposal, client, msp, responses, &error)
+                   .has_value());
+  EXPECT_NE(error.find("divergent"), std::string::npos);
+}
+
+TEST_F(EndorserFixture, ClientDetectsForgedEndorsement) {
+  const Proposal proposal =
+      make_proposal(client, "ch", "accounts", "t", to_bytes("set x 1"));
+  std::vector<ProposalResponse> responses = {peer1->endorse(proposal),
+                                             peer2->endorse(proposal)};
+  responses[1].signature.back() ^= 1;
+  std::string error;
+  EXPECT_FALSE(assemble_envelope(proposal, client, msp, responses, &error)
+                   .has_value());
+  EXPECT_NE(error.find("signature"), std::string::npos);
+}
+
+TEST_F(EndorserFixture, ClientPropagatesEndorserRejection) {
+  Proposal proposal =
+      make_proposal(client, "ch", "accounts", "t", to_bytes("set x 1"));
+  std::vector<ProposalResponse> responses = {peer1->endorse(proposal)};
+  proposal.signature.back() ^= 1;
+  responses.push_back(peer2->endorse(proposal));  // rejected
+  std::string error;
+  EXPECT_FALSE(assemble_envelope(proposal, client, msp, responses, &error)
+                   .has_value());
+  EXPECT_NE(error.find("rejected"), std::string::npos);
+}
+
+TEST_F(EndorserFixture, StaleEndorsementConflictsAtValidation) {
+  run_tx("set alice 100");
+  run_tx("set bob 50");
+  // Endorse a move now (reads versions of alice/bob as of block 1/2)...
+  const Proposal stale_proposal =
+      make_proposal(client, "ch", "accounts", "stale", to_bytes("move alice bob"));
+  const auto stale_responses = std::vector<ProposalResponse>{
+      peer1->endorse(stale_proposal), peer2->endorse(stale_proposal)};
+  std::string error;
+  const auto stale_envelope =
+      assemble_envelope(stale_proposal, client, msp, stale_responses, &error);
+  ASSERT_TRUE(stale_envelope.has_value()) << error;
+
+  // ...but commit another write to alice first.
+  run_tx("set alice 1");
+
+  auto block = orderer->submit(*stale_envelope);
+  const auto result = peer1->deliver_block(*block);
+  peer2->deliver_block(*block);
+  EXPECT_EQ(result.flags[0], TxValidationCode::kMvccReadConflict);
+}
+
+}  // namespace
+}  // namespace bm::fabric

@@ -1,0 +1,186 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "fabric/policy.hpp"
+
+namespace bm::fabric {
+namespace {
+
+const std::vector<std::string> kOrgs = {"Org1", "Org2", "Org3", "Org4"};
+
+/// Evaluate a policy against a set of satisfied org names (peer role).
+bool eval(const EndorsementPolicy& policy,
+          const std::set<std::string>& satisfied_orgs) {
+  return policy.evaluate([&](const PolicyPrincipal& p) {
+    return p.role == Role::kPeer && satisfied_orgs.count(p.org) > 0;
+  });
+}
+
+TEST(PolicyParser, SimpleConjunction) {
+  const auto policy = parse_policy_or_throw("Org1 & Org2", kOrgs);
+  EXPECT_TRUE(eval(policy, {"Org1", "Org2"}));
+  EXPECT_FALSE(eval(policy, {"Org1"}));
+  EXPECT_FALSE(eval(policy, {}));
+  EXPECT_EQ(policy.min_endorsements_to_satisfy(), 2);
+  EXPECT_EQ(policy.literal_references(), 2);
+}
+
+TEST(PolicyParser, SimpleDisjunction) {
+  const auto policy = parse_policy_or_throw("Org1 | Org2", kOrgs);
+  EXPECT_TRUE(eval(policy, {"Org1"}));
+  EXPECT_TRUE(eval(policy, {"Org2"}));
+  EXPECT_FALSE(eval(policy, {"Org3"}));
+  EXPECT_EQ(policy.min_endorsements_to_satisfy(), 1);
+}
+
+TEST(PolicyParser, KeywordOperators) {
+  const auto policy = parse_policy_or_throw("Org1 AND Org2 OR Org3", kOrgs);
+  // AND binds tighter than OR.
+  EXPECT_TRUE(eval(policy, {"Org3"}));
+  EXPECT_TRUE(eval(policy, {"Org1", "Org2"}));
+  EXPECT_FALSE(eval(policy, {"Org1"}));
+}
+
+TEST(PolicyParser, OutOfSyntaxVariants) {
+  for (const char* text : {"2-outof-3 orgs", "2of3", "2 of 3 orgs", "2of3 orgs"}) {
+    const auto policy = parse_policy_or_throw(text, kOrgs);
+    EXPECT_EQ(policy.principals().size(), 3u) << text;
+    EXPECT_EQ(policy.min_endorsements_to_satisfy(), 2) << text;
+    EXPECT_TRUE(eval(policy, {"Org1", "Org3"})) << text;
+    EXPECT_FALSE(eval(policy, {"Org2"})) << text;
+  }
+}
+
+TEST(PolicyParser, ExplicitKOfList) {
+  const auto policy =
+      parse_policy_or_throw("2of(Org1, Org3, Org4)", kOrgs);
+  EXPECT_TRUE(eval(policy, {"Org3", "Org4"}));
+  EXPECT_FALSE(eval(policy, {"Org2", "Org3"}));
+}
+
+TEST(PolicyParser, KOfNestedSubPolicies) {
+  const auto policy =
+      parse_policy_or_throw("2of(Org1 & Org2, Org3, Org4)", kOrgs);
+  EXPECT_TRUE(eval(policy, {"Org3", "Org4"}));
+  EXPECT_TRUE(eval(policy, {"Org1", "Org2", "Org4"}));
+  EXPECT_FALSE(eval(policy, {"Org1", "Org4"}));  // Org1 alone not a sub-policy
+}
+
+TEST(PolicyParser, RoleSuffixes) {
+  const auto policy =
+      parse_policy_or_throw("Org1.admin & Org2.client", kOrgs);
+  const auto principals = policy.principals();
+  ASSERT_EQ(principals.size(), 2u);
+  EXPECT_EQ(principals[0].role, Role::kAdmin);
+  EXPECT_EQ(principals[1].role, Role::kClient);
+}
+
+TEST(PolicyParser, ComplexPolicyFromPaper) {
+  // Fig. 7f: "(Org1 & Org2) | (Org1 & Org4) | (Org2 & Org3) | (Org2 & Org4)
+  //           | (Org3 & Org4)" — almost but not exactly 2of4.
+  const auto policy = parse_policy_or_throw(
+      "(Org1 & Org2) | (Org1 & Org4) | (Org2 & Org3) | (Org2 & Org4) | "
+      "(Org3 & Org4)",
+      kOrgs);
+  EXPECT_EQ(policy.literal_references(), 10);
+  EXPECT_EQ(policy.min_endorsements_to_satisfy(), 2);
+  EXPECT_TRUE(eval(policy, {"Org1", "Org2"}));
+  EXPECT_FALSE(eval(policy, {"Org1", "Org3"}));  // the not-exactly-2of4 pair
+  const auto two_of_four = parse_policy_or_throw("2of4", kOrgs);
+  EXPECT_TRUE(eval(two_of_four, {"Org1", "Org3"}));
+}
+
+TEST(PolicyParser, Parenthesization) {
+  const auto policy =
+      parse_policy_or_throw("Org1 & (Org2 | Org3)", kOrgs);
+  EXPECT_TRUE(eval(policy, {"Org1", "Org3"}));
+  EXPECT_FALSE(eval(policy, {"Org2", "Org3"}));
+}
+
+TEST(PolicyParser, Errors) {
+  auto expect_error = [](const char* text) {
+    const auto result = parse_policy(text, kOrgs);
+    EXPECT_TRUE(std::holds_alternative<PolicyParseError>(result)) << text;
+  };
+  expect_error("");
+  expect_error("Org1 &");
+  expect_error("& Org1");
+  expect_error("(Org1");
+  expect_error("Org1 Org2");
+  expect_error("5of3");          // k > n
+  expect_error("0of3");          // k < 1
+  expect_error("2of9 orgs");     // more orgs than the network has
+  expect_error("Org1.wizard");   // unknown role
+  expect_error("2of(Org1, Org2");
+  EXPECT_THROW(parse_policy_or_throw("Org1 &", kOrgs), std::invalid_argument);
+}
+
+TEST(Policy, PrincipalsDeduplicated) {
+  const auto policy =
+      parse_policy_or_throw("(Org1 & Org2) | (Org1 & Org3)", kOrgs);
+  EXPECT_EQ(policy.principals().size(), 3u);
+  EXPECT_EQ(policy.literal_references(), 4);
+}
+
+TEST(Policy, CopySemantics) {
+  const auto policy = parse_policy_or_throw("Org1 & Org2", kOrgs);
+  EndorsementPolicy copy = policy;
+  EXPECT_TRUE(eval(copy, {"Org1", "Org2"}));
+  EXPECT_EQ(copy.text(), policy.text());
+  EndorsementPolicy assigned;
+  assigned = copy;
+  EXPECT_TRUE(eval(assigned, {"Org1", "Org2"}));
+}
+
+TEST(Policy, EvaluateIdsThroughMsp) {
+  Msp msp;
+  msp.add_org("Org1");
+  msp.add_org("Org2");
+  const auto policy = parse_policy_or_throw("Org1 & Org2", msp.org_names());
+
+  const EncodedId p1 = EncodedId::make(1, Role::kPeer, 0);
+  const EncodedId p2 = EncodedId::make(2, Role::kPeer, 0);
+  const EncodedId c1 = EncodedId::make(1, Role::kClient, 0);
+  EXPECT_TRUE(policy.evaluate_ids({p1, p2}, msp));
+  EXPECT_FALSE(policy.evaluate_ids({p1}, msp));
+  EXPECT_FALSE(policy.evaluate_ids({p1, c1}, msp));  // wrong role
+}
+
+// Exhaustive check: for every subset of satisfied orgs, the parsed policy
+// must agree with a reference predicate.
+struct ExhaustiveCase {
+  const char* text;
+  int (*reference)(unsigned mask);  // mask bit i => Org(i+1) satisfied
+};
+
+int ref_2of3(unsigned m) { return __builtin_popcount(m & 0b0111) >= 2; }
+int ref_and(unsigned m) { return (m & 0b0011) == 0b0011; }
+int ref_mixed(unsigned m) {
+  return ((m & 1) && (m & 2)) || ((m & 4) && (m & 8));
+}
+int ref_3of4(unsigned m) { return __builtin_popcount(m & 0b1111) >= 3; }
+
+class PolicyExhaustive : public ::testing::TestWithParam<ExhaustiveCase> {};
+
+TEST_P(PolicyExhaustive, MatchesReferenceOnAllSubsets) {
+  const auto& param = GetParam();
+  const auto policy = parse_policy_or_throw(param.text, kOrgs);
+  for (unsigned mask = 0; mask < 16; ++mask) {
+    std::set<std::string> satisfied;
+    for (int i = 0; i < 4; ++i)
+      if (mask & (1u << i)) satisfied.insert("Org" + std::to_string(i + 1));
+    EXPECT_EQ(eval(policy, satisfied), param.reference(mask) != 0)
+        << param.text << " mask=" << mask;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Policies, PolicyExhaustive,
+    ::testing::Values(ExhaustiveCase{"2-outof-3 orgs", ref_2of3},
+                      ExhaustiveCase{"Org1 & Org2", ref_and},
+                      ExhaustiveCase{"(Org1 & Org2) | (Org3 & Org4)", ref_mixed},
+                      ExhaustiveCase{"3of4", ref_3of4}));
+
+}  // namespace
+}  // namespace bm::fabric

@@ -1,0 +1,164 @@
+#include <gtest/gtest.h>
+
+#include "bmac/peer.hpp"
+#include "fabric/orderer.hpp"
+#include "fabric/private_data.hpp"
+#include "fabric/validator.hpp"
+
+namespace bm::fabric {
+namespace {
+
+TEST(PrivateData, HashedKeysAreNamespacedAndStable) {
+  const std::string k1 = private_hashed_key("collectionA", "secret");
+  EXPECT_EQ(k1, private_hashed_key("collectionA", "secret"));
+  EXPECT_NE(k1, private_hashed_key("collectionB", "secret"));
+  EXPECT_NE(k1, private_hashed_key("collectionA", "other"));
+  EXPECT_EQ(k1.rfind("pvt~collectionA~", 0), 0u);
+}
+
+TEST(PrivateData, ValueHashHidesContent) {
+  const Bytes hash = private_value_hash(to_bytes("salary=100000"));
+  EXPECT_EQ(hash.size(), 32u);
+  EXPECT_FALSE(equal(hash, to_bytes("salary=100000")));
+  EXPECT_TRUE(PrivateDataStore::matches_ledger_hash(to_bytes("salary=100000"),
+                                                    hash));
+  EXPECT_FALSE(PrivateDataStore::matches_ledger_hash(to_bytes("salary=1"),
+                                                     hash));
+}
+
+TEST(PrivateData, StoreRoundTrip) {
+  PrivateDataStore store;
+  store.put("deals", "contract-7", to_bytes("price: 1.2M"));
+  const auto value = store.get("deals", "contract-7");
+  ASSERT_TRUE(value.has_value());
+  EXPECT_EQ(to_string(*value), "price: 1.2M");
+  EXPECT_FALSE(store.get("deals", "contract-8").has_value());
+  EXPECT_FALSE(store.get("other", "contract-7").has_value());
+}
+
+TEST(PrivateData, RwSetFoldingMarshalsLikeAnyOtherEntry) {
+  ReadWriteSet rwset;
+  add_private_read(rwset, "deals", "contract-7", Version{3, 1});
+  add_private_write(rwset, "deals", "contract-7", to_bytes("price: 1.3M"));
+  const auto back = ReadWriteSet::unmarshal(rwset.marshal());
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, rwset);
+  EXPECT_EQ(back->writes[0].value.size(), 32u);  // hash, not cleartext
+}
+
+// §5's claim, end to end: a transaction carrying private-collection hashes
+// validates identically on the software peer and the BMac hardware peer,
+// with zero changes to either validator.
+TEST(PrivateData, ValidatesThroughBothPeersUnchanged) {
+  Msp msp;
+  auto& org1 = msp.add_org("Org1");
+  auto& org2 = msp.add_org("Org2");
+  const Identity client = org1.issue(Role::kClient, 0, "c0");
+  const Identity peer1 = org1.issue(Role::kPeer, 0, "p1");
+  const Identity peer2 = org2.issue(Role::kPeer, 0, "p2");
+  Orderer orderer(org1.issue(Role::kOrderer, 0, "o0"), {.max_tx_per_block = 1});
+  std::map<std::string, EndorsementPolicy> policies;
+  policies.emplace("deals_cc",
+                   parse_policy_or_throw("Org1 & Org2", msp.org_names()));
+
+  PrivateDataStore org1_private;  // side channel among authorized peers
+
+  // Tx 1: create a private deal. Tx 2: update it reading the prior version.
+  TxProposal create;
+  create.channel_id = "ch";
+  create.chaincode_id = "deals_cc";
+  create.tx_id = "create-deal";
+  add_private_write(create.rwset, "deals", "contract-7",
+                    to_bytes("price: 1.2M"));
+  org1_private.put("deals", "contract-7", to_bytes("price: 1.2M"));
+
+  TxProposal update;
+  update.channel_id = "ch";
+  update.chaincode_id = "deals_cc";
+  update.tx_id = "update-deal";
+  add_private_read(update.rwset, "deals", "contract-7", Version{0, 0});
+  add_private_write(update.rwset, "deals", "contract-7",
+                    to_bytes("price: 1.3M"));
+
+  // The create commits in block 0; the update (which reads the committed
+  // version) follows in block 1 — same-block reads of freshly written keys
+  // would conflict under mvcc, as in Fabric.
+  const auto block0 =
+      orderer.submit(build_envelope(create, client, {&peer1, &peer2}));
+  const auto block1 =
+      orderer.submit(build_envelope(update, client, {&peer1, &peer2}));
+  ASSERT_TRUE(block0.has_value() && block1.has_value());
+
+  // Software peer.
+  StateDb sw_db;
+  Ledger sw_ledger;
+  SoftwareValidator sw(msp, policies);
+  const auto r0 = sw.validate_and_commit(*block0, sw_db, sw_ledger);
+  const auto sw_result = sw.validate_and_commit(*block1, sw_db, sw_ledger);
+  EXPECT_EQ(r0.flags[0], TxValidationCode::kValid);
+  EXPECT_TRUE(sw_result.block_valid);
+  EXPECT_EQ(sw_result.flags[0], TxValidationCode::kValid);
+
+  // BMac peer, full protocol + hardware path.
+  sim::Simulation sim;
+  bmac::BmacPeer hw_peer(sim, msp, bmac::HwConfig{}, policies);
+  hw_peer.start();
+  bmac::ProtocolSender sender(msp);
+  for (const auto* block : {&*block0, &*block1}) {
+    for (const auto& pkt : sender.send(*block).packets)
+      hw_peer.deliver_packet(pkt);
+    hw_peer.deliver_block(*block);
+    sim.run();
+  }
+  ASSERT_EQ(hw_peer.results().size(), 2u);
+  EXPECT_EQ(hw_peer.results()[1].flags, sw_result.flags);
+  EXPECT_EQ(hw_peer.ledger().last().commit_hash, sw_ledger.last().commit_hash);
+
+  // The ledger holds only the hash; an authorized org can prove the
+  // disclosed private value against it.
+  const std::string hashed_key = StateDb::namespaced(
+      "deals_cc", private_hashed_key("deals", "contract-7"));
+  const auto committed = sw_db.get(hashed_key);
+  ASSERT_TRUE(committed.has_value());
+  EXPECT_EQ(committed->version, (Version{1, 0}));  // updated by block 1
+  EXPECT_TRUE(PrivateDataStore::matches_ledger_hash(to_bytes("price: 1.3M"),
+                                                    committed->value));
+  EXPECT_FALSE(PrivateDataStore::matches_ledger_hash(to_bytes("price: 1.2M"),
+                                                     committed->value));
+}
+
+TEST(PrivateData, StalePrivateReadConflictsLikeAnyRead) {
+  Msp msp;
+  auto& org1 = msp.add_org("Org1");
+  const Identity client = org1.issue(Role::kClient, 0, "c0");
+  const Identity peer1 = org1.issue(Role::kPeer, 0, "p1");
+  Orderer orderer(org1.issue(Role::kOrderer, 0, "o0"), {.max_tx_per_block = 2});
+  std::map<std::string, EndorsementPolicy> policies;
+  policies.emplace("cc", parse_policy_or_throw("Org1", msp.org_names()));
+
+  TxProposal write_tx;
+  write_tx.channel_id = "ch";
+  write_tx.chaincode_id = "cc";
+  write_tx.tx_id = "w";
+  add_private_write(write_tx.rwset, "col", "k", to_bytes("v1"));
+
+  TxProposal stale_read;
+  stale_read.channel_id = "ch";
+  stale_read.chaincode_id = "cc";
+  stale_read.tx_id = "r";
+  add_private_read(stale_read.rwset, "col", "k", std::nullopt);  // stale
+  add_private_write(stale_read.rwset, "col", "k", to_bytes("v2"));
+
+  orderer.submit(build_envelope(write_tx, client, {&peer1}));
+  const auto block =
+      orderer.submit(build_envelope(stale_read, client, {&peer1}));
+  StateDb db;
+  Ledger ledger;
+  SoftwareValidator validator(msp, policies);
+  const auto result = validator.validate_and_commit(*block, db, ledger);
+  EXPECT_EQ(result.flags[0], TxValidationCode::kValid);
+  EXPECT_EQ(result.flags[1], TxValidationCode::kMvccReadConflict);
+}
+
+}  // namespace
+}  // namespace bm::fabric

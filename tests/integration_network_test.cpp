@@ -1,0 +1,175 @@
+// Full-network integration: the paper's compatibility goal (§1) —
+// "any validator peer with hardware accelerator must be compatible with the
+// software-only endorser peers and orderers".
+//
+// The Fig. 5 topology end to end, over simulated transports:
+//   Raft ordering service (3 orderers) -> blocks
+//     -> Gossip (TCP model) to two software validator peers
+//     -> BMac protocol (UDP model, Go-Back-N, lossy link) to the BMac peer
+// All three peers must commit identical chains. The BMac peer joining the
+// network changes nothing for the software peers — the orderer sends
+// through BOTH protocols.
+#include <gtest/gtest.h>
+
+#include "bmac/peer.hpp"
+#include "bmac/reliable.hpp"
+#include "fabric/raft.hpp"
+#include "fabric/validator.hpp"
+#include "net/transport.hpp"
+#include "workload/chaincode.hpp"
+
+namespace bm {
+namespace {
+
+using namespace bm::fabric;
+
+struct SwPeer {
+  StateDb db;
+  Ledger ledger;
+  std::unique_ptr<SoftwareValidator> validator;
+  std::vector<Block> delivered;  ///< blocks received via Gossip, in order
+
+  void process_delivered() {
+    for (const Block& block : delivered)
+      validator->validate_and_commit(block, db, ledger);
+    delivered.clear();
+  }
+};
+
+TEST(IntegrationNetwork, MixedPeersCommitIdenticalChains) {
+  // --- network identities ---------------------------------------------------
+  Msp msp;
+  auto& org1 = msp.add_org("Org1");
+  auto& org2 = msp.add_org("Org2");
+  const Identity client = org1.issue(Role::kClient, 0, "client0.org1");
+  const Identity endorser1 = org1.issue(Role::kPeer, 0, "peer0.org1");
+  const Identity endorser2 = org2.issue(Role::kPeer, 0, "peer0.org2");
+  std::vector<Identity> orderers;
+  for (int i = 0; i < 3; ++i)
+    orderers.push_back(org1.issue(Role::kOrderer, static_cast<std::uint8_t>(i),
+                                  "orderer" + std::to_string(i) + ".org1"));
+
+  std::map<std::string, EndorsementPolicy> policies;
+  policies.emplace("smallbank",
+                   parse_policy_or_throw("2-outof-2 orgs", msp.org_names()));
+
+  sim::Simulation sim;
+
+  // --- ordering service (Raft, 3 nodes) -------------------------------------
+  RaftOrderingService::Config raft_config;
+  raft_config.nodes = 3;
+  raft_config.max_tx_per_block = 5;
+  RaftOrderingService ordering(sim, raft_config, orderers);
+
+  // --- peers -----------------------------------------------------------------
+  SwPeer sw_org1, sw_org2;
+  sw_org1.validator = std::make_unique<SoftwareValidator>(msp, policies);
+  sw_org2.validator = std::make_unique<SoftwareValidator>(msp, policies);
+
+  bmac::HwConfig hw;
+  hw.tx_validators = 4;
+  bmac::BmacPeer bmac_peer(sim, msp, hw, policies);
+  bmac_peer.start();
+  bmac::ProtocolSender protocol(msp);
+
+  // --- transports -------------------------------------------------------------
+  net::Link gossip_link1(sim, {.gbps = 1.0, .seed = 21});
+  net::Link gossip_link2(sim, {.gbps = 1.0, .seed = 22});
+  net::TcpStream gossip1(sim, gossip_link1, {});
+  net::TcpStream gossip2(sim, gossip_link2, {});
+  // The BMac path crosses a lossy link with Go-Back-N on top.
+  net::Link bmac_link(sim, {.gbps = 1.0, .loss_probability = 0.05, .seed = 23});
+  net::Link ack_link(sim, {.gbps = 1.0, .loss_probability = 0.05, .seed = 24});
+
+  std::unique_ptr<bmac::GbnSender> gbn_sender;
+  bmac::GbnReceiver gbn_receiver(
+      [&](Bytes payload) {
+        auto packet = bmac::BmacPacket::decode(payload);
+        ASSERT_TRUE(packet.has_value());
+        bmac_peer.deliver_packet(std::move(*packet));
+      },
+      [&](std::uint64_t next) {
+        ack_link.send(54, [&, next] { gbn_sender->on_ack(next); });
+      });
+  gbn_sender = std::make_unique<bmac::GbnSender>(
+      sim, bmac::GbnSender::Config{}, [&](const bmac::SequencedFrame& frame) {
+        bmac_link.send(frame.wire_size(),
+                       [&, frame] { gbn_receiver.on_frame(frame); });
+      });
+
+  // --- block dissemination: lead orderer sends through BOTH protocols -------
+  std::vector<Block> emitted;
+  ordering.set_block_callback([&](Block block) {
+    // §3.5: Send() is called right before the block goes out via Gossip.
+    for (const auto& packet : protocol.send(block).packets)
+      gbn_sender->send(packet.encode());
+    bmac_peer.deliver_block(block);
+
+    const std::size_t gossip_bytes = block.marshaled_size();
+    // Deliver the block object on arrival of the last TCP segment.
+    auto deliver1 = [&, block] { sw_org1.delivered.push_back(block); };
+    auto deliver2 = [&, block] { sw_org2.delivered.push_back(block); };
+    gossip1.send_message(gossip_bytes, deliver1);
+    gossip2.send_message(gossip_bytes, deliver2);
+    emitted.push_back(std::move(block));
+  });
+  ordering.start();
+
+  // Wait for leader election.
+  for (int i = 0; i < 100 && ordering.leader() < 0; ++i)
+    sim.run_until(sim.now() + 100 * sim::kMillisecond);
+  ASSERT_GE(ordering.leader(), 0);
+
+  // --- workload: clients endorse against committed endorsement state --------
+  StateDb endorsement_state;
+  SoftwareValidator endorsement_committer(msp, policies);
+  Ledger endorsement_ledger;
+  workload::SmallbankChaincode chaincode({.accounts = 64});
+  Rng rng(5);
+  int tx_id = 0;
+  for (int i = 0; i < 20; ++i) {
+    auto executed = chaincode.execute(rng, endorsement_state);
+    TxProposal proposal;
+    proposal.channel_id = "mychannel";
+    proposal.chaincode_id = "smallbank";
+    proposal.tx_id = "tx" + std::to_string(tx_id++);
+    proposal.rwset = std::move(executed.rwset);
+    ASSERT_TRUE(ordering.submit(
+        build_envelope(proposal, client, {&endorser1, &endorser2})));
+    sim.run_until(sim.now() + 20 * sim::kMillisecond);
+  }
+  // Drain the network: the Raft heartbeat timers run forever, so a full
+  // sim.run() would never return — advance bounded wall-clock instead.
+  sim.run_until(sim.now() + 10 * sim::kSecond);
+
+  // The committed chain feeds endorsement state for realistic versions in a
+  // longer-running scenario; here just verify dissemination completeness.
+  ASSERT_EQ(emitted.size(), 4u);  // 20 txs / 5 per block
+
+  // --- software peers process their gossip queues ----------------------------
+  sw_org1.process_delivered();
+  sw_org2.process_delivered();
+  (void)endorsement_committer;
+  (void)endorsement_ledger;
+
+  // --- the consistency check across all three peers --------------------------
+  ASSERT_EQ(sw_org1.ledger.height(), 4u);
+  ASSERT_EQ(sw_org2.ledger.height(), 4u);
+  ASSERT_EQ(bmac_peer.ledger().height(), 4u);
+  for (std::uint64_t b = 0; b < 4; ++b) {
+    EXPECT_EQ(sw_org1.ledger.at(b).commit_hash, sw_org2.ledger.at(b).commit_hash);
+    EXPECT_EQ(sw_org1.ledger.at(b).commit_hash,
+              bmac_peer.ledger().at(b).commit_hash);
+    EXPECT_EQ(sw_org1.ledger.at(b).block.metadata.tx_flags,
+              bmac_peer.ledger().at(b).block.metadata.tx_flags);
+  }
+  // World state identical (hardware store vs software LevelDB model).
+  EXPECT_EQ(sw_org1.db.size(), sw_org2.db.size());
+  EXPECT_EQ(sw_org1.db.size(), bmac_peer.processor().statedb().size());
+
+  // The lossy BMac path actually exercised retransmission.
+  EXPECT_GT(gbn_sender->stats().retransmissions, 0u);
+}
+
+}  // namespace
+}  // namespace bm

@@ -1,0 +1,104 @@
+#include <gtest/gtest.h>
+
+#include "bmac/peer.hpp"
+#include "bmac/resource_model.hpp"
+
+namespace bm::bmac {
+namespace {
+
+struct Table1Row {
+  int validators;
+  int engines;
+  double lut_pct;
+  double ff_pct;
+  double bram_pct;
+};
+
+// Table 1 of the paper (Alveo U250).
+const Table1Row kTable1[] = {
+    {4, 2, 20.9, 6.9, 13.1},
+    {5, 3, 25.4, 7.3, 13.1},
+    {8, 2, 28.5, 8.0, 13.1},
+    {12, 2, 35.8, 9.1, 13.1},
+    {16, 2, 43.3, 10.3, 13.1},
+};
+
+class ResourceTable1 : public ::testing::TestWithParam<Table1Row> {};
+
+TEST_P(ResourceTable1, MatchesPaperWithinHalfPercent) {
+  const Table1Row row = GetParam();
+  HwConfig config;
+  config.tx_validators = row.validators;
+  config.engines_per_vscc = row.engines;
+  const ResourceModel model;
+  const ResourceUsage usage = model.estimate(config);
+  EXPECT_NEAR(usage.lut_pct(), row.lut_pct, 0.5) << config.name();
+  EXPECT_NEAR(usage.ff_pct(), row.ff_pct, 0.5) << config.name();
+  EXPECT_NEAR(usage.bram_pct(), row.bram_pct, 0.5) << config.name();
+  EXPECT_NEAR(usage.uram_pct(), 13.1, 0.5) << config.name();
+}
+
+INSTANTIATE_TEST_SUITE_P(Table1, ResourceTable1, ::testing::ValuesIn(kTable1));
+
+TEST(ResourceModel, UtilizationScalesWithArchitecture) {
+  const ResourceModel model;
+  HwConfig small;
+  small.tx_validators = 4;
+  HwConfig large;
+  large.tx_validators = 16;
+  EXPECT_LT(model.estimate(small).lut, model.estimate(large).lut);
+  // BRAM/URAM do not scale with V or E (Table 1's constant 13.1%).
+  EXPECT_EQ(model.estimate(small).bram36, model.estimate(large).bram36);
+  EXPECT_EQ(model.estimate(small).uram, model.estimate(large).uram);
+}
+
+TEST(ResourceModel, LargestConfigUnderHalfDevice) {
+  // §4.3: "even the largest BMac architecture 16x2 uses less than half of
+  // the FPGA resources".
+  const ResourceModel model;
+  HwConfig config;
+  config.tx_validators = 16;
+  config.engines_per_vscc = 2;
+  const ResourceUsage usage = model.estimate(config);
+  EXPECT_LT(usage.lut_pct(), 50.0);
+  EXPECT_LT(usage.ff_pct(), 50.0);
+  EXPECT_LT(usage.bram_pct(), 50.0);
+}
+
+TEST(ResourceModel, PolicyCircuitsAddGateCosts) {
+  fabric::Msp msp;
+  for (int i = 1; i <= 4; ++i) msp.add_org("Org" + std::to_string(i));
+  std::map<std::string, fabric::EndorsementPolicy> policies;
+  policies.emplace("smallbank", fabric::parse_policy_or_throw(
+                                    "2-outof-4 orgs", msp.org_names()));
+  const auto circuits = compile_policies(policies, msp);
+
+  const ResourceModel model;
+  HwConfig config;
+  const auto without = model.estimate(config);
+  const auto with = model.estimate(config, circuits);
+  EXPECT_GT(with.lut, without.lut);
+  // ... but by a negligible amount ("about the same for all architectures").
+  EXPECT_LT(with.lut - without.lut, 2000u);
+}
+
+TEST(ResourceModel, BreakdownSumsToEstimate) {
+  const ResourceModel model;
+  HwConfig config;
+  config.tx_validators = 5;
+  config.engines_per_vscc = 3;
+  std::uint64_t lut = 0;
+  for (const auto& module : model.breakdown(config)) lut += module.lut;
+  EXPECT_EQ(lut, model.estimate(config).lut);
+}
+
+TEST(ResourceModel, FixedUtilizationMatchesPaper) {
+  const FixedUtilization fixed = ResourceModel().fixed();
+  EXPECT_DOUBLE_EQ(fixed.gt_pct, 83.3);
+  EXPECT_DOUBLE_EQ(fixed.bufg_pct, 2.2);
+  EXPECT_DOUBLE_EQ(fixed.mmcm_pct, 6.3);
+  EXPECT_DOUBLE_EQ(fixed.pcie_pct, 25.0);
+}
+
+}  // namespace
+}  // namespace bm::bmac

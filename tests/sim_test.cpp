@@ -1,0 +1,255 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "sim/fifo.hpp"
+#include "sim/simulation.hpp"
+
+namespace bm::sim {
+namespace {
+
+TEST(Simulation, EventsRunInTimeOrder) {
+  Simulation sim;
+  std::vector<int> order;
+  sim.schedule(30, [&] { order.push_back(3); });
+  sim.schedule(10, [&] { order.push_back(1); });
+  sim.schedule(20, [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), 30);
+}
+
+TEST(Simulation, SameTimeEventsRunInScheduleOrder) {
+  Simulation sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) sim.schedule(5, [&order, i] { order.push_back(i); });
+  sim.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(Simulation, CancelPreventsExecution) {
+  Simulation sim;
+  int fired = 0;
+  const EventId id = sim.schedule(10, [&] { ++fired; });
+  sim.schedule(5, [&] { ++fired; });
+  sim.cancel(id);
+  sim.run();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(Simulation, RunUntilStopsAtDeadline) {
+  Simulation sim;
+  int fired = 0;
+  sim.schedule(10, [&] { ++fired; });
+  sim.schedule(20, [&] { ++fired; });
+  sim.schedule(30, [&] { ++fired; });
+  sim.run_until(20);
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(sim.now(), 20);
+  sim.run();
+  EXPECT_EQ(fired, 3);
+}
+
+TEST(Simulation, NestedScheduling) {
+  Simulation sim;
+  Time inner_time = -1;
+  sim.schedule(10, [&] {
+    sim.schedule(15, [&] { inner_time = sim.now(); });
+  });
+  sim.run();
+  EXPECT_EQ(inner_time, 25);
+}
+
+Process delayer(Simulation& sim, Time d, int* counter) {
+  co_await sim.delay(d);
+  ++*counter;
+  co_await sim.delay(d);
+  ++*counter;
+}
+
+TEST(Process, DelayAdvancesClock) {
+  Simulation sim;
+  int counter = 0;
+  sim.spawn(delayer(sim, 100, &counter));
+  sim.run();
+  EXPECT_EQ(counter, 2);
+  EXPECT_EQ(sim.now(), 200);
+}
+
+TEST(Process, ManyProcessesAreIndependent) {
+  Simulation sim;
+  int counter = 0;
+  for (int i = 0; i < 50; ++i) sim.spawn(delayer(sim, 10 * (i + 1), &counter));
+  sim.run();
+  EXPECT_EQ(counter, 100);
+  EXPECT_EQ(sim.now(), 1000);
+}
+
+TEST(Process, UnspawnedProcessIsDestroyedSafely) {
+  Simulation sim;
+  int counter = 0;
+  {
+    Process p = delayer(sim, 5, &counter);
+    (void)p;  // never spawned; destructor must free the frame
+  }
+  sim.run();
+  EXPECT_EQ(counter, 0);
+}
+
+// --- Fifo --------------------------------------------------------------------
+
+Process producer_n(Simulation& sim, Fifo<int>& f, int n, Time gap) {
+  for (int i = 0; i < n; ++i) {
+    if (gap > 0) co_await sim.delay(gap);
+    co_await f.put(i);
+  }
+}
+
+Process consumer_n(Simulation& sim, Fifo<int>& f, int n, Time gap,
+                   std::vector<int>* out) {
+  for (int i = 0; i < n; ++i) {
+    const int v = co_await f.get();
+    if (gap > 0) co_await sim.delay(gap);
+    out->push_back(v);
+  }
+}
+
+TEST(Fifo, PreservesOrderFastProducer) {
+  Simulation sim;
+  Fifo<int> f(sim, 4, "t");
+  std::vector<int> out;
+  sim.spawn(producer_n(sim, f, 100, 0));
+  sim.spawn(consumer_n(sim, f, 100, 7, &out));
+  sim.run();
+  ASSERT_EQ(out.size(), 100u);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(out[i], i);
+  EXPECT_GT(f.blocked_put_events(), 0u);  // back-pressure occurred
+  EXPECT_LE(f.max_occupancy(), 4u);
+}
+
+TEST(Fifo, PreservesOrderFastConsumer) {
+  Simulation sim;
+  Fifo<int> f(sim, 4, "t");
+  std::vector<int> out;
+  sim.spawn(consumer_n(sim, f, 100, 0, &out));
+  sim.spawn(producer_n(sim, f, 100, 3));
+  sim.run();
+  ASSERT_EQ(out.size(), 100u);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(out[i], i);
+}
+
+TEST(Fifo, ConsumerBottleneckSetsThroughput) {
+  // Producer every 10us, consumer takes 25us: completion ~ n * 25us.
+  Simulation sim;
+  Fifo<int> f(sim, 2, "t");
+  std::vector<int> out;
+  sim.spawn(producer_n(sim, f, 100, 10 * kMicrosecond));
+  sim.spawn(consumer_n(sim, f, 100, 25 * kMicrosecond, &out));
+  sim.run();
+  EXPECT_NEAR(static_cast<double>(sim.now()),
+              static_cast<double>(2510 * kMicrosecond),
+              static_cast<double>(30 * kMicrosecond));
+}
+
+TEST(Fifo, TryPutTryGet) {
+  Simulation sim;
+  Fifo<int> f(sim, 2, "t");
+  EXPECT_FALSE(f.try_get().has_value());
+  EXPECT_TRUE(f.try_put(1));
+  EXPECT_TRUE(f.try_put(2));
+  EXPECT_FALSE(f.try_put(3));  // full
+  EXPECT_EQ(f.size(), 2u);
+  EXPECT_EQ(*f.try_get(), 1);
+  EXPECT_EQ(*f.try_get(), 2);
+  EXPECT_FALSE(f.try_get().has_value());
+}
+
+TEST(Fifo, StatsCount) {
+  Simulation sim;
+  Fifo<int> f(sim, 8, "t");
+  for (int i = 0; i < 5; ++i) f.try_put(i);
+  EXPECT_EQ(f.total_pushed(), 5u);
+  EXPECT_EQ(f.max_occupancy(), 5u);
+}
+
+Process multi_stage(Simulation& sim, Fifo<std::string>& in,
+                    Fifo<std::string>& out) {
+  for (;;) {
+    std::string v = co_await in.get();
+    co_await sim.delay(5);
+    co_await out.put(v + "!");
+  }
+}
+
+Process string_source(Simulation& sim, Fifo<std::string>& f, int n) {
+  for (int i = 0; i < n; ++i) co_await f.put("msg" + std::to_string(i));
+  (void)sim;
+}
+
+Process string_sink(Simulation& sim, Fifo<std::string>& f, int n,
+                    std::vector<std::string>* out) {
+  for (int i = 0; i < n; ++i) out->push_back(co_await f.get());
+  (void)sim;
+}
+
+TEST(Fifo, PipelineOfStagesWithStrings) {
+  // Non-trivial payloads through a 2-stage pipeline; the sink outlives the
+  // source (exercises buffered values after producer frame destruction).
+  Simulation sim;
+  Fifo<std::string> a(sim, 64, "a"), b(sim, 64, "b");
+  std::vector<std::string> out;
+  sim.spawn(string_source(sim, a, 30));
+  sim.spawn(multi_stage(sim, a, b));
+  sim.spawn(string_sink(sim, b, 30, &out));
+  sim.run();
+  ASSERT_EQ(out.size(), 30u);
+  EXPECT_EQ(out.front(), "msg0!");
+  EXPECT_EQ(out.back(), "msg29!");
+}
+
+TEST(Fifo, DeterministicAcrossRuns) {
+  auto run_once = [] {
+    Simulation sim;
+    Fifo<int> f(sim, 3, "t");
+    std::vector<int> out;
+    sim.spawn(producer_n(sim, f, 50, 7));
+    sim.spawn(consumer_n(sim, f, 50, 11, &out));
+    sim.run();
+    return std::make_pair(sim.now(), sim.events_executed());
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+TEST(Trigger, FireBeforeWaitLatches) {
+  Simulation sim;
+  Trigger t(sim);
+  t.fire(7);
+  int got = -1;
+  struct Waiter {
+    static Process run(Trigger& t, int* got) {
+      *got = co_await t.wait();
+    }
+  };
+  sim.spawn(Waiter::run(t, &got));
+  sim.run();
+  EXPECT_EQ(got, 7);
+}
+
+TEST(Trigger, FireAfterWaitResumes) {
+  Simulation sim;
+  Trigger t(sim);
+  int got = -1;
+  struct Waiter {
+    static Process run(Trigger& t, int* got) {
+      *got = co_await t.wait();
+    }
+  };
+  sim.spawn(Waiter::run(t, &got));
+  sim.schedule(50, [&] { t.fire(3); });
+  sim.run();
+  EXPECT_EQ(got, 3);
+}
+
+}  // namespace
+}  // namespace bm::sim

@@ -1,0 +1,83 @@
+#include <gtest/gtest.h>
+
+#include "workload/caliper.hpp"
+
+namespace bm::workload {
+namespace {
+
+BlockObservation make_obs(std::uint64_t num, sim::Time received,
+                          sim::Time validate_ms, std::uint32_t txs,
+                          std::uint32_t valid) {
+  BlockObservation o;
+  o.block_num = num;
+  o.tx_count = txs;
+  o.valid_tx_count = valid;
+  o.received_at = received;
+  o.validated_at = received + validate_ms * sim::kMillisecond;
+  o.committed_at = o.validated_at + sim::kMillisecond;
+  return o;
+}
+
+TEST(CaliperReport, AggregatesCounts) {
+  CaliperReport report("peer0");
+  report.record(make_obs(0, 0, 3, 100, 95));
+  report.record(make_obs(1, 10 * sim::kMillisecond, 3, 100, 100));
+  EXPECT_EQ(report.blocks(), 2u);
+  EXPECT_EQ(report.total_txs(), 200u);
+  EXPECT_EQ(report.valid_txs(), 195u);
+}
+
+TEST(CaliperReport, OverallThroughput) {
+  CaliperReport report("peer0");
+  // 300 txs over exactly 100 ms (first receive 0, last commit 100 ms).
+  report.record(make_obs(0, 0, 3, 100, 100));
+  report.record(make_obs(1, 48 * sim::kMillisecond, 3, 100, 100));
+  BlockObservation last = make_obs(2, 96 * sim::kMillisecond, 3, 100, 100);
+  last.committed_at = 100 * sim::kMillisecond;
+  report.record(last);
+  EXPECT_NEAR(report.overall_tps(), 3000.0, 1.0);
+}
+
+TEST(CaliperReport, LatencySummary) {
+  CaliperReport report("peer0");
+  for (int i = 0; i < 10; ++i)
+    report.record(make_obs(static_cast<std::uint64_t>(i),
+                           i * 10 * sim::kMillisecond,
+                           /*validate_ms=*/2 + i, 50, 50));
+  const Summary latency = report.validation_latency_ms();
+  EXPECT_NEAR(latency.mean, 6.5, 0.01);
+  EXPECT_DOUBLE_EQ(latency.min, 2.0);
+  EXPECT_DOUBLE_EQ(latency.max, 11.0);
+}
+
+TEST(CaliperReport, WindowedSeries) {
+  CaliperReport report("peer0");
+  // Two blocks commit in window 0, one in window 2.
+  report.record(make_obs(0, 0, 1, 100, 100));
+  report.record(make_obs(1, 5 * sim::kMillisecond, 1, 100, 100));
+  report.record(make_obs(2, 250 * sim::kMillisecond, 1, 100, 100));
+  const auto series = report.windowed_tps(100 * sim::kMillisecond);
+  ASSERT_EQ(series.size(), 3u);
+  EXPECT_NEAR(series[0], 2000.0, 0.1);  // 200 txs / 0.1 s
+  EXPECT_NEAR(series[1], 0.0, 0.1);
+  EXPECT_NEAR(series[2], 1000.0, 0.1);
+}
+
+TEST(CaliperReport, RenderContainsHeadline) {
+  CaliperReport report("bmac-peer");
+  report.record(make_obs(0, 0, 3, 150, 150));
+  const std::string text = report.render();
+  EXPECT_NE(text.find("bmac-peer"), std::string::npos);
+  EXPECT_NE(text.find("commit throughput"), std::string::npos);
+  EXPECT_NE(text.find("windowed tps"), std::string::npos);
+}
+
+TEST(CaliperReport, EmptyReportIsSafe) {
+  CaliperReport report("empty");
+  EXPECT_EQ(report.overall_tps(), 0.0);
+  EXPECT_TRUE(report.windowed_tps(sim::kSecond).empty());
+  EXPECT_FALSE(report.render().empty());
+}
+
+}  // namespace
+}  // namespace bm::workload

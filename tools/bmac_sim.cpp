@@ -1,0 +1,246 @@
+// bmac_sim: command-line driver for the Blockchain Machine simulator.
+//
+// Subcommands:
+//   throughput [--config FILE] [--blocks N] [--block-size N] [--vcpus N]
+//       Run the saturating workload on the configured hardware architecture
+//       and print BMac vs software-peer performance.
+//   resources [--config FILE]
+//       FPGA resource estimate (Table 1 style) for the configured
+//       architecture and its compiled policy circuits.
+//   validate [--config FILE] [--blocks N] [--block-size N] [--faults]
+//       Run real endorsed blocks through both validators end to end and
+//       report the §4.1 consistency check.
+//   protocol [--config FILE] [--block-size N]
+//       BMac protocol vs Gossip block sizes on real marshaled blocks.
+//
+// Without --config, a built-in two-org smallbank deployment is used.
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "bmac/config.hpp"
+#include "bmac/peer.hpp"
+#include "bmac/resource_model.hpp"
+#include "common/hex.hpp"
+#include "fabric/validator.hpp"
+#include "workload/network_harness.hpp"
+#include "workload/synthetic.hpp"
+
+namespace {
+
+using namespace bm;
+
+constexpr const char* kDefaultConfig = R"yaml(
+network:
+  orgs: [Org1, Org2]
+chaincodes:
+  - name: smallbank
+    policy: "2-outof-2 orgs"
+hardware:
+  tx_validators: 8
+  engines_per_vscc: 2
+  max_block_txs: 256
+  db_capacity: 8192
+)yaml";
+
+struct Options {
+  std::string command;
+  std::string config_path;
+  int blocks = 40;
+  int block_size = 150;
+  int vcpus = 8;
+  bool faults = false;
+};
+
+bool parse_args(int argc, char** argv, Options& options) {
+  if (argc < 2) return false;
+  options.command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--config") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      options.config_path = v;
+    } else if (arg == "--blocks") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      options.blocks = std::atoi(v);
+    } else if (arg == "--block-size") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      options.block_size = std::atoi(v);
+    } else if (arg == "--vcpus") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      options.vcpus = std::atoi(v);
+    } else if (arg == "--faults") {
+      options.faults = true;
+    } else {
+      std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+bmac::BmacConfig load_config(const Options& options) {
+  if (!options.config_path.empty())
+    return bmac::load_config_file(options.config_path);
+  auto parsed = bmac::parse_config(kDefaultConfig);
+  return std::get<bmac::BmacConfig>(parsed);
+}
+
+int cmd_throughput(const Options& options) {
+  const auto config = load_config(options);
+  const auto& [chaincode, policy_text] = *config.chaincode_policies.begin();
+
+  workload::SyntheticSpec spec;
+  spec.blocks = options.blocks;
+  spec.block_size = options.block_size;
+  spec.chaincode = chaincode;
+  spec.policy_text = policy_text;
+  spec.org_count = static_cast<int>(config.orgs.size());
+  {
+    // Attach one endorsement per policy principal, like the paper's clients.
+    const auto policy =
+        fabric::parse_policy_or_throw(policy_text, config.orgs);
+    spec.ends_attached = static_cast<int>(policy.principals().size());
+  }
+  spec.hw = config.hw;
+
+  const auto hw = workload::run_hw_workload(spec);
+  const auto sw = workload::run_sw_model(spec, options.vcpus);
+  std::printf("chaincode '%s', policy \"%s\", block size %d, %d blocks\n",
+              chaincode.c_str(), policy_text.c_str(), options.block_size,
+              options.blocks);
+  std::printf("BMac peer (%s):   %9.0f tps | block latency %6.2f ms | tx "
+              "latency %4.0f us\n",
+              config.hw.name().c_str(), hw.tps, hw.block_latency_ms,
+              hw.tx_latency_us);
+  std::printf("sw validator (%2d vCPUs): %6.0f tps | block latency %6.1f ms\n",
+              options.vcpus, sw.validator_tps, sw.block_latency_ms);
+  std::printf("endorser    (%2d vCPUs): %7.0f tps\n", options.vcpus,
+              sw.endorser_tps);
+  std::printf("speedup: %.1fx | hw signatures executed %llu, skipped %llu\n",
+              hw.tps / sw.validator_tps,
+              static_cast<unsigned long long>(hw.ecdsa_executed),
+              static_cast<unsigned long long>(hw.ecdsa_skipped));
+  return 0;
+}
+
+int cmd_resources(const Options& options) {
+  const auto config = load_config(options);
+  fabric::Msp msp;
+  config.populate_msp(msp);
+  const auto circuits = bmac::compile_policies(config.parse_policies(), msp);
+
+  const bmac::ResourceModel model;
+  const auto usage = model.estimate(config.hw, circuits);
+  std::printf("architecture %s on Alveo U250:\n", config.hw.name().c_str());
+  std::printf("  LUT  %6.1f%%   FF  %6.1f%%   BRAM %6.1f%%   URAM %6.1f%%\n",
+              usage.lut_pct(), usage.ff_pct(), usage.bram_pct(),
+              usage.uram_pct());
+  std::printf("module breakdown:\n");
+  for (const auto& module : model.breakdown(config.hw, circuits))
+    std::printf("  %-66s LUT %8llu  FF %8llu\n", module.name.c_str(),
+                static_cast<unsigned long long>(module.lut),
+                static_cast<unsigned long long>(module.ff));
+  return 0;
+}
+
+int cmd_validate(const Options& options) {
+  const auto config = load_config(options);
+  workload::NetworkOptions net_options;
+  net_options.orgs = static_cast<int>(config.orgs.size());
+  net_options.policy_text = config.chaincode_policies.begin()->second;
+  net_options.block_size = static_cast<std::size_t>(options.block_size);
+  if (options.faults) {
+    net_options.bad_signature_rate = 0.1;
+    net_options.missing_endorsement_rate = 0.1;
+    net_options.conflicting_read_rate = 0.15;
+  }
+  workload::FabricNetworkHarness harness(net_options);
+
+  fabric::StateDb sw_db;
+  fabric::Ledger sw_ledger;
+  fabric::SoftwareValidator sw(harness.msp(), harness.policies());
+
+  sim::Simulation sim;
+  bmac::BmacPeer peer(sim, harness.msp(), config.hw, harness.policies());
+  peer.start();
+  bmac::ProtocolSender protocol(harness.msp());
+
+  int valid = 0, invalid = 0;
+  for (int b = 0; b < options.blocks; ++b) {
+    const fabric::Block block = harness.next_block();
+    const auto result = sw.validate_and_commit(block, sw_db, sw_ledger);
+    valid += static_cast<int>(result.valid_tx_count);
+    invalid +=
+        static_cast<int>(block.tx_count()) - static_cast<int>(result.valid_tx_count);
+    for (const auto& packet : protocol.send(block).packets)
+      peer.deliver_packet(packet);
+    peer.deliver_block(block);
+    sim.run();
+  }
+
+  bool match = sw_ledger.height() == peer.ledger().height();
+  for (std::uint64_t b = 0; match && b < sw_ledger.height(); ++b)
+    match = sw_ledger.at(b).commit_hash == peer.ledger().at(b).commit_hash;
+
+  std::printf("%d blocks, %d valid / %d invalid transactions\n",
+              options.blocks, valid, invalid);
+  std::printf("final commit hash: %s\n",
+              hex_encode(crypto::digest_view(sw_ledger.last().commit_hash))
+                  .c_str());
+  std::printf("hw/sw consistency: %s\n", match ? "PASS" : "FAIL");
+  return match ? 0 : 1;
+}
+
+int cmd_protocol(const Options& options) {
+  const auto config = load_config(options);
+  workload::NetworkOptions net_options;
+  net_options.orgs = static_cast<int>(config.orgs.size());
+  net_options.policy_text = config.chaincode_policies.begin()->second;
+  net_options.block_size = static_cast<std::size_t>(options.block_size);
+  workload::FabricNetworkHarness harness(net_options);
+  bmac::ProtocolSender sender(harness.msp());
+  sender.send(harness.next_block());  // warm the identity cache
+  const auto result = sender.send(harness.next_block());
+  std::printf("block of %d txs: gossip %zu B, bmac %zu B (%.1fx smaller, "
+              "%.1f%% bandwidth saved)\n",
+              options.block_size, result.gossip_size, result.bmac_size,
+              static_cast<double>(result.gossip_size) / result.bmac_size,
+              100.0 * (1.0 - static_cast<double>(result.bmac_size) /
+                                 result.gossip_size));
+  std::printf("%zu packets; %zu identities removed (%zu bytes)\n",
+              result.packets.size(), result.identities_removed,
+              result.identity_bytes_removed);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options options;
+  if (!parse_args(argc, argv, options)) {
+    std::fprintf(stderr,
+                 "usage: bmac_sim <throughput|resources|validate|protocol> "
+                 "[--config FILE] [--blocks N] [--block-size N] [--vcpus N] "
+                 "[--faults]\n");
+    return 2;
+  }
+  try {
+    if (options.command == "throughput") return cmd_throughput(options);
+    if (options.command == "resources") return cmd_resources(options);
+    if (options.command == "validate") return cmd_validate(options);
+    if (options.command == "protocol") return cmd_protocol(options);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  std::fprintf(stderr, "unknown command: %s\n", options.command.c_str());
+  return 2;
+}
