@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_db_tiering.dir/ablation_db_tiering.cpp.o"
+  "CMakeFiles/ablation_db_tiering.dir/ablation_db_tiering.cpp.o.d"
+  "ablation_db_tiering"
+  "ablation_db_tiering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_db_tiering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_short_circuit.dir/ablation_short_circuit.cpp.o"
+  "CMakeFiles/ablation_short_circuit.dir/ablation_short_circuit.cpp.o.d"
+  "ablation_short_circuit"
+  "ablation_short_circuit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_short_circuit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6a_protocol_bandwidth.dir/fig6a_protocol_bandwidth.cpp.o"
+  "CMakeFiles/fig6a_protocol_bandwidth.dir/fig6a_protocol_bandwidth.cpp.o.d"
+  "fig6a_protocol_bandwidth"
+  "fig6a_protocol_bandwidth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6a_protocol_bandwidth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6b_transmission_cdf.dir/fig6b_transmission_cdf.cpp.o"
+  "CMakeFiles/fig6b_transmission_cdf.dir/fig6b_transmission_cdf.cpp.o.d"
+  "fig6b_transmission_cdf"
+  "fig6b_transmission_cdf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6b_transmission_cdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7a_blocksize_sweep.dir/fig7a_blocksize_sweep.cpp.o"
+  "CMakeFiles/fig7a_blocksize_sweep.dir/fig7a_blocksize_sweep.cpp.o.d"
+  "fig7a_blocksize_sweep"
+  "fig7a_blocksize_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7a_blocksize_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

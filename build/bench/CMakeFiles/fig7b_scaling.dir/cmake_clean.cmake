@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7b_scaling.dir/fig7b_scaling.cpp.o"
+  "CMakeFiles/fig7b_scaling.dir/fig7b_scaling.cpp.o.d"
+  "fig7b_scaling"
+  "fig7b_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7b_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

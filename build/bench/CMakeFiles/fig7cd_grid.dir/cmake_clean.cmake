@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7cd_grid.dir/fig7cd_grid.cpp.o"
+  "CMakeFiles/fig7cd_grid.dir/fig7cd_grid.cpp.o.d"
+  "fig7cd_grid"
+  "fig7cd_grid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7cd_grid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7e_policies.dir/fig7e_policies.cpp.o"
+  "CMakeFiles/fig7e_policies.dir/fig7e_policies.cpp.o.d"
+  "fig7e_policies"
+  "fig7e_policies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7e_policies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

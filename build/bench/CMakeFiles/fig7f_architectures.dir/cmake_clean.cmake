@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7f_architectures.dir/fig7f_architectures.cpp.o"
+  "CMakeFiles/fig7f_architectures.dir/fig7f_architectures.cpp.o.d"
+  "fig7f_architectures"
+  "fig7f_architectures.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7f_architectures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

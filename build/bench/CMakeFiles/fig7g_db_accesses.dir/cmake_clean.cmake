@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7g_db_accesses.dir/fig7g_db_accesses.cpp.o"
+  "CMakeFiles/fig7g_db_accesses.dir/fig7g_db_accesses.cpp.o.d"
+  "fig7g_db_accesses"
+  "fig7g_db_accesses.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7g_db_accesses.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

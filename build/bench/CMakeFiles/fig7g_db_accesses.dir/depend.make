@@ -1,0 +1,2 @@
+# Empty dependencies file for fig7g_db_accesses.
+# This may be replaced when dependencies are built.

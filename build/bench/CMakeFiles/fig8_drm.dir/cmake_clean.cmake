@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_drm.dir/fig8_drm.cpp.o"
+  "CMakeFiles/fig8_drm.dir/fig8_drm.cpp.o.d"
+  "fig8_drm"
+  "fig8_drm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_drm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drm_pipeline.dir/drm_pipeline.cpp.o"
+  "CMakeFiles/drm_pipeline.dir/drm_pipeline.cpp.o.d"
+  "drm_pipeline"
+  "drm_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drm_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

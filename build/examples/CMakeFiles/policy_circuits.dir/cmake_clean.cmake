@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/policy_circuits.dir/policy_circuits.cpp.o"
+  "CMakeFiles/policy_circuits.dir/policy_circuits.cpp.o.d"
+  "policy_circuits"
+  "policy_circuits.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/policy_circuits.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

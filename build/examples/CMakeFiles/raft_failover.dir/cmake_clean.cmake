@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/raft_failover.dir/raft_failover.cpp.o"
+  "CMakeFiles/raft_failover.dir/raft_failover.cpp.o.d"
+  "raft_failover"
+  "raft_failover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/raft_failover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smallbank_network.dir/smallbank_network.cpp.o"
+  "CMakeFiles/smallbank_network.dir/smallbank_network.cpp.o.d"
+  "smallbank_network"
+  "smallbank_network.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smallbank_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

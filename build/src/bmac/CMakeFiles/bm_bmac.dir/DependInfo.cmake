@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bmac/block_processor.cpp" "src/bmac/CMakeFiles/bm_bmac.dir/block_processor.cpp.o" "gcc" "src/bmac/CMakeFiles/bm_bmac.dir/block_processor.cpp.o.d"
+  "/root/repo/src/bmac/config.cpp" "src/bmac/CMakeFiles/bm_bmac.dir/config.cpp.o" "gcc" "src/bmac/CMakeFiles/bm_bmac.dir/config.cpp.o.d"
+  "/root/repo/src/bmac/hw_kvstore.cpp" "src/bmac/CMakeFiles/bm_bmac.dir/hw_kvstore.cpp.o" "gcc" "src/bmac/CMakeFiles/bm_bmac.dir/hw_kvstore.cpp.o.d"
+  "/root/repo/src/bmac/identity_cache.cpp" "src/bmac/CMakeFiles/bm_bmac.dir/identity_cache.cpp.o" "gcc" "src/bmac/CMakeFiles/bm_bmac.dir/identity_cache.cpp.o.d"
+  "/root/repo/src/bmac/packet.cpp" "src/bmac/CMakeFiles/bm_bmac.dir/packet.cpp.o" "gcc" "src/bmac/CMakeFiles/bm_bmac.dir/packet.cpp.o.d"
+  "/root/repo/src/bmac/peer.cpp" "src/bmac/CMakeFiles/bm_bmac.dir/peer.cpp.o" "gcc" "src/bmac/CMakeFiles/bm_bmac.dir/peer.cpp.o.d"
+  "/root/repo/src/bmac/policy_circuit.cpp" "src/bmac/CMakeFiles/bm_bmac.dir/policy_circuit.cpp.o" "gcc" "src/bmac/CMakeFiles/bm_bmac.dir/policy_circuit.cpp.o.d"
+  "/root/repo/src/bmac/protocol.cpp" "src/bmac/CMakeFiles/bm_bmac.dir/protocol.cpp.o" "gcc" "src/bmac/CMakeFiles/bm_bmac.dir/protocol.cpp.o.d"
+  "/root/repo/src/bmac/reliable.cpp" "src/bmac/CMakeFiles/bm_bmac.dir/reliable.cpp.o" "gcc" "src/bmac/CMakeFiles/bm_bmac.dir/reliable.cpp.o.d"
+  "/root/repo/src/bmac/resource_model.cpp" "src/bmac/CMakeFiles/bm_bmac.dir/resource_model.cpp.o" "gcc" "src/bmac/CMakeFiles/bm_bmac.dir/resource_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fabric/CMakeFiles/bm_fabric.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/bm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/bm_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/bm_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/wire/CMakeFiles/bm_wire.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/bm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bm_bmac.dir/block_processor.cpp.o"
+  "CMakeFiles/bm_bmac.dir/block_processor.cpp.o.d"
+  "CMakeFiles/bm_bmac.dir/config.cpp.o"
+  "CMakeFiles/bm_bmac.dir/config.cpp.o.d"
+  "CMakeFiles/bm_bmac.dir/hw_kvstore.cpp.o"
+  "CMakeFiles/bm_bmac.dir/hw_kvstore.cpp.o.d"
+  "CMakeFiles/bm_bmac.dir/identity_cache.cpp.o"
+  "CMakeFiles/bm_bmac.dir/identity_cache.cpp.o.d"
+  "CMakeFiles/bm_bmac.dir/packet.cpp.o"
+  "CMakeFiles/bm_bmac.dir/packet.cpp.o.d"
+  "CMakeFiles/bm_bmac.dir/peer.cpp.o"
+  "CMakeFiles/bm_bmac.dir/peer.cpp.o.d"
+  "CMakeFiles/bm_bmac.dir/policy_circuit.cpp.o"
+  "CMakeFiles/bm_bmac.dir/policy_circuit.cpp.o.d"
+  "CMakeFiles/bm_bmac.dir/protocol.cpp.o"
+  "CMakeFiles/bm_bmac.dir/protocol.cpp.o.d"
+  "CMakeFiles/bm_bmac.dir/reliable.cpp.o"
+  "CMakeFiles/bm_bmac.dir/reliable.cpp.o.d"
+  "CMakeFiles/bm_bmac.dir/resource_model.cpp.o"
+  "CMakeFiles/bm_bmac.dir/resource_model.cpp.o.d"
+  "libbm_bmac.a"
+  "libbm_bmac.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bm_bmac.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

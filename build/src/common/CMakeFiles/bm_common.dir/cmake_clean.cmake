@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bm_common.dir/bytes.cpp.o"
+  "CMakeFiles/bm_common.dir/bytes.cpp.o.d"
+  "CMakeFiles/bm_common.dir/crc32.cpp.o"
+  "CMakeFiles/bm_common.dir/crc32.cpp.o.d"
+  "CMakeFiles/bm_common.dir/hex.cpp.o"
+  "CMakeFiles/bm_common.dir/hex.cpp.o.d"
+  "CMakeFiles/bm_common.dir/log.cpp.o"
+  "CMakeFiles/bm_common.dir/log.cpp.o.d"
+  "CMakeFiles/bm_common.dir/rng.cpp.o"
+  "CMakeFiles/bm_common.dir/rng.cpp.o.d"
+  "libbm_common.a"
+  "libbm_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bm_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

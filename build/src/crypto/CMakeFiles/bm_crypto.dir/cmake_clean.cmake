@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bm_crypto.dir/der.cpp.o"
+  "CMakeFiles/bm_crypto.dir/der.cpp.o.d"
+  "CMakeFiles/bm_crypto.dir/ecdsa.cpp.o"
+  "CMakeFiles/bm_crypto.dir/ecdsa.cpp.o.d"
+  "CMakeFiles/bm_crypto.dir/hmac.cpp.o"
+  "CMakeFiles/bm_crypto.dir/hmac.cpp.o.d"
+  "CMakeFiles/bm_crypto.dir/p256.cpp.o"
+  "CMakeFiles/bm_crypto.dir/p256.cpp.o.d"
+  "CMakeFiles/bm_crypto.dir/sha256.cpp.o"
+  "CMakeFiles/bm_crypto.dir/sha256.cpp.o.d"
+  "CMakeFiles/bm_crypto.dir/u256.cpp.o"
+  "CMakeFiles/bm_crypto.dir/u256.cpp.o.d"
+  "libbm_crypto.a"
+  "libbm_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bm_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fabric/block.cpp" "src/fabric/CMakeFiles/bm_fabric.dir/block.cpp.o" "gcc" "src/fabric/CMakeFiles/bm_fabric.dir/block.cpp.o.d"
+  "/root/repo/src/fabric/block_store.cpp" "src/fabric/CMakeFiles/bm_fabric.dir/block_store.cpp.o" "gcc" "src/fabric/CMakeFiles/bm_fabric.dir/block_store.cpp.o.d"
+  "/root/repo/src/fabric/endorser.cpp" "src/fabric/CMakeFiles/bm_fabric.dir/endorser.cpp.o" "gcc" "src/fabric/CMakeFiles/bm_fabric.dir/endorser.cpp.o.d"
+  "/root/repo/src/fabric/identity.cpp" "src/fabric/CMakeFiles/bm_fabric.dir/identity.cpp.o" "gcc" "src/fabric/CMakeFiles/bm_fabric.dir/identity.cpp.o.d"
+  "/root/repo/src/fabric/ledger.cpp" "src/fabric/CMakeFiles/bm_fabric.dir/ledger.cpp.o" "gcc" "src/fabric/CMakeFiles/bm_fabric.dir/ledger.cpp.o.d"
+  "/root/repo/src/fabric/orderer.cpp" "src/fabric/CMakeFiles/bm_fabric.dir/orderer.cpp.o" "gcc" "src/fabric/CMakeFiles/bm_fabric.dir/orderer.cpp.o.d"
+  "/root/repo/src/fabric/policy.cpp" "src/fabric/CMakeFiles/bm_fabric.dir/policy.cpp.o" "gcc" "src/fabric/CMakeFiles/bm_fabric.dir/policy.cpp.o.d"
+  "/root/repo/src/fabric/private_data.cpp" "src/fabric/CMakeFiles/bm_fabric.dir/private_data.cpp.o" "gcc" "src/fabric/CMakeFiles/bm_fabric.dir/private_data.cpp.o.d"
+  "/root/repo/src/fabric/raft.cpp" "src/fabric/CMakeFiles/bm_fabric.dir/raft.cpp.o" "gcc" "src/fabric/CMakeFiles/bm_fabric.dir/raft.cpp.o.d"
+  "/root/repo/src/fabric/rwset.cpp" "src/fabric/CMakeFiles/bm_fabric.dir/rwset.cpp.o" "gcc" "src/fabric/CMakeFiles/bm_fabric.dir/rwset.cpp.o.d"
+  "/root/repo/src/fabric/statedb.cpp" "src/fabric/CMakeFiles/bm_fabric.dir/statedb.cpp.o" "gcc" "src/fabric/CMakeFiles/bm_fabric.dir/statedb.cpp.o.d"
+  "/root/repo/src/fabric/transaction.cpp" "src/fabric/CMakeFiles/bm_fabric.dir/transaction.cpp.o" "gcc" "src/fabric/CMakeFiles/bm_fabric.dir/transaction.cpp.o.d"
+  "/root/repo/src/fabric/validator.cpp" "src/fabric/CMakeFiles/bm_fabric.dir/validator.cpp.o" "gcc" "src/fabric/CMakeFiles/bm_fabric.dir/validator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/bm_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/bm_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/wire/CMakeFiles/bm_wire.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/bm_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bm_fabric.dir/block.cpp.o"
+  "CMakeFiles/bm_fabric.dir/block.cpp.o.d"
+  "CMakeFiles/bm_fabric.dir/block_store.cpp.o"
+  "CMakeFiles/bm_fabric.dir/block_store.cpp.o.d"
+  "CMakeFiles/bm_fabric.dir/endorser.cpp.o"
+  "CMakeFiles/bm_fabric.dir/endorser.cpp.o.d"
+  "CMakeFiles/bm_fabric.dir/identity.cpp.o"
+  "CMakeFiles/bm_fabric.dir/identity.cpp.o.d"
+  "CMakeFiles/bm_fabric.dir/ledger.cpp.o"
+  "CMakeFiles/bm_fabric.dir/ledger.cpp.o.d"
+  "CMakeFiles/bm_fabric.dir/orderer.cpp.o"
+  "CMakeFiles/bm_fabric.dir/orderer.cpp.o.d"
+  "CMakeFiles/bm_fabric.dir/policy.cpp.o"
+  "CMakeFiles/bm_fabric.dir/policy.cpp.o.d"
+  "CMakeFiles/bm_fabric.dir/private_data.cpp.o"
+  "CMakeFiles/bm_fabric.dir/private_data.cpp.o.d"
+  "CMakeFiles/bm_fabric.dir/raft.cpp.o"
+  "CMakeFiles/bm_fabric.dir/raft.cpp.o.d"
+  "CMakeFiles/bm_fabric.dir/rwset.cpp.o"
+  "CMakeFiles/bm_fabric.dir/rwset.cpp.o.d"
+  "CMakeFiles/bm_fabric.dir/statedb.cpp.o"
+  "CMakeFiles/bm_fabric.dir/statedb.cpp.o.d"
+  "CMakeFiles/bm_fabric.dir/transaction.cpp.o"
+  "CMakeFiles/bm_fabric.dir/transaction.cpp.o.d"
+  "CMakeFiles/bm_fabric.dir/validator.cpp.o"
+  "CMakeFiles/bm_fabric.dir/validator.cpp.o.d"
+  "libbm_fabric.a"
+  "libbm_fabric.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bm_fabric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bm_net.dir/gossip.cpp.o"
+  "CMakeFiles/bm_net.dir/gossip.cpp.o.d"
+  "CMakeFiles/bm_net.dir/link.cpp.o"
+  "CMakeFiles/bm_net.dir/link.cpp.o.d"
+  "CMakeFiles/bm_net.dir/transport.cpp.o"
+  "CMakeFiles/bm_net.dir/transport.cpp.o.d"
+  "libbm_net.a"
+  "libbm_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bm_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

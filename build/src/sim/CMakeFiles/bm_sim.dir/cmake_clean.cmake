@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bm_sim.dir/simulation.cpp.o"
+  "CMakeFiles/bm_sim.dir/simulation.cpp.o.d"
+  "libbm_sim.a"
+  "libbm_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bm_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

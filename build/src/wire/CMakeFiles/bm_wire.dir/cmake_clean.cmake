@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bm_wire.dir/proto.cpp.o"
+  "CMakeFiles/bm_wire.dir/proto.cpp.o.d"
+  "CMakeFiles/bm_wire.dir/varint.cpp.o"
+  "CMakeFiles/bm_wire.dir/varint.cpp.o.d"
+  "libbm_wire.a"
+  "libbm_wire.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bm_wire.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/caliper.cpp" "src/workload/CMakeFiles/bm_workload.dir/caliper.cpp.o" "gcc" "src/workload/CMakeFiles/bm_workload.dir/caliper.cpp.o.d"
+  "/root/repo/src/workload/chaincode.cpp" "src/workload/CMakeFiles/bm_workload.dir/chaincode.cpp.o" "gcc" "src/workload/CMakeFiles/bm_workload.dir/chaincode.cpp.o.d"
+  "/root/repo/src/workload/metrics.cpp" "src/workload/CMakeFiles/bm_workload.dir/metrics.cpp.o" "gcc" "src/workload/CMakeFiles/bm_workload.dir/metrics.cpp.o.d"
+  "/root/repo/src/workload/network_harness.cpp" "src/workload/CMakeFiles/bm_workload.dir/network_harness.cpp.o" "gcc" "src/workload/CMakeFiles/bm_workload.dir/network_harness.cpp.o.d"
+  "/root/repo/src/workload/synthetic.cpp" "src/workload/CMakeFiles/bm_workload.dir/synthetic.cpp.o" "gcc" "src/workload/CMakeFiles/bm_workload.dir/synthetic.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fabric/CMakeFiles/bm_fabric.dir/DependInfo.cmake"
+  "/root/repo/build/src/bmac/CMakeFiles/bm_bmac.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/bm_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/wire/CMakeFiles/bm_wire.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/bm_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/bm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/bm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bm_workload.dir/caliper.cpp.o"
+  "CMakeFiles/bm_workload.dir/caliper.cpp.o.d"
+  "CMakeFiles/bm_workload.dir/chaincode.cpp.o"
+  "CMakeFiles/bm_workload.dir/chaincode.cpp.o.d"
+  "CMakeFiles/bm_workload.dir/metrics.cpp.o"
+  "CMakeFiles/bm_workload.dir/metrics.cpp.o.d"
+  "CMakeFiles/bm_workload.dir/network_harness.cpp.o"
+  "CMakeFiles/bm_workload.dir/network_harness.cpp.o.d"
+  "CMakeFiles/bm_workload.dir/synthetic.cpp.o"
+  "CMakeFiles/bm_workload.dir/synthetic.cpp.o.d"
+  "libbm_workload.a"
+  "libbm_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bm_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

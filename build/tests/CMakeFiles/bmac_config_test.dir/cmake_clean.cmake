@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bmac_config_test.dir/bmac_config_test.cpp.o"
+  "CMakeFiles/bmac_config_test.dir/bmac_config_test.cpp.o.d"
+  "bmac_config_test"
+  "bmac_config_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bmac_config_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bmac_equivalence_test.dir/bmac_equivalence_test.cpp.o"
+  "CMakeFiles/bmac_equivalence_test.dir/bmac_equivalence_test.cpp.o.d"
+  "bmac_equivalence_test"
+  "bmac_equivalence_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bmac_equivalence_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

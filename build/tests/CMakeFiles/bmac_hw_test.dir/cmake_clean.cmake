@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bmac_hw_test.dir/bmac_hw_test.cpp.o"
+  "CMakeFiles/bmac_hw_test.dir/bmac_hw_test.cpp.o.d"
+  "bmac_hw_test"
+  "bmac_hw_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bmac_hw_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bmac_packet_test.dir/bmac_packet_test.cpp.o"
+  "CMakeFiles/bmac_packet_test.dir/bmac_packet_test.cpp.o.d"
+  "bmac_packet_test"
+  "bmac_packet_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bmac_packet_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

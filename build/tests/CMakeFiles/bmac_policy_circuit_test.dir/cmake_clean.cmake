@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bmac_policy_circuit_test.dir/bmac_policy_circuit_test.cpp.o"
+  "CMakeFiles/bmac_policy_circuit_test.dir/bmac_policy_circuit_test.cpp.o.d"
+  "bmac_policy_circuit_test"
+  "bmac_policy_circuit_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bmac_policy_circuit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bmac_protocol_test.dir/bmac_protocol_test.cpp.o"
+  "CMakeFiles/bmac_protocol_test.dir/bmac_protocol_test.cpp.o.d"
+  "bmac_protocol_test"
+  "bmac_protocol_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bmac_protocol_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

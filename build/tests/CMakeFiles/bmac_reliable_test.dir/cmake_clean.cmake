@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bmac_reliable_test.dir/bmac_reliable_test.cpp.o"
+  "CMakeFiles/bmac_reliable_test.dir/bmac_reliable_test.cpp.o.d"
+  "bmac_reliable_test"
+  "bmac_reliable_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bmac_reliable_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bmac_tiered_store_test.dir/bmac_tiered_store_test.cpp.o"
+  "CMakeFiles/bmac_tiered_store_test.dir/bmac_tiered_store_test.cpp.o.d"
+  "bmac_tiered_store_test"
+  "bmac_tiered_store_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bmac_tiered_store_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

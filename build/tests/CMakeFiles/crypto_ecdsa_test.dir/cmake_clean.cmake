@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crypto_ecdsa_test.dir/crypto_ecdsa_test.cpp.o"
+  "CMakeFiles/crypto_ecdsa_test.dir/crypto_ecdsa_test.cpp.o.d"
+  "crypto_ecdsa_test"
+  "crypto_ecdsa_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crypto_ecdsa_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

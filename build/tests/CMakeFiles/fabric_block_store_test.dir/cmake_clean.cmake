@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fabric_block_store_test.dir/fabric_block_store_test.cpp.o"
+  "CMakeFiles/fabric_block_store_test.dir/fabric_block_store_test.cpp.o.d"
+  "fabric_block_store_test"
+  "fabric_block_store_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fabric_block_store_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

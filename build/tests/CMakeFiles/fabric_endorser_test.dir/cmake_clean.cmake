@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fabric_endorser_test.dir/fabric_endorser_test.cpp.o"
+  "CMakeFiles/fabric_endorser_test.dir/fabric_endorser_test.cpp.o.d"
+  "fabric_endorser_test"
+  "fabric_endorser_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fabric_endorser_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fabric_identity_test.dir/fabric_identity_test.cpp.o"
+  "CMakeFiles/fabric_identity_test.dir/fabric_identity_test.cpp.o.d"
+  "fabric_identity_test"
+  "fabric_identity_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fabric_identity_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fabric_private_data_test.dir/fabric_private_data_test.cpp.o"
+  "CMakeFiles/fabric_private_data_test.dir/fabric_private_data_test.cpp.o.d"
+  "fabric_private_data_test"
+  "fabric_private_data_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fabric_private_data_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

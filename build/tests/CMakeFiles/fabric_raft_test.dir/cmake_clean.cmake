@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fabric_raft_test.dir/fabric_raft_test.cpp.o"
+  "CMakeFiles/fabric_raft_test.dir/fabric_raft_test.cpp.o.d"
+  "fabric_raft_test"
+  "fabric_raft_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fabric_raft_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

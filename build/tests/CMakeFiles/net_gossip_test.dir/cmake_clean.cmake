@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/net_gossip_test.dir/net_gossip_test.cpp.o"
+  "CMakeFiles/net_gossip_test.dir/net_gossip_test.cpp.o.d"
+  "net_gossip_test"
+  "net_gossip_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/net_gossip_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

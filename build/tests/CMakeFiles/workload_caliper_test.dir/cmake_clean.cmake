@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workload_caliper_test.dir/workload_caliper_test.cpp.o"
+  "CMakeFiles/workload_caliper_test.dir/workload_caliper_test.cpp.o.d"
+  "workload_caliper_test"
+  "workload_caliper_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workload_caliper_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bmac_sim.dir/bmac_sim.cpp.o"
+  "CMakeFiles/bmac_sim.dir/bmac_sim.cpp.o.d"
+  "bmac_sim"
+  "bmac_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bmac_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
