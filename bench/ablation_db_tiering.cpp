@@ -13,8 +13,9 @@
 // dominate.
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace bm;
+  bench::Observability obs(argc, argv);
   bench::title("Ablation - host-backed state database (8x2, block 150, "
                "on-chip capacity 8192)");
   std::printf("%-14s %10s %12s %12s %12s %12s\n", "working set", "fits?",
@@ -27,7 +28,8 @@ int main() {
     auto spec = bench::standard_spec();
     spec.write_working_set = working_set;
     spec.host_backed_db = true;
-    const auto tiered = workload::run_hw_workload(spec);
+    const auto tiered =
+        obs.run(spec, "tiered ws " + std::to_string(working_set));
     std::printf("%-14zu %10s %12.0f %12llu %12llu %12llu\n", working_set,
                 working_set <= spec.hw.db_capacity ? "yes" : "no", tiered.tps,
                 static_cast<unsigned long long>(tiered.db_evictions),
@@ -41,11 +43,11 @@ int main() {
   auto spec = bench::standard_spec();
   spec.write_working_set = 65536;
   spec.host_backed_db = false;
-  const auto hw_only = workload::run_hw_workload(spec);
+  const auto hw_only = obs.run(spec, "hw-only ws 65536");
   std::printf("hw-only with 64k working set: %.0f tps but %llu overflowed "
               "writes (state lost) -> the host tier is required for large "
               "applications\n",
               hw_only.tps,
               static_cast<unsigned long long>(hw_only.db_overflows));
-  return 0;
+  return obs.finish();
 }

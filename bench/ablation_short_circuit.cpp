@@ -11,8 +11,9 @@
 // the two modes are identical.
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace bm;
+  bench::Observability obs(argc, argv);
   bench::title("Ablation - short-circuit vscc vs verify-all (8x2, block 150)");
   std::printf("%-18s %6s %14s %14s %10s %14s\n", "policy", "ends",
               "short-circuit", "verify-all", "gain", "sigs saved/tx");
@@ -29,9 +30,9 @@ int main() {
     spec.ends_attached = c.ends;
 
     spec.hw.short_circuit_vscc = true;
-    const auto fast = workload::run_hw_workload(spec);
+    const auto fast = obs.run(spec, std::string("short-circuit ") + c.text);
     spec.hw.short_circuit_vscc = false;
-    const auto slow = workload::run_hw_workload(spec);
+    const auto slow = obs.run(spec, std::string("verify-all ") + c.text);
 
     std::printf("%-18s %6d %14.0f %14.0f %9.2fx %14.2f\n", c.text, c.ends,
                 fast.tps, slow.tps, fast.tps / slow.tps,
@@ -43,5 +44,5 @@ int main() {
               "(2of3 == 3of3 at ~3,800 tps);\n"
               "       the hardware short-circuit gives 2of3 the full "
               "49,200 tps (Fig. 7e)\n");
-  return 0;
+  return obs.finish();
 }

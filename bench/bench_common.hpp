@@ -5,10 +5,14 @@
 // are given, so the shape comparison is immediate.
 #pragma once
 
+#include <algorithm>
 #include <cstdio>
+#include <cstring>
 #include <string>
 #include <vector>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "workload/synthetic.hpp"
 
 namespace bm::bench {
@@ -46,5 +50,96 @@ inline workload::SyntheticSpec drm_spec() {
   spec.writes_per_tx = 1.0;
   return spec;
 }
+
+/// Optional observability for the figure benches: pass
+/// --trace-out FILE / --metrics-out FILE / --metrics-text FILE to any bench
+/// and every simulated run it performs is traced (one Chrome-trace process
+/// per run, labeled) and its metrics published into one shared registry.
+/// Without these flags `run()` is exactly `workload::run_hw_workload()`.
+///
+/// Counters in the shared registry accumulate across the bench's runs;
+/// gauges and histograms reflect the union (last writer wins for gauges).
+class Observability {
+ public:
+  Observability(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+      auto next = [&]() -> const char* {
+        return i + 1 < argc ? argv[++i] : nullptr;
+      };
+      if (std::strcmp(argv[i], "--trace-out") == 0) {
+        if (const char* v = next()) trace_out_ = v;
+      } else if (std::strcmp(argv[i], "--metrics-out") == 0) {
+        if (const char* v = next()) metrics_out_ = v;
+      } else if (std::strcmp(argv[i], "--metrics-text") == 0) {
+        if (const char* v = next()) metrics_text_ = v;
+      }
+    }
+  }
+
+  bool enabled() const {
+    return !trace_out_.empty() || !metrics_out_.empty() ||
+           !metrics_text_.empty();
+  }
+
+  /// Run the hardware workload, instrumented when enabled. `label` names
+  /// the run's process group in the trace (e.g. "block_size 150").
+  workload::HwRunResult run(workload::SyntheticSpec spec,
+                            const std::string& label) {
+    if (enabled()) {
+      tracer_.begin_process(label);
+      spec.registry = &registry_;
+      spec.tracer = &tracer_;
+    }
+    const auto result = workload::run_hw_workload(spec);
+    at_ = std::max(at_, static_cast<sim::Time>(result.sim_seconds *
+                                               static_cast<double>(
+                                                   sim::kSecond)));
+    return result;
+  }
+
+  /// Write the requested artifacts. Call once, after the last run. Returns
+  /// 0 on success (or when disabled).
+  int finish() const {
+    if (!trace_out_.empty()) {
+      if (!tracer_.write_chrome_json(trace_out_)) {
+        std::fprintf(stderr, "cannot write %s\n", trace_out_.c_str());
+        return 1;
+      }
+      std::printf("trace: %s (%zu events)\n", trace_out_.c_str(),
+                  tracer_.event_count());
+    }
+    if (!metrics_out_.empty()) {
+      if (!registry_.write_json(metrics_out_, at_)) {
+        std::fprintf(stderr, "cannot write %s\n", metrics_out_.c_str());
+        return 1;
+      }
+      std::printf("metrics: %s (%zu series)\n", metrics_out_.c_str(),
+                  registry_.size());
+    }
+    if (!metrics_text_.empty()) {
+      if (!registry_.write_text(metrics_text_, at_)) {
+        std::fprintf(stderr, "cannot write %s\n", metrics_text_.c_str());
+        return 1;
+      }
+      std::printf("metrics (text): %s\n", metrics_text_.c_str());
+    }
+    return 0;
+  }
+
+  obs::Registry& registry() { return registry_; }
+  obs::Tracer& tracer() { return tracer_; }
+
+  /// For benches that instrument a simulation directly (rather than via
+  /// run()): record the simulated end time the metrics snapshot is taken at.
+  void note_time(sim::Time at) { at_ = std::max(at_, at); }
+
+ private:
+  obs::Registry registry_;
+  obs::Tracer tracer_;
+  sim::Time at_ = 0;
+  std::string trace_out_;
+  std::string metrics_out_;
+  std::string metrics_text_;
+};
 
 }  // namespace bm::bench

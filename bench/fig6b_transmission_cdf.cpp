@@ -18,8 +18,9 @@
 #include "workload/metrics.hpp"
 #include "workload/network_harness.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace bm;
+  bench::Observability obs(argc, argv);
   constexpr int kBlocks = 500;
 
   // Measure real protocol sizes once (steady-state identity cache).
@@ -49,6 +50,10 @@ int main() {
   udp_config.software_jitter_max = 0;  // jitter modeled in the shared prep
   net::UdpChannel bmac_channel(sim, link, udp_config);
   bmac::HwTimingModel hw_timing;
+  if (obs.enabled()) {
+    obs.tracer().begin_process("fig6b 1gbps link");
+    link.set_tracer(&obs.tracer(), obs.tracer().lane("link"));
+  }
 
   // Shared orderer-side cost per block: block assembly, signing, scheduling.
   Rng prep_rng(11);
@@ -116,5 +121,11 @@ int main() {
   std::printf("p95: gossip %.1f ms, bmac %.1f ms -> %.0f%% reduction "
               "(paper: 26 ms vs 18 ms, 30%%)\n",
               p95_gossip, p95_bmac, 100.0 * (1.0 - p95_bmac / p95_gossip));
-  return 0;
+  if (obs.enabled()) {
+    link.publish_metrics(obs.registry(), "net_link");
+    gossip.publish_metrics(obs.registry(), "tcp_gossip");
+    bmac_channel.publish_metrics(obs.registry(), "udp_bmac");
+    obs.note_time(sim.now());
+  }
+  return obs.finish();
 }

@@ -6,8 +6,9 @@
 // always >= 10x the software validator; >50,000 tps and <5 ms latency at 250.
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace bm;
+  bench::Observability obs(argc, argv);
   bench::title("Fig 7a - smallbank throughput vs block size (8 vCPUs / 8x2)");
   std::printf("%-10s %12s %14s %12s %14s %10s\n", "block", "endorser",
               "sw_validator", "bmac", "bmac/sw", "bmac lat");
@@ -19,7 +20,7 @@ int main() {
   for (int block_size = 50; block_size <= 250; block_size += 50) {
     auto spec = bench::standard_spec();
     spec.block_size = block_size;
-    const auto hw = workload::run_hw_workload(spec);
+    const auto hw = obs.run(spec, "block " + std::to_string(block_size));
     const auto sw = workload::run_sw_model(spec, 8);
 
     min_bmac = std::min(min_bmac, hw.tps);
@@ -32,5 +33,5 @@ int main() {
   std::printf("BMac minimum: %.0f tps (paper: 38,000); min speedup over "
               "sw_validator: %.1fx (paper: >=10x)\n",
               min_bmac, min_ratio);
-  return 0;
+  return obs.finish();
 }

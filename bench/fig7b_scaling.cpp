@@ -7,8 +7,9 @@
 // with 16 vCPUs by 4.8x.
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace bm;
+  bench::Observability obs(argc, argv);
   bench::title("Fig 7b - throughput vs vCPUs / tx_validators (block 150)");
   std::printf("%-16s %14s %12s %12s\n", "vcpus/tx_vals", "sw_validator",
               "bmac", "bmac lat");
@@ -19,7 +20,7 @@ int main() {
   for (const int n : {4, 8, 16}) {
     auto spec = bench::standard_spec();
     spec.hw.tx_validators = n;
-    const auto hw = workload::run_hw_workload(spec);
+    const auto hw = obs.run(spec, "tx_validators " + std::to_string(n));
     const auto sw = workload::run_sw_model(spec, n);
     if (n == 4) { hw_at4 = hw.tps; sw_at4 = sw.validator_tps; }
     if (n == 16) { hw_at16 = hw.tps; sw_at16 = sw.validator_tps; }
@@ -32,5 +33,5 @@ int main() {
   std::printf("bmac scaling 4->16 validators: %.2fx (paper: 3.3x, ideal 4x)\n",
               hw_at16 / hw_at4);
   std::printf("bmac@4 vs sw@16: %.1fx (paper: 4.8x)\n", hw_at4 / sw_at16);
-  return 0;
+  return obs.finish();
 }

@@ -6,8 +6,9 @@
 // validation latency for BMac is ~0.3 ms.
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace bm;
+  bench::Observability obs(argc, argv);
   const int block_sizes[] = {50, 100, 150, 200, 250};
   const int parallel[] = {4, 8, 16};
 
@@ -41,7 +42,8 @@ int main() {
       auto spec = bench::standard_spec();
       spec.block_size = size;
       spec.hw.tx_validators = v;
-      const auto hw = workload::run_hw_workload(spec);
+      const auto hw = obs.run(spec, "block " + std::to_string(size) + " V" +
+                                        std::to_string(v));
       hw_min = std::min(hw_min, hw.tps);
       hw_max = std::max(hw_max, hw.tps);
       tx_latency = hw.tx_latency_us;
@@ -56,5 +58,5 @@ int main() {
   std::printf("best-case speedup: %.1fx (paper: 17x)\n", hw_max / sw_max);
   std::printf("bmac tx validation latency: %.0f us (paper: ~0.3 ms; "
               "StreamChain's best software latency: 0.7 ms)\n", tx_latency);
-  return 0;
+  return obs.finish();
 }

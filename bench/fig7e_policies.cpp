@@ -8,8 +8,9 @@
 // 25,800 for 3of3 (2 engines need a second round for the third signature).
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace bm;
+  bench::Observability obs(argc, argv);
   struct PolicyCase {
     const char* text;
     int endorsements;  // one per principal, like the paper's clients
@@ -32,7 +33,7 @@ int main() {
     auto spec = bench::standard_spec();
     spec.policy_text = c.text;
     spec.ends_attached = c.endorsements;
-    const auto hw = workload::run_hw_workload(spec);
+    const auto hw = obs.run(spec, c.text);
     const auto sw = workload::run_sw_model(spec, 8);
     if (std::string(c.text) == "2-outof-3 orgs") { hw_2of3 = hw.tps; sw_2of3 = sw.validator_tps; }
     if (std::string(c.text) == "3-outof-3 orgs") { hw_3of3 = hw.tps; sw_3of3 = sw.validator_tps; }
@@ -46,5 +47,5 @@ int main() {
   std::printf("bmac 2of3 vs 3of3: %.0f vs %.0f tps = %.2fx (paper: 49,200 vs "
               "25,800 — short-circuit evaluation)\n",
               hw_2of3, hw_3of3, hw_2of3 / hw_3of3);
-  return 0;
+  return obs.finish();
 }

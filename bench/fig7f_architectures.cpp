@@ -8,8 +8,9 @@
 // circuit evaluates them in parallel — throughput equals plain 2of4.
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace bm;
+  bench::Observability obs(argc, argv);
   constexpr const char* kComplex =
       "(Org1 & Org2) | (Org1 & Org4) | (Org2 & Org3) | (Org2 & Org4) | "
       "(Org3 & Org4)";
@@ -39,9 +40,11 @@ int main() {
     spec.ends_attached = c.endorsements;
 
     spec.hw = {.tx_validators = 8, .engines_per_vscc = 2};
-    const double tps_8x2 = workload::run_hw_workload(spec).tps;
+    const double tps_8x2 =
+        obs.run(spec, std::string("8x2 ") + c.label).tps;
     spec.hw = {.tx_validators = 5, .engines_per_vscc = 3};
-    const double tps_5x3 = workload::run_hw_workload(spec).tps;
+    const double tps_5x3 =
+        obs.run(spec, std::string("5x3 ") + c.label).tps;
     const double sw = workload::run_sw_model(spec, 8).validator_tps;
     std::printf("%-10s %6d %12.0f %12.0f %12.2f %14.0f\n", c.label,
                 c.endorsements, tps_8x2, tps_5x3, tps_8x2 / tps_5x3, sw);
@@ -51,5 +54,5 @@ int main() {
               "25%% for 3of3/3of4;\n"
               "       complex policy: sw ~2,700 tps, bmac ~= 2of4 "
               "(combinational circuits evaluate sub-expressions in parallel)\n");
-  return 0;
+  return obs.finish();
 }

@@ -6,8 +6,9 @@
 // software peer loses ~16% over the sweep.
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace bm;
+  bench::Observability obs(argc, argv);
   bench::title("Fig 7g - throughput vs database accesses per tx (block 150)");
   std::printf("%-10s %14s %12s %14s\n", "rw/tx", "sw_validator", "bmac",
               "bmac lat");
@@ -21,7 +22,7 @@ int main() {
     // parameter is total accesses per tx.
     spec.reads_per_tx = (rw + 1) / 2.0;
     spec.writes_per_tx = rw / 2.0;
-    const auto hw = workload::run_hw_workload(spec);
+    const auto hw = obs.run(spec, "rw_per_tx " + std::to_string(rw));
     const auto sw = workload::run_sw_model(spec, 8);
     if (rw == 3) { sw_first = sw.validator_tps; hw_first = hw.tps; }
     sw_last = sw.validator_tps;
@@ -35,5 +36,5 @@ int main() {
   std::printf("bmac change 3rw -> 13rw: %+.1f%% (paper: flat — mvcc/commit "
               "hidden by vscc latency)\n",
               100.0 * (hw_last - hw_first) / hw_first);
-  return 0;
+  return obs.finish();
 }

@@ -6,8 +6,9 @@
 // because mvcc/commit are hidden under the vscc latency either way.
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace bm;
+  bench::Observability obs(argc, argv);
   bench::title("Fig 8a - drm throughput vs block size (8 vCPUs / 8x2)");
   std::printf("%-10s %14s %12s %14s %12s\n", "block", "sw_validator", "bmac",
               "sw smallbank", "bmac smallbank");
@@ -17,9 +18,10 @@ int main() {
     drm.block_size = block_size;
     auto smallbank = bench::standard_spec();
     smallbank.block_size = block_size;
-    const auto hw_drm = workload::run_hw_workload(drm);
+    const auto hw_drm = obs.run(drm, "drm block " + std::to_string(block_size));
     const auto sw_drm = workload::run_sw_model(drm, 8);
-    const auto hw_sb = workload::run_hw_workload(smallbank);
+    const auto hw_sb =
+        obs.run(smallbank, "smallbank block " + std::to_string(block_size));
     const auto sw_sb = workload::run_sw_model(smallbank, 8);
     std::printf("%-10d %14.0f %12.0f %14.0f %12.0f\n", block_size,
                 sw_drm.validator_tps, hw_drm.tps, sw_sb.validator_tps,
@@ -32,12 +34,12 @@ int main() {
   for (const int n : {4, 8, 16}) {
     auto spec = bench::drm_spec();
     spec.hw.tx_validators = n;
-    const auto hw = workload::run_hw_workload(spec);
+    const auto hw = obs.run(spec, "drm tx_validators " + std::to_string(n));
     const auto sw = workload::run_sw_model(spec, n);
     std::printf("%-16d %14.0f %12.0f\n", n, sw.validator_tps, hw.tps);
   }
   bench::rule();
   std::printf("paper: drm sw_validator slightly above smallbank (fewer db "
               "requests); bmac unchanged (db hidden by vscc)\n");
-  return 0;
+  return obs.finish();
 }

@@ -235,5 +235,5 @@ bench/CMakeFiles/micro_protocol.dir/micro_protocol.cpp.o: \
  /root/repo/src/workload/network_harness.hpp \
  /root/repo/src/fabric/orderer.hpp /root/repo/src/fabric/validator.hpp \
  /root/repo/src/fabric/ledger.hpp /root/repo/src/fabric/statedb.hpp \
- /root/repo/src/fabric/transaction.hpp \
+ /root/repo/src/fabric/transaction.hpp /root/repo/src/obs/metrics.hpp \
  /root/repo/src/workload/chaincode.hpp /root/repo/src/common/rng.hpp

@@ -230,7 +230,8 @@ examples/CMakeFiles/smallbank_network.dir/smallbank_network.cpp.o: \
  /root/repo/src/fabric/identity.hpp /root/repo/src/crypto/ecdsa.hpp \
  /root/repo/src/crypto/p256.hpp /root/repo/src/crypto/u256.hpp \
  /root/repo/src/crypto/sha256.hpp /root/repo/src/bmac/records.hpp \
- /root/repo/src/fabric/block.hpp /root/repo/src/sim/fifo.hpp \
+ /root/repo/src/fabric/block.hpp /root/repo/src/obs/metrics.hpp \
+ /root/repo/src/obs/trace.hpp /root/repo/src/sim/fifo.hpp \
  /usr/include/c++/12/cassert /usr/include/assert.h \
  /root/repo/src/fabric/timing_model.hpp /usr/include/c++/12/algorithm \
  /usr/include/c++/12/bits/ranges_algo.h \

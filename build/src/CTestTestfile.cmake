@@ -8,6 +8,7 @@ subdirs("common")
 subdirs("crypto")
 subdirs("wire")
 subdirs("sim")
+subdirs("obs")
 subdirs("fabric")
 subdirs("net")
 subdirs("bmac")

@@ -229,7 +229,8 @@ src/bmac/CMakeFiles/bm_bmac.dir/config.cpp.o: \
  /root/repo/src/fabric/identity.hpp /root/repo/src/crypto/ecdsa.hpp \
  /root/repo/src/crypto/p256.hpp /root/repo/src/crypto/u256.hpp \
  /root/repo/src/crypto/sha256.hpp /root/repo/src/bmac/records.hpp \
- /root/repo/src/fabric/block.hpp /root/repo/src/sim/fifo.hpp \
+ /root/repo/src/fabric/block.hpp /root/repo/src/obs/metrics.hpp \
+ /root/repo/src/obs/trace.hpp /root/repo/src/sim/fifo.hpp \
  /usr/include/c++/12/cassert /usr/include/assert.h \
  /usr/include/c++/12/fstream /usr/include/c++/12/istream \
  /usr/include/c++/12/bits/istream.tcc /usr/include/c++/12/bits/codecvt.h \

@@ -230,7 +230,9 @@ src/bmac/CMakeFiles/bm_bmac.dir/peer.cpp.o: /root/repo/src/bmac/peer.cpp \
  /root/repo/src/fabric/identity.hpp /root/repo/src/crypto/ecdsa.hpp \
  /root/repo/src/crypto/p256.hpp /root/repo/src/crypto/u256.hpp \
  /root/repo/src/crypto/sha256.hpp /root/repo/src/bmac/records.hpp \
- /root/repo/src/fabric/block.hpp /root/repo/src/sim/fifo.hpp \
+ /root/repo/src/fabric/block.hpp /root/repo/src/obs/metrics.hpp \
+ /root/repo/src/obs/trace.hpp /root/repo/src/sim/fifo.hpp \
  /usr/include/c++/12/cassert /usr/include/assert.h \
  /root/repo/src/bmac/protocol.hpp /root/repo/src/bmac/identity_cache.hpp \
- /root/repo/src/bmac/packet.hpp /root/repo/src/fabric/ledger.hpp
+ /root/repo/src/bmac/packet.hpp /root/repo/src/fabric/ledger.hpp \
+ /root/repo/src/obs/probes.hpp

@@ -29,6 +29,7 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/crypto/CMakeFiles/bm_crypto.dir/DependInfo.cmake"
   "/root/repo/build/src/wire/CMakeFiles/bm_wire.dir/DependInfo.cmake"
   "/root/repo/build/src/sim/CMakeFiles/bm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/obs/CMakeFiles/bm_obs.dir/DependInfo.cmake"
   )
 
 # Fortran module output directory.

@@ -220,4 +220,9 @@ src/fabric/CMakeFiles/bm_fabric.dir/validator.cpp.o: \
  /usr/include/c++/12/bits/uniform_int_dist.h /usr/include/c++/12/variant \
  /usr/include/c++/12/bits/parse_numbers.h \
  /root/repo/src/fabric/statedb.hpp /root/repo/src/fabric/rwset.hpp \
- /root/repo/src/fabric/transaction.hpp /root/repo/src/crypto/der.hpp
+ /root/repo/src/fabric/transaction.hpp /root/repo/src/obs/metrics.hpp \
+ /root/repo/src/sim/simulation.hpp /usr/include/c++/12/coroutine \
+ /usr/include/c++/12/queue /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /usr/include/c++/12/bits/stl_queue.h /usr/include/c++/12/unordered_set \
+ /usr/include/c++/12/bits/unordered_set.h /root/repo/src/crypto/der.hpp

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bm_obs.dir/json.cpp.o"
+  "CMakeFiles/bm_obs.dir/json.cpp.o.d"
+  "CMakeFiles/bm_obs.dir/metrics.cpp.o"
+  "CMakeFiles/bm_obs.dir/metrics.cpp.o.d"
+  "CMakeFiles/bm_obs.dir/trace.cpp.o"
+  "CMakeFiles/bm_obs.dir/trace.cpp.o.d"
+  "libbm_obs.a"
+  "libbm_obs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bm_obs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -17,6 +17,7 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/bmac/CMakeFiles/bm_bmac.dir/DependInfo.cmake"
   "/root/repo/build/src/net/CMakeFiles/bm_net.dir/DependInfo.cmake"
   "/root/repo/build/src/fabric/CMakeFiles/bm_fabric.dir/DependInfo.cmake"
+  "/root/repo/build/src/obs/CMakeFiles/bm_obs.dir/DependInfo.cmake"
   "/root/repo/build/src/crypto/CMakeFiles/bm_crypto.dir/DependInfo.cmake"
   "/root/repo/build/src/wire/CMakeFiles/bm_wire.dir/DependInfo.cmake"
   "/root/repo/build/src/sim/CMakeFiles/bm_sim.dir/DependInfo.cmake"

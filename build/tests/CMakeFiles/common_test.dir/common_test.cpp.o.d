@@ -295,4 +295,4 @@ tests/CMakeFiles/common_test.dir/common_test.cpp.o: \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
  /root/repo/src/common/bytes.hpp /usr/include/c++/12/cstring \
  /usr/include/c++/12/span /root/repo/src/common/hex.hpp \
- /root/repo/src/common/rng.hpp
+ /root/repo/src/common/log.hpp /root/repo/src/common/rng.hpp

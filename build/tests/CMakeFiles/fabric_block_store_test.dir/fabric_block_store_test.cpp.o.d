@@ -305,7 +305,12 @@ tests/CMakeFiles/fabric_block_store_test.dir/fabric_block_store_test.cpp.o: \
  /root/repo/src/crypto/u256.hpp /root/repo/src/crypto/sha256.hpp \
  /root/repo/src/fabric/statedb.hpp /root/repo/src/fabric/rwset.hpp \
  /root/repo/src/fabric/validator.hpp /root/repo/src/fabric/policy.hpp \
- /root/repo/src/fabric/transaction.hpp \
+ /root/repo/src/fabric/transaction.hpp /root/repo/src/obs/metrics.hpp \
+ /root/repo/src/sim/simulation.hpp /usr/include/c++/12/coroutine \
+ /usr/include/c++/12/queue /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /usr/include/c++/12/bits/stl_queue.h /usr/include/c++/12/unordered_set \
+ /usr/include/c++/12/bits/unordered_set.h \
  /root/repo/src/workload/network_harness.hpp \
  /root/repo/src/fabric/orderer.hpp /root/repo/src/workload/chaincode.hpp \
  /root/repo/src/common/rng.hpp

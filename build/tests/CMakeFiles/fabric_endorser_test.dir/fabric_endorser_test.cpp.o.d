@@ -301,4 +301,10 @@ tests/CMakeFiles/fabric_endorser_test.dir/fabric_endorser_test.cpp.o: \
  /usr/include/c++/12/span /root/repo/src/crypto/sha256.hpp \
  /root/repo/src/fabric/policy.hpp /root/repo/src/fabric/statedb.hpp \
  /root/repo/src/fabric/rwset.hpp /root/repo/src/fabric/transaction.hpp \
+ /root/repo/src/obs/metrics.hpp /root/repo/src/sim/simulation.hpp \
+ /usr/include/c++/12/coroutine /usr/include/c++/12/queue \
+ /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
+ /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
+ /usr/include/c++/12/unordered_set \
+ /usr/include/c++/12/bits/unordered_set.h \
  /root/repo/src/fabric/orderer.hpp

@@ -306,4 +306,5 @@ tests/CMakeFiles/fabric_raft_test.dir/fabric_raft_test.cpp.o: \
  /usr/include/c++/12/bits/unordered_set.h \
  /root/repo/src/fabric/transaction.hpp /root/repo/src/fabric/rwset.hpp \
  /root/repo/src/fabric/validator.hpp /root/repo/src/fabric/ledger.hpp \
- /root/repo/src/fabric/policy.hpp /root/repo/src/fabric/statedb.hpp
+ /root/repo/src/fabric/policy.hpp /root/repo/src/fabric/statedb.hpp \
+ /root/repo/src/obs/metrics.hpp

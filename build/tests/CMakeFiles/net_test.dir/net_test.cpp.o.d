@@ -296,8 +296,9 @@ tests/CMakeFiles/net_test.dir/net_test.cpp.o: \
  /root/repo/src/net/transport.hpp /root/repo/src/net/link.hpp \
  /root/repo/src/common/rng.hpp /root/repo/src/common/bytes.hpp \
  /usr/include/c++/12/cstring /usr/include/c++/12/span \
- /root/repo/src/sim/simulation.hpp /usr/include/c++/12/coroutine \
- /usr/include/c++/12/queue /usr/include/c++/12/deque \
- /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /usr/include/c++/12/bits/stl_queue.h /usr/include/c++/12/unordered_set \
- /usr/include/c++/12/bits/unordered_set.h
+ /root/repo/src/obs/metrics.hpp /root/repo/src/sim/simulation.hpp \
+ /usr/include/c++/12/coroutine /usr/include/c++/12/queue \
+ /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
+ /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
+ /usr/include/c++/12/unordered_set \
+ /usr/include/c++/12/bits/unordered_set.h /root/repo/src/obs/trace.hpp

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/obs_test.cpp" "tests/CMakeFiles/obs_test.dir/obs_test.cpp.o" "gcc" "tests/CMakeFiles/obs_test.dir/obs_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workload/CMakeFiles/bm_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/bmac/CMakeFiles/bm_bmac.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/bm_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/fabric/CMakeFiles/bm_fabric.dir/DependInfo.cmake"
+  "/root/repo/build/src/obs/CMakeFiles/bm_obs.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/bm_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/wire/CMakeFiles/bm_wire.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/bm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/bm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -303,18 +303,19 @@ tests/CMakeFiles/workload_test.dir/workload_test.cpp.o: \
  /root/repo/src/fabric/validator.hpp /root/repo/src/fabric/ledger.hpp \
  /root/repo/src/fabric/policy.hpp /root/repo/src/fabric/statedb.hpp \
  /root/repo/src/fabric/rwset.hpp /root/repo/src/fabric/transaction.hpp \
+ /root/repo/src/obs/metrics.hpp /root/repo/src/sim/simulation.hpp \
+ /usr/include/c++/12/coroutine /usr/include/c++/12/queue \
+ /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
+ /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
+ /usr/include/c++/12/unordered_set \
+ /usr/include/c++/12/bits/unordered_set.h \
  /root/repo/src/workload/chaincode.hpp /root/repo/src/common/rng.hpp \
  /root/repo/src/workload/synthetic.hpp \
  /root/repo/src/bmac/block_processor.hpp \
  /root/repo/src/bmac/hw_kvstore.hpp /usr/include/c++/12/list \
  /usr/include/c++/12/bits/stl_list.h /usr/include/c++/12/bits/list.tcc \
- /usr/include/c++/12/unordered_set \
- /usr/include/c++/12/bits/unordered_set.h \
- /root/repo/src/bmac/hw_timing.hpp /root/repo/src/sim/simulation.hpp \
- /usr/include/c++/12/coroutine /usr/include/c++/12/queue \
- /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
- /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
- /root/repo/src/bmac/policy_circuit.hpp /root/repo/src/bmac/records.hpp \
+ /root/repo/src/bmac/hw_timing.hpp /root/repo/src/bmac/policy_circuit.hpp \
+ /root/repo/src/bmac/records.hpp /root/repo/src/obs/trace.hpp \
  /root/repo/src/sim/fifo.hpp /root/repo/src/fabric/timing_model.hpp \
  /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \

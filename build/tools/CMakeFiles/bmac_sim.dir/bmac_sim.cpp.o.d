@@ -231,12 +231,16 @@ tools/CMakeFiles/bmac_sim.dir/bmac_sim.cpp.o: \
  /root/repo/src/fabric/identity.hpp /root/repo/src/crypto/ecdsa.hpp \
  /root/repo/src/crypto/p256.hpp /root/repo/src/crypto/u256.hpp \
  /root/repo/src/crypto/sha256.hpp /root/repo/src/bmac/records.hpp \
- /root/repo/src/fabric/block.hpp /root/repo/src/sim/fifo.hpp \
+ /root/repo/src/fabric/block.hpp /root/repo/src/obs/metrics.hpp \
+ /root/repo/src/obs/trace.hpp /root/repo/src/sim/fifo.hpp \
  /usr/include/c++/12/cassert /usr/include/assert.h \
  /root/repo/src/bmac/peer.hpp /root/repo/src/bmac/protocol.hpp \
  /root/repo/src/bmac/identity_cache.hpp /root/repo/src/bmac/packet.hpp \
  /root/repo/src/fabric/ledger.hpp /root/repo/src/bmac/resource_model.hpp \
- /root/repo/src/common/hex.hpp /root/repo/src/fabric/validator.hpp \
+ /root/repo/src/common/hex.hpp /root/repo/src/common/log.hpp \
+ /usr/include/c++/12/sstream /usr/include/c++/12/istream \
+ /usr/include/c++/12/bits/istream.tcc \
+ /usr/include/c++/12/bits/sstream.tcc /root/repo/src/fabric/validator.hpp \
  /root/repo/src/fabric/transaction.hpp \
  /root/repo/src/workload/network_harness.hpp \
  /root/repo/src/fabric/orderer.hpp /root/repo/src/workload/chaincode.hpp \

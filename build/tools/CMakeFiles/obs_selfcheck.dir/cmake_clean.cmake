@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/obs_selfcheck.dir/obs_selfcheck.cpp.o"
+  "CMakeFiles/obs_selfcheck.dir/obs_selfcheck.cpp.o.d"
+  "obs_selfcheck"
+  "obs_selfcheck.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/obs_selfcheck.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

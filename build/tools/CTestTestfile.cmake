@@ -4,3 +4,5 @@
 # 
 # This file includes the relevant testing commands required for 
 # testing this directory and lists subdirectories to be tested as well.
+add_test(obs_selfcheck "/root/repo/build/tools/obs_selfcheck" "/root/repo/build/tools/bmac_sim" "/root/repo/build/tools")
+set_tests_properties(obs_selfcheck PROPERTIES  LABELS "obs" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;8;add_test;/root/repo/tools/CMakeLists.txt;0;")

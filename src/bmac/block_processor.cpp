@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "obs/probes.hpp"
+
 namespace bm::bmac {
 
 BlockProcessor::BlockProcessor(sim::Simulation& sim, HwConfig config,
@@ -30,6 +32,9 @@ BlockProcessor::BlockProcessor(sim::Simulation& sim, HwConfig config,
   // Register-file width: highest org index referenced by any circuit. 16
   // registers cover every configuration in the paper.
   policy_org_count_ = 16;
+  verify_engine_busy_.assign(static_cast<std::size_t>(config_.tx_validators),
+                             0);
+  vscc_engine_busy_.assign(static_cast<std::size_t>(config_.tx_validators), 0);
   validator_in_.reserve(config_.tx_validators);
   verify_to_vscc_.reserve(config_.tx_validators);
   validator_out_.reserve(config_.tx_validators);
@@ -41,6 +46,116 @@ BlockProcessor::BlockProcessor(sim::Simulation& sim, HwConfig config,
     validator_out_.push_back(std::make_unique<sim::Fifo<ValidatedTx>>(
         sim, 1, "validator_out_" + std::to_string(v)));
   }
+}
+
+void BlockProcessor::attach_observability(obs::Registry* registry,
+                                          obs::Tracer* tracer) {
+  registry_ = registry;
+  tracer_ = tracer;
+  if (registry_ != nullptr) {
+    block_latency_ms_ = &registry_->histogram(
+        "bmac_block_validation_latency_ms",
+        obs::Histogram::latency_ms_buckets(),
+        "block received -> all transactions validated and committed");
+    tx_latency_us_ = &registry_->histogram(
+        "bmac_tx_validation_latency_us", obs::Histogram::latency_us_buckets(),
+        "transaction dispatch -> vscc verdict");
+    ecdsa_executed_ctr_ = &registry_->counter(
+        "bmac_ecdsa_executed_total", "signature verifications run by engines");
+    ecdsa_skipped_ctr_ = &registry_->counter(
+        "bmac_ecdsa_skipped_total",
+        "verifications avoided by short-circuit / invalid-skip");
+    blocks_ctr_ =
+        &registry_->counter("bmac_blocks_validated_total", "blocks processed");
+    txs_ctr_ = &registry_->counter("bmac_txs_validated_total",
+                                   "transactions processed");
+    valid_txs_ctr_ = &registry_->counter("bmac_txs_valid_total",
+                                         "transactions flagged valid");
+  }
+  if (tracer_ != nullptr) {
+    lanes_.block_verify = tracer_->lane("block_verify");
+    lanes_.scheduler = tracer_->lane("tx_scheduler");
+    lanes_.tx_verify.clear();
+    lanes_.tx_vscc.clear();
+    for (int v = 0; v < config_.tx_validators; ++v) {
+      lanes_.tx_verify.push_back(
+          tracer_->lane("tx_verify_" + std::to_string(v)));
+      lanes_.tx_vscc.push_back(tracer_->lane("tx_vscc_" + std::to_string(v)));
+    }
+    lanes_.collector = tracer_->lane("tx_collector");
+    lanes_.mvcc = tracer_->lane("tx_mvcc_commit");
+    lanes_.monitor = tracer_->lane("block_monitor");
+    lanes_.reg_map = tracer_->lane("reg_map");
+    // One lane per probed FIFO so stall spans never overlap (all these
+    // FIFOs have a single producer).
+    obs::attach_fifo_trace(sim_, block_fifo_, tracer_,
+                           tracer_->lane("block_fifo"));
+    obs::attach_fifo_trace(sim_, tx_fifo_, tracer_, tracer_->lane("tx_fifo"));
+    obs::attach_fifo_trace(sim_, ends_fifo_, tracer_,
+                           tracer_->lane("ends_fifo"));
+    obs::attach_fifo_trace(sim_, rdset_fifo_, tracer_,
+                           tracer_->lane("rdset_fifo"));
+    obs::attach_fifo_trace(sim_, wrset_fifo_, tracer_,
+                           tracer_->lane("wrset_fifo"));
+    obs::attach_fifo_trace(sim_, res_fifo_, tracer_,
+                           tracer_->lane("res_fifo"));
+  }
+}
+
+void BlockProcessor::publish_metrics() {
+  if (registry_ == nullptr) return;
+  const auto elapsed = static_cast<double>(sim_.now());
+  const double engines_per_validator = 1.0 + config_.engines_per_vscc;
+  auto utilization = [&](double busy, double engines) {
+    return elapsed > 0 ? busy / (elapsed * engines) : 0.0;
+  };
+  double total_busy = static_cast<double>(block_engine_busy_);
+  double total_engines = 1.0;
+  registry_
+      ->gauge("bmac_engine_utilization_block_verify",
+              "busy fraction of the dedicated block_verify ecdsa_engine")
+      .set(utilization(static_cast<double>(block_engine_busy_), 1.0));
+  for (int v = 0; v < config_.tx_validators; ++v) {
+    const auto i = static_cast<std::size_t>(v);
+    const double busy = static_cast<double>(verify_engine_busy_[i]) +
+                        static_cast<double>(vscc_engine_busy_[i]);
+    registry_
+        ->gauge("bmac_engine_utilization_v" + std::to_string(v),
+                "busy fraction of validator engines (tx_verify + tx_vscc)")
+        .set(utilization(busy, engines_per_validator));
+    total_busy += busy;
+    total_engines += engines_per_validator;
+  }
+  registry_
+      ->gauge("bmac_engine_utilization",
+              "aggregate ecdsa-engine busy fraction across the machine")
+      .set(utilization(total_busy, total_engines));
+
+  obs::publish_fifo_metrics(*registry_, block_fifo_, "bmac_fifo");
+  obs::publish_fifo_metrics(*registry_, tx_fifo_, "bmac_fifo");
+  obs::publish_fifo_metrics(*registry_, ends_fifo_, "bmac_fifo");
+  obs::publish_fifo_metrics(*registry_, rdset_fifo_, "bmac_fifo");
+  obs::publish_fifo_metrics(*registry_, wrset_fifo_, "bmac_fifo");
+  obs::publish_fifo_metrics(*registry_, res_fifo_, "bmac_fifo");
+  obs::publish_fifo_metrics(*registry_, reg_map_, "bmac_fifo");
+
+  registry_
+      ->counter("bmac_statedb_overflows_total",
+                "writes dropped by the on-chip store")
+      .set(statedb_.overflow_count());
+  registry_
+      ->counter("bmac_statedb_evictions_total", "entries evicted to the host")
+      .set(statedb_.eviction_count());
+  registry_
+      ->counter("bmac_statedb_host_accesses_total",
+                "accesses served by the host tier")
+      .set(statedb_.host_accesses());
+
+  registry_
+      ->gauge("sim_event_queue_peak", "event-queue high-water mark")
+      .set(static_cast<double>(sim_.max_queue_depth()));
+  registry_->counter("sim_events_executed_total", "simulation events run")
+      .set(sim_.events_executed());
 }
 
 void BlockProcessor::start() {
@@ -67,9 +182,15 @@ sim::Process BlockProcessor::block_verify_proc() {
     ctl.stats.verify_start = sim_.now();
     // Dedicated ecdsa_engine: blocks are verified as soon as they arrive.
     co_await sim_.delay(t.ecdsa_verify);
+    block_engine_busy_ += t.ecdsa_verify;
     ctl.block_valid = entry.verify.execute();
     ctl.stats.ecdsa_executed = 1;
     ctl.stats.verify_end = sim_.now();
+    if (tracer_ != nullptr) {
+      tracer_->complete(lanes_.block_verify, "block_verify", "ecdsa",
+                        ctl.stats.verify_start, ctl.stats.verify_end,
+                        {{"block", ctl.block_num}, {"valid", ctl.block_valid}});
+    }
     co_await verify_to_validate_.put(ctl);
   }
 }
@@ -80,6 +201,7 @@ sim::Process BlockProcessor::tx_scheduler_proc() {
   for (;;) {
     BlockCtl ctl = co_await verify_to_validate_.get();
     ctl.stats.validate_start = sim_.now();
+    const sim::Time dispatch_start = sim_.now();
     co_await collector_ctl_.put(ctl);
     co_await mvcc_ctl_.put(ctl);
     for (std::uint32_t seq = 0; seq < ctl.tx_count; ++seq) {
@@ -101,6 +223,12 @@ sim::Process BlockProcessor::tx_scheduler_proc() {
       co_await validator_in_[static_cast<std::size_t>(validator)]->put(
           std::move(work));
     }
+    if (tracer_ != nullptr) {
+      tracer_->complete(lanes_.scheduler, "dispatch", "pipeline",
+                        dispatch_start, sim_.now(),
+                        {{"block", ctl.block_num},
+                         {"txs", static_cast<std::uint64_t>(ctl.tx_count)}});
+    }
     // block_validate holds the block until it is fully processed; the next
     // block stays in the block_verify stage meanwhile (2-stage pipeline).
     co_await block_done_.get();
@@ -116,14 +244,24 @@ sim::Process BlockProcessor::tx_verify_proc(int validator) {
     DispatchedTx work = co_await in.get();
     VerifiedTx result;
     result.creator_ok = false;
+    const sim::Time verify_start = sim_.now();
     if (work.block_valid && work.tx.verify.well_formed) {
       // Dedicated ecdsa_engine for this tx_verify instance.
       co_await sim_.delay(t.ecdsa_verify);
+      verify_engine_busy_[static_cast<std::size_t>(validator)] +=
+          t.ecdsa_verify;
       result.creator_ok = work.tx.verify.execute();
       result.executed += 1;
     } else {
       // Skip mechanism: no engine cycles for already-invalid transactions.
       result.skipped += 1;
+    }
+    if (tracer_ != nullptr) {
+      tracer_->complete(
+          lanes_.tx_verify[static_cast<std::size_t>(validator)], "tx_verify",
+          "ecdsa", verify_start, sim_.now(),
+          {{"tx", static_cast<std::uint64_t>(work.tx.tx_seq)},
+           {"ok", result.creator_ok}});
     }
     result.work = std::move(work);
     co_await out.put(std::move(result));
@@ -142,6 +280,7 @@ sim::Process BlockProcessor::tx_vscc_proc(int validator) {
   for (;;) {
     VerifiedTx verified = co_await in.get();
     const DispatchedTx& work = verified.work;
+    const sim::Time vscc_start = sim_.now();
 
     ValidatedTx result;
     result.tx_seq = work.tx.tx_seq;
@@ -178,6 +317,8 @@ sim::Process BlockProcessor::tx_vscc_proc(int validator) {
           const std::size_t batch =
               std::min(engines, work.ends.size() - next);
           co_await sim_.delay(t.ecdsa_verify);  // engines run in parallel
+          vscc_engine_busy_[static_cast<std::size_t>(validator)] +=
+              static_cast<sim::Time>(batch) * t.ecdsa_verify;
           for (std::size_t i = 0; i < batch; ++i) {
             const EndsEntry& endorsement = work.ends[next + i];
             const bool ok = endorsement.verify.execute();
@@ -196,6 +337,14 @@ sim::Process BlockProcessor::tx_vscc_proc(int validator) {
       }
     }
     result.latency = sim_.now() - dispatched_at;
+    if (tracer_ != nullptr) {
+      tracer_->complete(
+          lanes_.tx_vscc[static_cast<std::size_t>(validator)], "tx_vscc",
+          "ecdsa", vscc_start, sim_.now(),
+          {{"tx", static_cast<std::uint64_t>(result.tx_seq)},
+           {"executed", static_cast<std::uint64_t>(result.executed)},
+           {"skipped", static_cast<std::uint64_t>(result.skipped)}});
+    }
     co_await out.put(std::move(result));
   }
 }
@@ -204,6 +353,7 @@ sim::Process BlockProcessor::tx_collector_proc() {
   const HwTimingModel& t = config_.timing;
   for (;;) {
     BlockCtl ctl = co_await collector_ctl_.get();
+    const sim::Time collect_start = sim_.now();
     for (std::uint32_t seq = 0; seq < ctl.tx_count; ++seq) {
       // Collect strictly in dispatch (= program) order: take the validator
       // that got tx `seq`, then wait for that validator's output.
@@ -213,6 +363,12 @@ sim::Process BlockProcessor::tx_collector_proc() {
       assert(tx.tx_seq == seq);
       co_await sim_.delay(t.collector_per_tx);
       co_await collected_.put(std::move(tx));
+    }
+    if (tracer_ != nullptr) {
+      tracer_->complete(lanes_.collector, "collect", "pipeline", collect_start,
+                        sim_.now(),
+                        {{"block", ctl.block_num},
+                         {"txs", static_cast<std::uint64_t>(ctl.tx_count)}});
     }
   }
 }
@@ -227,6 +383,8 @@ sim::Process BlockProcessor::tx_mvcc_commit_proc() {
     result.flags.assign(ctl.tx_count,
                         fabric::TxValidationCode::kNotValidated);
     result.stats = ctl.stats;
+    const sim::Time mvcc_start = sim_.now();
+    std::uint64_t block_valid_txs = 0;
 
     for (std::uint32_t seq = 0; seq < ctl.tx_count; ++seq) {
       ValidatedTx tx = co_await collected_.get();
@@ -267,8 +425,14 @@ sim::Process BlockProcessor::tx_mvcc_commit_proc() {
         statedb_.unlock(write.key);
       }
       result.flags[seq] = tx.code;
-      if (valid) ++monitor_.valid_transactions;
+      if (valid) {
+        ++monitor_.valid_transactions;
+        ++block_valid_txs;
+      }
       ++monitor_.transactions;
+      if (tx_latency_us_ != nullptr) {
+        tx_latency_us_->observe(static_cast<double>(tx.latency) / 1000.0);
+      }
     }
 
     result.stats.validate_end = sim_.now();
@@ -277,6 +441,35 @@ sim::Process BlockProcessor::tx_mvcc_commit_proc() {
     monitor_.ecdsa_skipped += result.stats.ecdsa_skipped;
     monitor_.total_block_latency +=
         result.stats.validate_end - result.stats.validate_start;
+    if (registry_ != nullptr) {
+      block_latency_ms_->observe(
+          static_cast<double>(result.stats.validate_end -
+                              result.stats.received_at) /
+          1e6);
+      blocks_ctr_->inc();
+      txs_ctr_->inc(ctl.tx_count);
+      valid_txs_ctr_->inc(block_valid_txs);
+      ecdsa_executed_ctr_->inc(result.stats.ecdsa_executed);
+      ecdsa_skipped_ctr_->inc(result.stats.ecdsa_skipped);
+    }
+    if (tracer_ != nullptr) {
+      tracer_->complete(lanes_.mvcc, "mvcc_commit", "pipeline", mvcc_start,
+                        sim_.now(),
+                        {{"block", ctl.block_num},
+                         {"txs", static_cast<std::uint64_t>(ctl.tx_count)}});
+      // One span per block on the monitor lane, covering the whole
+      // block_validate window; these serialize via the block_done_ token.
+      tracer_->complete(
+          lanes_.monitor, "block_validate", "monitor",
+          result.stats.validate_start, result.stats.validate_end,
+          {{"block", ctl.block_num},
+           {"txs", static_cast<std::uint64_t>(ctl.tx_count)},
+           {"valid", block_valid_txs},
+           {"ecdsa_executed",
+            static_cast<std::uint64_t>(result.stats.ecdsa_executed)},
+           {"ecdsa_skipped",
+            static_cast<std::uint64_t>(result.stats.ecdsa_skipped)}});
+    }
     co_await res_fifo_.put(std::move(result));
     co_await block_done_.put(0);
   }
@@ -287,6 +480,10 @@ sim::Process BlockProcessor::reg_map_proc() {
   for (;;) {
     ResultEntry result = co_await res_fifo_.get();
     co_await sim_.delay(t.result_write);
+    if (tracer_ != nullptr) {
+      tracer_->instant(lanes_.reg_map, "result_ready", "monitor", sim_.now(),
+                       {{"block", result.block_num}});
+    }
     // reg_map_ has capacity 1: writing blocks until the host (CPU) has read
     // the previous block's result.
     co_await reg_map_.put(std::move(result));

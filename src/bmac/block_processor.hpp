@@ -31,6 +31,8 @@
 #include "bmac/hw_timing.hpp"
 #include "bmac/policy_circuit.hpp"
 #include "bmac/records.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sim/fifo.hpp"
 
 namespace bm::bmac {
@@ -69,6 +71,19 @@ class BlockProcessor {
 
   /// Spawn all pipeline processes. Call once before Simulation::run().
   void start();
+
+  /// Attach observability sinks (either may be null). Call before start():
+  /// registers the pipeline's metrics, creates one trace lane per stage and
+  /// per FIFO, and hooks the FIFO depth/stall probes. With both sinks null
+  /// (the default) instrumentation reduces to per-site pointer checks and
+  /// never schedules simulation events, so timing is unchanged.
+  void attach_observability(obs::Registry* registry, obs::Tracer* tracer);
+
+  /// Publish/refresh the gauges derived from lifetime state — per-validator
+  /// ecdsa-engine utilization, FIFO peak depths, event-queue high-water
+  /// mark. Idempotent; call any time after (or during) a run. No-op when no
+  /// registry is attached.
+  void publish_metrics();
 
   // Input FIFOs, written by the protocol_processor (or synthetic feeder).
   sim::Fifo<BlockEntry>& block_fifo() { return block_fifo_; }
@@ -169,6 +184,33 @@ class BlockProcessor {
 
   HwKvStore statedb_;
   MonitorStats monitor_;
+
+  // --- observability -------------------------------------------------------
+  obs::Registry* registry_ = nullptr;
+  obs::Tracer* tracer_ = nullptr;
+  struct TraceLanes {
+    int block_verify = 0;
+    int scheduler = 0;
+    int collector = 0;
+    int mvcc = 0;
+    int monitor = 0;
+    int reg_map = 0;
+    std::vector<int> tx_verify;  ///< one lane per validator
+    std::vector<int> tx_vscc;
+  } lanes_;
+  /// Busy-time accumulators for the engine-utilization gauges (always on —
+  /// three integer adds per transaction).
+  sim::Time block_engine_busy_ = 0;
+  std::vector<sim::Time> verify_engine_busy_;
+  std::vector<sim::Time> vscc_engine_busy_;
+  // Cached registry handles (null when unattached).
+  obs::Histogram* block_latency_ms_ = nullptr;
+  obs::Histogram* tx_latency_us_ = nullptr;
+  obs::Counter* ecdsa_executed_ctr_ = nullptr;
+  obs::Counter* ecdsa_skipped_ctr_ = nullptr;
+  obs::Counter* blocks_ctr_ = nullptr;
+  obs::Counter* txs_ctr_ = nullptr;
+  obs::Counter* valid_txs_ctr_ = nullptr;
 };
 
 }  // namespace bm::bmac

@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "obs/probes.hpp"
+
 namespace bm::bmac {
 
 std::map<std::string, PolicyCircuit> compile_policies(
@@ -28,6 +30,51 @@ void BmacPeer::start() {
   sim_.spawn(host_commit_proc());
 }
 
+void BmacPeer::attach_observability(obs::Registry* registry,
+                                    obs::Tracer* tracer) {
+  registry_ = registry;
+  tracer_ = tracer;
+  if (registry_ != nullptr) {
+    packets_ctr_ = &registry_->counter(
+        "bmac_packets_processed_total",
+        "BMac packets consumed by the protocol_processor");
+    commits_ctr_ = &registry_->counter("bmac_host_blocks_committed_total",
+                                       "blocks appended to the host ledger");
+    commit_latency_us_ = &registry_->histogram(
+        "bmac_host_commit_latency_us", obs::Histogram::latency_us_buckets(),
+        "reg_map result ready -> ledger append done");
+  }
+  if (tracer_ != nullptr) {
+    // Lanes are created before the BlockProcessor's so the trace reads
+    // top-to-bottom in pipeline order: protocol ingress, stages, host.
+    protocol_lane_ = tracer_->lane("protocol_processor");
+    obs::attach_fifo_trace(sim_, rx_queue_, tracer_, tracer_->lane("rx_queue"));
+  }
+  processor_.attach_observability(registry, tracer);
+  if (tracer_ != nullptr) {
+    host_lane_ = tracer_->lane("host_commit");
+  }
+}
+
+void BmacPeer::publish_metrics() {
+  if (registry_ != nullptr) {
+    registry_
+        ->counter("bmac_host_blocks_rejected_total",
+                  "blocks discarded after a failed block signature")
+        .set(host_metrics_.blocks_rejected);
+    registry_
+        ->counter("bmac_host_txs_committed_total",
+                  "transactions written to the ledger (valid + invalid)")
+        .set(host_metrics_.transactions_committed);
+    registry_
+        ->counter("bmac_host_txs_valid_total",
+                  "committed transactions flagged valid")
+        .set(host_metrics_.valid_transactions);
+    obs::publish_fifo_metrics(*registry_, rx_queue_, "bmac_fifo");
+  }
+  processor_.publish_metrics();
+}
+
 void BmacPeer::deliver_packet(BmacPacket packet) {
   const bool accepted = rx_queue_.try_put(std::move(packet));
   assert(accepted && "rx queue overflow");
@@ -42,7 +89,9 @@ sim::Process BmacPeer::protocol_processor_proc() {
   const HwTimingModel& t = config_.timing;
   for (;;) {
     BmacPacket packet = co_await rx_queue_.get();
-    co_await sim_.delay(t.packet_processing_time(packet.wire_size()));
+    const sim::Time packet_start = sim_.now();
+    const std::size_t wire_size = packet.wire_size();
+    co_await sim_.delay(t.packet_processing_time(wire_size));
     ProtocolReceiver::Emitted emitted = receiver_.on_packet(packet);
     // DataWriter: push each record as soon as it is complete. Back-pressure
     // from full FIFOs stalls the protocol_processor, like real hardware.
@@ -54,6 +103,15 @@ sim::Process BmacPeer::protocol_processor_proc() {
     for (auto& tx : emitted.txs) co_await processor_.tx_fifo().put(std::move(tx));
     if (emitted.block)
       co_await processor_.block_fifo().put(std::move(*emitted.block));
+    if (packets_ctr_ != nullptr) packets_ctr_->inc();
+    if (tracer_ != nullptr) {
+      tracer_->complete(
+          protocol_lane_, "packet", "protocol", packet_start, sim_.now(),
+          {{"bytes", static_cast<std::uint64_t>(wire_size)},
+           {"ends", static_cast<std::uint64_t>(emitted.ends.size())},
+           {"txs", static_cast<std::uint64_t>(emitted.txs.size())},
+           {"block", emitted.block.has_value()}});
+    }
   }
 }
 
@@ -62,6 +120,7 @@ sim::Process BmacPeer::host_commit_proc() {
   for (;;) {
     // GetBlockData(): returns when reg_map holds the validation result.
     ResultEntry result = co_await processor_.reg_map().get();
+    const sim::Time commit_start = sim_.now();
     co_await sim_.delay(t.host_result_read);
 
     // The same block arrives via Gossip/forwarded UDP; normally it is
@@ -91,6 +150,18 @@ sim::Process BmacPeer::host_commit_proc() {
           ++host_metrics_.valid_transactions;
     } else {
       ++host_metrics_.blocks_rejected;
+    }
+    if (commits_ctr_ != nullptr && result.block_valid) commits_ctr_->inc();
+    if (commit_latency_us_ != nullptr) {
+      commit_latency_us_->observe(
+          static_cast<double>(sim_.now() - commit_start) / 1000.0);
+    }
+    if (tracer_ != nullptr) {
+      tracer_->complete(
+          host_lane_, "host_commit", "host-commit", commit_start, sim_.now(),
+          {{"block", result.block_num},
+           {"txs", static_cast<std::uint64_t>(result.flags.size())},
+           {"committed", result.block_valid}});
     }
     results_.push_back(std::move(result));
   }

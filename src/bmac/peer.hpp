@@ -24,6 +24,14 @@ class BmacPeer {
   /// Spawn the protocol_processor, block_processor and host processes.
   void start();
 
+  /// Attach observability sinks (either may be null). Call before start().
+  /// Creates the peer's protocol/host trace lanes, hooks the rx_queue depth
+  /// probe and forwards the sinks to the BlockProcessor.
+  void attach_observability(obs::Registry* registry, obs::Tracer* tracer);
+
+  /// Publish/refresh host-side and pipeline gauges. Idempotent.
+  void publish_metrics();
+
   /// Network ingress: a BMac packet arrives at the FPGA's interface.
   /// Callable from event context (network delivery callbacks).
   void deliver_packet(BmacPacket packet);
@@ -64,6 +72,15 @@ class BmacPeer {
   fabric::Ledger ledger_;
   HostMetrics host_metrics_;
   std::vector<ResultEntry> results_;
+
+  // --- observability -------------------------------------------------------
+  obs::Registry* registry_ = nullptr;
+  obs::Tracer* tracer_ = nullptr;
+  int protocol_lane_ = 0;
+  int host_lane_ = 0;
+  obs::Counter* packets_ctr_ = nullptr;
+  obs::Counter* commits_ctr_ = nullptr;
+  obs::Histogram* commit_latency_us_ = nullptr;
 };
 
 /// Compile every chaincode policy into its hardware circuit (the YAML-driven

@@ -6,6 +6,8 @@ namespace bm {
 
 namespace {
 LogLevel g_level = LogLevel::Warn;
+LogSink g_sink;    // empty -> stderr
+LogClock g_clock;  // empty -> no time prefix
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -20,10 +22,25 @@ const char* level_name(LogLevel level) {
 
 void set_log_level(LogLevel level) { g_level = level; }
 LogLevel log_level() { return g_level; }
+void set_log_sink(LogSink sink) { g_sink = std::move(sink); }
+void set_log_clock(LogClock clock) { g_clock = std::move(clock); }
 
 namespace detail {
 void log_line(LogLevel level, const std::string& msg) {
-  std::fprintf(stderr, "[%s] %s\n", level_name(level), msg.c_str());
+  std::string line = msg;
+  if (g_clock) {
+    const std::int64_t ns = g_clock();
+    char prefix[48];
+    std::snprintf(prefix, sizeof(prefix), "[t=%lld.%03lldus] ",
+                  static_cast<long long>(ns / 1000),
+                  static_cast<long long>(ns % 1000));
+    line = prefix + line;
+  }
+  if (g_sink) {
+    g_sink(level, line);
+    return;
+  }
+  std::fprintf(stderr, "[%s] %s\n", level_name(level), line.c_str());
 }
 }  // namespace detail
 

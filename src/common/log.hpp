@@ -2,8 +2,15 @@
 //
 // The library itself stays quiet by default (level = Warn); examples raise
 // the level to Info to narrate what the system is doing.
+//
+// Lines go to a pluggable sink (default: stderr) so tests can capture
+// output, and when a clock source is registered (see
+// sim::attach_log_clock) every line is prefixed with the simulated time —
+// ordering log output against trace spans instead of wall clock.
 #pragma once
 
+#include <cstdint>
+#include <functional>
 #include <sstream>
 #include <string>
 
@@ -13,6 +20,17 @@ enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
 
 void set_log_level(LogLevel level);
 LogLevel log_level();
+
+/// Receives every emitted line (already filtered by level, without the
+/// "[LEVEL]" prefix). Pass an empty function to restore the stderr sink.
+using LogSink = std::function<void(LogLevel, const std::string&)>;
+void set_log_sink(LogSink sink);
+
+/// Time source for line prefixes, returning simulated nanoseconds. Pass an
+/// empty function to drop the time prefix. The caller owns the lifetime of
+/// anything the function captures (detach before destroying a Simulation).
+using LogClock = std::function<std::int64_t()>;
+void set_log_clock(LogClock clock);
 
 namespace detail {
 void log_line(LogLevel level, const std::string& msg);

@@ -129,4 +129,28 @@ BlockValidationResult SoftwareValidator::validate_and_commit(
   return result;
 }
 
+void SoftwareValidator::publish_metrics(obs::Registry& registry,
+                                        const std::string& prefix) const {
+  registry.counter(prefix + "_blocks_processed_total", "blocks validated")
+      .set(stats_.blocks_processed);
+  registry
+      .counter(prefix + "_block_signature_checks_total",
+               "orderer block signature verifications")
+      .set(stats_.block_signature_checks);
+  registry
+      .counter(prefix + "_creator_signature_checks_total",
+               "transaction creator signature verifications")
+      .set(stats_.creator_signature_checks);
+  registry
+      .counter(prefix + "_endorsement_signature_checks_total",
+               "endorsement signature verifications (Fabric checks all)")
+      .set(stats_.endorsement_signature_checks);
+  registry.counter(prefix + "_db_reads_total", "state database reads")
+      .set(stats_.db_reads);
+  registry.counter(prefix + "_db_writes_total", "state database writes")
+      .set(stats_.db_writes);
+  registry.counter(prefix + "_envelopes_parsed_total", "envelopes unmarshaled")
+      .set(stats_.envelopes_parsed);
+}
+
 }  // namespace bm::fabric

@@ -21,6 +21,7 @@
 #include "fabric/policy.hpp"
 #include "fabric/statedb.hpp"
 #include "fabric/transaction.hpp"
+#include "obs/metrics.hpp"
 
 namespace bm::fabric {
 
@@ -60,6 +61,11 @@ class SoftwareValidator {
 
   const ValidationStats& stats() const { return stats_; }
   void reset_stats() { stats_ = ValidationStats{}; }
+
+  /// Publish the lifetime ValidationStats as counters under
+  /// "<prefix>_..." (snapshot-style, idempotent).
+  void publish_metrics(obs::Registry& registry,
+                       const std::string& prefix) const;
 
  private:
   bool verify_block_signature(const Block& block);

@@ -19,8 +19,15 @@ void Link::send(std::size_t bytes, std::function<void()> on_delivery) {
   const sim::Time start = std::max(sim_.now(), busy_until_);
   const sim::Time done = start + serialization_delay(bytes);
   busy_until_ = done;
+  busy_time_ += done - start;
 
-  if (rng_.chance(config_.loss_probability)) {
+  const bool lost = rng_.chance(config_.loss_probability);
+  if (tracer_ != nullptr) {
+    tracer_->complete(lane_, "frame", "net", start, done,
+                      {{"bytes", static_cast<std::uint64_t>(bytes)},
+                       {"lost", lost}});
+  }
+  if (lost) {
     ++frames_lost_;
     return;
   }
@@ -30,6 +37,21 @@ void Link::send(std::size_t bytes, std::function<void()> on_delivery) {
         rng_.uniform(static_cast<std::uint64_t>(config_.jitter_max)));
   sim_.schedule(done - sim_.now() + config_.propagation + jitter,
                 std::move(on_delivery));
+}
+
+void Link::publish_metrics(obs::Registry& registry,
+                           const std::string& prefix) const {
+  registry.counter(prefix + "_frames_sent_total", "frames queued on the link")
+      .set(frames_sent_);
+  registry.counter(prefix + "_frames_lost_total", "frames dropped by loss")
+      .set(frames_lost_);
+  registry.counter(prefix + "_bytes_sent_total", "payload bytes queued")
+      .set(bytes_sent_);
+  const auto now = static_cast<double>(sim_.now());
+  registry
+      .gauge(prefix + "_utilization",
+             "fraction of simulated time spent serializing frames")
+      .set(now > 0 ? static_cast<double>(busy_time_) / now : 0.0);
 }
 
 }  // namespace bm::net

@@ -7,8 +7,11 @@
 #pragma once
 
 #include <functional>
+#include <string>
 
 #include "common/rng.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sim/simulation.hpp"
 
 namespace bm::net {
@@ -36,15 +39,32 @@ class Link {
   std::uint64_t frames_sent() const { return frames_sent_; }
   std::uint64_t frames_lost() const { return frames_lost_; }
   std::uint64_t bytes_sent() const { return bytes_sent_; }
+  /// Total simulated time the link spent serializing frames.
+  sim::Time busy_time() const { return busy_time_; }
+
+  /// Emit one "net"-category span per frame onto `lane`. Frames serialize
+  /// back to back, so spans on the lane never overlap. Null detaches.
+  void set_tracer(obs::Tracer* tracer, int lane) {
+    tracer_ = tracer;
+    lane_ = lane;
+  }
+
+  /// Publish lifetime counters and the utilization gauge (busy fraction of
+  /// the line) under "<prefix>_...". Idempotent.
+  void publish_metrics(obs::Registry& registry,
+                       const std::string& prefix) const;
 
  private:
   sim::Simulation& sim_;
   Config config_;
   Rng rng_;
   sim::Time busy_until_ = 0;
+  sim::Time busy_time_ = 0;
   std::uint64_t frames_sent_ = 0;
   std::uint64_t frames_lost_ = 0;
   std::uint64_t bytes_sent_ = 0;
+  obs::Tracer* tracer_ = nullptr;
+  int lane_ = 0;
 };
 
 }  // namespace bm::net

@@ -4,6 +4,7 @@ namespace bm::net {
 
 void TcpStream::send_message(std::size_t bytes,
                              std::function<void()> on_delivery) {
+  ++messages_sent_;
   // Sender-side software cost: protobuf marshal of the whole block, gRPC
   // framing, kernel copies. Scales with message size.
   sim::Time software =
@@ -23,6 +24,7 @@ void TcpStream::send_message(std::size_t bytes,
   const std::size_t segments = (bytes + kTcpMss - 1) / kTcpMss;
   const std::size_t last_segment =
       bytes - (segments - 1) * kTcpMss + kEthIpTcpOverhead;
+  segments_sent_ += segments;
 
   sim_.schedule(software + stall_time, [this, segments, last_segment,
                                         cb = std::move(on_delivery)]() mutable {
@@ -33,8 +35,17 @@ void TcpStream::send_message(std::size_t bytes,
   });
 }
 
+void TcpStream::publish_metrics(obs::Registry& registry,
+                                const std::string& prefix) const {
+  registry.counter(prefix + "_messages_sent_total", "gossip messages sent")
+      .set(messages_sent_);
+  registry.counter(prefix + "_segments_sent_total", "TCP segments queued")
+      .set(segments_sent_);
+}
+
 void UdpChannel::send_datagram(std::size_t bytes,
                                std::function<void()> on_delivery) {
+  ++datagrams_sent_;
   sim::Time software = config_.software_per_packet;
   if (config_.software_jitter_max > 0)
     software += static_cast<sim::Time>(
@@ -43,6 +54,7 @@ void UdpChannel::send_datagram(std::size_t bytes,
   const std::size_t fragments = (bytes + kUdpMtuPayload - 1) / kUdpMtuPayload;
   const std::size_t last_fragment =
       bytes - (fragments - 1) * kUdpMtuPayload + kEthIpUdpOverhead;
+  fragments_sent_ += fragments;
 
   sim_.schedule(software, [this, fragments, last_fragment,
                            cb = std::move(on_delivery)]() mutable {
@@ -50,6 +62,14 @@ void UdpChannel::send_datagram(std::size_t bytes,
       link_.send(kUdpMtuPayload + kEthIpUdpOverhead, [] {});
     link_.send(last_fragment, std::move(cb));
   });
+}
+
+void UdpChannel::publish_metrics(obs::Registry& registry,
+                                 const std::string& prefix) const {
+  registry.counter(prefix + "_datagrams_sent_total", "BMac datagrams sent")
+      .set(datagrams_sent_);
+  registry.counter(prefix + "_fragments_sent_total", "IP fragments queued")
+      .set(fragments_sent_);
 }
 
 }  // namespace bm::net

@@ -38,11 +38,20 @@ class TcpStream {
   /// Send a message; `on_delivery` fires when the final byte has arrived.
   void send_message(std::size_t bytes, std::function<void()> on_delivery);
 
+  std::uint64_t messages_sent() const { return messages_sent_; }
+  std::uint64_t segments_sent() const { return segments_sent_; }
+
+  /// Publish message/segment counters under "<prefix>_...". Idempotent.
+  void publish_metrics(obs::Registry& registry,
+                       const std::string& prefix) const;
+
  private:
   sim::Simulation& sim_;
   Link& link_;
   Config config_;
   Rng rng_;
+  std::uint64_t messages_sent_ = 0;
+  std::uint64_t segments_sent_ = 0;
 };
 
 /// UDP datagram path for the BMac protocol. Each datagram is fragmented at
@@ -62,11 +71,20 @@ class UdpChannel {
   /// Send one datagram; `on_delivery` fires when it arrives (if not lost).
   void send_datagram(std::size_t bytes, std::function<void()> on_delivery);
 
+  std::uint64_t datagrams_sent() const { return datagrams_sent_; }
+  std::uint64_t fragments_sent() const { return fragments_sent_; }
+
+  /// Publish datagram/fragment counters under "<prefix>_...". Idempotent.
+  void publish_metrics(obs::Registry& registry,
+                       const std::string& prefix) const;
+
  private:
   sim::Simulation& sim_;
   Link& link_;
   Config config_;
   Rng rng_;
+  std::uint64_t datagrams_sent_ = 0;
+  std::uint64_t fragments_sent_ = 0;
 };
 
 }  // namespace bm::net

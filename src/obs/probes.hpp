@@ -1,0 +1,57 @@
+// Probe adapters gluing sim-layer hooks to the observability sinks.
+//
+// sim::Fifo deliberately knows nothing about obs; it exposes cheap
+// std::function hooks (depth changes, producer stalls). These helpers bind
+// those hooks to a Tracer — a depth counter track plus "stall" spans in the
+// "fifo" category showing back-pressure — and publish the FIFO's lifetime
+// statistics into a Registry.
+#pragma once
+
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "sim/fifo.hpp"
+
+namespace bm::obs {
+
+/// Attach trace probes to a FIFO: a counter track named "<name> depth" and
+/// one span per blocked put (back-pressure visualization). `lane` should be
+/// a dedicated lane for this FIFO so stall spans never overlap. No-op when
+/// `tracer` is null.
+template <typename T>
+void attach_fifo_trace(sim::Simulation& sim, sim::Fifo<T>& fifo,
+                       Tracer* tracer, int lane) {
+  if (tracer == nullptr) return;
+  const std::string track = fifo.name() + " depth";
+  fifo.set_depth_probe([&sim, tracer, lane, track](std::size_t depth) {
+    tracer->counter(lane, track, "fifo", sim.now(),
+                    static_cast<std::int64_t>(depth));
+  });
+  const std::string stall = fifo.name() + " stall";
+  fifo.set_stall_probe([tracer, lane, stall](sim::Time start, sim::Time end) {
+    tracer->complete(lane, stall, "fifo", start, end);
+  });
+}
+
+/// Publish a FIFO's lifetime statistics as gauges/counters under
+/// "<prefix>_<fifo name>_...". Idempotent — safe to call repeatedly.
+template <typename T>
+void publish_fifo_metrics(Registry& registry, const sim::Fifo<T>& fifo,
+                          const std::string& prefix) {
+  const std::string base = prefix + "_" + fifo.name();
+  registry.counter(base + "_pushed_total", "entries pushed into the FIFO")
+      .set(fifo.total_pushed());
+  registry.counter(base + "_popped_total", "entries popped from the FIFO")
+      .set(fifo.total_popped());
+  registry
+      .counter(base + "_blocked_puts_total",
+               "producer stalls due to back-pressure")
+      .set(fifo.blocked_put_events());
+  registry.gauge(base + "_peak_depth", "maximum occupancy reached")
+      .set(static_cast<double>(fifo.max_occupancy()));
+  registry.gauge(base + "_capacity", "configured capacity")
+      .set(static_cast<double>(fifo.capacity()));
+}
+
+}  // namespace bm::obs

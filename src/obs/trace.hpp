@@ -1,0 +1,116 @@
+// Simulated-time tracer: span records keyed to sim::Time, exported as
+// Chrome trace-event JSON (loadable in chrome://tracing or Perfetto).
+//
+// Every pipeline stage of the BMac model gets a lane (a Chrome "thread");
+// spans are complete events ('X') with microsecond timestamps derived from
+// the simulated clock, so a whole bmac_sim run opens as a flame graph of
+// protocol_processor -> FIFOs -> ecdsa_engines -> block_monitor -> host
+// commit. Counter events ('C') carry FIFO depth tracks.
+//
+// Determinism: timestamps are simulated nanoseconds (never wall clock) and
+// events serialize in emission order, so two runs with the same seed
+// produce byte-identical trace files. Instrumented code holds a
+// Tracer* that is null by default (the "null sink"): tracing disabled costs
+// one branch per probe site and schedules no simulation events.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/simulation.hpp"
+
+namespace bm::obs {
+
+/// One key/value pair attached to a span ("args" in the trace format).
+struct TraceArg {
+  TraceArg(std::string k, std::string v)
+      : key(std::move(k)), value(std::move(v)), quoted(true) {}
+  TraceArg(std::string k, const char* v)
+      : key(std::move(k)), value(v), quoted(true) {}
+  TraceArg(std::string k, std::int64_t v)
+      : key(std::move(k)), value(std::to_string(v)), quoted(false) {}
+  TraceArg(std::string k, std::uint64_t v)
+      : key(std::move(k)), value(std::to_string(v)), quoted(false) {}
+  TraceArg(std::string k, std::uint32_t v)
+      : key(std::move(k)), value(std::to_string(v)), quoted(false) {}
+  TraceArg(std::string k, int v)
+      : key(std::move(k)), value(std::to_string(v)), quoted(false) {}
+  TraceArg(std::string k, bool v)
+      : key(std::move(k)), value(v ? "true" : "false"), quoted(false) {}
+
+  std::string key;
+  std::string value;
+  bool quoted;  ///< emit as JSON string vs raw literal
+};
+
+struct SpanRecord {
+  std::string name;
+  std::string category;
+  sim::Time start = 0;  ///< ns of simulated time
+  sim::Time end = 0;    ///< ns; == start for instants and counters
+  int process = 0;      ///< pid in the trace
+  int lane = 0;         ///< tid in the trace
+  char phase = 'X';     ///< 'X' complete, 'i' instant, 'C' counter
+  std::vector<TraceArg> args;
+};
+
+class Tracer {
+ public:
+  Tracer() = default;
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// Register a process group (one simulated component, e.g. one peer or
+  /// one bench run) and make it current; lanes created afterwards belong to
+  /// it. Returns the pid.
+  int begin_process(const std::string& name);
+
+  /// Register a lane (Chrome thread) in the current process. Lanes are
+  /// ordered top-to-bottom by creation. Returns the tid.
+  int lane(const std::string& name);
+
+  /// Record a complete span [start, end] on `lane`.
+  void complete(int lane, std::string name, std::string category,
+                sim::Time start, sim::Time end,
+                std::vector<TraceArg> args = {});
+
+  /// Record an instantaneous event.
+  void instant(int lane, std::string name, std::string category, sim::Time at,
+               std::vector<TraceArg> args = {});
+
+  /// Record a counter sample (rendered as a value track, e.g. FIFO depth).
+  /// The track lives in the process that owns `lane`.
+  void counter(int lane, std::string track, std::string category, sim::Time at,
+               std::int64_t value);
+
+  std::size_t event_count() const { return events_.size(); }
+  const std::vector<SpanRecord>& events() const { return events_; }
+
+  /// Names of the distinct span categories recorded so far, sorted.
+  std::vector<std::string> categories() const;
+
+  /// The full trace as Chrome trace-event JSON ("traceEvents" object form).
+  std::string to_chrome_json() const;
+
+  bool write_chrome_json(const std::string& path) const;
+
+ private:
+  struct LaneInfo {
+    std::string name;
+    int process = 0;
+    int tid = 0;
+  };
+  struct ProcessInfo {
+    std::string name;
+    int pid = 0;
+  };
+
+  std::vector<ProcessInfo> processes_;
+  std::vector<LaneInfo> lanes_;
+  std::vector<SpanRecord> events_;
+  int current_process_ = 0;
+  int next_tid_ = 1;
+};
+
+}  // namespace bm::obs

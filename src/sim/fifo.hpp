@@ -8,6 +8,7 @@
 
 #include <cassert>
 #include <deque>
+#include <functional>
 #include <optional>
 #include <string>
 
@@ -53,6 +54,7 @@ class Fifo {
       assert(!fifo->buffer_.empty());
       T value = std::move(fifo->buffer_.front());
       fifo->buffer_.pop_front();
+      fifo->note_pop();
       fifo->admit_waiting_putter();
       return value;
     }
@@ -65,6 +67,7 @@ class Fifo {
     Fifo* fifo;
     T value;
     std::coroutine_handle<> handle;
+    Time blocked_at = 0;  ///< when back-pressure suspended this producer
 
     bool await_ready() {
       if (!fifo->waiting_getters_.empty()) {
@@ -79,6 +82,7 @@ class Fifo {
     }
     void await_suspend(std::coroutine_handle<> h) {
       handle = h;
+      blocked_at = fifo->sim_.now();
       fifo->waiting_putters_.push_back(this);
       fifo->blocked_put_events_++;
     }
@@ -93,6 +97,7 @@ class Fifo {
     if (buffer_.empty()) return std::nullopt;
     T value = std::move(buffer_.front());
     buffer_.pop_front();
+    note_pop();
     admit_waiting_putter();
     return value;
   }
@@ -112,8 +117,19 @@ class Fifo {
 
   // --- statistics (read by monitors) ---
   std::uint64_t total_pushed() const { return total_pushed_; }
+  std::uint64_t total_popped() const { return total_popped_; }
   std::size_t max_occupancy() const { return max_occupancy_; }
   std::uint64_t blocked_put_events() const { return blocked_put_events_; }
+
+  // --- observability hooks (null by default: one branch per event) ---
+  /// Called with the new buffered depth after every push/pop that changes
+  /// it. Direct producer-to-consumer handoffs keep depth 0 and do not fire.
+  using DepthProbe = std::function<void(std::size_t depth)>;
+  /// Called when a producer blocked by back-pressure is admitted, with the
+  /// simulated [start, end] of the stall.
+  using StallProbe = std::function<void(Time start, Time end)>;
+  void set_depth_probe(DepthProbe probe) { depth_probe_ = std::move(probe); }
+  void set_stall_probe(StallProbe probe) { stall_probe_ = std::move(probe); }
 
  private:
   friend struct GetAwaiter;
@@ -123,6 +139,12 @@ class Fifo {
     buffer_.push_back(std::move(value));
     ++total_pushed_;
     max_occupancy_ = std::max(max_occupancy_, buffer_.size());
+    if (depth_probe_) depth_probe_(buffer_.size());
+  }
+
+  void note_pop() {
+    ++total_popped_;
+    if (depth_probe_) depth_probe_(buffer_.size());
   }
 
   /// A consumer freed a slot: move one blocked producer's value in.
@@ -131,6 +153,7 @@ class Fifo {
     PutAwaiter* putter = waiting_putters_.front();
     waiting_putters_.pop_front();
     push(std::move(putter->value));
+    if (stall_probe_) stall_probe_(putter->blocked_at, sim_.now());
     sim_.resume_later(putter->handle);
   }
 
@@ -142,6 +165,7 @@ class Fifo {
     waiting_getters_.pop_front();
     getter->slot = std::move(value);
     ++total_pushed_;
+    ++total_popped_;
     sim_.resume_later(getter->handle);
   }
 
@@ -153,8 +177,11 @@ class Fifo {
   std::deque<PutAwaiter*> waiting_putters_;
 
   std::uint64_t total_pushed_ = 0;
+  std::uint64_t total_popped_ = 0;
   std::size_t max_occupancy_ = 0;
   std::uint64_t blocked_put_events_ = 0;
+  DepthProbe depth_probe_;
+  StallProbe stall_probe_;
 };
 
 }  // namespace bm::sim

@@ -3,7 +3,15 @@
 #include <algorithm>
 #include <cassert>
 
+#include "common/log.hpp"
+
 namespace bm::sim {
+
+void attach_log_clock(Simulation& sim) {
+  set_log_clock([&sim] { return static_cast<std::int64_t>(sim.now()); });
+}
+
+void detach_log_clock() { set_log_clock({}); }
 
 void Process::promise_type::FinalAwaiter::await_suspend(
     std::coroutine_handle<Process::promise_type> h) noexcept {
@@ -26,6 +34,7 @@ EventId Simulation::schedule(Time delay, std::function<void()> fn) {
   assert(delay >= 0);
   const EventId id = next_id_++;
   queue_.push(Event{now_ + delay, id, std::move(fn)});
+  max_queue_depth_ = std::max(max_queue_depth_, queue_.size());
   return id;
 }
 

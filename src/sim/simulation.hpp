@@ -121,6 +121,10 @@ class Simulation {
   /// Number of events executed so far (for tests / statistics).
   std::uint64_t events_executed() const { return events_executed_; }
 
+  /// Most entries the event queue ever held at once (cheap counter kept by
+  /// schedule(); cancelled-but-unpopped events count while queued).
+  std::size_t max_queue_depth() const { return max_queue_depth_; }
+
   /// Internal: resume a coroutine through the event queue at the current
   /// time (keeps resumption ordering deterministic and stacks shallow).
   void resume_later(std::coroutine_handle<> h) {
@@ -146,10 +150,17 @@ class Simulation {
   Time now_ = 0;
   EventId next_id_ = 1;
   std::uint64_t events_executed_ = 0;
+  std::size_t max_queue_depth_ = 0;
   std::priority_queue<Event, std::vector<Event>, EventOrder> queue_;
   std::unordered_set<EventId> cancelled_;
   std::unordered_set<void*> live_processes_;
 };
+
+/// Route bm::log lines through this simulation's clock: every line is
+/// prefixed with the simulated time, so log output orders against trace
+/// spans. Call detach_log_clock() before the Simulation is destroyed.
+void attach_log_clock(Simulation& sim);
+void detach_log_clock();
 
 /// Awaitable one-shot signal carrying a small enum-like payload. One waiter
 /// at a time; fire() before wait() completes immediately.

@@ -54,6 +54,27 @@ std::vector<double> CaliperReport::windowed_tps(sim::Time window) const {
   return tps;
 }
 
+void CaliperReport::publish_metrics(obs::Registry& registry) const {
+  const std::string base = "caliper_" + peer_;
+  registry.counter(base + "_blocks_total", "blocks observed by the reporter")
+      .set(observations_.size());
+  registry.counter(base + "_txs_total", "transactions observed")
+      .set(total_txs_);
+  registry.counter(base + "_txs_valid_total", "transactions flagged valid")
+      .set(valid_txs_);
+  registry
+      .gauge(base + "_commit_tps",
+             "commit throughput over the whole run (first receive -> last "
+             "commit)")
+      .set(overall_tps());
+  auto& latency = registry.histogram(
+      base + "_validation_latency_ms", obs::Histogram::latency_ms_buckets(),
+      "block validation latency (validated - received)");
+  for (const auto& o : observations_)
+    latency.observe(static_cast<double>(o.validated_at - o.received_at) /
+                    sim::kMillisecond);
+}
+
 std::string CaliperReport::render(sim::Time window) const {
   std::ostringstream out;
   const Summary latency = validation_latency_ms();

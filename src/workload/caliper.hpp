@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "sim/simulation.hpp"
 #include "workload/metrics.hpp"
 
@@ -44,6 +45,12 @@ class CaliperReport {
 
   /// Render the full report as text.
   std::string render(sim::Time window = 100 * sim::kMillisecond) const;
+
+  /// Publish the report into a metrics registry under
+  /// "caliper_<peer>_...": throughput gauge, tx counters and a validation
+  /// latency histogram rebuilt from the observations. Idempotent only for
+  /// the counters/gauges; the histogram is freshly observed, so call once.
+  void publish_metrics(obs::Registry& registry) const;
 
  private:
   std::string peer_;

@@ -12,12 +12,22 @@ double mean(const std::vector<double>& values) {
   return sum / static_cast<double>(values.size());
 }
 
+double stddev(const std::vector<double>& values) {
+  if (values.size() < 2) return 0;
+  const double m = mean(values);
+  double sq = 0;
+  for (const double v : values) sq += (v - m) * (v - m);
+  return std::sqrt(sq / static_cast<double>(values.size()));
+}
+
 double percentile(std::vector<double> values, double p) {
   if (values.empty()) return 0;
+  p = std::clamp(p, 0.0, 100.0);
   std::sort(values.begin(), values.end());
   const double rank = p / 100.0 * static_cast<double>(values.size() - 1);
   const auto lo = static_cast<std::size_t>(std::floor(rank));
-  const auto hi = static_cast<std::size_t>(std::ceil(rank));
+  const std::size_t hi = std::min(static_cast<std::size_t>(std::ceil(rank)),
+                                  values.size() - 1);
   const double frac = rank - std::floor(rank);
   return values[lo] * (1.0 - frac) + values[hi] * frac;
 }
@@ -25,7 +35,9 @@ double percentile(std::vector<double> values, double p) {
 Summary summarize(const std::vector<double>& values) {
   Summary s;
   if (values.empty()) return s;
+  s.count = values.size();
   s.mean = mean(values);
+  s.stddev = stddev(values);
   s.p50 = percentile(values, 50);
   s.p95 = percentile(values, 95);
   s.p99 = percentile(values, 99);

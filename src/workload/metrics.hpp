@@ -1,17 +1,25 @@
 // Small statistics helpers for the benchmark harnesses.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 namespace bm::workload {
 
 double mean(const std::vector<double>& values);
 
-/// p in [0,100]; linear interpolation between order statistics.
+/// Population standard deviation; 0 for fewer than two samples.
+double stddev(const std::vector<double>& values);
+
+/// p is clamped to [0,100]; linear interpolation between order statistics
+/// (p=0 -> minimum, p=100 -> maximum). Empty input returns 0 — callers
+/// that need to distinguish "no samples" should check sizes themselves.
 double percentile(std::vector<double> values, double p);
 
 struct Summary {
+  std::uint64_t count = 0;
   double mean = 0;
+  double stddev = 0;
   double p50 = 0;
   double p95 = 0;
   double p99 = 0;

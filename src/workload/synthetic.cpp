@@ -105,10 +105,12 @@ struct DrainState {
 };
 
 sim::Process host_drain_proc(sim::Simulation& sim, BlockProcessor& proc,
-                             int blocks, DrainState* state) {
+                             int blocks, DrainState* state,
+                             obs::Tracer* tracer, int lane) {
   const bmac::HwTimingModel& t = proc.config().timing;
   for (int b = 0; b < blocks; ++b) {
     bmac::ResultEntry result = co_await proc.reg_map().get();
+    const sim::Time commit_start = sim.now();
     co_await sim.delay(t.host_result_read);
     state->last_result_at = sim.now();
     state->block_latency_sum +=
@@ -120,6 +122,12 @@ sim::Process host_drain_proc(sim::Simulation& sim, BlockProcessor& proc,
     co_await sim.delay(t.ledger_commit_fixed +
                        t.ledger_commit_per_tx *
                            static_cast<sim::Time>(result.flags.size()));
+    if (tracer != nullptr) {
+      tracer->complete(
+          lane, "host_commit", "host-commit", commit_start, sim.now(),
+          {{"block", result.block_num},
+           {"txs", static_cast<std::uint64_t>(result.flags.size())}});
+    }
   }
 }
 
@@ -146,12 +154,19 @@ HwRunResult run_hw_workload(const SyntheticSpec& spec) {
                            bmac::compile_policies(policies, msp));
   fabric::StateDb host_state;
   if (spec.host_backed_db) processor.statedb().attach_host_store(&host_state);
+  // Lanes land in the tracer's current process — callers that run several
+  // configurations call begin_process() with a label before each run.
+  int host_lane = 0;
+  processor.attach_observability(spec.registry, spec.tracer);
+  if (spec.tracer != nullptr) host_lane = spec.tracer->lane("host_commit");
   processor.start();
 
   DrainState drain;
   sim.spawn(feeder_proc(sim, processor, spec, std::move(orgs)));
-  sim.spawn(host_drain_proc(sim, processor, spec.blocks, &drain));
+  sim.spawn(host_drain_proc(sim, processor, spec.blocks, &drain, spec.tracer,
+                            host_lane));
   sim.run();
+  processor.publish_metrics();
 
   HwRunResult result;
   result.sim_seconds =
@@ -173,6 +188,7 @@ HwRunResult run_hw_workload(const SyntheticSpec& spec) {
   result.db_overflows = processor.statedb().overflow_count();
   result.db_evictions = processor.statedb().eviction_count();
   result.db_host_accesses = processor.statedb().host_accesses();
+  result.events_executed = sim.events_executed();
   return result;
 }
 

@@ -43,6 +43,12 @@ struct SyntheticSpec {
   bool host_backed_db = false;
 
   bm::bmac::HwConfig hw;
+
+  /// Observability sinks (null = off, the default). When set, the run
+  /// attaches them to the BlockProcessor, emits "host-commit" spans from
+  /// the drain process and publishes end-of-run gauges into the registry.
+  obs::Registry* registry = nullptr;
+  obs::Tracer* tracer = nullptr;
 };
 
 struct HwRunResult {
@@ -57,6 +63,10 @@ struct HwRunResult {
   std::uint64_t db_evictions = 0;
   std::uint64_t db_host_accesses = 0;
   double sim_seconds = 0;
+  /// Total simulator events run — used by the zero-overhead test: a run
+  /// with null sinks executes exactly as many events as an uninstrumented
+  /// one (probes never schedule).
+  std::uint64_t events_executed = 0;
 };
 
 /// Run the hardware pipeline model on a synthetic saturating workload.

@@ -1,9 +1,12 @@
 #include <gtest/gtest.h>
 
 #include <set>
+#include <utility>
+#include <vector>
 
 #include "common/bytes.hpp"
 #include "common/hex.hpp"
+#include "common/log.hpp"
 #include "common/rng.hpp"
 
 namespace bm {
@@ -113,6 +116,37 @@ TEST(Rng, BytesLength) {
   EXPECT_EQ(rng.bytes(0).size(), 0u);
   EXPECT_EQ(rng.bytes(7).size(), 7u);
   EXPECT_EQ(rng.bytes(64).size(), 64u);
+}
+
+TEST(Log, SinkCapturesFilteredLines) {
+  std::vector<std::pair<LogLevel, std::string>> captured;
+  set_log_sink([&](LogLevel level, const std::string& line) {
+    captured.emplace_back(level, line);
+  });
+  const LogLevel saved = log_level();
+  set_log_level(LogLevel::Warn);
+  log_info("dropped ", 1);            // below threshold, never reaches sink
+  log_warn("kept ", 2, " items");
+  set_log_level(saved);
+  set_log_sink({});                   // restore stderr
+  ASSERT_EQ(captured.size(), 1u);
+  EXPECT_EQ(captured[0].first, LogLevel::Warn);
+  EXPECT_EQ(captured[0].second, "kept 2 items");
+}
+
+TEST(Log, ClockPrefixesSimulatedTime) {
+  std::vector<std::string> captured;
+  set_log_sink([&](LogLevel, const std::string& line) {
+    captured.push_back(line);
+  });
+  set_log_clock([] { return std::int64_t{1500}; });  // 1.500 us
+  log_error("boom");
+  set_log_clock({});
+  log_error("plain");
+  set_log_sink({});
+  ASSERT_EQ(captured.size(), 2u);
+  EXPECT_EQ(captured[0], "[t=1.500us] boom");
+  EXPECT_EQ(captured[1], "plain");
 }
 
 }  // namespace

@@ -171,6 +171,31 @@ TEST(Fifo, StatsCount) {
   for (int i = 0; i < 5; ++i) f.try_put(i);
   EXPECT_EQ(f.total_pushed(), 5u);
   EXPECT_EQ(f.max_occupancy(), 5u);
+  EXPECT_EQ(f.total_popped(), 0u);
+  (void)f.try_get();
+  (void)f.try_get();
+  EXPECT_EQ(f.total_popped(), 2u);
+  EXPECT_EQ(f.max_occupancy(), 5u);  // peak is sticky
+}
+
+TEST(Fifo, BlockedPutEventsCountBackPressure) {
+  Simulation sim;
+  Fifo<int> f(sim, 2, "t");
+  std::vector<int> out;
+  sim.spawn(producer_n(sim, f, 10, 1));
+  sim.spawn(consumer_n(sim, f, 10, 20, &out));
+  sim.run();
+  EXPECT_GT(f.blocked_put_events(), 0u);  // slow consumer stalls the producer
+  EXPECT_EQ(f.max_occupancy(), 2u);
+}
+
+TEST(Simulation, MaxQueueDepthTracksHighWaterMark) {
+  Simulation sim;
+  EXPECT_EQ(sim.max_queue_depth(), 0u);
+  for (int i = 0; i < 7; ++i) sim.schedule(i * 10, [] {});
+  sim.run();
+  EXPECT_EQ(sim.max_queue_depth(), 7u);  // all seven queued before any ran
+  EXPECT_EQ(sim.events_executed(), 7u);
 }
 
 Process multi_stage(Simulation& sim, Fifo<std::string>& in,

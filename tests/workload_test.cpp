@@ -22,6 +22,26 @@ TEST(Metrics, MeanAndPercentiles) {
   EXPECT_TRUE(summarize({}).mean == 0);
 }
 
+TEST(Metrics, PercentileEdgeCases) {
+  EXPECT_DOUBLE_EQ(percentile({}, 50), 0);    // empty -> 0, no indexing
+  EXPECT_DOUBLE_EQ(percentile({7}, 0), 7);    // single sample is every p
+  EXPECT_DOUBLE_EQ(percentile({7}, 100), 7);
+  EXPECT_DOUBLE_EQ(percentile({1, 2}, -10), 1);   // p clamped to [0,100]
+  EXPECT_DOUBLE_EQ(percentile({1, 2}, 250), 2);
+  EXPECT_DOUBLE_EQ(percentile({3, 1}, 50), 2);    // input need not be sorted
+}
+
+TEST(Metrics, StddevAndSummaryCount) {
+  EXPECT_DOUBLE_EQ(stddev({}), 0);
+  EXPECT_DOUBLE_EQ(stddev({5}), 0);
+  EXPECT_NEAR(stddev({2, 4, 4, 4, 5, 5, 7, 9}), 2.0, 1e-12);
+  const Summary s = summarize({2, 4, 4, 4, 5, 5, 7, 9});
+  EXPECT_EQ(s.count, 8u);
+  EXPECT_DOUBLE_EQ(s.mean, 5.0);
+  EXPECT_NEAR(s.stddev, 2.0, 1e-12);
+  EXPECT_EQ(summarize({}).count, 0u);
+}
+
 TEST(Smallbank, ProducesRealisticRwSets) {
   SmallbankChaincode chaincode({.accounts = 100});
   fabric::StateDb state;

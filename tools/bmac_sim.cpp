@@ -13,6 +13,14 @@
 //   protocol [--config FILE] [--block-size N]
 //       BMac protocol vs Gossip block sizes on real marshaled blocks.
 //
+// Observability (throughput and validate): --trace-out FILE writes a Chrome
+// trace-event JSON of the whole run (open in Perfetto / chrome://tracing);
+// --metrics-out FILE writes a JSON metrics snapshot; --metrics-text FILE
+// writes the same snapshot in Prometheus text-exposition format. Outputs
+// are deterministic: two identical invocations produce byte-identical
+// files. When the first argument is an option, the command defaults to
+// `validate`.
+//
 // Without --config, a built-in two-org smallbank deployment is used.
 #include <cstdio>
 #include <cstring>
@@ -22,7 +30,10 @@
 #include "bmac/peer.hpp"
 #include "bmac/resource_model.hpp"
 #include "common/hex.hpp"
+#include "common/log.hpp"
 #include "fabric/validator.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "workload/network_harness.hpp"
 #include "workload/synthetic.hpp"
 
@@ -50,12 +61,23 @@ struct Options {
   int block_size = 150;
   int vcpus = 8;
   bool faults = false;
+  std::string trace_out;
+  std::string metrics_out;
+  std::string metrics_text;
 };
 
 bool parse_args(int argc, char** argv, Options& options) {
   if (argc < 2) return false;
-  options.command = argv[1];
-  for (int i = 2; i < argc; ++i) {
+  int i = 2;
+  if (argv[1][0] == '-') {
+    // Plain `bmac_sim --trace-out t.json` etc.: default to the end-to-end
+    // validate run, which exercises every pipeline stage.
+    options.command = "validate";
+    i = 1;
+  } else {
+    options.command = argv[1];
+  }
+  for (; i < argc; ++i) {
     const std::string arg = argv[i];
     auto next = [&]() -> const char* {
       return i + 1 < argc ? argv[++i] : nullptr;
@@ -78,12 +100,59 @@ bool parse_args(int argc, char** argv, Options& options) {
       options.vcpus = std::atoi(v);
     } else if (arg == "--faults") {
       options.faults = true;
+    } else if (arg == "--trace-out") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      options.trace_out = v;
+    } else if (arg == "--metrics-out") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      options.metrics_out = v;
+    } else if (arg == "--metrics-text") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      options.metrics_text = v;
     } else {
       std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
       return false;
     }
   }
   return true;
+}
+
+/// True when any observability output was requested.
+bool wants_obs(const Options& options) {
+  return !options.trace_out.empty() || !options.metrics_out.empty() ||
+         !options.metrics_text.empty();
+}
+
+/// Write the requested artifacts; `at` is the snapshot's simulated time.
+int write_obs_outputs(const Options& options, const obs::Registry& registry,
+                      const obs::Tracer& tracer, sim::Time at) {
+  if (!options.trace_out.empty()) {
+    if (!tracer.write_chrome_json(options.trace_out)) {
+      std::fprintf(stderr, "cannot write %s\n", options.trace_out.c_str());
+      return 1;
+    }
+    std::printf("trace: %s (%zu events)\n", options.trace_out.c_str(),
+                tracer.event_count());
+  }
+  if (!options.metrics_out.empty()) {
+    if (!registry.write_json(options.metrics_out, at)) {
+      std::fprintf(stderr, "cannot write %s\n", options.metrics_out.c_str());
+      return 1;
+    }
+    std::printf("metrics: %s (%zu series)\n", options.metrics_out.c_str(),
+                registry.size());
+  }
+  if (!options.metrics_text.empty()) {
+    if (!registry.write_text(options.metrics_text, at)) {
+      std::fprintf(stderr, "cannot write %s\n", options.metrics_text.c_str());
+      return 1;
+    }
+    std::printf("metrics (text): %s\n", options.metrics_text.c_str());
+  }
+  return 0;
 }
 
 bmac::BmacConfig load_config(const Options& options) {
@@ -111,6 +180,13 @@ int cmd_throughput(const Options& options) {
   }
   spec.hw = config.hw;
 
+  obs::Registry registry;
+  obs::Tracer tracer;
+  if (wants_obs(options)) {
+    tracer.begin_process("bmac " + config.hw.name());
+    spec.registry = &registry;
+    spec.tracer = &tracer;
+  }
   const auto hw = workload::run_hw_workload(spec);
   const auto sw = workload::run_sw_model(spec, options.vcpus);
   std::printf("chaincode '%s', policy \"%s\", block size %d, %d blocks\n",
@@ -128,6 +204,11 @@ int cmd_throughput(const Options& options) {
               hw.tps / sw.validator_tps,
               static_cast<unsigned long long>(hw.ecdsa_executed),
               static_cast<unsigned long long>(hw.ecdsa_skipped));
+  if (wants_obs(options)) {
+    const auto at =
+        static_cast<sim::Time>(hw.sim_seconds * sim::kSecond);
+    return write_obs_outputs(options, registry, tracer, at);
+  }
   return 0;
 }
 
@@ -170,6 +251,13 @@ int cmd_validate(const Options& options) {
 
   sim::Simulation sim;
   bmac::BmacPeer peer(sim, harness.msp(), config.hw, harness.policies());
+  obs::Registry registry;
+  obs::Tracer tracer;
+  if (wants_obs(options)) {
+    sim::attach_log_clock(sim);
+    tracer.begin_process("bmac_peer " + config.hw.name());
+    peer.attach_observability(&registry, &tracer);
+  }
   peer.start();
   bmac::ProtocolSender protocol(harness.msp());
 
@@ -196,6 +284,13 @@ int cmd_validate(const Options& options) {
               hex_encode(crypto::digest_view(sw_ledger.last().commit_hash))
                   .c_str());
   std::printf("hw/sw consistency: %s\n", match ? "PASS" : "FAIL");
+  if (wants_obs(options)) {
+    peer.publish_metrics();
+    sw.publish_metrics(registry, "fabric_sw");
+    sim::detach_log_clock();
+    const int rc = write_obs_outputs(options, registry, tracer, sim.now());
+    if (rc != 0) return rc;
+  }
   return match ? 0 : 1;
 }
 
@@ -229,7 +324,8 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: bmac_sim <throughput|resources|validate|protocol> "
                  "[--config FILE] [--blocks N] [--block-size N] [--vcpus N] "
-                 "[--faults]\n");
+                 "[--faults] [--trace-out FILE] [--metrics-out FILE] "
+                 "[--metrics-text FILE]\n");
     return 2;
   }
   try {

@@ -1,0 +1,163 @@
+// End-to-end check of the observability artifacts: runs bmac_sim on a tiny
+// configuration, then validates the emitted Chrome trace and metrics
+// snapshot with the in-repo JSON parser. Wired into ctest (LABELS obs) so
+// the artifact contract — what a user loads into Perfetto or scrapes into
+// Prometheus — is covered by the default test run, not just the unit tests.
+//
+// Usage: obs_selfcheck <path-to-bmac_sim> [work-dir]
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <utility>
+
+#include "obs/json.hpp"
+
+namespace {
+
+int g_failures = 0;
+
+void check(bool ok, const std::string& what) {
+  if (ok) {
+    std::printf("  ok: %s\n", what.c_str());
+  } else {
+    std::printf("  FAIL: %s\n", what.c_str());
+    ++g_failures;
+  }
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+const bm::obs::json::Value* find(const bm::obs::json::Value& v,
+                                 const char* key) {
+  return v.is_object() ? v.find(key) : nullptr;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using bm::obs::json::Value;
+
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s <path-to-bmac_sim> [work-dir]\n", argv[0]);
+    return 2;
+  }
+  const std::string bmac_sim = argv[1];
+  const std::string dir = argc > 2 ? argv[2] : ".";
+  const std::string trace_path = dir + "/obs_selfcheck_trace.json";
+  const std::string metrics_path = dir + "/obs_selfcheck_metrics.json";
+
+  const std::string cmd = "\"" + bmac_sim +
+                          "\" validate --blocks 2 --block-size 8"
+                          " --trace-out \"" + trace_path + "\""
+                          " --metrics-out \"" + metrics_path + "\""
+                          " > /dev/null 2>&1";
+  std::printf("running: %s\n", cmd.c_str());
+  const int rc = std::system(cmd.c_str());
+  check(rc == 0, "bmac_sim exits cleanly");
+  if (rc != 0) return 1;
+
+  // --- trace ----------------------------------------------------------------
+  std::string error;
+  const auto trace = bm::obs::json::parse(read_file(trace_path), &error);
+  check(trace.has_value(), "trace parses as JSON (" + error + ")");
+  if (!trace) return 1;
+
+  const Value* events = find(*trace, "traceEvents");
+  check(events != nullptr && events->is_array(),
+        "trace has a traceEvents array");
+  if (events == nullptr || !events->is_array()) return 1;
+  check(!events->array.empty(), "traceEvents is non-empty");
+
+  std::set<std::string> categories;
+  std::map<std::pair<double, double>, double> last_end;  // (pid,tid) -> us
+  bool spans_ordered = true;
+  std::size_t spans = 0;
+  for (const Value& e : events->array) {
+    const Value* ph = find(e, "ph");
+    if (ph == nullptr || !ph->is_string()) continue;
+    const Value* cat = find(e, "cat");
+    if (cat != nullptr && cat->is_string() && !cat->string.empty())
+      categories.insert(cat->string);
+    if (ph->string != "X") continue;
+    ++spans;
+    const Value* pid = find(e, "pid");
+    const Value* tid = find(e, "tid");
+    const Value* ts = find(e, "ts");
+    const Value* dur = find(e, "dur");
+    if (pid == nullptr || tid == nullptr || ts == nullptr || dur == nullptr) {
+      spans_ordered = false;
+      continue;
+    }
+    // Complete spans on one (pid, tid) lane must not partially overlap, or
+    // Perfetto renders them wrong.
+    const auto key = std::make_pair(pid->number, tid->number);
+    const auto it = last_end.find(key);
+    if (it != last_end.end() && ts->number < it->second) spans_ordered = false;
+    last_end[key] = ts->number + dur->number;
+  }
+  check(spans > 0, "trace contains complete ('X') spans");
+  check(spans_ordered, "spans nest per (pid, tid) lane without overlap");
+
+  std::string cat_list;
+  for (const auto& c : categories) cat_list += c + " ";
+  check(categories.size() >= 5,
+        "trace has >= 5 span categories (got: " + cat_list + ")");
+  for (const char* required :
+       {"protocol", "fifo", "ecdsa", "monitor", "host-commit"}) {
+    check(categories.count(required) != 0,
+          std::string("trace covers category '") + required + "'");
+  }
+
+  // --- metrics --------------------------------------------------------------
+  const auto metrics = bm::obs::json::parse(read_file(metrics_path), &error);
+  check(metrics.has_value(), "metrics parse as JSON (" + error + ")");
+  if (!metrics) return 1;
+
+  const Value* at_ns = find(*metrics, "at_ns");
+  check(at_ns != nullptr && at_ns->is_number() && at_ns->number > 0,
+        "metrics carry a positive at_ns snapshot time");
+
+  const Value* gauges = find(*metrics, "gauges");
+  const Value* util =
+      gauges != nullptr ? find(*gauges, "bmac_engine_utilization") : nullptr;
+  check(util != nullptr && util->is_number(),
+        "metrics include the bmac_engine_utilization gauge");
+  if (util != nullptr)
+    check(util->number > 0 && util->number <= 1.0,
+          "engine utilization is a sane fraction");
+
+  const Value* histograms = find(*metrics, "histograms");
+  const Value* latency =
+      histograms != nullptr
+          ? find(*histograms, "bmac_block_validation_latency_ms")
+          : nullptr;
+  check(latency != nullptr, "metrics include the block-latency histogram");
+  if (latency != nullptr) {
+    const Value* count = find(*latency, "count");
+    check(count != nullptr && count->number >= 2,
+          "latency histogram observed every block");
+  }
+
+  const Value* counters = find(*metrics, "counters");
+  const Value* packets =
+      counters != nullptr ? find(*counters, "bmac_packets_processed_total")
+                          : nullptr;
+  check(packets != nullptr && packets->number > 0,
+        "metrics count processed packets");
+
+  if (g_failures == 0) {
+    std::printf("obs_selfcheck: all checks passed\n");
+    return 0;
+  }
+  std::printf("obs_selfcheck: %d check(s) FAILED\n", g_failures);
+  return 1;
+}
