@@ -65,6 +65,67 @@ void BM_FieldMul(benchmark::State& state) {
 }
 BENCHMARK(BM_FieldMul);
 
+void BM_FieldInv(benchmark::State& state) {
+  Rng rng(3);
+  U256 a = mod(U256::from_bytes_be(rng.bytes(32)), p256_p());
+  for (auto _ : state) {
+    a = fp_inv(a);
+    benchmark::DoNotOptimize(a);
+  }
+}
+BENCHMARK(BM_FieldInv);
+
+void BM_ModNReduce(benchmark::State& state) {
+  // The scalar-field workhorse: 512-bit product reduced mod n via the
+  // limb-wise Knuth division (bit-by-bit before the fast path landed).
+  Rng rng(4);
+  U512 a;
+  for (auto& w : a.w) w = rng.next_u64();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mod(a, p256_n()));
+  }
+}
+BENCHMARK(BM_ModNReduce);
+
+void BM_ScalarMultNaive(benchmark::State& state) {
+  const AffinePoint q = key_from_seed(to_bytes("sm")).public_key().point;
+  const U256 k = mod(U256::from_bytes_be(Rng(5).bytes(32)), p256_n());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scalar_mult_naive(k, q));
+  }
+}
+BENCHMARK(BM_ScalarMultNaive);
+
+void BM_ScalarMultWnaf(benchmark::State& state) {
+  const AffinePoint q = key_from_seed(to_bytes("sm")).public_key().point;
+  const U256 k = mod(U256::from_bytes_be(Rng(5).bytes(32)), p256_n());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scalar_mult_wnaf(k, q));
+  }
+}
+BENCHMARK(BM_ScalarMultWnaf);
+
+void BM_BaseMultComb(benchmark::State& state) {
+  const U256 k = mod(U256::from_bytes_be(Rng(6).bytes(32)), p256_n());
+  benchmark::DoNotOptimize(base_mult(k));  // warm the table outside the loop
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(base_mult(k));
+  }
+}
+BENCHMARK(BM_BaseMultComb);
+
+void BM_DoubleScalarMult(benchmark::State& state) {
+  const AffinePoint q = key_from_seed(to_bytes("dsm")).public_key().point;
+  Rng rng(7);
+  const U256 u1 = mod(U256::from_bytes_be(rng.bytes(32)), p256_n());
+  const U256 u2 = mod(U256::from_bytes_be(rng.bytes(32)), p256_n());
+  benchmark::DoNotOptimize(double_scalar_mult(u1, u2, q));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(double_scalar_mult(u1, u2, q));
+  }
+}
+BENCHMARK(BM_DoubleScalarMult);
+
 }  // namespace
 
 BENCHMARK_MAIN();

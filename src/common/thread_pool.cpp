@@ -1,0 +1,79 @@
+#include "common/thread_pool.hpp"
+
+namespace bm {
+
+ThreadPool::ThreadPool(unsigned concurrency) {
+  const unsigned workers = concurrency > 1 ? concurrency - 1 : 0;
+  workers_.reserve(workers);
+  for (unsigned i = 0; i < workers; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::run_tasks(const std::function<void(std::size_t)>& fn,
+                           std::size_t count) {
+  for (;;) {
+    const std::size_t i = next_index_.fetch_add(1, std::memory_order_relaxed);
+    if (i >= count) return;
+    fn(i);
+    remaining_.fetch_sub(1, std::memory_order_acq_rel);
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t count,
+                              const std::function<void(std::size_t)>& fn) {
+  if (count == 0) return;
+  if (workers_.empty() || count == 1) {
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+
+  std::unique_lock<std::mutex> lock(mutex_);
+  job_ = &fn;
+  job_count_ = count;
+  next_index_.store(0, std::memory_order_relaxed);
+  remaining_.store(count, std::memory_order_relaxed);
+  ++generation_;
+  lock.unlock();
+  work_cv_.notify_all();
+
+  run_tasks(fn, count);
+
+  // Wait for completion AND for every worker to leave the claim loop, so the
+  // next parallel_for cannot race a straggler against the reset counters.
+  lock.lock();
+  done_cv_.wait(lock, [this] {
+    return remaining_.load(std::memory_order_acquire) == 0 &&
+           active_workers_ == 0;
+  });
+  job_ = nullptr;
+}
+
+void ThreadPool::worker_loop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  std::uint64_t seen = 0;
+  for (;;) {
+    work_cv_.wait(lock, [&] { return stop_ || generation_ != seen; });
+    if (stop_) return;
+    seen = generation_;
+    const std::function<void(std::size_t)>* job = job_;
+    const std::size_t count = job_count_;
+    ++active_workers_;
+    lock.unlock();
+
+    if (job != nullptr) run_tasks(*job, count);
+
+    lock.lock();
+    if (--active_workers_ == 0) done_cv_.notify_all();
+  }
+}
+
+}  // namespace bm

@@ -1,0 +1,61 @@
+// Small fixed-size worker pool for data-parallel loops.
+//
+// One blocking primitive, parallel_for, fans indices out across persistent
+// worker threads plus the calling thread. Work items claim indices from a
+// shared atomic counter, so any partition of indices to threads yields the
+// same per-index results; callers that write to per-index slots therefore
+// get schedule-independent (deterministic) output.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace bm {
+
+class ThreadPool {
+ public:
+  /// `concurrency` is the total parallel width including the calling thread;
+  /// concurrency <= 1 spawns no workers and parallel_for runs inline.
+  explicit ThreadPool(unsigned concurrency);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  unsigned concurrency() const {
+    return static_cast<unsigned>(workers_.size()) + 1;
+  }
+
+  /// Runs fn(i) for every i in [0, count) across the pool and the calling
+  /// thread; returns once all calls have completed. fn must not throw.
+  /// Not reentrant: parallel_for must not be called from inside fn, and only
+  /// one thread may drive the pool at a time.
+  void parallel_for(std::size_t count,
+                    const std::function<void(std::size_t)>& fn);
+
+ private:
+  void worker_loop();
+  void run_tasks(const std::function<void(std::size_t)>& fn,
+                 std::size_t count);
+
+  std::mutex mutex_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  // Current job; written by the driver and read by workers under mutex_.
+  const std::function<void(std::size_t)>* job_ = nullptr;
+  std::size_t job_count_ = 0;
+  std::uint64_t generation_ = 0;
+  std::size_t active_workers_ = 0;  ///< workers inside the claim loop
+  bool stop_ = false;
+  std::atomic<std::size_t> next_index_{0};
+  std::atomic<std::size_t> remaining_{0};
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace bm

@@ -42,7 +42,7 @@ std::optional<PublicKey> PublicKey::decode(ByteView b) {
 }
 
 PublicKey PrivateKey::public_key() const {
-  return PublicKey{to_affine(scalar_mult(d, p256_generator()))};
+  return PublicKey{to_affine(base_mult(d))};
 }
 
 PrivateKey key_from_seed(ByteView seed) {
@@ -105,7 +105,7 @@ Signature sign(const PrivateKey& key, const Digest& digest) {
   const U256 e = reduce_n(digest_to_scalar(digest));
   for (std::uint32_t attempt = 0;; ++attempt) {
     const U256 k = rfc6979_nonce(key.d, digest, attempt);
-    const AffinePoint kg = to_affine(scalar_mult(k, p256_generator()));
+    const AffinePoint kg = to_affine(base_mult(k));
     const U256 r = mod(kg.x, n);
     if (r.is_zero()) continue;
     const U256 kinv = inv_mod_prime(k, n);

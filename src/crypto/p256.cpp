@@ -1,6 +1,9 @@
 #include "crypto/p256.hpp"
 
+#include <algorithm>
+#include <array>
 #include <cassert>
+#include <cstdlib>
 
 namespace bm::crypto {
 
@@ -102,7 +105,18 @@ U256 fp_mul(const U256& a, const U256& b) {
 
 U256 fp_sqr(const U256& a) { return fp_mul(a, a); }
 
-U256 fp_inv(const U256& a) { return inv_mod_prime(a, kP); }
+U256 fp_inv(const U256& a) {
+  // Fermat: a^(p-2) by square-and-multiply over the fast P-256 reduction.
+  // p - 2 = ffffffff00000001000000000000000000000000fffffffffffffffffffffffd.
+  static const U256 kPMinus2 = U256::from_hex(
+      "ffffffff00000001000000000000000000000000fffffffffffffffffffffffd");
+  U256 result = U256::from_u64(1);
+  for (int i = kPMinus2.top_bit(); i >= 0; --i) {
+    result = fp_sqr(result);
+    if (kPMinus2.bit(i)) result = fp_mul(result, a);
+  }
+  return result;
+}
 
 JacobianPoint to_jacobian(const AffinePoint& p) {
   if (p.infinity) return JacobianPoint{};
@@ -169,10 +183,143 @@ JacobianPoint point_add(const JacobianPoint& p, const JacobianPoint& q) {
 
 JacobianPoint point_add_affine(const JacobianPoint& p, const AffinePoint& q) {
   if (q.infinity) return p;
-  return point_add(p, to_jacobian(q));
+  if (p.is_infinity()) return to_jacobian(q);
+  // Mixed addition (madd-2007-bl shape, Z2 = 1).
+  const U256 z1z1 = fp_sqr(p.z);
+  const U256 u2 = fp_mul(q.x, z1z1);
+  const U256 s2 = fp_mul(q.y, fp_mul(z1z1, p.z));
+  if (p.x == u2) {
+    if (p.y == s2) return point_double(p);
+    return JacobianPoint{};  // p + (-p)
+  }
+  const U256 h = fp_sub(u2, p.x);
+  const U256 r = fp_sub(s2, p.y);
+  const U256 h2 = fp_sqr(h);
+  const U256 h3 = fp_mul(h2, h);
+  const U256 v = fp_mul(p.x, h2);
+  JacobianPoint out;
+  out.x = fp_sub(fp_sub(fp_sqr(r), h3), fp_add(v, v));
+  out.y = fp_sub(fp_mul(r, fp_sub(v, out.x)), fp_mul(p.y, h3));
+  out.z = fp_mul(p.z, h);
+  return out;
 }
 
-JacobianPoint scalar_mult(const U256& k, const AffinePoint& p) {
+std::vector<AffinePoint> batch_to_affine(const std::vector<JacobianPoint>& pts) {
+  // Montgomery's trick: one inversion plus 3(n-1) multiplications inverts
+  // every Z at once; infinities pass through with Z treated as 1.
+  std::vector<AffinePoint> out(pts.size());
+  std::vector<U256> prefix(pts.size());
+  U256 acc = U256::from_u64(1);
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    prefix[i] = acc;
+    if (!pts[i].is_infinity()) acc = fp_mul(acc, pts[i].z);
+  }
+  U256 inv = fp_inv(acc);
+  for (std::size_t i = pts.size(); i-- > 0;) {
+    if (pts[i].is_infinity()) {
+      out[i] = AffinePoint{{}, {}, true};
+      continue;
+    }
+    const U256 zinv = fp_mul(inv, prefix[i]);
+    inv = fp_mul(inv, pts[i].z);
+    const U256 zinv2 = fp_sqr(zinv);
+    out[i] = AffinePoint{fp_mul(pts[i].x, zinv2),
+                         fp_mul(pts[i].y, fp_mul(zinv2, zinv)), false};
+  }
+  return out;
+}
+
+namespace {
+
+JacobianPoint jac_negate(const JacobianPoint& p) {
+  if (p.is_infinity() || p.y.is_zero()) return p;
+  return JacobianPoint{p.x, sub_mod(U256{}, p.y, kP), p.z};
+}
+
+AffinePoint affine_negate(const AffinePoint& p) {
+  if (p.infinity || p.y.is_zero()) return p;
+  return AffinePoint{p.x, sub_mod(U256{}, p.y, kP), false};
+}
+
+/// Width-w NAF digits of k, least significant first. Digits are zero or odd
+/// in [-(2^(w-1) - 1), 2^(w-1) - 1]; at most 257 are produced.
+int wnaf_digits(const U256& k, int w, std::int8_t* digits) {
+  U256 v = k;
+  const std::uint64_t mask = (1u << w) - 1;
+  const std::int64_t half = std::int64_t{1} << (w - 1);
+  int len = 0;
+  while (!v.is_zero()) {
+    std::int8_t d = 0;
+    if (v.w[0] & 1) {
+      std::int64_t low = static_cast<std::int64_t>(v.w[0] & mask);
+      if (low >= half) low -= 2 * half;
+      d = static_cast<std::int8_t>(low);
+      // v -= d (d odd, |d| < 2^(w-1); callers pass k < n so no overflow).
+      U256 delta = U256::from_u64(static_cast<std::uint64_t>(low < 0 ? -low : low));
+      if (low > 0) sub(v, v, delta);
+      else add(v, v, delta);
+    }
+    digits[len++] = d;
+    // v >>= 1.
+    for (int i = 0; i < 3; ++i) v.w[i] = (v.w[i] >> 1) | (v.w[i + 1] << 63);
+    v.w[3] >>= 1;
+  }
+  return len;
+}
+
+constexpr int kWnafWidth = 5;            ///< arbitrary-point tables: 8 entries
+constexpr int kWnafWidthBase = 7;        ///< generator table: 32 entries
+constexpr int kCombTeeth = 8;            ///< comb rows
+constexpr int kCombSpacing = 32;         ///< comb columns (256 / kCombTeeth)
+
+/// Odd multiples {P, 3P, 5P, ..., (2^(w-1) - 1)P} in Jacobian coordinates.
+std::vector<JacobianPoint> odd_multiples(const AffinePoint& p, int w) {
+  const int count = 1 << (w - 2);
+  std::vector<JacobianPoint> tbl(static_cast<std::size_t>(count));
+  tbl[0] = to_jacobian(p);
+  const JacobianPoint p2 = point_double(tbl[0]);
+  for (int i = 1; i < count; ++i) tbl[i] = point_add(tbl[i - 1], p2);
+  return tbl;
+}
+
+/// Precomputed affine odd multiples of G for the joint-wNAF verify path.
+const std::vector<AffinePoint>& base_wnaf_table() {
+  static const std::vector<AffinePoint> tbl =
+      batch_to_affine(odd_multiples(kG, kWnafWidthBase));
+  return tbl;
+}
+
+/// Lim–Lee comb table for G: entry d (1..255) is sum_{t in bits(d)}
+/// 2^(32t) * G, stored affine. 255 entries, ~16 KiB.
+const std::vector<AffinePoint>& base_comb_table() {
+  static const std::vector<AffinePoint> tbl = [] {
+    std::array<JacobianPoint, kCombTeeth> spine;
+    spine[0] = to_jacobian(kG);
+    for (int t = 1; t < kCombTeeth; ++t) {
+      spine[t] = spine[t - 1];
+      for (int i = 0; i < kCombSpacing; ++i) spine[t] = point_double(spine[t]);
+    }
+    std::vector<JacobianPoint> entries(1u << kCombTeeth);  // entry 0 unused
+    for (unsigned d = 1; d < entries.size(); ++d) {
+      const unsigned t = static_cast<unsigned>(__builtin_ctz(d));
+      entries[d] = d == (1u << t)
+                       ? spine[t]
+                       : point_add(entries[d & (d - 1)], spine[t]);
+    }
+    return batch_to_affine(entries);
+  }();
+  return tbl;
+}
+
+U256 reduce_mod_n(const U256& k) {
+  U256 r = k;
+  while (cmp(r, kN) >= 0) sub(r, r, kN);
+  return r;
+}
+
+}  // namespace
+
+JacobianPoint scalar_mult_naive(const U256& k, const AffinePoint& p) {
   JacobianPoint acc{};
   const JacobianPoint base = to_jacobian(p);
   const int top = k.top_bit();
@@ -183,20 +330,66 @@ JacobianPoint scalar_mult(const U256& k, const AffinePoint& p) {
   return acc;
 }
 
+JacobianPoint scalar_mult_wnaf(const U256& k, const AffinePoint& p) {
+  const U256 kr = reduce_mod_n(k);
+  if (kr.is_zero() || p.infinity) return JacobianPoint{};
+  std::int8_t digits[257];
+  const int len = wnaf_digits(kr, kWnafWidth, digits);
+  const std::vector<JacobianPoint> tbl = odd_multiples(p, kWnafWidth);
+  JacobianPoint acc{};
+  for (int i = len - 1; i >= 0; --i) {
+    acc = point_double(acc);
+    const int d = digits[i];
+    if (d > 0) acc = point_add(acc, tbl[static_cast<std::size_t>(d / 2)]);
+    else if (d < 0)
+      acc = point_add(acc, jac_negate(tbl[static_cast<std::size_t>(-d / 2)]));
+  }
+  return acc;
+}
+
+JacobianPoint base_mult(const U256& k) {
+  const U256 kr = reduce_mod_n(k);
+  if (kr.is_zero()) return JacobianPoint{};
+  const std::vector<AffinePoint>& tbl = base_comb_table();
+  JacobianPoint acc{};
+  for (int col = kCombSpacing - 1; col >= 0; --col) {
+    acc = point_double(acc);
+    unsigned d = 0;
+    for (int t = 0; t < kCombTeeth; ++t)
+      d |= static_cast<unsigned>(kr.bit(t * kCombSpacing + col)) << t;
+    if (d != 0) acc = point_add_affine(acc, tbl[d]);
+  }
+  return acc;
+}
+
+JacobianPoint scalar_mult(const U256& k, const AffinePoint& p) {
+  if (!p.infinity && p.x == kG.x && p.y == kG.y) return base_mult(k);
+  return scalar_mult_wnaf(k, p);
+}
+
 JacobianPoint double_scalar_mult(const U256& u1, const U256& u2,
                                  const AffinePoint& q) {
-  const JacobianPoint g = to_jacobian(p256_generator());
-  const JacobianPoint qj = to_jacobian(q);
-  const JacobianPoint gq = point_add(g, qj);
+  const U256 u1r = reduce_mod_n(u1);
+  const U256 u2r = q.infinity ? U256{} : reduce_mod_n(u2);
+  std::int8_t d1[257], d2[257];
+  const int len1 = u1r.is_zero() ? 0 : wnaf_digits(u1r, kWnafWidthBase, d1);
+  const int len2 = u2r.is_zero() ? 0 : wnaf_digits(u2r, kWnafWidth, d2);
+  const std::vector<AffinePoint>& gtbl = base_wnaf_table();
+  const std::vector<JacobianPoint> qtbl =
+      len2 != 0 ? odd_multiples(q, kWnafWidth) : std::vector<JacobianPoint>{};
   JacobianPoint acc{};
-  const int top = std::max(u1.top_bit(), u2.top_bit());
-  for (int i = top; i >= 0; --i) {
+  for (int i = std::max(len1, len2) - 1; i >= 0; --i) {
     acc = point_double(acc);
-    const bool b1 = i <= u1.top_bit() && u1.bit(i);
-    const bool b2 = i <= u2.top_bit() && u2.bit(i);
-    if (b1 && b2) acc = point_add(acc, gq);
-    else if (b1) acc = point_add(acc, g);
-    else if (b2) acc = point_add(acc, qj);
+    if (i < len1 && d1[i] != 0) {
+      const int d = d1[i];
+      const AffinePoint& g = gtbl[static_cast<std::size_t>(std::abs(d) / 2)];
+      acc = point_add_affine(acc, d > 0 ? g : affine_negate(g));
+    }
+    if (i < len2 && d2[i] != 0) {
+      const int d = d2[i];
+      const JacobianPoint& t = qtbl[static_cast<std::size_t>(std::abs(d) / 2)];
+      acc = point_add(acc, d > 0 ? t : jac_negate(t));
+    }
   }
   return acc;
 }

@@ -5,6 +5,8 @@
 // coordinates; the point at infinity is represented by Z = 0.
 #pragma once
 
+#include <vector>
+
 #include "crypto/u256.hpp"
 
 namespace bm::crypto {
@@ -47,13 +49,34 @@ AffinePoint to_affine(const JacobianPoint& p);
 
 JacobianPoint point_double(const JacobianPoint& p);
 JacobianPoint point_add(const JacobianPoint& p, const JacobianPoint& q);
+/// Mixed Jacobian + affine addition (Z2 = 1), ~30% cheaper than the general
+/// formulas; used with the precomputed affine tables.
 JacobianPoint point_add_affine(const JacobianPoint& p, const AffinePoint& q);
 
-/// k * P by left-to-right double-and-add.
+/// Convert many Jacobian points with one field inversion (Montgomery's
+/// simultaneous-inversion trick); used to build the fixed-base tables.
+std::vector<AffinePoint> batch_to_affine(const std::vector<JacobianPoint>& pts);
+
+/// k * P. Dispatches to the fixed-base comb when P is the generator and to
+/// width-5 wNAF otherwise. Since every finite curve point has order n
+/// (cofactor 1), k is first reduced mod n; the result equals the naive
+/// double-and-add for any k.
 JacobianPoint scalar_mult(const U256& k, const AffinePoint& p);
 
-/// u1*G + u2*Q with interleaved doubling (Shamir's trick); the ECDSA
-/// verification hot path.
+/// k * P by left-to-right double-and-add; retained as the differential
+/// oracle for the fast paths.
+JacobianPoint scalar_mult_naive(const U256& k, const AffinePoint& p);
+
+/// k * P by width-5 wNAF with a per-call odd-multiples table.
+JacobianPoint scalar_mult_wnaf(const U256& k, const AffinePoint& p);
+
+/// k * G via the precomputed fixed-base comb table (8 teeth x 32 columns):
+/// 31 doublings + <= 32 mixed additions. The signing hot path.
+JacobianPoint base_mult(const U256& k);
+
+/// u1*G + u2*Q by joint wNAF (Shamir's trick): one shared doubling chain,
+/// G digits resolved against a precomputed affine odd-multiples table and Q
+/// digits against a per-call table; the ECDSA verification hot path.
 JacobianPoint double_scalar_mult(const U256& u1, const U256& u2,
                                  const AffinePoint& q);
 

@@ -126,7 +126,7 @@ int u512_top_bit(const U512& a) {
 
 }  // namespace
 
-U256 mod(const U512& a, const U256& m) {
+U256 mod_bitwise(const U512& a, const U256& m) {
   assert(!m.is_zero());
   U256 r;
   const int top = u512_top_bit(a);
@@ -137,6 +137,91 @@ U256 mod(const U512& a, const U256& m) {
       r.w[limb] = (r.w[limb] << 1) | (r.w[limb - 1] >> 63);
     r.w[0] = (r.w[0] << 1) | (u512_bit(a, i) ? 1u : 0u);
     if (hi || cmp(r, m) >= 0) sub(r, r, m);
+  }
+  return r;
+}
+
+U256 mod(const U512& a, const U256& m) {
+  assert(!m.is_zero());
+  int k = 4;
+  while (k > 1 && m.w[k - 1] == 0) --k;
+
+  if (k == 1) {
+    // Single-limb modulus: stream the eight dividend limbs through a
+    // 128-by-64 remainder.
+    const std::uint64_t d = m.w[0];
+    std::uint64_t rem = 0;
+    for (int i = 7; i >= 0; --i) {
+      const unsigned __int128 cur =
+          (static_cast<unsigned __int128>(rem) << 64) | a.w[i];
+      rem = static_cast<std::uint64_t>(cur % d);
+    }
+    return U256::from_u64(rem);
+  }
+
+  // Knuth Algorithm D, remainder only. Normalize so the divisor's top limb
+  // has its most significant bit set; the dividend gains one spill limb.
+  const int shift = __builtin_clzll(m.w[k - 1]);
+  std::uint64_t vn[4];
+  for (int i = k - 1; i >= 0; --i) {
+    vn[i] = m.w[i] << shift;
+    if (shift != 0 && i > 0) vn[i] |= m.w[i - 1] >> (64 - shift);
+  }
+  std::uint64_t un[9];
+  un[8] = shift == 0 ? 0 : a.w[7] >> (64 - shift);
+  for (int i = 7; i >= 0; --i) {
+    un[i] = a.w[i] << shift;
+    if (shift != 0 && i > 0) un[i] |= a.w[i - 1] >> (64 - shift);
+  }
+
+  for (int j = 8 - k; j >= 0; --j) {
+    // Estimate the quotient digit from the top two dividend limbs, then
+    // correct it (at most twice) against the next limb down.
+    const unsigned __int128 top =
+        (static_cast<unsigned __int128>(un[j + k]) << 64) | un[j + k - 1];
+    unsigned __int128 qhat = top / vn[k - 1];
+    unsigned __int128 rhat = top % vn[k - 1];
+    while ((qhat >> 64) != 0 ||
+           static_cast<unsigned __int128>(static_cast<std::uint64_t>(qhat)) *
+                   vn[k - 2] >
+               ((rhat << 64) | un[j + k - 2])) {
+      --qhat;
+      rhat += vn[k - 1];
+      if ((rhat >> 64) != 0) break;
+    }
+    const std::uint64_t q = static_cast<std::uint64_t>(qhat);
+
+    // Multiply-subtract q * vn from un[j .. j+k].
+    __int128 borrow = 0;
+    __int128 t = 0;
+    for (int i = 0; i < k; ++i) {
+      const unsigned __int128 p = static_cast<unsigned __int128>(q) * vn[i];
+      t = static_cast<__int128>(un[i + j]) - borrow -
+          static_cast<std::uint64_t>(p);
+      un[i + j] = static_cast<std::uint64_t>(t);
+      borrow = static_cast<__int128>(static_cast<std::uint64_t>(p >> 64)) -
+               (t >> 64);
+    }
+    t = static_cast<__int128>(un[j + k]) - borrow;
+    un[j + k] = static_cast<std::uint64_t>(t);
+
+    if (t < 0) {
+      // Estimate was one too large: add the divisor back.
+      unsigned __int128 carry = 0;
+      for (int i = 0; i < k; ++i) {
+        carry += static_cast<unsigned __int128>(un[i + j]) + vn[i];
+        un[i + j] = static_cast<std::uint64_t>(carry);
+        carry >>= 64;
+      }
+      un[j + k] += static_cast<std::uint64_t>(carry);
+    }
+  }
+
+  // Denormalize: the remainder sits in un[0 .. k-1].
+  U256 r;
+  for (int i = 0; i < k; ++i) {
+    r.w[i] = un[i] >> shift;
+    if (shift != 0) r.w[i] |= un[i + 1] << (64 - shift);
   }
   return r;
 }

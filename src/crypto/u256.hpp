@@ -47,8 +47,13 @@ std::uint64_t sub(U256& r, const U256& a, const U256& b);
 /// Full 512-bit product.
 U512 mul_wide(const U256& a, const U256& b);
 
-/// Generic a mod m via binary long division; m must be non-zero.
+/// Generic a mod m via limb-wise long division (Knuth TAOCP 4.3.1 Alg. D
+/// with 64-bit digits); m must be non-zero.
 U256 mod(const U512& a, const U256& m);
+
+/// Reference bit-by-bit long division. ~60x slower than mod(); retained as
+/// the differential-testing oracle for the limb-wise path.
+U256 mod_bitwise(const U512& a, const U256& m);
 
 /// Reduce a 256-bit value mod m (single conditional subtract path).
 U256 mod(const U256& a, const U256& m);

@@ -232,11 +232,17 @@ bool Msp::validate(const Certificate& cert) const {
   key += cert.subject_cn;
   key += '|';
   key.append(cert.serial.begin(), cert.serial.end());
-  if (const auto it = validation_cache_.find(key);
-      it != validation_cache_.end())
-    return it->second;
+  {
+    std::lock_guard<std::mutex> lock(cache_mutex_);
+    if (const auto it = validation_cache_.find(key);
+        it != validation_cache_.end())
+      return it->second;
+  }
+  // Verify outside the lock: chain verification is the expensive part and is
+  // pure, so concurrent misses at worst duplicate work.
   const CertificateAuthority* ca = find_org(cert.org_name);
   const bool valid = ca != nullptr && ca->verify_cert(cert);
+  std::lock_guard<std::mutex> lock(cache_mutex_);
   validation_cache_[key] = valid;
   return valid;
 }

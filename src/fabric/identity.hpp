@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -104,6 +105,21 @@ class CertificateAuthority {
 /// cache are initialized from.
 class Msp {
  public:
+  Msp() = default;
+
+  // Movable (setup-time only: must not race with concurrent validate()).
+  // The cache mutex is not moved; the destination starts with its own.
+  Msp(Msp&& other) noexcept
+      : orgs_(std::move(other.orgs_)),
+        by_name_(std::move(other.by_name_)),
+        validation_cache_(std::move(other.validation_cache_)) {}
+  Msp& operator=(Msp&& other) noexcept {
+    orgs_ = std::move(other.orgs_);
+    by_name_ = std::move(other.by_name_);
+    validation_cache_ = std::move(other.validation_cache_);
+    return *this;
+  }
+
   /// Register an organization; returns its CA. Org indices are assigned in
   /// registration order starting at 1.
   CertificateAuthority& add_org(const std::string& name);
@@ -113,7 +129,9 @@ class Msp {
   std::size_t org_count() const { return orgs_.size(); }
   std::vector<std::string> org_names() const;
 
-  /// Validate that a certificate was issued by a registered CA.
+  /// Validate that a certificate was issued by a registered CA. Safe to call
+  /// concurrently (the parallel vscc path does); the result cache is
+  /// mutex-guarded and chain verification itself is pure.
   bool validate(const Certificate& cert) const;
 
   /// Encoded id for a certificate (derived from its org/role/sequence).
@@ -123,7 +141,10 @@ class Msp {
   std::vector<std::unique_ptr<CertificateAuthority>> orgs_;
   std::map<std::string, std::size_t> by_name_;
   /// Validation results keyed by (issuer, subject, serial) — Fabric peers
-  /// likewise cache deserialized/validated identities.
+  /// likewise cache deserialized/validated identities. Guarded by
+  /// cache_mutex_; concurrent misses may verify the same chain twice, which
+  /// is deterministic (both compute the same value).
+  mutable std::mutex cache_mutex_;
   mutable std::map<std::string, bool> validation_cache_;
 };
 

@@ -1,12 +1,38 @@
 #include "fabric/validator.hpp"
 
+#include <cstdlib>
+
 #include "crypto/der.hpp"
 
 namespace bm::fabric {
 
+namespace {
+
+unsigned resolve_parallelism(unsigned requested) {
+  if (requested != 0) return requested;
+  if (const char* env = std::getenv("BM_VALIDATOR_THREADS")) {
+    const long v = std::strtol(env, nullptr, 10);
+    if (v > 1) return static_cast<unsigned>(v);
+  }
+  return 1;
+}
+
+}  // namespace
+
 SoftwareValidator::SoftwareValidator(
-    const Msp& msp, std::map<std::string, EndorsementPolicy> policies)
-    : msp_(msp), policies_(std::move(policies)) {}
+    const Msp& msp, std::map<std::string, EndorsementPolicy> policies,
+    unsigned parallelism)
+    : msp_(msp), policies_(std::move(policies)) {
+  set_parallelism(parallelism);
+}
+
+void SoftwareValidator::set_parallelism(unsigned parallelism) {
+  const unsigned n = resolve_parallelism(parallelism);
+  if (n > 1)
+    pool_ = std::make_unique<ThreadPool>(n);
+  else
+    pool_.reset();
+}
 
 bool SoftwareValidator::verify_block_signature(const Block& block) {
   ++stats_.block_signature_checks;
@@ -23,12 +49,12 @@ bool SoftwareValidator::verify_block_signature(const Block& block) {
 }
 
 TxValidationCode SoftwareValidator::validate_transaction(
-    const ParsedTransaction& tx) {
+    const ParsedTransaction& tx, ValidationStats& stats) const {
   // Step 2a: transaction verification — creator identity and signature.
   if (!msp_.validate(tx.creator)) return TxValidationCode::kBadCreatorSignature;
   const auto creator_sig = crypto::der_decode_signature(tx.signature);
   if (!creator_sig) return TxValidationCode::kBadCreatorSignature;
-  ++stats_.creator_signature_checks;
+  ++stats.creator_signature_checks;
   if (!crypto::verify(tx.creator.public_key, crypto::sha256(tx.payload_bytes),
                       *creator_sig))
     return TxValidationCode::kBadCreatorSignature;
@@ -44,7 +70,7 @@ TxValidationCode SoftwareValidator::validate_transaction(
     if (!msp_.validate(endorsement.cert)) continue;
     const auto sig = crypto::der_decode_signature(endorsement.signature);
     if (!sig) continue;
-    ++stats_.endorsement_signature_checks;
+    ++stats.endorsement_signature_checks;
     const crypto::Digest digest = endorsement_digest(
         tx.chaincode_id, tx.rwset_bytes, endorsement.cert_bytes);
     if (!crypto::verify(endorsement.cert.public_key, digest, *sig)) continue;
@@ -68,18 +94,30 @@ BlockValidationResult SoftwareValidator::validate_and_commit(
   result.block_valid = verify_block_signature(block);
   if (!result.block_valid) return result;
 
-  // Step 2: per-transaction verification + vscc.
+  // Step 2: per-transaction verification + vscc. Transactions are
+  // independent here (no state access until mvcc), so they fan out across
+  // the worker pool when one is configured. Each index writes only its own
+  // flags/parsed/stats slot, making flags and, after the in-order stats
+  // merge below, every observable output identical to the sequential path.
   std::vector<ParsedTransaction> parsed(block.tx_count());
-  for (std::size_t i = 0; i < block.tx_count(); ++i) {
-    ++stats_.envelopes_parsed;
+  std::vector<ValidationStats> tx_stats(block.tx_count());
+  const auto run_tx = [&](std::size_t i) {
+    ValidationStats& stats = tx_stats[i];
+    ++stats.envelopes_parsed;
     auto tx = parse_envelope(block.envelopes[i]);
     if (!tx) {
       result.flags[i] = TxValidationCode::kBadPayload;
-      continue;
+      return;
     }
     parsed[i] = std::move(*tx);
-    result.flags[i] = validate_transaction(parsed[i]);
+    result.flags[i] = validate_transaction(parsed[i], stats);
+  };
+  if (pool_ != nullptr && block.tx_count() > 1) {
+    pool_->parallel_for(block.tx_count(), run_tx);
+  } else {
+    for (std::size_t i = 0; i < block.tx_count(); ++i) run_tx(i);
   }
+  for (const ValidationStats& stats : tx_stats) stats_ += stats;
 
   // Step 3: mvcc — sequential, in transaction order. Reads must match the
   // committed state, and keys written by an earlier valid transaction of

@@ -16,7 +16,9 @@
 #pragma once
 
 #include <map>
+#include <memory>
 
+#include "common/thread_pool.hpp"
 #include "fabric/ledger.hpp"
 #include "fabric/policy.hpp"
 #include "fabric/statedb.hpp"
@@ -38,6 +40,17 @@ struct ValidationStats {
     return block_signature_checks + creator_signature_checks +
            endorsement_signature_checks;
   }
+
+  ValidationStats& operator+=(const ValidationStats& o) {
+    blocks_processed += o.blocks_processed;
+    block_signature_checks += o.block_signature_checks;
+    creator_signature_checks += o.creator_signature_checks;
+    endorsement_signature_checks += o.endorsement_signature_checks;
+    db_reads += o.db_reads;
+    db_writes += o.db_writes;
+    envelopes_parsed += o.envelopes_parsed;
+    return *this;
+  }
 };
 
 struct BlockValidationResult {
@@ -51,8 +64,20 @@ class SoftwareValidator {
  public:
   /// `policies` maps chaincode id -> endorsement policy. Transactions whose
   /// chaincode has no registered policy are marked invalid.
+  ///
+  /// `parallelism` is the number of threads used for per-transaction
+  /// verification + vscc (step 2): 1 = sequential, 0 = read the
+  /// BM_VALIDATOR_THREADS environment variable (default 1). Validation flags,
+  /// commit order, stats, and the calibrated DES timing derived from them are
+  /// byte-identical to the sequential path at any setting — only wall-clock
+  /// time changes.
   SoftwareValidator(const Msp& msp,
-                    std::map<std::string, EndorsementPolicy> policies);
+                    std::map<std::string, EndorsementPolicy> policies,
+                    unsigned parallelism = 0);
+
+  /// Reconfigure the worker pool; same semantics as the constructor arg.
+  void set_parallelism(unsigned parallelism);
+  unsigned parallelism() const { return pool_ ? pool_->concurrency() : 1; }
 
   /// Run the full pipeline on one block, mutating the state DB and ledger.
   BlockValidationResult validate_and_commit(const Block& block, StateDb& db,
@@ -69,11 +94,15 @@ class SoftwareValidator {
 
  private:
   bool verify_block_signature(const Block& block);
-  TxValidationCode validate_transaction(const ParsedTransaction& tx);
+  /// Pure with respect to the validator: counters accumulate into `stats`
+  /// so the parallel path can aggregate per-transaction deltas in tx order.
+  TxValidationCode validate_transaction(const ParsedTransaction& tx,
+                                        ValidationStats& stats) const;
 
   const Msp& msp_;
   std::map<std::string, EndorsementPolicy> policies_;
   ValidationStats stats_;
+  std::unique_ptr<ThreadPool> pool_;  ///< null when sequential
 };
 
 }  // namespace bm::fabric

@@ -1,0 +1,75 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+
+namespace bm {
+namespace {
+
+TEST(ThreadPool, RunsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.concurrency(), 4u);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(hits.size(), [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, PerIndexResultsMatchSequential) {
+  ThreadPool pool(8);
+  std::vector<std::uint64_t> parallel(513), sequential(513);
+  const auto work = [](std::size_t i) {
+    std::uint64_t v = i + 1;
+    for (int r = 0; r < 100; ++r) v = v * 6364136223846793005ull + 1442695040888963407ull;
+    return v;
+  };
+  pool.parallel_for(parallel.size(),
+                    [&](std::size_t i) { parallel[i] = work(i); });
+  for (std::size_t i = 0; i < sequential.size(); ++i) sequential[i] = work(i);
+  EXPECT_EQ(parallel, sequential);
+}
+
+TEST(ThreadPool, BackToBackJobsDoNotInterfere) {
+  // Regression guard for the straggler race: a worker from job N must never
+  // claim indices of job N+1 with job N's function.
+  ThreadPool pool(4);
+  for (int round = 0; round < 200; ++round) {
+    std::atomic<std::uint64_t> sum{0};
+    const std::size_t count = 1 + static_cast<std::size_t>(round % 7);
+    pool.parallel_for(count, [&](std::size_t i) { sum.fetch_add(i + 1); });
+    EXPECT_EQ(sum.load(), count * (count + 1) / 2) << "round " << round;
+  }
+}
+
+TEST(ThreadPool, SingleThreadRunsInline) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.concurrency(), 1u);
+  int calls = 0;
+  pool.parallel_for(17, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 17);
+}
+
+TEST(ThreadPool, ZeroAndOneItemCounts) {
+  ThreadPool pool(4);
+  int calls = 0;
+  pool.parallel_for(0, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  pool.parallel_for(1, [&](std::size_t) { ++calls; });  // runs inline
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ThreadPool, MoreThreadsThanWork) {
+  ThreadPool pool(16);
+  std::vector<std::atomic<int>> hits(3);
+  pool.parallel_for(hits.size(), [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, DestructionWithoutUse) {
+  ThreadPool pool(6);  // workers must shut down cleanly with no job ever run
+}
+
+}  // namespace
+}  // namespace bm

@@ -202,6 +202,180 @@ TEST(Der, RejectsMalformedInputs) {
   EXPECT_FALSE(der_decode_signature(negative).has_value());
 }
 
+// --- Edge-case sweep ---------------------------------------------------------
+// Audit battery over PublicKey::decode, der_decode_signature, and verify:
+// truncated/oversized lengths, non-minimal forms, trailing bytes, degenerate
+// r/s, and off-curve / infinity / out-of-field keys must all be rejected.
+
+TEST(PublicKey, DecodeRejectsOutOfFieldCoordinates) {
+  const PublicKey pub = key_from_seed(to_bytes("oof")).public_key();
+  // X >= p.
+  Bytes bad_x = pub.encode();
+  const Bytes p_be = p256_p().to_bytes_be();
+  std::copy(p_be.begin(), p_be.end(), bad_x.begin() + 1);
+  EXPECT_FALSE(PublicKey::decode(bad_x).has_value());
+  // Y >= p (use p itself, which would alias y = 0).
+  Bytes bad_y = pub.encode();
+  std::copy(p_be.begin(), p_be.end(), bad_y.begin() + 33);
+  EXPECT_FALSE(PublicKey::decode(bad_y).has_value());
+  // All-ones coordinates.
+  EXPECT_FALSE(PublicKey::decode([] {
+                 Bytes b(65, 0xFF);
+                 b[0] = 0x04;
+                 return b;
+               }()).has_value());
+}
+
+TEST(PublicKey, DecodeRejectsWrongSizesAndZeroPoint) {
+  const PublicKey pub = key_from_seed(to_bytes("sz")).public_key();
+  const Bytes good = pub.encode();
+  EXPECT_FALSE(PublicKey::decode(Bytes{}).has_value());
+  EXPECT_FALSE(PublicKey::decode(Bytes(1, 0x04)).has_value());
+  Bytes truncated(good.begin(), good.end() - 1);
+  EXPECT_FALSE(PublicKey::decode(truncated).has_value());
+  Bytes oversized = good;
+  oversized.push_back(0x00);  // trailing byte
+  EXPECT_FALSE(PublicKey::decode(oversized).has_value());
+  // (0, 0) is not on the curve (b != 0).
+  Bytes zero(65, 0x00);
+  zero[0] = 0x04;
+  EXPECT_FALSE(PublicKey::decode(zero).has_value());
+  // Compressed and hybrid prefixes are not accepted by the uncompressed
+  // parser.
+  for (std::uint8_t prefix : {0x00, 0x02, 0x03, 0x05, 0x06, 0x07, 0xFF}) {
+    Bytes b = good;
+    b[0] = prefix;
+    EXPECT_FALSE(PublicKey::decode(b).has_value()) << int(prefix);
+  }
+}
+
+TEST(Der, RejectsTruncatedAndOversizedLengths) {
+  const Signature sig{U256::from_u64(0x123456), U256::from_u64(0x654321)};
+  const Bytes good = der_encode_signature(sig);
+
+  // Truncate at every byte boundary: no prefix may decode.
+  for (std::size_t len = 0; len < good.size(); ++len) {
+    Bytes prefix(good.begin(), good.begin() + static_cast<std::ptrdiff_t>(len));
+    EXPECT_FALSE(der_decode_signature(prefix).has_value()) << "len " << len;
+  }
+  // Trailing bytes after a valid signature.
+  for (std::uint8_t extra : {0x00, 0x30, 0xFF}) {
+    Bytes trailing = good;
+    trailing.push_back(extra);
+    EXPECT_FALSE(der_decode_signature(trailing).has_value()) << int(extra);
+  }
+  // Sequence length larger than the payload.
+  Bytes overlong = good;
+  overlong[1] = static_cast<std::uint8_t>(good.size());  // > actual content
+  EXPECT_FALSE(der_decode_signature(overlong).has_value());
+  // Sequence length smaller than the payload (inner trailing bytes).
+  Bytes underlong = good;
+  underlong[1] -= 1;
+  EXPECT_FALSE(der_decode_signature(underlong).has_value());
+}
+
+TEST(Der, RejectsNonMinimalLengthForms) {
+  // Long-form length 0x81 encoding a value < 0x80 is non-minimal DER.
+  // 0x30 0x81 0x06 | 02 01 01 | 02 01 01
+  const Bytes non_minimal_seq = {0x30, 0x81, 0x06, 0x02, 0x01, 0x01,
+                                 0x02, 0x01, 0x01};
+  EXPECT_FALSE(der_decode_signature(non_minimal_seq).has_value());
+  // Indefinite length (0x80) is BER, not DER.
+  const Bytes indefinite = {0x30, 0x80, 0x02, 0x01, 0x01, 0x02,
+                            0x01, 0x01, 0x00, 0x00};
+  EXPECT_FALSE(der_decode_signature(indefinite).has_value());
+  // Multi-byte long form (0x82) can never be needed for a 72-byte signature.
+  const Bytes two_byte_len = {0x30, 0x82, 0x00, 0x06, 0x02, 0x01,
+                              0x01, 0x02, 0x01, 0x01};
+  EXPECT_FALSE(der_decode_signature(two_byte_len).has_value());
+}
+
+TEST(Der, RejectsMalformedIntegers) {
+  // Zero-length integer.
+  const Bytes empty_int = {0x30, 0x05, 0x02, 0x00, 0x02, 0x01, 0x01};
+  EXPECT_FALSE(der_decode_signature(empty_int).has_value());
+  // Wrong inner tag (0x03 BIT STRING instead of 0x02 INTEGER).
+  const Bytes wrong_tag = {0x30, 0x06, 0x03, 0x01, 0x01, 0x02, 0x01, 0x01};
+  EXPECT_FALSE(der_decode_signature(wrong_tag).has_value());
+  // 34-byte integer body (0x00 + 33 bytes) exceeds the 32-byte field even
+  // after stripping the sign byte.
+  Bytes too_wide = {0x30, 0x28, 0x02, 0x23, 0x00, 0xFF};
+  too_wide.insert(too_wide.end(), 33, 0xAA);
+  too_wide.insert(too_wide.end(), {0x02, 0x01, 0x01});
+  too_wide[5] = 0x80;  // keep the 0x00 prefix minimal (next byte high)
+  EXPECT_FALSE(der_decode_signature(too_wide).has_value());
+  // A 33-byte body with 0x00 prefix and high second byte IS valid DER for a
+  // 256-bit integer: round-trip a max-range r to prove the path stays open.
+  U256 big;
+  big.w.fill(~std::uint64_t{0});
+  const Signature wide_sig{big, U256::from_u64(1)};
+  const auto wide_decoded = der_decode_signature(der_encode_signature(wide_sig));
+  ASSERT_TRUE(wide_decoded.has_value());
+  EXPECT_EQ(*wide_decoded, wide_sig);
+}
+
+TEST(Ecdsa, VerifyRejectsDegenerateAndBoundaryScalars) {
+  const PrivateKey key = key_from_seed(to_bytes("bound"));
+  const PublicKey pub = key.public_key();
+  const Digest d = sha256(to_bytes("m"));
+  const Signature good = sign(key, d);
+  U256 n_minus_1 = p256_n();
+  sub(n_minus_1, n_minus_1, U256::from_u64(1));
+  U256 n_plus_1 = p256_n();
+  add(n_plus_1, n_plus_1, U256::from_u64(1));
+  U256 all_ones;
+  all_ones.w.fill(~std::uint64_t{0});
+
+  EXPECT_FALSE(verify(pub, d, Signature{U256{}, U256{}}));
+  EXPECT_FALSE(verify(pub, d, Signature{good.r, U256{}}));
+  EXPECT_FALSE(verify(pub, d, Signature{U256{}, good.s}));
+  EXPECT_FALSE(verify(pub, d, Signature{p256_n(), good.s}));
+  EXPECT_FALSE(verify(pub, d, Signature{good.r, p256_n()}));
+  EXPECT_FALSE(verify(pub, d, Signature{n_plus_1, good.s}));
+  EXPECT_FALSE(verify(pub, d, Signature{good.r, all_ones}));
+  // In-range but wrong values still fail (n-1 is a legal scalar).
+  EXPECT_FALSE(verify(pub, d, Signature{n_minus_1, good.s}));
+  EXPECT_FALSE(verify(pub, d, Signature{good.r, n_minus_1}));
+  // The honest signature still passes after all the rejects.
+  EXPECT_TRUE(verify(pub, d, good));
+}
+
+TEST(Ecdsa, VerifyRejectsBadKeys) {
+  const PrivateKey key = key_from_seed(to_bytes("badkey"));
+  const Digest d = sha256(to_bytes("m"));
+  const Signature sig = sign(key, d);
+
+  // Point at infinity.
+  PublicKey infinity_key;
+  infinity_key.point = AffinePoint{{}, {}, true};
+  EXPECT_FALSE(verify(infinity_key, d, sig));
+  // Off-curve point.
+  PublicKey off_curve = key.public_key();
+  off_curve.point.x = add_mod(off_curve.point.x, U256::from_u64(1), p256_p());
+  EXPECT_FALSE(verify(off_curve, d, sig));
+  // Coordinates outside the field.
+  PublicKey out_of_field = key.public_key();
+  out_of_field.point.y = p256_p();
+  EXPECT_FALSE(verify(out_of_field, d, sig));
+  // (0, 0) "zero key".
+  PublicKey zero_key;
+  zero_key.point = AffinePoint{{}, {}, false};
+  EXPECT_FALSE(verify(zero_key, d, sig));
+}
+
+TEST(Ecdsa, SignatureMalleabilityCounterpartIsDistinct) {
+  // (r, n - s) is the other valid ECDSA signature for the same digest; the
+  // verifier accepts both (Fabric does not enforce low-s), but they must
+  // decode/encode as distinct DER.
+  const PrivateKey key = key_from_seed(to_bytes("malle"));
+  const Digest d = sha256(to_bytes("m"));
+  const Signature sig = sign(key, d);
+  Signature flipped = sig;
+  flipped.s = sub_mod(U256{}, sig.s, p256_n());
+  EXPECT_TRUE(verify(key.public_key(), d, flipped));
+  EXPECT_NE(der_encode_signature(sig), der_encode_signature(flipped));
+}
+
 TEST(Der, Rfc6979SampleSignatureEncoding) {
   // The DataProcessor post-processor path: DER -> (r, s) -> 256-bit values.
   const PrivateKey key{U256::from_hex(kRfcPrivate)};

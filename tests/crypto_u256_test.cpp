@@ -168,5 +168,75 @@ TEST(P256, FieldOpsConsistency) {
   }
 }
 
+TEST(U256, LimbDivisionMatchesBitwiseOracle) {
+  // The Knuth-D remainder path against the retained bit-by-bit oracle, over
+  // random dividends and moduli of every limb width.
+  Rng rng(77);
+  for (int i = 0; i < 400; ++i) {
+    U512 a;
+    for (auto& w : a.w) w = rng.next_u64();
+    // Vary modulus width: 1..4 significant limbs, occasionally sparse.
+    U256 m;
+    const int limbs = 1 + static_cast<int>(rng.next_u64() % 4);
+    for (int j = 0; j < limbs; ++j) m.w[j] = rng.next_u64();
+    if (m.w[limbs - 1] == 0) m.w[limbs - 1] = 1;
+    if (i % 7 == 0) m.w[0] = 0;  // force a zero low limb
+    if (m.is_zero()) m.w[0] = 1;
+    EXPECT_EQ(mod(a, m), mod_bitwise(a, m)) << "iteration " << i;
+  }
+}
+
+TEST(U256, LimbDivisionEdgeCases) {
+  U256 one = U256::from_u64(1);
+  U512 zero512;
+  EXPECT_EQ(mod(zero512, one), U256{});
+  EXPECT_EQ(mod(zero512, p256_p()), U256{});
+
+  U512 max512;
+  for (auto& w : max512.w) w = ~std::uint64_t{0};
+  U256 max256;
+  for (auto& w : max256.w) w = ~std::uint64_t{0};
+  // Modulus 1 -> 0; modulus 2^64-1; modulus 2^256-1; powers of two.
+  EXPECT_EQ(mod(max512, one), mod_bitwise(max512, one));
+  EXPECT_EQ(mod(max512, U256::from_u64(~std::uint64_t{0})),
+            mod_bitwise(max512, U256::from_u64(~std::uint64_t{0})));
+  EXPECT_EQ(mod(max512, max256), mod_bitwise(max512, max256));
+  for (int shift : {1, 63, 64, 65, 127, 128, 192, 255}) {
+    U256 pow2;
+    pow2.w[shift / 64] = std::uint64_t{1} << (shift % 64);
+    EXPECT_EQ(mod(max512, pow2), mod_bitwise(max512, pow2)) << shift;
+  }
+  // Dividend smaller than modulus passes through.
+  U512 small;
+  small.w[0] = 42;
+  EXPECT_EQ(mod(small, p256_p()), U256::from_u64(42));
+  // Dividend exactly the modulus (and modulus +- 1) reduce correctly.
+  const U256& p = p256_p();
+  U512 pw;
+  for (int i = 0; i < 4; ++i) pw.w[i] = p.w[i];
+  EXPECT_EQ(mod(pw, p), U256{});
+  U256 p_plus_1;
+  add(p_plus_1, p, one);
+  for (int i = 0; i < 4; ++i) pw.w[i] = p_plus_1.w[i];
+  EXPECT_EQ(mod(pw, p), U256::from_u64(1));
+}
+
+TEST(U256, LimbDivisionStressesQhatCorrection) {
+  // Dividends shaped to trigger the qhat-too-large correction and add-back
+  // branches: top limbs equal to the normalized divisor's top limb.
+  Rng rng(78);
+  for (int i = 0; i < 200; ++i) {
+    U256 m;
+    m.w[3] = rng.next_u64() | (std::uint64_t{1} << 63);  // already normalized
+    m.w[0] = rng.next_u64();
+    U512 a;
+    a.w[7] = m.w[3];  // un[j+k] == vn[k-1] forces the qhat cap
+    a.w[6] = rng.next_u64();
+    a.w[5] = ~std::uint64_t{0};
+    a.w[0] = rng.next_u64();
+    EXPECT_EQ(mod(a, m), mod_bitwise(a, m)) << "iteration " << i;
+  }
+}
+
 }  // namespace
 }  // namespace bm::crypto

@@ -223,6 +223,79 @@ TEST_F(ValidatorTest, StatsAreCounted) {
   EXPECT_EQ(validator_->stats().blocks_processed, 0u);
 }
 
+TEST_F(ValidatorTest, ParallelVsccMatchesSequential) {
+  // Same block, one sequential and one 4-thread validator over fresh state:
+  // every observable output must be byte-identical (the parallel path only
+  // changes wall-clock time, never results — the DES timing model consumes
+  // the stats, so this also pins simulated timing).
+  std::vector<Bytes> envs;
+  for (int i = 0; i < 8; ++i)
+    envs.push_back(make_tx("ok" + std::to_string(i), {&peer1_, &peer2_}));
+  envs.push_back(make_tx("short", {&peer1_}));           // policy failure
+  envs.push_back(make_tx("none", {}));                   // policy failure
+  envs.push_back(make_tx("cc", {&peer1_, &peer2_}, {}, "nope"));  // unknown cc
+  envs.push_back(to_bytes("garbage envelope"));          // bad payload
+  Bytes bad_sig = make_tx("sig", {&peer1_, &peer2_});
+  bad_sig.back() ^= 1;                                   // bad creator sig
+  envs.push_back(std::move(bad_sig));
+  ReadWriteSet rw;
+  rw.reads.push_back({"shared", std::nullopt});
+  rw.writes.push_back({"shared", to_bytes("x")});
+  envs.push_back(make_tx("m1", {&peer1_, &peer2_}, rw));  // valid
+  envs.push_back(make_tx("m2", {&peer1_, &peer2_}, rw));  // mvcc conflict
+  const Block block = cut(std::move(envs));
+
+  SoftwareValidator seq(msp_, policies_, 1);
+  SoftwareValidator par(msp_, policies_, 4);
+  ASSERT_EQ(par.parallelism(), 4u);
+  StateDb db_seq, db_par;
+  Ledger ledger_seq, ledger_par;
+  const auto r_seq = seq.validate_and_commit(block, db_seq, ledger_seq);
+  const auto r_par = par.validate_and_commit(block, db_par, ledger_par);
+
+  EXPECT_EQ(r_par.block_valid, r_seq.block_valid);
+  ASSERT_EQ(r_par.flags, r_seq.flags);
+  EXPECT_EQ(r_par.valid_tx_count, r_seq.valid_tx_count);
+  EXPECT_EQ(r_par.commit_hash, r_seq.commit_hash);
+  EXPECT_EQ(db_par.size(), db_seq.size());
+  EXPECT_EQ(ledger_par.height(), ledger_seq.height());
+  EXPECT_EQ(par.stats().creator_signature_checks,
+            seq.stats().creator_signature_checks);
+  EXPECT_EQ(par.stats().endorsement_signature_checks,
+            seq.stats().endorsement_signature_checks);
+  EXPECT_EQ(par.stats().envelopes_parsed, seq.stats().envelopes_parsed);
+  EXPECT_EQ(par.stats().db_reads, seq.stats().db_reads);
+  EXPECT_EQ(par.stats().db_writes, seq.stats().db_writes);
+}
+
+TEST_F(ValidatorTest, ParallelVsccAcrossBlocksAndReconfiguration) {
+  // Multi-block run with the pool reconfigured mid-stream: ledger hash chain
+  // must match a sequential validator commit-for-commit.
+  SoftwareValidator seq(msp_, policies_, 1);
+  SoftwareValidator par(msp_, policies_, 3);
+  StateDb db_seq, db_par;
+  Ledger ledger_seq, ledger_par;
+  for (int b = 0; b < 4; ++b) {
+    if (b == 2) par.set_parallelism(8);
+    std::vector<Bytes> envs;
+    for (int i = 0; i < 6; ++i) {
+      ReadWriteSet rw;
+      const std::string key = "k" + std::to_string(i % 3);
+      rw.reads.push_back(
+          {key, b == 0 ? std::optional<Version>{} : std::optional<Version>{}});
+      rw.writes.push_back({key, to_bytes("b" + std::to_string(b))});
+      envs.push_back(make_tx("t" + std::to_string(b) + "_" + std::to_string(i),
+                             {&peer1_, &peer2_}, rw));
+    }
+    const Block block = cut(std::move(envs));
+    const auto r_seq = seq.validate_and_commit(block, db_seq, ledger_seq);
+    const auto r_par = par.validate_and_commit(block, db_par, ledger_par);
+    ASSERT_EQ(r_par.flags, r_seq.flags) << "block " << b;
+    ASSERT_EQ(r_par.commit_hash, r_seq.commit_hash) << "block " << b;
+  }
+  EXPECT_EQ(ledger_par.height(), ledger_seq.height());
+}
+
 TEST(SwTimingModel, MatchesPaperAnchors) {
   // The calibrated model must land on the paper's reported software numbers
   // (Fig. 7b: 3,500 / 5,300 tps at 4 / 16 vCPUs; §4.3 vscc latencies).
