@@ -2,6 +2,7 @@
 
 #include <cassert>
 
+#include "fabric/transaction.hpp"
 #include "obs/probes.hpp"
 
 namespace bm::bmac {
@@ -19,15 +20,31 @@ BmacPeer::BmacPeer(
     sim::Simulation& sim, const fabric::Msp& msp, HwConfig config,
     const std::map<std::string, fabric::EndorsementPolicy>& policies)
     : sim_(sim),
+      msp_(msp),
+      policies_(policies),
       config_(config),
       rx_queue_(sim, 65536, "rx_queue"),
       receiver_(cache_),
       processor_(sim, config, compile_policies(policies, msp)) {}
 
+void BmacPeer::enable_graceful_degradation(DegradeConfig config) {
+  degrade_ = config;
+  fallback_validator_ = std::make_unique<fabric::SoftwareValidator>(
+      msp_, policies_, /*parallelism=*/1);
+  release_kick_ = std::make_unique<sim::Trigger>(sim_);
+  commit_kick_ = std::make_unique<sim::Trigger>(sim_);
+}
+
 void BmacPeer::start() {
   processor_.start();
   sim_.spawn(protocol_processor_proc());
-  sim_.spawn(host_commit_proc());
+  if (degrade_) {
+    sim_.spawn(stream_release_proc());
+    sim_.spawn(reg_map_drain_proc());
+    sim_.spawn(degraded_host_commit_proc());
+  } else {
+    sim_.spawn(host_commit_proc());
+  }
 }
 
 void BmacPeer::attach_observability(obs::Registry* registry,
@@ -70,6 +87,32 @@ void BmacPeer::publish_metrics() {
         ->counter("bmac_host_txs_valid_total",
                   "committed transactions flagged valid")
         .set(host_metrics_.valid_transactions);
+    if (degrade_) {
+      registry_
+          ->counter("bmac_fallback_blocks_total",
+                    "blocks validated in software after a stalled stream")
+          .set(degrade_metrics_.fallback_blocks);
+      registry_
+          ->counter("bmac_watchdog_fires_total",
+                    "result-budget expiries with an incomplete stream")
+          .set(degrade_metrics_.watchdog_fires);
+      registry_
+          ->counter("bmac_watchdog_deferrals_total",
+                    "result-budget expiries with a healthy stream (re-armed)")
+          .set(degrade_metrics_.watchdog_deferrals);
+      registry_
+          ->counter("bmac_streams_aborted_total",
+                    "partial record assemblies discarded at fallback")
+          .set(degrade_metrics_.streams_aborted);
+      registry_
+          ->counter("bmac_late_packets_total",
+                    "packets for already-resolved blocks, dropped")
+          .set(degrade_metrics_.late_packets);
+      registry_
+          ->counter("bmac_malformed_packets_total",
+                    "packets the protocol_processor rejected")
+          .set(degrade_metrics_.malformed_packets);
+    }
     obs::publish_fifo_metrics(*registry_, rx_queue_, "bmac_fifo");
   }
   processor_.publish_metrics();
@@ -82,16 +125,67 @@ void BmacPeer::deliver_packet(BmacPacket packet) {
 }
 
 void BmacPeer::deliver_block(fabric::Block block) {
-  pending_blocks_.emplace(block.header.number, std::move(block));
+  const std::uint64_t block_num = block.header.number;
+  pending_blocks_.emplace(block_num, std::move(block));
+  if (degrade_) {
+    note_first_block(block_num);
+    arm_watchdog(block_num);
+    commit_kick_->fire(0);
+  }
+}
+
+void BmacPeer::note_first_block(std::uint64_t block_num) {
+  // Degraded mode assumes blocks are produced (and delivered on the host
+  // path) in order, as Fabric's orderer guarantees; the first number seen
+  // anywhere anchors the release/commit sequencers.
+  if (base_known_) return;
+  base_known_ = true;
+  next_release_ = block_num;
+  next_commit_ = block_num;
 }
 
 sim::Process BmacPeer::protocol_processor_proc() {
   const HwTimingModel& t = config_.timing;
   for (;;) {
+    ingest_busy_ = false;
     BmacPacket packet = co_await rx_queue_.get();
+    ingest_busy_ = true;
     const sim::Time packet_start = sim_.now();
     const std::size_t wire_size = packet.wire_size();
     co_await sim_.delay(t.packet_processing_time(wire_size));
+    if (degrade_) {
+      if (packet.header.section != SectionType::kIdentitySync && base_known_ &&
+          packet.header.block_num < next_release_) {
+        // A straggler for a block already released or resolved (e.g. a
+        // retransmission that raced the fallback): the hardware must not
+        // re-stage records for it.
+        ++degrade_metrics_.late_packets;
+        if (packets_ctr_ != nullptr) packets_ctr_->inc();
+        if (tracer_ != nullptr) {
+          tracer_->complete(protocol_lane_, "packet_late", "protocol",
+                            packet_start, sim_.now(),
+                            {{"bytes", static_cast<std::uint64_t>(wire_size)},
+                             {"block", packet.header.block_num}});
+        }
+        continue;
+      }
+      ProtocolReceiver::Emitted emitted = receiver_.on_packet(packet);
+      if (packets_ctr_ != nullptr) packets_ctr_->inc();
+      if (tracer_ != nullptr) {
+        tracer_->complete(
+            protocol_lane_, "packet", "protocol", packet_start, sim_.now(),
+            {{"bytes", static_cast<std::uint64_t>(wire_size)},
+             {"ends", static_cast<std::uint64_t>(emitted.ends.size())},
+             {"txs", static_cast<std::uint64_t>(emitted.txs.size())},
+             {"block", emitted.block.has_value()}});
+      }
+      if (emitted.error) {
+        ++degrade_metrics_.malformed_packets;
+      } else {
+        stage_records(packet, std::move(emitted));
+      }
+      continue;
+    }
     ProtocolReceiver::Emitted emitted = receiver_.on_packet(packet);
     // DataWriter: push each record as soon as it is complete. Back-pressure
     // from full FIFOs stalls the protocol_processor, like real hardware.
@@ -112,6 +206,317 @@ sim::Process BmacPeer::protocol_processor_proc() {
            {"txs", static_cast<std::uint64_t>(emitted.txs.size())},
            {"block", emitted.block.has_value()}});
     }
+  }
+}
+
+void BmacPeer::stage_records(const BmacPacket& packet,
+                             ProtocolReceiver::Emitted&& emitted) {
+  const std::uint64_t block_num = packet.header.block_num;
+  if (packet.header.section == SectionType::kIdentitySync) return;
+  note_first_block(block_num);
+  StreamAssembly& stream = streams_[block_num];
+  if (stream.state != StreamAssembly::State::kAssembling) {
+    ++degrade_metrics_.late_packets;  // duplicate after completion
+    return;
+  }
+  const auto section_key =
+      std::make_pair(static_cast<int>(packet.header.section),
+                     static_cast<std::uint32_t>(packet.header.section_index));
+  if (!stream.sections_seen.insert(section_key).second) return;  // duplicate
+  ++staged_sections_total_;
+  staging_high_water_ = std::max(staging_high_water_, block_num);
+  stream.total_sections = packet.header.total_sections;
+  for (auto& end : emitted.ends) stream.ends.push_back(std::move(end));
+  for (auto& read : emitted.reads) stream.reads.push_back(std::move(read));
+  for (auto& write : emitted.writes) stream.writes.push_back(std::move(write));
+  for (auto& tx : emitted.txs) stream.txs.push_back(std::move(tx));
+  if (emitted.block) stream.block = std::move(emitted.block);
+  if (stream.total_sections > 0 &&
+      stream.sections_seen.size() == stream.total_sections && stream.block) {
+    stream.state = StreamAssembly::State::kComplete;
+    release_kick_->fire(0);
+  }
+}
+
+sim::Process BmacPeer::stream_release_proc() {
+  for (;;) {
+    while (base_known_) {
+      auto it = streams_.find(next_release_);
+      if (it == streams_.end() ||
+          it->second.state != StreamAssembly::State::kComplete)
+        break;
+      StreamAssembly& stream = it->second;
+      stream.state = StreamAssembly::State::kReleased;
+      // The stream completed after all; a watchdog that raced it is void.
+      fallback_pending_.erase(next_release_);
+      ++next_release_;
+      // Hand the complete block to the hardware FIFOs in DataWriter order
+      // (records within each FIFO are in arrival = section order; the
+      // block entry goes last, exactly when the metadata section would
+      // have produced it on the healthy path).
+      for (auto& end : stream.ends)
+        co_await processor_.ends_fifo().put(std::move(end));
+      for (auto& read : stream.reads)
+        co_await processor_.rdset_fifo().put(std::move(read));
+      for (auto& write : stream.writes)
+        co_await processor_.wrset_fifo().put(std::move(write));
+      for (auto& tx : stream.txs)
+        co_await processor_.tx_fifo().put(std::move(tx));
+      co_await processor_.block_fifo().put(std::move(*stream.block));
+    }
+    co_await release_kick_->wait();
+  }
+}
+
+sim::Process BmacPeer::reg_map_drain_proc() {
+  const HwTimingModel& t = config_.timing;
+  for (;;) {
+    // GetBlockData(): returns when reg_map holds the validation result.
+    ResultEntry result = co_await processor_.reg_map().get();
+    co_await sim_.delay(t.host_result_read);
+    const std::uint64_t block_num = result.block_num;
+    hw_results_.emplace(block_num, std::move(result));
+    commit_kick_->fire(0);
+  }
+}
+
+std::size_t BmacPeer::stream_progress(std::uint64_t block_num) const {
+  const auto it = streams_.find(block_num);
+  return it == streams_.end() ? 0 : it->second.sections_seen.size();
+}
+
+void BmacPeer::arm_watchdog(std::uint64_t block_num) {
+  if (watchdogs_.count(block_num) != 0) return;
+  const std::size_t local = stream_progress(block_num);
+  const std::uint64_t global = staged_sections_total_;
+  watchdogs_[block_num] =
+      sim_.schedule(degrade_->result_budget, [this, block_num, local, global] {
+        watchdogs_.erase(block_num);
+        on_watchdog(block_num, local, global);
+      });
+}
+
+void BmacPeer::on_watchdog(std::uint64_t block_num, std::size_t armed_local,
+                           std::uint64_t armed_global) {
+  if (base_known_ && block_num < next_commit_) return;  // already committed
+  if (hw_results_.count(block_num) != 0) return;  // result waiting in line
+  const auto it = streams_.find(block_num);
+  if (it != streams_.end() &&
+      it->second.state != StreamAssembly::State::kAssembling) {
+    // The record stream is intact — the hardware is merely behind (an
+    // earlier block is being resolved, or validation is slow). The result
+    // is guaranteed to arrive; give it another budget.
+    ++degrade_metrics_.watchdog_deferrals;
+    arm_watchdog(block_num);
+    return;
+  }
+  if (stream_progress(block_num) > armed_local) {
+    // New sections landed during this budget: the stream is slow (small
+    // budget, retransmissions in flight), not stalled. Fall back only when
+    // a full budget passes with zero assembly progress.
+    ++degrade_metrics_.watchdog_deferrals;
+    arm_watchdog(block_num);
+    return;
+  }
+  if (staged_sections_total_ > armed_global &&
+      staging_high_water_ < block_num) {
+    // The GBN stream delivers in order, and every section staged during this
+    // budget belonged to an earlier block: this block's packets are queued
+    // behind a busy pipe, not lost. Once staging reaches or skips past this
+    // block (high water >= block_num) this clause stops deferring, so a
+    // resync that abandoned the block still falls back within one budget of
+    // the pipe draining.
+    ++degrade_metrics_.watchdog_deferrals;
+    arm_watchdog(block_num);
+    return;
+  }
+  if ((!rx_queue_.empty() || ingest_busy_) &&
+      staging_high_water_ <= block_num) {
+    // Nothing staged this budget, but the ingress pipe is still chewing
+    // (packets can take longer than a small budget to process) and staging
+    // has not yet skipped past this block — with in-order delivery the
+    // queued packets may still belong to it. Fall back only once the pipe
+    // idles or staging moves beyond the block.
+    ++degrade_metrics_.watchdog_deferrals;
+    arm_watchdog(block_num);
+    return;
+  }
+  // Stream stalled (sections missing, frames abandoned by the GBN sender,
+  // or nothing arrived at all): schedule the software fallback.
+  ++degrade_metrics_.watchdog_fires;
+  fallback_pending_.insert(block_num);
+  commit_kick_->fire(0);
+}
+
+sim::Process BmacPeer::degraded_host_commit_proc() {
+  const HwTimingModel& t = config_.timing;
+  for (;;) {
+    while (base_known_) {
+      const std::uint64_t block_num = next_commit_;
+      auto hw = hw_results_.find(block_num);
+      if (hw != hw_results_.end()) {
+        ResultEntry result = std::move(hw->second);
+        hw_results_.erase(hw);
+        const sim::Time commit_start = sim_.now();
+        auto it = pending_blocks_.find(block_num);
+        while (it == pending_blocks_.end()) {
+          co_await sim_.delay(100 * sim::kMicrosecond);
+          it = pending_blocks_.find(block_num);
+        }
+        fabric::Block block = std::move(it->second);
+        pending_blocks_.erase(it);
+        if (result.block_valid) {
+          assert(result.flags.size() == block.envelopes.size());
+          for (std::size_t i = 0; i < result.flags.size(); ++i)
+            block.metadata.tx_flags[i] =
+                static_cast<std::uint8_t>(result.flags[i]);
+          co_await sim_.delay(t.ledger_commit_fixed +
+                              t.ledger_commit_per_tx *
+                                  static_cast<sim::Time>(result.flags.size()));
+          apply_writes_to_shadow(block, result.flags);
+          ledger_.append(std::move(block));
+          ++host_metrics_.blocks_committed;
+          host_metrics_.transactions_committed += result.flags.size();
+          for (const auto flag : result.flags)
+            if (flag == fabric::TxValidationCode::kValid)
+              ++host_metrics_.valid_transactions;
+        } else {
+          ++host_metrics_.blocks_rejected;
+        }
+        if (commits_ctr_ != nullptr && result.block_valid) commits_ctr_->inc();
+        if (commit_latency_us_ != nullptr) {
+          commit_latency_us_->observe(
+              static_cast<double>(sim_.now() - commit_start) / 1000.0);
+        }
+        if (tracer_ != nullptr) {
+          tracer_->complete(
+              host_lane_, "host_commit", "host-commit", commit_start,
+              sim_.now(),
+              {{"block", result.block_num},
+               {"txs", static_cast<std::uint64_t>(result.flags.size())},
+               {"committed", result.block_valid},
+               {"fallback", false}});
+        }
+        results_.push_back(std::move(result));
+        resolve_block(block_num);
+        continue;
+      }
+      if (fallback_pending_.count(block_num) != 0) {
+        const auto stream = streams_.find(block_num);
+        if (stream != streams_.end() &&
+            stream->second.state != StreamAssembly::State::kAssembling) {
+          // The stream healed between the watchdog and here — the hardware
+          // result is on its way; do not double-validate.
+          fallback_pending_.erase(block_num);
+          break;
+        }
+        auto it = pending_blocks_.find(block_num);
+        if (it == pending_blocks_.end()) break;  // watchdog needs the block
+        fabric::Block block = std::move(it->second);
+        pending_blocks_.erase(it);
+        fallback_pending_.erase(block_num);
+        const sim::Time commit_start = sim_.now();
+        co_await sim_.delay(
+            degrade_->fallback_fixed +
+            degrade_->fallback_per_tx *
+                static_cast<sim::Time>(block.envelopes.size()));
+        // Full software validation against the shadow state, committing to
+        // the same ledger the hardware path uses — the commit-hash chain
+        // continues exactly as if the hardware had produced the flags.
+        fabric::BlockValidationResult verdict =
+            fallback_validator_->validate_and_commit(block, shadow_state_,
+                                                     ledger_);
+        if (verdict.block_valid) {
+          ++host_metrics_.blocks_committed;
+          host_metrics_.transactions_committed += verdict.flags.size();
+          host_metrics_.valid_transactions += verdict.valid_tx_count;
+          // Write-through: the in-hardware KV store must see this block's
+          // writes before it validates any later block's reads.
+          apply_writes_to_hw_store(block, verdict.flags);
+        } else {
+          ++host_metrics_.blocks_rejected;
+        }
+        ++degrade_metrics_.fallback_blocks;
+        if (commits_ctr_ != nullptr && verdict.block_valid)
+          commits_ctr_->inc();
+        if (commit_latency_us_ != nullptr) {
+          commit_latency_us_->observe(
+              static_cast<double>(sim_.now() - commit_start) / 1000.0);
+        }
+        if (tracer_ != nullptr) {
+          tracer_->complete(
+              host_lane_, "host_commit_fallback", "host-commit", commit_start,
+              sim_.now(),
+              {{"block", block_num},
+               {"txs", static_cast<std::uint64_t>(verdict.flags.size())},
+               {"committed", verdict.block_valid},
+               {"fallback", true}});
+        }
+        ResultEntry result;
+        result.block_num = block_num;
+        result.block_valid = verdict.block_valid;
+        result.flags = std::move(verdict.flags);
+        result.fallback = true;
+        results_.push_back(std::move(result));
+        resolve_block(block_num);
+        continue;
+      }
+      break;  // nothing resolvable at next_commit_ yet
+    }
+    co_await commit_kick_->wait();
+  }
+}
+
+void BmacPeer::resolve_block(std::uint64_t block_num) {
+  auto it = streams_.find(block_num);
+  if (it != streams_.end()) {
+    if (it->second.state != StreamAssembly::State::kReleased)
+      ++degrade_metrics_.streams_aborted;
+    streams_.erase(it);
+  }
+  hw_results_.erase(block_num);
+  fallback_pending_.erase(block_num);
+  auto wd = watchdogs_.find(block_num);
+  if (wd != watchdogs_.end()) {
+    sim_.cancel(wd->second);
+    watchdogs_.erase(wd);
+  }
+  next_commit_ = block_num + 1;
+  if (next_release_ <= block_num) {
+    next_release_ = block_num + 1;
+    release_kick_->fire(0);
+  }
+}
+
+void BmacPeer::apply_writes_to_shadow(
+    const fabric::Block& block,
+    const std::vector<fabric::TxValidationCode>& flags) {
+  for (std::size_t i = 0; i < block.envelopes.size(); ++i) {
+    if (flags[i] != fabric::TxValidationCode::kValid) continue;
+    const auto tx = fabric::parse_envelope(block.envelopes[i]);
+    if (!tx) continue;
+    const fabric::Version version{block.header.number,
+                                  static_cast<std::uint32_t>(i)};
+    for (const fabric::KVWrite& write : tx->rwset.writes)
+      shadow_state_.put(
+          fabric::StateDb::namespaced(tx->chaincode_id, write.key),
+          write.value, version);
+  }
+}
+
+void BmacPeer::apply_writes_to_hw_store(
+    const fabric::Block& block,
+    const std::vector<fabric::TxValidationCode>& flags) {
+  for (std::size_t i = 0; i < block.envelopes.size(); ++i) {
+    if (flags[i] != fabric::TxValidationCode::kValid) continue;
+    const auto tx = fabric::parse_envelope(block.envelopes[i]);
+    if (!tx) continue;
+    const fabric::Version version{block.header.number,
+                                  static_cast<std::uint32_t>(i)};
+    for (const fabric::KVWrite& write : tx->rwset.writes)
+      processor_.statedb().write(
+          fabric::StateDb::namespaced(tx->chaincode_id, write.key),
+          write.value, version);
   }
 }
 

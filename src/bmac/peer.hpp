@@ -7,12 +7,34 @@
 // GetBlockData() for the hardware verdict, merges the transaction flags
 // into the block and commits it to the disk-based ledger — overlapping with
 // hardware validation of the next block.
+//
+// Graceful degradation (enable_graceful_degradation(); docs/FAULTS.md):
+// on a degraded network the hardware block stream can stall — GBN gives up
+// at its retransmission cap, sections go missing, frames arrive corrupted.
+// In degraded mode the peer:
+//   - assembles each block's records NIC-side and releases them to the
+//     hardware FIFOs only once the stream is complete and every earlier
+//     block is resolved, so a partial stream can never wedge the pipeline
+//     or let one block's records be consumed as another's;
+//   - arms a per-block watchdog when the block arrives on the host path;
+//     if the hardware result misses its budget because the stream is
+//     incomplete, the host validates that block itself with the
+//     SoftwareValidator (against a shadow state DB it keeps in sync) and
+//     writes the results through to the in-hardware KV store, so later
+//     hardware-validated blocks still see fresh versions;
+//   - commits strictly in block order, whichever engine produced the flags.
+// The committed flags and commit-hash chain are byte-identical to the
+// fault-free run — the §4.1 equivalence check extended to faulty networks.
 #pragma once
+
+#include <optional>
+#include <set>
 
 #include "bmac/block_processor.hpp"
 #include "bmac/protocol.hpp"
 #include "fabric/ledger.hpp"
 #include "fabric/policy.hpp"
+#include "fabric/validator.hpp"
 
 namespace bm::bmac {
 
@@ -32,12 +54,48 @@ class BmacPeer {
   /// Publish/refresh host-side and pipeline gauges. Idempotent.
   void publish_metrics();
 
+  // --- graceful degradation -------------------------------------------------
+  struct DegradeConfig {
+    /// Host block arrival -> hardware result deadline. Past it, a block
+    /// whose stream is still incomplete is validated in software. Must
+    /// comfortably exceed worst-case hardware latency plus the GBN
+    /// retransmission budget, or healthy-but-slow blocks fall back too.
+    sim::Time result_budget = 250 * sim::kMillisecond;
+    /// Simulated cost of one software fallback validation on the host CPU.
+    sim::Time fallback_fixed = 2 * sim::kMillisecond;
+    sim::Time fallback_per_tx = 400 * sim::kMicrosecond;
+  };
+
+  /// Counters for the degraded-mode machinery (all zero while healthy).
+  struct DegradeMetrics {
+    std::uint64_t fallback_blocks = 0;      ///< committed via SoftwareValidator
+    std::uint64_t watchdog_fires = 0;       ///< budget expired, stream stalled
+    std::uint64_t watchdog_deferrals = 0;   ///< budget expired, stream healthy
+    std::uint64_t streams_aborted = 0;      ///< partial assemblies discarded
+    std::uint64_t late_packets = 0;         ///< packets for resolved blocks
+    std::uint64_t malformed_packets = 0;    ///< protocol_processor rejects
+  };
+
+  /// Turn on the watchdog + software-fallback path. Call before start().
+  void enable_graceful_degradation(DegradeConfig config);
+  void enable_graceful_degradation() {
+    enable_graceful_degradation(DegradeConfig());
+  }
+  bool degraded_mode() const { return degrade_.has_value(); }
+  const DegradeMetrics& degrade_metrics() const { return degrade_metrics_; }
+
+  /// The host's shadow copy of the world state (degraded mode). Seed it
+  /// with the same initial keys as the hardware KV store before start() —
+  /// the fallback validator runs against this view.
+  fabric::StateDb& shadow_state() { return shadow_state_; }
+
   /// Network ingress: a BMac packet arrives at the FPGA's interface.
   /// Callable from event context (network delivery callbacks).
   void deliver_packet(BmacPacket packet);
 
   /// Host ingress: the marshaled block as received by the peer software
-  /// (needed only for the final ledger commit).
+  /// (needed for the final ledger commit, and — in degraded mode — as the
+  /// input to the software fallback).
   void deliver_block(fabric::Block block);
 
   // --- results / inspection -------------------------------------------------
@@ -54,14 +112,56 @@ class BmacPeer {
   };
   const HostMetrics& host_metrics() const { return host_metrics_; }
 
-  /// All per-block results in commit order (flags + block_monitor stats).
+  /// All per-block results in commit order (flags + block_monitor stats;
+  /// `fallback` marks software-validated blocks).
   const std::vector<ResultEntry>& results() const { return results_; }
 
  private:
+  /// NIC-side per-block record assembly (degraded mode only): everything
+  /// the protocol_processor extracted for one block, held until the stream
+  /// is complete.
+  struct StreamAssembly {
+    enum class State { kAssembling, kComplete, kReleased };
+    State state = State::kAssembling;
+    std::vector<EndsEntry> ends;
+    std::vector<RdsetEntry> reads;
+    std::vector<WrsetEntry> writes;
+    std::vector<TxEntry> txs;
+    std::optional<BlockEntry> block;
+    std::set<std::pair<int, std::uint32_t>> sections_seen;
+    std::uint32_t total_sections = 0;
+  };
+
   sim::Process protocol_processor_proc();
-  sim::Process host_commit_proc();
+  sim::Process host_commit_proc();          ///< healthy mode (unchanged path)
+  // Degraded-mode processes:
+  sim::Process stream_release_proc();       ///< ordered release to the FIFOs
+  sim::Process reg_map_drain_proc();        ///< GetBlockData -> hw_results_
+  sim::Process degraded_host_commit_proc(); ///< in-order commit sequencer
+
+  void note_first_block(std::uint64_t block_num);
+  void stage_records(const BmacPacket& packet,
+                     ProtocolReceiver::Emitted&& emitted);
+  void on_watchdog(std::uint64_t block_num, std::size_t armed_local,
+                   std::uint64_t armed_global);
+  void arm_watchdog(std::uint64_t block_num);
+  std::size_t stream_progress(std::uint64_t block_num) const;
+  /// Commit bookkeeping shared by both engines: advance the sequencer,
+  /// drop leftover stream state, disarm the watchdog.
+  void resolve_block(std::uint64_t block_num);
+  /// Mirror a committed block's valid write sets into the shadow state DB
+  /// (host copy) — keeps the fallback validator's view == hardware state.
+  void apply_writes_to_shadow(const fabric::Block& block,
+                              const std::vector<fabric::TxValidationCode>& flags);
+  /// Push a fallback-committed block's valid write sets into the
+  /// in-hardware KV store (host write-through over PCIe).
+  void apply_writes_to_hw_store(
+      const fabric::Block& block,
+      const std::vector<fabric::TxValidationCode>& flags);
 
   sim::Simulation& sim_;
+  const fabric::Msp& msp_;
+  std::map<std::string, fabric::EndorsementPolicy> policies_;
   HwConfig config_;
   sim::Fifo<BmacPacket> rx_queue_;
   HwIdentityCache cache_;
@@ -72,6 +172,24 @@ class BmacPeer {
   fabric::Ledger ledger_;
   HostMetrics host_metrics_;
   std::vector<ResultEntry> results_;
+
+  // --- degraded mode --------------------------------------------------------
+  std::optional<DegradeConfig> degrade_;
+  DegradeMetrics degrade_metrics_;
+  std::unique_ptr<fabric::SoftwareValidator> fallback_validator_;
+  fabric::StateDb shadow_state_;
+  std::map<std::uint64_t, StreamAssembly> streams_;
+  std::map<std::uint64_t, ResultEntry> hw_results_;
+  std::set<std::uint64_t> fallback_pending_;
+  std::map<std::uint64_t, sim::EventId> watchdogs_;
+  std::uint64_t staged_sections_total_ = 0;  ///< watchdog progress signal
+  std::uint64_t staging_high_water_ = 0;     ///< highest block staged so far
+  bool ingest_busy_ = false;  ///< protocol_processor mid-packet
+  bool base_known_ = false;
+  std::uint64_t next_release_ = 0;  ///< next block to hand to the hardware
+  std::uint64_t next_commit_ = 0;   ///< next block the host will commit
+  std::unique_ptr<sim::Trigger> release_kick_;
+  std::unique_ptr<sim::Trigger> commit_kick_;
 
   // --- observability -------------------------------------------------------
   obs::Registry* registry_ = nullptr;

@@ -125,6 +125,10 @@ struct ResultEntry {
   bool block_valid = false;
   std::vector<fabric::TxValidationCode> flags;
   BlockStats stats;
+  /// True when the hardware stream for this block stalled and the host
+  /// computed the flags with the SoftwareValidator instead (graceful
+  /// degradation; stats are zero on this path).
+  bool fallback = false;
 };
 
 }  // namespace bm::bmac

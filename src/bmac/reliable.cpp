@@ -1,6 +1,81 @@
 #include "bmac/reliable.hpp"
 
+#include <algorithm>
+
+#include "common/crc32.hpp"
+
 namespace bm::bmac {
+
+namespace {
+
+void put_u64_le(Bytes& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i)
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void put_u32_le(Bytes& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i)
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+std::uint64_t get_u64_le(ByteView in) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i)
+    v |= static_cast<std::uint64_t>(in[static_cast<std::size_t>(i)])
+         << (8 * i);
+  return v;
+}
+
+std::uint32_t get_u32_le(ByteView in) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i)
+    v |= static_cast<std::uint32_t>(in[static_cast<std::size_t>(i)])
+         << (8 * i);
+  return v;
+}
+
+constexpr std::uint8_t kSyncFlag = 0x01;
+
+}  // namespace
+
+Bytes SequencedFrame::encode() const {
+  Bytes out;
+  out.reserve(wire_size());
+  put_u64_le(out, seq);
+  out.push_back(sync ? kSyncFlag : 0);
+  out.insert(out.end(), payload.begin(), payload.end());
+  put_u32_le(out, crc32(ByteView(out)));
+  return out;
+}
+
+std::optional<SequencedFrame> SequencedFrame::decode(ByteView wire) {
+  if (wire.size() < kGbnFrameOverhead) return std::nullopt;
+  const std::size_t body = wire.size() - 4;
+  if (crc32(wire.subspan(0, body)) != get_u32_le(wire.subspan(body)))
+    return std::nullopt;
+  SequencedFrame frame;
+  frame.seq = get_u64_le(wire);
+  const std::uint8_t flags = wire[8];
+  if ((flags & ~kSyncFlag) != 0) return std::nullopt;
+  frame.sync = (flags & kSyncFlag) != 0;
+  frame.payload.assign(wire.begin() + 9, wire.begin() + static_cast<std::ptrdiff_t>(body));
+  return frame;
+}
+
+Bytes encode_ack(std::uint64_t next_expected) {
+  Bytes out;
+  out.reserve(kGbnAckWireSize);
+  put_u64_le(out, next_expected);
+  put_u32_le(out, crc32(ByteView(out)));
+  return out;
+}
+
+std::optional<std::uint64_t> decode_ack(ByteView wire) {
+  if (wire.size() != kGbnAckWireSize) return std::nullopt;
+  if (crc32(wire.subspan(0, 8)) != get_u32_le(wire.subspan(8)))
+    return std::nullopt;
+  return get_u64_le(wire);
+}
 
 GbnSender::GbnSender(sim::Simulation& sim, Config config, TransmitFn transmit)
     : sim_(sim), config_(config), transmit_(std::move(transmit)) {}
@@ -26,7 +101,8 @@ void GbnSender::pump() {
 void GbnSender::arm_timer() {
   if (timer_armed_) return;
   timer_armed_ = true;
-  timer_ = sim_.schedule(config_.retransmit_timeout, [this] {
+  if (current_rto_ <= 0) current_rto_ = config_.retransmit_timeout;
+  timer_ = sim_.schedule(current_rto_, [this] {
     timer_armed_ = false;
     on_timeout();
   });
@@ -34,13 +110,52 @@ void GbnSender::arm_timer() {
 
 void GbnSender::on_timeout() {
   if (outstanding_.empty()) return;
-  // Go-Back-N: retransmit every unacknowledged frame, oldest first.
   ++stats_.timeouts;
+  ++attempts_;
+  if (config_.retransmit_cap > 0 && attempts_ > config_.retransmit_cap) {
+    resync();
+    return;
+  }
+  // Go-Back-N: retransmit every unacknowledged frame, oldest first.
   for (const SequencedFrame& frame : outstanding_) {
     transmit_(frame);
     ++stats_.retransmissions;
   }
+  // Exponential backoff: each fruitless round waits longer, so a congested
+  // or partitioned path is not hammered at the base rate.
+  if (config_.rto_backoff > 1.0) {
+    current_rto_ = std::min(
+        config_.rto_max,
+        static_cast<sim::Time>(static_cast<double>(current_rto_) *
+                               config_.rto_backoff));
+  }
   arm_timer();
+}
+
+void GbnSender::resync() {
+  // The retransmission budget for this window is exhausted: whatever blocks
+  // those frames carried will never complete at the receiver. Give up on
+  // them (the peer's watchdog falls back to software validation), tell the
+  // application which sequence range died, and move the stream past the gap
+  // with a SYNC frame so later blocks still flow.
+  const std::uint64_t first = base_;
+  const std::uint64_t last = next_seq_ - 1;
+  stats_.frames_abandoned += outstanding_.size();
+  ++stats_.stream_resyncs;
+  outstanding_.clear();
+  base_ = next_seq_;
+  attempts_ = 0;
+  current_rto_ = config_.retransmit_timeout;
+
+  SequencedFrame sync;
+  sync.seq = next_seq_++;
+  sync.sync = true;
+  transmit_(sync);
+  ++stats_.frames_sent;
+  outstanding_.push_back(std::move(sync));
+  arm_timer();
+
+  if (on_failure_) on_failure_(first, last);
 }
 
 void GbnSender::on_ack(std::uint64_t next_expected) {
@@ -50,6 +165,9 @@ void GbnSender::on_ack(std::uint64_t next_expected) {
     outstanding_.pop_front();
     ++base_;
   }
+  // Window progress: the path is alive again — reset the backoff state.
+  attempts_ = 0;
+  current_rto_ = config_.retransmit_timeout;
   if (timer_armed_) {
     sim_.cancel(timer_);
     timer_armed_ = false;
@@ -58,6 +176,16 @@ void GbnSender::on_ack(std::uint64_t next_expected) {
 }
 
 void GbnReceiver::on_frame(const SequencedFrame& frame) {
+  if (frame.sync) {
+    // Sender-initiated resynchronization: accept the jump (it only ever
+    // moves forward) and ACK so the sender's window can advance.
+    if (frame.seq >= next_expected_) {
+      next_expected_ = frame.seq + 1;
+      ++stats_.stream_resyncs;
+    }
+    ack_(next_expected_);
+    return;
+  }
   if (frame.seq == next_expected_) {
     ++next_expected_;
     ++stats_.frames_delivered;
@@ -69,6 +197,17 @@ void GbnReceiver::on_frame(const SequencedFrame& frame) {
   // Cumulative ACK either way (re-ACKs trigger fast recovery at the sender
   // when combined with the timeout).
   ack_(next_expected_);
+}
+
+void GbnReceiver::on_wire(ByteView wire) {
+  const auto frame = SequencedFrame::decode(wire);
+  if (!frame) {
+    // Corrupted or truncated: nothing in it can be trusted, not even the
+    // sequence number — drop silently and let the timeout recover.
+    ++stats_.frames_corrupted;
+    return;
+  }
+  on_frame(*frame);
 }
 
 }  // namespace bm::bmac

@@ -12,25 +12,55 @@
 //     the first unacknowledged packet.
 // Because delivery is in order, the protocol_processor's assumption that
 // sections arrive sequentially keeps holding even on a lossy link.
+//
+// Degraded-network extensions (see docs/FAULTS.md):
+//   - wire framing with a CRC-32 trailer (encode()/decode()/on_wire()):
+//     corruption that slips past the link FCS is caught here and handled
+//     as loss, so the hardware never consumes a flipped byte;
+//   - exponential-backoff RTO: each consecutive timeout without window
+//     progress multiplies the RTO by `rto_backoff`, capped at `rto_max`;
+//   - a retransmission cap: after `retransmit_cap` consecutive timeouts
+//     the sender abandons the outstanding frames, reports the gap through
+//     the failure callback (the BMac peer's fallback signal) and emits a
+//     SYNC frame that fast-forwards the receiver past the gap so the
+//     stream keeps making progress for later blocks.
 #pragma once
 
 #include <deque>
 #include <functional>
+#include <optional>
 
 #include "bmac/packet.hpp"
 #include "sim/simulation.hpp"
 
 namespace bm::bmac {
 
-/// A sequenced frame on the wire: 8-byte sequence header + encoded packet.
+/// Wire overhead of a sequenced frame: 8-byte seq + 1 flag byte + CRC-32.
+constexpr std::size_t kGbnFrameOverhead = 13;
+
+/// A sequenced frame on the wire.
 struct SequencedFrame {
   SequencedFrame() = default;  // FIFO payload: must not be an aggregate
 
   std::uint64_t seq = 0;
-  Bytes payload;  ///< encoded BmacPacket
+  bool sync = false;  ///< control frame: "fast-forward next_expected to seq"
+  Bytes payload;      ///< encoded BmacPacket (empty for sync frames)
 
-  std::size_t wire_size() const { return 8 + payload.size(); }
+  std::size_t wire_size() const { return kGbnFrameOverhead + payload.size(); }
+
+  /// [seq:8 LE][flags:1][payload][crc32:4 LE] — CRC over everything before.
+  Bytes encode() const;
+  /// Structural decode only; returns nullopt for truncated input or a CRC
+  /// mismatch (corrupted frame).
+  static std::optional<SequencedFrame> decode(ByteView wire);
 };
+
+/// CRC-protected cumulative ACK: [next_expected:8 LE][crc32:4 LE]. A
+/// corrupted ACK must never be trusted — a flipped byte could otherwise
+/// fast-forward the sender's window and silently discard frames.
+constexpr std::size_t kGbnAckWireSize = 12;
+Bytes encode_ack(std::uint64_t next_expected);
+std::optional<std::uint64_t> decode_ack(ByteView wire);
 
 struct GbnStats {
   std::uint64_t frames_sent = 0;        ///< first transmissions
@@ -39,6 +69,10 @@ struct GbnStats {
   std::uint64_t acks_received = 0;
   std::uint64_t frames_delivered = 0;   ///< in-order, to the application
   std::uint64_t frames_discarded = 0;   ///< out-of-order arrivals dropped
+  std::uint64_t frames_corrupted = 0;   ///< CRC failures in on_wire()
+  std::uint64_t frames_abandoned = 0;   ///< given up at the retransmit cap
+  std::uint64_t stream_resyncs = 0;     ///< SYNC frames sent (sender) /
+                                        ///< accepted (receiver)
 };
 
 /// Sender half. The caller provides the datagram transmit function (which
@@ -47,10 +81,20 @@ class GbnSender {
  public:
   struct Config {
     std::size_t window = 32;
-    sim::Time retransmit_timeout = 2 * sim::kMillisecond;
+    sim::Time retransmit_timeout = 2 * sim::kMillisecond;  ///< initial RTO
+    /// Consecutive timeouts without progress multiply the RTO by this
+    /// factor (1.0 = fixed RTO), bounded by `rto_max`.
+    double rto_backoff = 2.0;
+    sim::Time rto_max = 64 * sim::kMillisecond;
+    /// After this many consecutive timeouts the outstanding frames are
+    /// abandoned and the failure callback fires. 0 = retry forever.
+    std::size_t retransmit_cap = 0;
   };
 
   using TransmitFn = std::function<void(const SequencedFrame&)>;
+  /// Fired when the retransmission cap abandons frames [first, last].
+  using FailureFn =
+      std::function<void(std::uint64_t first_seq, std::uint64_t last_seq)>;
 
   GbnSender(sim::Simulation& sim, Config config, TransmitFn transmit);
 
@@ -62,17 +106,25 @@ class GbnSender {
   /// `next_expected` arrived").
   void on_ack(std::uint64_t next_expected);
 
+  /// Register the fallback signal (retransmission-cap exhaustion).
+  void set_failure_callback(FailureFn fn) { on_failure_ = std::move(fn); }
+
   bool idle() const { return outstanding_.empty() && backlog_.empty(); }
   const GbnStats& stats() const { return stats_; }
+  /// The RTO the next armed timer will use (backoff state; for tests).
+  sim::Time current_rto() const { return current_rto_; }
 
  private:
   void pump();
   void arm_timer();
   void on_timeout();
+  /// Retransmission cap hit: drop the window and emit a SYNC frame.
+  void resync();
 
   sim::Simulation& sim_;
   Config config_;
   TransmitFn transmit_;
+  FailureFn on_failure_;
 
   std::uint64_t next_seq_ = 0;   ///< next new sequence number
   std::uint64_t base_ = 0;       ///< oldest unacknowledged
@@ -80,6 +132,8 @@ class GbnSender {
   std::deque<Bytes> backlog_;    ///< waiting for window space
   sim::EventId timer_ = 0;
   bool timer_armed_ = false;
+  sim::Time current_rto_ = 0;    ///< 0 = use config on next arm
+  std::size_t attempts_ = 0;     ///< consecutive timeouts without progress
   GbnStats stats_;
 };
 
@@ -94,6 +148,11 @@ class GbnReceiver {
 
   /// A frame arrived from the network (possibly out of order / duplicate).
   void on_frame(const SequencedFrame& frame);
+
+  /// Wire-format entry point: decode + CRC check, then on_frame(). A frame
+  /// failing the CRC is counted and dropped silently (no ACK — nothing in
+  /// a corrupted frame can be trusted); the sender's timeout recovers it.
+  void on_wire(ByteView wire);
 
   std::uint64_t next_expected() const { return next_expected_; }
   const GbnStats& stats() const { return stats_; }

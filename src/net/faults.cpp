@@ -1,0 +1,319 @@
+#include "net/faults.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "obs/json.hpp"
+
+namespace bm::net {
+
+bool FaultConfig::any() const {
+  return loss_good > 0 || loss_bad > 0 || corrupt_detectable > 0 ||
+         corrupt_silent > 0 || duplicate > 0 || reorder > 0 ||
+         delay_spike > 0 || !partitions.empty();
+}
+
+FaultConfig FaultConfig::uniform_loss(double p, std::uint64_t seed) {
+  FaultConfig config;
+  config.loss_good = p;
+  config.loss_bad = p;
+  config.p_good_to_bad = 0.0;
+  config.p_bad_to_good = 1.0;
+  config.seed = seed;
+  return config;
+}
+
+FaultInjector::FaultInjector(FaultConfig config)
+    : config_(std::move(config)), rng_(config_.seed) {}
+
+bool FaultInjector::in_partition(sim::Time now) const {
+  for (const FaultConfig::Window& w : config_.partitions)
+    if (now >= w.start && now < w.end) return true;
+  return false;
+}
+
+FaultInjector::Verdict FaultInjector::assess(sim::Time now,
+                                             std::size_t frame_size) {
+  ++stats_.frames;
+  Verdict verdict;
+
+  // Fixed draw schedule: the chain state and every Bernoulli below are
+  // advanced for every frame, whatever happens to it, so the fault sequence
+  // seen by frame N is a function of (config, seed, N) alone.
+  bad_state_ = bad_state_ ? !rng_.chance(config_.p_bad_to_good)
+                          : rng_.chance(config_.p_good_to_bad);
+  if (bad_state_) ++stats_.bad_state_frames;
+  const bool lost =
+      rng_.chance(bad_state_ ? config_.loss_bad : config_.loss_good);
+  const bool corrupt_detected = rng_.chance(config_.corrupt_detectable);
+  const bool corrupt_silent = rng_.chance(config_.corrupt_silent);
+  const bool duplicate = rng_.chance(config_.duplicate);
+  const bool reorder = rng_.chance(config_.reorder);
+  const bool spike = rng_.chance(config_.delay_spike);
+
+  if (in_partition(now)) {
+    verdict.drop = DropReason::kPartition;
+    ++stats_.dropped_partition;
+    return verdict;
+  }
+  if (lost) {
+    verdict.drop = DropReason::kLoss;
+    ++stats_.dropped_loss;
+    return verdict;
+  }
+  if (corrupt_detected) {
+    verdict.drop = DropReason::kCorrupt;
+    ++stats_.dropped_corrupt;
+    return verdict;
+  }
+
+  if (corrupt_silent && frame_size > 0) {
+    verdict.corrupt_silent = true;
+    verdict.corrupt_offset =
+        static_cast<std::size_t>(rng_.uniform(frame_size));
+    verdict.corrupt_mask =
+        static_cast<std::uint8_t>(1 + rng_.uniform(255));  // never zero
+    ++stats_.corrupted_silent;
+  }
+  if (duplicate) {
+    verdict.duplicate = true;
+    ++stats_.duplicated;
+  }
+  if (reorder && config_.reorder_hold_max > 0) {
+    verdict.extra_delay += static_cast<sim::Time>(
+        rng_.uniform(static_cast<std::uint64_t>(config_.reorder_hold_max)));
+    ++stats_.reordered;
+  }
+  if (spike) {
+    verdict.extra_delay += config_.delay_spike_magnitude;
+    ++stats_.delay_spikes;
+  }
+  return verdict;
+}
+
+void FaultInjector::publish_metrics(obs::Registry& registry,
+                                    const std::string& prefix) const {
+  registry.counter(prefix + "_frames_total", "frames assessed for faults")
+      .set(stats_.frames);
+  registry
+      .counter(prefix + "_dropped_loss_total",
+               "frames dropped by Gilbert-Elliott loss")
+      .set(stats_.dropped_loss);
+  registry
+      .counter(prefix + "_dropped_partition_total",
+               "frames blackholed inside a partition window")
+      .set(stats_.dropped_partition);
+  registry
+      .counter(prefix + "_dropped_corrupt_total",
+               "frames dropped by the link FCS (detectable corruption)")
+      .set(stats_.dropped_corrupt);
+  registry
+      .counter(prefix + "_corrupted_silent_total",
+               "frames delivered with flipped bytes (FCS miss)")
+      .set(stats_.corrupted_silent);
+  registry.counter(prefix + "_duplicated_total", "frames delivered twice")
+      .set(stats_.duplicated);
+  registry
+      .counter(prefix + "_reordered_total",
+               "frames held back so later frames overtake")
+      .set(stats_.reordered);
+  registry.counter(prefix + "_delay_spikes_total", "frames hit by a delay spike")
+      .set(stats_.delay_spikes);
+  registry
+      .counter(prefix + "_bad_state_frames_total",
+               "frames assessed while the Gilbert-Elliott chain was BAD")
+      .set(stats_.bad_state_frames);
+}
+
+void FaultyChannel::send(Bytes frame) {
+  const std::size_t bytes = frame.size();
+  FaultInjector::Verdict verdict = injector_.assess(sim_.now(), bytes);
+
+  if (tracer_ != nullptr) {
+    if (verdict.dropped()) {
+      const char* reason =
+          verdict.drop == FaultInjector::DropReason::kPartition ? "partition"
+          : verdict.drop == FaultInjector::DropReason::kCorrupt ? "fcs_drop"
+                                                                : "loss";
+      tracer_->instant(lane_, reason, "fault", sim_.now(),
+                       {{"bytes", static_cast<std::uint64_t>(bytes)}});
+    } else if (verdict.corrupt_silent || verdict.duplicate ||
+               verdict.extra_delay > 0) {
+      tracer_->instant(
+          lane_, "impaired", "fault", sim_.now(),
+          {{"silent_corrupt", verdict.corrupt_silent},
+           {"duplicate", verdict.duplicate},
+           {"extra_delay_us",
+            static_cast<std::uint64_t>(verdict.extra_delay / 1000)}});
+    }
+  }
+
+  if (verdict.dropped()) {
+    // The sender's NIC still burns wire time on a doomed frame.
+    link_.send(bytes, [] {});
+    return;
+  }
+
+  if (verdict.corrupt_silent) {
+    frame[verdict.corrupt_offset] ^= verdict.corrupt_mask;
+  }
+
+  Bytes duplicate_copy;
+  if (verdict.duplicate) duplicate_copy = frame;
+
+  auto deliver = [this, frame = std::move(frame)]() mutable {
+    if (receiver_) receiver_(std::move(frame));
+  };
+  if (verdict.extra_delay > 0) {
+    link_.send(bytes,
+               [this, d = verdict.extra_delay,
+                deliver = std::move(deliver)]() mutable {
+                 sim_.schedule(d, std::move(deliver));
+               });
+  } else {
+    link_.send(bytes, std::move(deliver));
+  }
+
+  if (verdict.duplicate) {
+    link_.send(bytes, [this, copy = std::move(duplicate_copy)]() mutable {
+      if (receiver_) receiver_(std::move(copy));
+    });
+  }
+}
+
+// --- JSON scenario loading --------------------------------------------------
+
+namespace {
+
+using obs::json::Value;
+
+bool read_number(const Value& parent, std::string_view key, double* out,
+                 std::string* error) {
+  const Value* v = parent.find(key);
+  if (v == nullptr) return true;  // optional: keep default
+  if (!v->is_number()) {
+    if (error != nullptr)
+      *error = "faults config: \"" + std::string(key) + "\" must be a number";
+    return false;
+  }
+  *out = v->number;
+  return true;
+}
+
+bool read_time_us(const Value& parent, std::string_view key, sim::Time* out,
+                  std::string* error) {
+  double us = static_cast<double>(*out) / 1000.0;
+  if (!read_number(parent, key, &us, error)) return false;
+  *out = static_cast<sim::Time>(us * 1000.0);
+  return true;
+}
+
+/// One direction ("data" / "ack"). Missing object => all-defaults (clean).
+bool parse_direction(const Value* dir, FaultConfig* config,
+                     std::string* error) {
+  if (dir == nullptr) return true;
+  if (!dir->is_object()) {
+    if (error != nullptr) *error = "faults config: direction must be an object";
+    return false;
+  }
+  if (const Value* loss = dir->find("loss")) {
+    if (!read_number(*loss, "good", &config->loss_good, error) ||
+        !read_number(*loss, "bad", &config->loss_bad, error) ||
+        !read_number(*loss, "p_good_to_bad", &config->p_good_to_bad, error) ||
+        !read_number(*loss, "p_bad_to_good", &config->p_bad_to_good, error))
+      return false;
+  }
+  if (const Value* corrupt = dir->find("corrupt")) {
+    if (!read_number(*corrupt, "detectable", &config->corrupt_detectable,
+                     error) ||
+        !read_number(*corrupt, "silent", &config->corrupt_silent, error))
+      return false;
+  }
+  if (!read_number(*dir, "duplicate", &config->duplicate, error)) return false;
+  if (const Value* reorder = dir->find("reorder")) {
+    if (!read_number(*reorder, "probability", &config->reorder, error) ||
+        !read_time_us(*reorder, "hold_max_us", &config->reorder_hold_max,
+                      error))
+      return false;
+  }
+  if (const Value* spike = dir->find("delay_spike")) {
+    if (!read_number(*spike, "probability", &config->delay_spike, error) ||
+        !read_time_us(*spike, "magnitude_us", &config->delay_spike_magnitude,
+                      error))
+      return false;
+  }
+  if (const Value* partitions = dir->find("partitions_ms")) {
+    if (!partitions->is_array()) {
+      if (error != nullptr)
+        *error = "faults config: \"partitions_ms\" must be an array";
+      return false;
+    }
+    for (const Value& window : partitions->array) {
+      if (!window.is_array() || window.array.size() != 2 ||
+          !window.array[0].is_number() || !window.array[1].is_number() ||
+          window.array[0].number > window.array[1].number) {
+        if (error != nullptr)
+          *error =
+              "faults config: each partition must be [start_ms, end_ms] "
+              "with start <= end";
+        return false;
+      }
+      FaultConfig::Window w;
+      w.start = static_cast<sim::Time>(window.array[0].number *
+                                       static_cast<double>(sim::kMillisecond));
+      w.end = static_cast<sim::Time>(window.array[1].number *
+                                     static_cast<double>(sim::kMillisecond));
+      config->partitions.push_back(w);
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+std::optional<FaultScenario> parse_fault_scenario(std::string_view text,
+                                                  std::string* error) {
+  std::string parse_error;
+  const auto root = obs::json::parse(text, &parse_error);
+  if (!root) {
+    if (error != nullptr) *error = "faults config: " + parse_error;
+    return std::nullopt;
+  }
+  if (!root->is_object()) {
+    if (error != nullptr) *error = "faults config: root must be an object";
+    return std::nullopt;
+  }
+
+  FaultScenario scenario;
+  if (const Value* name = root->find("name"); name != nullptr && name->is_string())
+    scenario.name = name->string;
+
+  double seed = 1;
+  if (!read_number(*root, "seed", &seed, error)) return std::nullopt;
+  scenario.data.seed = static_cast<std::uint64_t>(seed);
+  // Decorrelate the reverse direction with a fixed odd-constant mix so one
+  // top-level seed still yields two independent deterministic schedules.
+  scenario.ack.seed =
+      static_cast<std::uint64_t>(seed) ^ 0x9E3779B97F4A7C15ull;
+
+  if (!parse_direction(root->find("data"), &scenario.data, error))
+    return std::nullopt;
+  if (!parse_direction(root->find("ack"), &scenario.ack, error))
+    return std::nullopt;
+  return scenario;
+}
+
+std::optional<FaultScenario> load_fault_scenario(const std::string& path,
+                                                 std::string* error) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    if (error != nullptr) *error = "faults config: cannot open " + path;
+    return std::nullopt;
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  return parse_fault_scenario(text.str(), error);
+}
+
+}  // namespace bm::net

@@ -6,7 +6,10 @@ GossipNetwork::GossipNetwork(sim::Simulation& sim, int peers, Config config)
     : sim_(sim),
       config_(config),
       rng_(config.seed ^ 0x60551Bull),
-      peers_(static_cast<std::size_t>(peers)) {}
+      peers_(static_cast<std::size_t>(peers)) {
+  if (config_.faults.any())
+    faults_ = std::make_unique<FaultInjector>(config_.faults);
+}
 
 void GossipNetwork::publish(int origin, std::uint64_t block_num,
                             std::size_t bytes) {
@@ -16,10 +19,17 @@ void GossipNetwork::publish(int origin, std::uint64_t block_num,
 void GossipNetwork::push_to(int from, int to, std::uint64_t block_num,
                             std::size_t bytes, bool is_repair) {
   ++messages_sent_;
-  if (rng_.chance(config_.message_loss)) return;
+  sim::Time fault_delay = 0;
+  if (faults_ != nullptr) {
+    const FaultInjector::Verdict verdict = faults_->assess(sim_.now(), bytes);
+    if (verdict.dropped()) return;
+    fault_delay = verdict.extra_delay;
+  } else if (rng_.chance(config_.message_loss)) {
+    return;  // deprecated uniform-loss adapter
+  }
   const auto serialization = static_cast<sim::Time>(
       static_cast<double>(bytes) * 8.0 / (config_.gbps * 1e9) * sim::kSecond);
-  sim::Time delay = serialization + config_.hop_delay;
+  sim::Time delay = serialization + config_.hop_delay + fault_delay;
   if (config_.hop_jitter > 0)
     delay += static_cast<sim::Time>(
         rng_.uniform(static_cast<std::uint64_t>(config_.hop_jitter)));

@@ -14,7 +14,10 @@
 #include <map>
 #include <set>
 
+#include <memory>
+
 #include "common/rng.hpp"
+#include "net/faults.hpp"
 #include "sim/simulation.hpp"
 
 namespace bm::net {
@@ -27,7 +30,15 @@ class GossipNetwork {
     sim::Time hop_delay = 300 * sim::kMicrosecond;  ///< propagation + stack
     sim::Time hop_jitter = 200 * sim::kMicrosecond;
     sim::Time forward_processing = 200 * sim::kMicrosecond;
+    /// DEPRECATED: uniform i.i.d. per-hop loss, kept as a thin adapter so
+    /// existing tests are unchanged. Prefer `faults` below, which adds
+    /// Gilbert–Elliott burst loss, delay spikes and partition windows.
     double message_loss = 0.0;
+    /// Hop-level fault schedule (drop/delay decisions; corruption and
+    /// duplication do not apply to gossip messages). When any knob is set,
+    /// it replaces `message_loss`; its own seed keeps the topology RNG
+    /// sequence untouched, so enabling faults never reshuffles fanout.
+    FaultConfig faults;
     sim::Time anti_entropy_interval = 50 * sim::kMillisecond;
     std::uint64_t seed = 1;
   };
@@ -56,6 +67,10 @@ class GossipNetwork {
   std::uint64_t messages_sent() const { return messages_sent_; }
   std::uint64_t duplicates_received() const { return duplicates_; }
   std::uint64_t anti_entropy_repairs() const { return repairs_; }
+  /// Fault counters when Config::faults is active (null otherwise).
+  const FaultStats* fault_stats() const {
+    return faults_ ? &faults_->stats() : nullptr;
+  }
 
  private:
   struct PeerState {
@@ -72,6 +87,7 @@ class GossipNetwork {
   sim::Simulation& sim_;
   Config config_;
   Rng rng_;
+  std::unique_ptr<FaultInjector> faults_;  ///< null on the legacy loss path
   std::vector<PeerState> peers_;
   DeliverFn on_deliver_;
   bool anti_entropy_running_ = false;

@@ -22,6 +22,12 @@ class Link {
     double gbps = 1.0;                           ///< line rate
     sim::Time propagation = 50 * sim::kMicrosecond;  ///< LAN + switch latency
     sim::Time jitter_max = 0;  ///< uniform [0, jitter_max) added per frame
+    /// DEPRECATED: uniform i.i.d. loss, kept as a thin adapter so existing
+    /// benches/tests are unchanged. New code should model impairments with
+    /// net::FaultConfig / net::FaultyChannel (src/net/faults.hpp), which
+    /// adds burst loss, corruption, reordering, duplication, delay spikes
+    /// and partition windows — all scriptable and observable. Equivalent:
+    /// FaultConfig::uniform_loss(loss_probability, seed).
     double loss_probability = 0.0;
     std::uint64_t seed = 1;
   };

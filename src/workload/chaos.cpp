@@ -1,0 +1,195 @@
+#include "workload/chaos.hpp"
+
+#include <sstream>
+
+namespace bm::workload {
+
+namespace {
+
+std::string hex_digest(const crypto::Digest& digest) {
+  static const char* kHex = "0123456789abcdef";
+  std::string out;
+  out.reserve(digest.size() * 2);
+  for (const std::uint8_t byte : digest) {
+    out.push_back(kHex[byte >> 4]);
+    out.push_back(kHex[byte & 0x0F]);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string ChaosReport::to_text() const {
+  std::ostringstream out;
+  out << "complete " << complete << "\n"
+      << "hashes_match " << hashes_match << "\n"
+      << "flags_match " << flags_match << "\n"
+      << "blocks_produced " << blocks_produced << "\n"
+      << "blocks_committed " << blocks_committed << "\n"
+      << "blocks_rejected " << blocks_rejected << "\n"
+      << "fallback_blocks " << degrade.fallback_blocks << "\n"
+      << "watchdog_fires " << degrade.watchdog_fires << "\n"
+      << "watchdog_deferrals " << degrade.watchdog_deferrals << "\n"
+      << "streams_aborted " << degrade.streams_aborted << "\n"
+      << "late_packets " << degrade.late_packets << "\n"
+      << "gbn_failures " << gbn_failures << "\n"
+      << "gbn_frames_sent " << sender_stats.frames_sent << "\n"
+      << "gbn_retransmissions " << sender_stats.retransmissions << "\n"
+      << "gbn_timeouts " << sender_stats.timeouts << "\n"
+      << "gbn_frames_abandoned " << sender_stats.frames_abandoned << "\n"
+      << "gbn_stream_resyncs " << sender_stats.stream_resyncs << "\n"
+      << "gbn_frames_corrupted " << receiver_stats.frames_corrupted << "\n"
+      << "gbn_frames_discarded " << receiver_stats.frames_discarded << "\n"
+      << "data_dropped_loss " << data_faults.dropped_loss << "\n"
+      << "data_dropped_partition " << data_faults.dropped_partition << "\n"
+      << "data_dropped_corrupt " << data_faults.dropped_corrupt << "\n"
+      << "data_corrupted_silent " << data_faults.corrupted_silent << "\n"
+      << "data_duplicated " << data_faults.duplicated << "\n"
+      << "data_reordered " << data_faults.reordered << "\n"
+      << "ack_dropped_total " << ack_faults.dropped_total() << "\n"
+      << "finished_at_us " << finished_at / sim::kMicrosecond << "\n";
+  if (!mismatch.empty()) out << "mismatch " << mismatch << "\n";
+  return out.str();
+}
+
+ChaosReport run_chaos_scenario(const ChaosOptions& options,
+                               obs::Registry* registry, obs::Tracer* tracer) {
+  ChaosReport report;
+  FabricNetworkHarness harness(options.network);
+
+  sim::Simulation sim;
+  bmac::BmacPeer peer(sim, harness.msp(), options.hw, harness.policies());
+  peer.enable_graceful_degradation(options.degrade);
+  if (registry != nullptr || tracer != nullptr)
+    peer.attach_observability(registry, tracer);
+  peer.start();
+  bmac::ProtocolSender sender(harness.msp());
+
+  // Fault-free links: every impairment belongs to the injectors, where it
+  // is scriptable, counted and deterministic.
+  net::Link::Config link_config;
+  link_config.gbps = options.link_gbps;
+  net::Link data_link(sim, link_config);
+  net::Link ack_link(sim, link_config);
+  net::FaultyChannel data(sim, data_link, options.scenario.data);
+  net::FaultyChannel ack(sim, ack_link, options.scenario.ack);
+  if (tracer != nullptr) {
+    data.set_tracer(tracer, tracer->lane("faults_data"));
+    ack.set_tracer(tracer, tracer->lane("faults_ack"));
+  }
+
+  std::unique_ptr<bmac::GbnSender> gbn;
+  bmac::GbnReceiver receiver(
+      [&](Bytes payload) {
+        // The frame passed the GBN CRC, so the packet decodes unless the
+        // sender emitted garbage (it does not).
+        auto packet = bmac::BmacPacket::decode(payload);
+        if (packet) peer.deliver_packet(std::move(*packet));
+      },
+      [&](std::uint64_t next) { ack.send(bmac::encode_ack(next)); });
+  data.set_receiver([&](Bytes wire) { receiver.on_wire(wire); });
+  ack.set_receiver([&](Bytes wire) {
+    if (const auto next = bmac::decode_ack(wire)) gbn->on_ack(*next);
+  });
+  gbn = std::make_unique<bmac::GbnSender>(
+      sim, options.gbn,
+      [&](const bmac::SequencedFrame& frame) { data.send(frame.encode()); });
+  gbn->set_failure_callback(
+      [&](std::uint64_t, std::uint64_t) { ++report.gbn_failures; });
+
+  // Cut all blocks up front (the harness is sim-time independent), then
+  // pace them onto the wire. The host path (deliver_block) is the reliable
+  // Gossip/TCP side and is delivered directly.
+  std::vector<fabric::Block> produced;
+  produced.reserve(static_cast<std::size_t>(options.blocks));
+  for (int i = 0; i < options.blocks; ++i) {
+    const bool tamper = options.tamper_last_block && i == options.blocks - 1;
+    produced.push_back(tamper ? harness.next_tampered_block()
+                              : harness.next_block());
+  }
+  report.blocks_produced = produced.size();
+  for (std::size_t i = 0; i < produced.size(); ++i) {
+    sim.schedule(static_cast<sim::Time>(i) * options.block_interval, [&, i] {
+      for (auto& packet : sender.send(produced[i]).packets)
+        gbn->send(packet.encode());
+      peer.deliver_block(produced[i]);
+    });
+  }
+
+  // Run until every block is resolved (committed or rejected) or the time
+  // limit trips. A plain sim.run() would not return: the GBN timer re-arms
+  // forever while its last SYNC frame is blackholed by a partition.
+  const sim::Time step = 10 * sim::kMillisecond;
+  while (sim.now() < options.time_limit &&
+         peer.results().size() < produced.size())
+    sim.run_until(sim.now() + step);
+  report.complete = peer.results().size() == produced.size();
+  report.finished_at = sim.now();
+
+  // --- the equivalence check vs the fault-free reference run --------------
+  // The harness reference ledger commits the *clean* version of a tampered
+  // block (next_tampered_block corrupts the copy it hands out), so a correct
+  // peer's ledger is exactly `reference height - rejected blocks` tall and
+  // hash-identical over that prefix.
+  const fabric::Ledger& reference = harness.reference_ledger();
+  const std::uint64_t rejected = peer.host_metrics().blocks_rejected;
+  report.hashes_match =
+      peer.ledger().height() + rejected == reference.height();
+  if (!report.hashes_match)
+    report.mismatch = "ledger height " + std::to_string(peer.ledger().height()) +
+                      " + rejected " + std::to_string(rejected) +
+                      " != reference " + std::to_string(reference.height());
+  for (std::uint64_t h = 0;
+       report.hashes_match && h < peer.ledger().height(); ++h) {
+    if (peer.ledger().at(h).commit_hash != reference.at(h).commit_hash) {
+      report.hashes_match = false;
+      report.mismatch =
+          "commit hash diverged at height " + std::to_string(h) + ": " +
+          hex_digest(peer.ledger().at(h).commit_hash) + " != " +
+          hex_digest(reference.at(h).commit_hash);
+    }
+  }
+  report.flags_match = report.complete;
+  for (const bmac::ResultEntry& result : peer.results()) {
+    const fabric::BlockValidationResult& want =
+        harness.reference_result(result.block_num);
+    if (result.block_valid != want.block_valid ||
+        result.flags != want.flags) {
+      report.flags_match = false;
+      if (report.mismatch.empty())
+        report.mismatch =
+            "flags diverged at block " + std::to_string(result.block_num);
+      break;
+    }
+  }
+
+  report.blocks_committed = peer.ledger().height();
+  report.blocks_rejected = peer.host_metrics().blocks_rejected;
+  report.sender_stats = gbn->stats();
+  report.receiver_stats = receiver.stats();
+  report.data_faults = data.stats();
+  report.ack_faults = ack.stats();
+  report.degrade = peer.degrade_metrics();
+  report.host = peer.host_metrics();
+
+  if (registry != nullptr) {
+    peer.publish_metrics();
+    data.publish_metrics(*registry, "chaos_data");
+    ack.publish_metrics(*registry, "chaos_ack");
+    registry->counter("chaos_gbn_retransmissions_total",
+                      "GBN frames retransmitted")
+        .set(report.sender_stats.retransmissions);
+    registry->counter("chaos_gbn_frames_abandoned_total",
+                      "GBN frames given up at the retransmission cap")
+        .set(report.sender_stats.frames_abandoned);
+    registry->counter("chaos_gbn_stream_resyncs_total",
+                      "SYNC frames emitted after cap exhaustion")
+        .set(report.sender_stats.stream_resyncs);
+    registry->counter("chaos_gbn_frames_corrupted_total",
+                      "frames dropped by the GBN CRC check")
+        .set(report.receiver_stats.frames_corrupted);
+  }
+  return report;
+}
+
+}  // namespace bm::workload

@@ -1,0 +1,84 @@
+// Chaos harness: the BMac peer driven through a faulty network, checked
+// against the fault-free software baseline (docs/FAULTS.md).
+//
+// Wires the full degraded-path stack end to end:
+//
+//   FabricNetworkHarness -> ProtocolSender -> GbnSender (CRC framing,
+//   backoff RTO, retransmission cap) -> FaultyChannel (burst loss,
+//   corruption, reorder, duplication, partitions) -> GbnReceiver ->
+//   BmacPeer with graceful degradation enabled
+//
+// and verifies the paper's §4.1 equivalence invariant under faults: the
+// committed per-transaction flags and the commit-hash chain must be
+// byte-identical to the harness's reference (fault-free software) run, with
+// any stalled block recovered by the peer's software fallback. Everything
+// is deterministic: same options => same report, trace and metrics.
+#pragma once
+
+#include "bmac/peer.hpp"
+#include "bmac/reliable.hpp"
+#include "net/faults.hpp"
+#include "workload/network_harness.hpp"
+
+namespace bm::workload {
+
+struct ChaosOptions {
+  NetworkOptions network;        ///< workload shape (chaincode, block size)
+  net::FaultScenario scenario;   ///< per-direction fault schedule
+  int blocks = 12;
+  bool tamper_last_block = false;
+
+  bmac::HwConfig hw;
+  bmac::GbnSender::Config gbn = default_gbn();
+  bmac::BmacPeer::DegradeConfig degrade = default_degrade();
+
+  double link_gbps = 1.0;
+  sim::Time block_interval = 20 * sim::kMillisecond;
+  /// Hard stop: a partitioned run that cannot finish ends here.
+  sim::Time time_limit = 30 * sim::kSecond;
+
+  /// Chaos defaults: give up on a window after 6 consecutive timeouts
+  /// (2+4+8+16+32+64 ms of backoff) instead of retrying forever, so a
+  /// partition turns into a fallback instead of a stall.
+  static bmac::GbnSender::Config default_gbn() {
+    bmac::GbnSender::Config config;
+    config.retransmit_cap = 6;
+    return config;
+  }
+  static bmac::BmacPeer::DegradeConfig default_degrade() {
+    return bmac::BmacPeer::DegradeConfig();
+  }
+};
+
+struct ChaosReport {
+  bool complete = false;      ///< every block resolved within time_limit
+  bool hashes_match = false;  ///< commit-hash chain == reference ledger
+  bool flags_match = false;   ///< per-tx flags == reference results
+  std::string mismatch;       ///< first divergence, empty when none
+
+  std::uint64_t blocks_produced = 0;
+  std::uint64_t blocks_committed = 0;
+  std::uint64_t blocks_rejected = 0;
+  std::uint64_t gbn_failures = 0;  ///< failure-callback firings
+  sim::Time finished_at = 0;
+
+  bmac::GbnStats sender_stats;
+  bmac::GbnStats receiver_stats;
+  net::FaultStats data_faults;
+  net::FaultStats ack_faults;
+  bmac::BmacPeer::DegradeMetrics degrade;
+  bmac::BmacPeer::HostMetrics host;
+
+  bool ok() const { return complete && hashes_match && flags_match; }
+
+  /// Deterministic human-readable summary (one value per line).
+  std::string to_text() const;
+};
+
+/// Run one scenario end to end. Observability sinks are optional; when
+/// given, the peer, channels and fault counters publish into them.
+ChaosReport run_chaos_scenario(const ChaosOptions& options,
+                               obs::Registry* registry = nullptr,
+                               obs::Tracer* tracer = nullptr);
+
+}  // namespace bm::workload

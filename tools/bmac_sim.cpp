@@ -12,6 +12,10 @@
 //       report the §4.1 consistency check.
 //   protocol [--config FILE] [--block-size N]
 //       BMac protocol vs Gossip block sizes on real marshaled blocks.
+//   chaos --faults-config FILE [--blocks N] [--block-size N] [--tamper]
+//       Drive the degraded-path stack (GBN + fault injection + software
+//       fallback) with a configs/faults_*.json scenario and check the
+//       committed chain against the fault-free reference (docs/FAULTS.md).
 //
 // Observability (throughput and validate): --trace-out FILE writes a Chrome
 // trace-event JSON of the whole run (open in Perfetto / chrome://tracing);
@@ -34,6 +38,7 @@
 #include "fabric/validator.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "workload/chaos.hpp"
 #include "workload/network_harness.hpp"
 #include "workload/synthetic.hpp"
 
@@ -61,6 +66,8 @@ struct Options {
   int block_size = 150;
   int vcpus = 8;
   bool faults = false;
+  bool tamper = false;
+  std::string faults_config;
   std::string trace_out;
   std::string metrics_out;
   std::string metrics_text;
@@ -100,6 +107,12 @@ bool parse_args(int argc, char** argv, Options& options) {
       options.vcpus = std::atoi(v);
     } else if (arg == "--faults") {
       options.faults = true;
+    } else if (arg == "--tamper") {
+      options.tamper = true;
+    } else if (arg == "--faults-config") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      options.faults_config = v;
     } else if (arg == "--trace-out") {
       const char* v = next();
       if (v == nullptr) return false;
@@ -316,15 +329,57 @@ int cmd_protocol(const Options& options) {
   return 0;
 }
 
+int cmd_chaos(const Options& options) {
+  if (options.faults_config.empty()) {
+    std::fprintf(stderr,
+                 "chaos needs --faults-config FILE (see configs/faults_*.json)\n");
+    return 2;
+  }
+  std::string error;
+  const auto scenario = net::load_fault_scenario(options.faults_config, &error);
+  if (!scenario) {
+    std::fprintf(stderr, "cannot load %s: %s\n", options.faults_config.c_str(),
+                 error.c_str());
+    return 2;
+  }
+
+  workload::ChaosOptions chaos;
+  chaos.scenario = *scenario;
+  chaos.blocks = options.blocks;
+  chaos.network.block_size = static_cast<std::size_t>(options.block_size);
+  chaos.tamper_last_block = options.tamper;
+  if (!options.config_path.empty()) chaos.hw = load_config(options).hw;
+
+  obs::Registry registry;
+  obs::Tracer tracer;
+  const bool obs_on = wants_obs(options);
+  if (obs_on) tracer.begin_process("chaos " + scenario->name);
+  const workload::ChaosReport report = workload::run_chaos_scenario(
+      chaos, obs_on ? &registry : nullptr, obs_on ? &tracer : nullptr);
+
+  std::printf("scenario %s, %d blocks of %d txs\n%s",
+              scenario->name.c_str(), options.blocks, options.block_size,
+              report.to_text().c_str());
+  std::printf("equivalence vs fault-free reference: %s\n",
+              report.ok() ? "PASS" : "FAIL");
+  if (obs_on) {
+    const int rc =
+        write_obs_outputs(options, registry, tracer, report.finished_at);
+    if (rc != 0) return rc;
+  }
+  return report.ok() ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   Options options;
   if (!parse_args(argc, argv, options)) {
     std::fprintf(stderr,
-                 "usage: bmac_sim <throughput|resources|validate|protocol> "
-                 "[--config FILE] [--blocks N] [--block-size N] [--vcpus N] "
-                 "[--faults] [--trace-out FILE] [--metrics-out FILE] "
+                 "usage: bmac_sim <throughput|resources|validate|protocol|"
+                 "chaos> [--config FILE] [--blocks N] [--block-size N] "
+                 "[--vcpus N] [--faults] [--faults-config FILE] [--tamper] "
+                 "[--trace-out FILE] [--metrics-out FILE] "
                  "[--metrics-text FILE]\n");
     return 2;
   }
@@ -333,6 +388,7 @@ int main(int argc, char** argv) {
     if (options.command == "resources") return cmd_resources(options);
     if (options.command == "validate") return cmd_validate(options);
     if (options.command == "protocol") return cmd_protocol(options);
+    if (options.command == "chaos") return cmd_chaos(options);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;

@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Markdown link checker (stdlib only), run by CI over the repo's docs.
+
+Checks every inline link/image target in the given markdown files:
+  - relative paths must exist on disk (relative to the file);
+  - intra-document fragments (#section) must match a heading in the target
+    file, using GitHub's anchor slug rules (lowercase, spaces -> dashes,
+    punctuation stripped);
+  - http(s)/mailto targets are skipped (CI must not depend on the network).
+
+Usage: check_md_links.py FILE.md [FILE.md ...]
+Exits non-zero and prints one line per broken link.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+INLINE_LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+HEADING = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+CODE_FENCE = re.compile(r"```.*?```", re.DOTALL)
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's heading -> #fragment rule (approximation, ASCII docs)."""
+    text = re.sub(r"[`*_]", "", heading.strip()).lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def anchors_of(path: Path, cache={}) -> set:
+    if path not in cache:
+        text = CODE_FENCE.sub("", path.read_text(encoding="utf-8"))
+        cache[path] = {github_slug(h) for h in HEADING.findall(text)}
+    return cache[path]
+
+
+def check_file(md: Path) -> list:
+    errors = []
+    text = CODE_FENCE.sub("", md.read_text(encoding="utf-8"))
+    for match in INLINE_LINK.finditer(text):
+        target = match.group(1)
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        path_part, _, fragment = target.partition("#")
+        dest = md if not path_part else (md.parent / path_part).resolve()
+        if not dest.exists():
+            errors.append(f"{md}: broken link -> {target}")
+            continue
+        if fragment and dest.suffix == ".md":
+            if fragment.lower() not in anchors_of(dest):
+                errors.append(f"{md}: missing anchor -> {target}")
+    return errors
+
+
+def main(argv: list) -> int:
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    errors = []
+    for name in argv[1:]:
+        path = Path(name)
+        if not path.exists():
+            errors.append(f"{path}: file not found")
+            continue
+        errors.extend(check_file(path))
+    for error in errors:
+        print(error)
+    print(f"checked {len(argv) - 1} files, {len(errors)} broken links")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
