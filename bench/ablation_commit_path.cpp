@@ -1,0 +1,186 @@
+// Ablation: commit-path scale-out — endorsement-verification cache and
+// sharded/batched StateDb.
+//
+// Part 1 measures REAL wall-clock software validation (full parse +
+// ECDSA + MVCC + commit, no simulated timing) on a repeated-endorser
+// workload: every transaction's rwset is drawn from a small pool of hot
+// rwsets, so the same endorser signs the same endorsement digest over and
+// over — deterministic RFC 6979 signing makes those signatures
+// bit-identical, which is exactly what the VerifyCache memoizes. This is
+// the shape "Performance Characterization and Bottleneck Analysis of
+// Hyperledger Fabric" reports for smallbank-style contracts. The check
+// for the cached and uncached lanes producing identical commit hashes is
+// part of the bench.
+//
+// Part 2 sweeps the StateDb shard count under a multi-threaded batched
+// commit: one write-batch per block, applied with a worker pool, shards
+// {1, 2, 4, 8, 16}. With one shard every worker serializes on one mutex;
+// with enough shards the batch applies in parallel.
+#include <chrono>
+#include <thread>
+
+#include "bench_common.hpp"
+#include "common/thread_pool.hpp"
+#include "fabric/orderer.hpp"
+#include "fabric/validator.hpp"
+#include "fabric/validator_backend.hpp"
+
+namespace {
+
+using namespace bm;
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+struct Workload {
+  fabric::Msp msp;
+  std::map<std::string, fabric::EndorsementPolicy> policies;
+  std::vector<fabric::Block> blocks;
+  std::size_t total_txs = 0;
+};
+
+/// `blocks` blocks of `block_size` txs; each tx blind-writes one of
+/// `hot_rwsets` hot keys (so endorsement digests repeat, but MVCC never
+/// conflicts).
+Workload repeated_endorser_workload(int blocks, int block_size,
+                                    int hot_rwsets) {
+  Workload w;
+  auto& org1 = w.msp.add_org("Org1");
+  auto& org2 = w.msp.add_org("Org2");
+  const fabric::Identity client = org1.issue(fabric::Role::kClient, 0, "c0");
+  const fabric::Identity peer1 = org1.issue(fabric::Role::kPeer, 0, "p0.org1");
+  const fabric::Identity peer2 = org2.issue(fabric::Role::kPeer, 0, "p0.org2");
+  w.policies.emplace("smallbank", fabric::parse_policy_or_throw(
+                                      "2-outof-2 orgs", w.msp.org_names()));
+  fabric::Orderer orderer(
+      org1.issue(fabric::Role::kOrderer, 0, "o0"),
+      fabric::Orderer::Config{.max_tx_per_block =
+                                  static_cast<std::size_t>(block_size)});
+
+  for (int b = 0; b < blocks; ++b) {
+    for (int i = 0; i < block_size; ++i) {
+      fabric::TxProposal proposal;
+      proposal.channel_id = "ch";
+      proposal.chaincode_id = "smallbank";
+      proposal.tx_id = "t" + std::to_string(b) + "_" + std::to_string(i);
+      proposal.rwset.writes.push_back(
+          {"hot" + std::to_string(i % hot_rwsets), to_bytes("v")});
+      // The orderer cuts the block itself when the batch fills.
+      if (auto block = orderer.submit(
+              fabric::build_envelope(proposal, client, {&peer1, &peer2})))
+        w.blocks.push_back(*std::move(block));
+    }
+    w.total_txs += static_cast<std::size_t>(block_size);
+  }
+  if (auto block = orderer.flush()) w.blocks.push_back(*std::move(block));
+  return w;
+}
+
+struct LaneResult {
+  double tps = 0;
+  crypto::Digest final_hash{};
+  std::uint64_t cache_hits = 0;
+};
+
+LaneResult run_lane(const Workload& w, fabric::SoftwareBackendOptions options) {
+  const auto backend =
+      fabric::make_software_backend(w.msp, w.policies, options);
+  fabric::StateDb db;
+  fabric::Ledger ledger;
+  const auto start = Clock::now();
+  for (const auto& block : w.blocks)
+    backend->validate_and_commit(block, db, ledger);
+  const double elapsed = seconds_since(start);
+  LaneResult result;
+  result.tps = static_cast<double>(w.total_txs) / elapsed;
+  result.final_hash = ledger.last().commit_hash;
+  if (const auto* sw =
+          dynamic_cast<const fabric::SoftwareValidator*>(backend.get());
+      sw != nullptr && sw->verify_cache() != nullptr)
+    result.cache_hits = sw->verify_cache()->hits();
+  return result;
+}
+
+void shard_sweep(int batches, int writes_per_batch, unsigned workers) {
+  bench::title("StateDb shard-count sweep, batched commit");
+  std::printf("%d batches x %d writes, %u worker threads (host has %u "
+              "hardware threads)\n",
+              batches, writes_per_batch, workers,
+              std::thread::hardware_concurrency());
+  std::printf("%8s %16s %10s\n", "shards", "writes/s", "vs 1 shard");
+  bench::rule(40);
+
+  ThreadPool pool(workers);
+  double base = 0;
+  for (const std::size_t shards : {1, 2, 4, 8, 16}) {
+    fabric::StateDb db(shards);
+    double elapsed = 0;  // commit time only: batch building is untimed
+    for (int b = 0; b < batches; ++b) {
+      fabric::StateDb::WriteBatch batch = db.make_batch();
+      for (int i = 0; i < writes_per_batch; ++i)
+        batch.add("acct" + std::to_string(i),
+                  to_bytes("balance" + std::to_string(b)),
+                  fabric::Version{static_cast<std::uint64_t>(b),
+                                  static_cast<std::uint32_t>(i)});
+      const auto start = Clock::now();
+      db.commit_batch(std::move(batch), &pool);
+      elapsed += seconds_since(start);
+    }
+    const double rate =
+        static_cast<double>(batches) * writes_per_batch / elapsed;
+    if (shards == 1) base = rate;
+    std::printf("%8zu %16.0f %9.2fx\n", shards, rate, rate / base);
+  }
+  bench::rule(40);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Wall-clock bench: the obs flags are accepted for uniformity but there
+  // is no simulated pipeline to trace here.
+  bench::Observability obs(argc, argv);
+  (void)obs;
+
+  bench::title(
+      "Ablation - endorsement-verification cache (real validation wall clock)");
+  const int blocks = 12, block_size = 100, hot_rwsets = 16;
+  std::printf("repeated-endorser workload: %d blocks x %d txs, %d distinct "
+              "rwsets, 2-outof-2\n",
+              blocks, block_size, hot_rwsets);
+  const Workload w = repeated_endorser_workload(blocks, block_size, hot_rwsets);
+
+  std::printf("%-28s %10s %10s %12s\n", "backend", "tps", "speedup",
+              "cache hits");
+  bench::rule(64);
+  const LaneResult off = run_lane(w, {.parallelism = 1});
+  std::printf("%-28s %10.0f %9.2fx %12s\n", "cache off, 1 thread", off.tps,
+              1.0, "-");
+  const LaneResult on =
+      run_lane(w, {.parallelism = 1, .verify_cache_capacity = 8192});
+  std::printf("%-28s %10.0f %9.2fx %12llu\n", "cache 8192, 1 thread", on.tps,
+              on.tps / off.tps, static_cast<unsigned long long>(on.cache_hits));
+  const LaneResult both =
+      run_lane(w, {.parallelism = 4, .verify_cache_capacity = 8192});
+  std::printf("%-28s %10.0f %9.2fx %12llu\n", "cache 8192, 4 threads",
+              both.tps, both.tps / off.tps,
+              static_cast<unsigned long long>(both.cache_hits));
+  bench::rule(64);
+
+  const bool hashes_match = off.final_hash == on.final_hash &&
+                            off.final_hash == both.final_hash;
+  std::printf("commit hashes identical across lanes: %s\n",
+              hashes_match ? "PASS" : "FAIL");
+  std::printf("acceptance: cache >= 2x on repeated endorsers: %s "
+              "(%.2fx single-threaded)\n",
+              on.tps / off.tps >= 2.0 ? "PASS" : "FAIL", on.tps / off.tps);
+
+  shard_sweep(/*batches=*/50, /*writes_per_batch=*/32768, /*workers=*/8);
+  std::printf("paper tie-in: the cache is the software mirror of the BMac "
+              "identity cache's\nparse-once semantics; the sharded batch "
+              "commit mirrors the hardware's\nper-block write burst into "
+              "the on-chip KVS (one version stamp per block).\n");
+  return hashes_match && on.tps / off.tps >= 2.0 ? 0 : 1;
+}

@@ -7,10 +7,11 @@
 
 #include <algorithm>
 #include <cstdio>
-#include <cstring>
 #include <string>
 #include <vector>
 
+#include "common/cli.hpp"
+#include "obs/artifacts.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "workload/synthetic.hpp"
@@ -62,24 +63,14 @@ inline workload::SyntheticSpec drm_spec() {
 class Observability {
  public:
   Observability(int argc, char** argv) {
-    for (int i = 1; i < argc; ++i) {
-      auto next = [&]() -> const char* {
-        return i + 1 < argc ? argv[++i] : nullptr;
-      };
-      if (std::strcmp(argv[i], "--trace-out") == 0) {
-        if (const char* v = next()) trace_out_ = v;
-      } else if (std::strcmp(argv[i], "--metrics-out") == 0) {
-        if (const char* v = next()) metrics_out_ = v;
-      } else if (std::strcmp(argv[i], "--metrics-text") == 0) {
-        if (const char* v = next()) metrics_text_ = v;
-      }
-    }
+    // Permissive: benches take only the shared observability flags and must
+    // not choke on anything else on their command line.
+    cli::ArgParser parser(cli::ArgParser::Unknown::kIgnore);
+    flags_.register_with(parser);
+    parser.parse(argc, argv);
   }
 
-  bool enabled() const {
-    return !trace_out_.empty() || !metrics_out_.empty() ||
-           !metrics_text_.empty();
-  }
+  bool enabled() const { return flags_.wants_obs(); }
 
   /// Run the hardware workload, instrumented when enabled. `label` names
   /// the run's process group in the trace (e.g. "block_size 150").
@@ -100,30 +91,7 @@ class Observability {
   /// Write the requested artifacts. Call once, after the last run. Returns
   /// 0 on success (or when disabled).
   int finish() const {
-    if (!trace_out_.empty()) {
-      if (!tracer_.write_chrome_json(trace_out_)) {
-        std::fprintf(stderr, "cannot write %s\n", trace_out_.c_str());
-        return 1;
-      }
-      std::printf("trace: %s (%zu events)\n", trace_out_.c_str(),
-                  tracer_.event_count());
-    }
-    if (!metrics_out_.empty()) {
-      if (!registry_.write_json(metrics_out_, at_)) {
-        std::fprintf(stderr, "cannot write %s\n", metrics_out_.c_str());
-        return 1;
-      }
-      std::printf("metrics: %s (%zu series)\n", metrics_out_.c_str(),
-                  registry_.size());
-    }
-    if (!metrics_text_.empty()) {
-      if (!registry_.write_text(metrics_text_, at_)) {
-        std::fprintf(stderr, "cannot write %s\n", metrics_text_.c_str());
-        return 1;
-      }
-      std::printf("metrics (text): %s\n", metrics_text_.c_str());
-    }
-    return 0;
+    return obs::write_artifacts(flags_, registry_, tracer_, at_);
   }
 
   obs::Registry& registry() { return registry_; }
@@ -134,12 +102,10 @@ class Observability {
   void note_time(sim::Time at) { at_ = std::max(at_, at); }
 
  private:
+  cli::CommonFlags flags_;
   obs::Registry registry_;
   obs::Tracer tracer_;
   sim::Time at_ = 0;
-  std::string trace_out_;
-  std::string metrics_out_;
-  std::string metrics_text_;
 };
 
 }  // namespace bm::bench

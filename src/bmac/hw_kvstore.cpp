@@ -74,6 +74,13 @@ bool HwKvStore::write(const std::string& key, Bytes value,
   return insert_on_chip(key, ReadResult{std::move(value), version});
 }
 
+std::size_t HwKvStore::write_batch(std::vector<BatchWrite>&& writes) {
+  std::size_t applied = 0;
+  for (BatchWrite& w : writes)
+    if (write(w.key, std::move(w.value), w.version)) ++applied;
+  return applied;
+}
+
 bool HwKvStore::version_matches(
     const std::string& key, const std::optional<fabric::Version>& expected) {
   ++reads_;

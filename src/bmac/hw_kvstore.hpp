@@ -44,6 +44,19 @@ class HwKvStore {
   /// when the table is full; with one, evicts the LRU entry to the host.
   bool write(const std::string& key, Bytes value, fabric::Version version);
 
+  /// One element of a grouped write-through burst.
+  struct BatchWrite {
+    std::string key;
+    Bytes value;
+    fabric::Version version;
+  };
+
+  /// Apply a whole block's write-set in one pass, in order — the host
+  /// write-through burst used by the degraded path (one PCIe transaction
+  /// instead of per-key doorbells). Returns the number of writes applied;
+  /// a write refused for overflow does not stop the rest of the burst.
+  std::size_t write_batch(std::vector<BatchWrite>&& writes);
+
   /// Version check used by the mvcc stage.
   bool version_matches(const std::string& key,
                        const std::optional<fabric::Version>& expected);

@@ -29,10 +29,16 @@ BmacPeer::BmacPeer(
 
 void BmacPeer::enable_graceful_degradation(DegradeConfig config) {
   degrade_ = config;
-  fallback_validator_ = std::make_unique<fabric::SoftwareValidator>(
-      msp_, policies_, /*parallelism=*/1);
+  fallback_backend_ = fabric::make_software_backend(
+      msp_, policies_, fabric::SoftwareBackendOptions{/*parallelism=*/1,
+                                                      /*verify_cache=*/0});
   release_kick_ = std::make_unique<sim::Trigger>(sim_);
   commit_kick_ = std::make_unique<sim::Trigger>(sim_);
+}
+
+void BmacPeer::set_fallback_backend(
+    std::unique_ptr<fabric::ValidatorBackend> backend) {
+  fallback_backend_ = std::move(backend);
 }
 
 void BmacPeer::start() {
@@ -424,8 +430,8 @@ sim::Process BmacPeer::degraded_host_commit_proc() {
         // the same ledger the hardware path uses — the commit-hash chain
         // continues exactly as if the hardware had produced the flags.
         fabric::BlockValidationResult verdict =
-            fallback_validator_->validate_and_commit(block, shadow_state_,
-                                                     ledger_);
+            fallback_backend_->validate_and_commit(block, shadow_state_,
+                                                   ledger_);
         if (verdict.block_valid) {
           ++host_metrics_.blocks_committed;
           host_metrics_.transactions_committed += verdict.flags.size();
@@ -507,6 +513,9 @@ void BmacPeer::apply_writes_to_shadow(
 void BmacPeer::apply_writes_to_hw_store(
     const fabric::Block& block,
     const std::vector<fabric::TxValidationCode>& flags) {
+  // Gather the block's valid writes into one burst (parity with the state
+  // DB's batched commit): a single write-through transaction over PCIe.
+  std::vector<HwKvStore::BatchWrite> burst;
   for (std::size_t i = 0; i < block.envelopes.size(); ++i) {
     if (flags[i] != fabric::TxValidationCode::kValid) continue;
     const auto tx = fabric::parse_envelope(block.envelopes[i]);
@@ -514,10 +523,11 @@ void BmacPeer::apply_writes_to_hw_store(
     const fabric::Version version{block.header.number,
                                   static_cast<std::uint32_t>(i)};
     for (const fabric::KVWrite& write : tx->rwset.writes)
-      processor_.statedb().write(
+      burst.push_back(HwKvStore::BatchWrite{
           fabric::StateDb::namespaced(tx->chaincode_id, write.key),
-          write.value, version);
+          write.value, version});
   }
+  processor_.statedb().write_batch(std::move(burst));
 }
 
 sim::Process BmacPeer::host_commit_proc() {

@@ -35,6 +35,7 @@
 #include "fabric/ledger.hpp"
 #include "fabric/policy.hpp"
 #include "fabric/validator.hpp"
+#include "fabric/validator_backend.hpp"
 
 namespace bm::bmac {
 
@@ -77,10 +78,20 @@ class BmacPeer {
   };
 
   /// Turn on the watchdog + software-fallback path. Call before start().
+  /// Installs the default fallback backend (a sequential SoftwareValidator);
+  /// override it with set_fallback_backend() before start().
   void enable_graceful_degradation(DegradeConfig config);
   void enable_graceful_degradation() {
     enable_graceful_degradation(DegradeConfig());
   }
+
+  /// Swap the engine used for software fallback validation. Any
+  /// ValidatorBackend works — the flags/commit-hash equivalence guarantee
+  /// then rests on that backend's own equivalence. Call after
+  /// enable_graceful_degradation(), before start(). Must not be null.
+  void set_fallback_backend(std::unique_ptr<fabric::ValidatorBackend> backend);
+  fabric::ValidatorBackend* fallback_backend() { return fallback_backend_.get(); }
+
   bool degraded_mode() const { return degrade_.has_value(); }
   const DegradeMetrics& degrade_metrics() const { return degrade_metrics_; }
 
@@ -176,7 +187,7 @@ class BmacPeer {
   // --- degraded mode --------------------------------------------------------
   std::optional<DegradeConfig> degrade_;
   DegradeMetrics degrade_metrics_;
-  std::unique_ptr<fabric::SoftwareValidator> fallback_validator_;
+  std::unique_ptr<fabric::ValidatorBackend> fallback_backend_;
   fabric::StateDb shadow_state_;
   std::map<std::uint64_t, StreamAssembly> streams_;
   std::map<std::uint64_t, ResultEntry> hw_results_;

@@ -1,0 +1,77 @@
+// Tiny declarative command-line flag parser shared by the tool and bench
+// binaries, so every executable spells the common flags the same way
+// (--trace-out / --metrics-out / --metrics-text / --faults-config) instead
+// of growing its own ad-hoc argv scan.
+//
+// Deliberately minimal: long flags only ("--name VALUE" or boolean
+// "--name"), no grouping, no abbreviation — the binaries are drivers for
+// experiments, not general CLIs. Strict mode rejects unknown flags (tools,
+// where a typo should fail loudly); permissive mode skips them (benches,
+// which accept the observability flags but must not choke on harness args).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace bm::cli {
+
+class ArgParser {
+ public:
+  enum class Unknown {
+    kError,   ///< unknown "--flag" fails the parse (tools)
+    kIgnore,  ///< unknown arguments are skipped (benches)
+  };
+
+  explicit ArgParser(Unknown unknown = Unknown::kError) : unknown_(unknown) {}
+
+  /// Register "--name VALUE" flags. `name` includes the leading dashes.
+  void add_string(std::string name, std::string* out, std::string help);
+  void add_int(std::string name, int* out, std::string help);
+  void add_size(std::string name, std::size_t* out, std::string help);
+  /// Register a boolean "--name" flag (no value; sets *out = true).
+  void add_flag(std::string name, bool* out, std::string help);
+
+  /// Parse argv[start, argc). Returns false on a malformed or (in strict
+  /// mode) unknown flag; error() then describes the failure.
+  bool parse(int argc, char** argv, int start = 1);
+
+  const std::string& error() const { return error_; }
+
+  /// "  --name VALUE  help" lines for usage messages, in registration order.
+  std::string help_text() const;
+
+ private:
+  struct Spec {
+    std::string name;
+    std::string help;
+    bool takes_value;
+    std::function<bool(const char*)> apply;  ///< false = unparseable value
+  };
+
+  std::vector<Spec> specs_;
+  Unknown unknown_;
+  std::string error_;
+};
+
+/// The flag set every experiment binary shares. Observability outputs are
+/// deterministic artifacts (Chrome trace JSON, metrics snapshots); the
+/// faults config names a configs/faults_*.json scenario.
+struct CommonFlags {
+  std::string trace_out;      ///< --trace-out FILE
+  std::string metrics_out;    ///< --metrics-out FILE (JSON snapshot)
+  std::string metrics_text;   ///< --metrics-text FILE (Prometheus text)
+  std::string faults_config;  ///< --faults-config FILE
+
+  /// Register the shared flags on `parser`. `with_faults` controls whether
+  /// --faults-config is accepted (benches do not take fault scenarios).
+  void register_with(ArgParser& parser, bool with_faults = false);
+
+  /// True when any observability output was requested.
+  bool wants_obs() const {
+    return !trace_out.empty() || !metrics_out.empty() || !metrics_text.empty();
+  }
+};
+
+}  // namespace bm::cli

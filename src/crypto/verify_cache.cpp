@@ -1,0 +1,98 @@
+#include "crypto/verify_cache.hpp"
+
+namespace bm::crypto {
+
+namespace {
+
+/// The cache key: SHA-256 over the full verification input — uncompressed
+/// public key, message digest, and the signature's wire bytes. Any single
+/// differing bit lands in a different entry.
+Digest cache_key(const PublicKey& key, const Digest& digest,
+                 ByteView sig_bytes) {
+  Sha256 h;
+  const Bytes encoded = key.encode();
+  h.update(encoded);
+  h.update(digest_view(digest));
+  h.update(sig_bytes);
+  return h.finish();
+}
+
+}  // namespace
+
+std::size_t VerifyCache::DigestHash::operator()(const Digest& d) const {
+  // The key is already a cryptographic hash; fold the first 8 bytes.
+  std::size_t out = 0;
+  for (int i = 0; i < 8; ++i) out = (out << 8) | d[static_cast<std::size_t>(i)];
+  return out;
+}
+
+bool VerifyCache::DigestEq::operator()(const Digest& a, const Digest& b) const {
+  return a == b;
+}
+
+VerifyCache::VerifyCache(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {}
+
+bool VerifyCache::verify(const PublicKey& key, const Digest& digest,
+                         ByteView sig_bytes, const Signature& sig) {
+  const Digest k = cache_key(key, digest, sig_bytes);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = entries_.find(k);
+    if (it != entries_.end()) {
+      ++hits_;
+      lru_.splice(lru_.begin(), lru_, it->second.lru);
+      return it->second.valid;
+    }
+    ++misses_;
+  }
+  // The expensive check runs outside the lock so parallel vscc workers
+  // verifying distinct signatures never serialize on the cache.
+  const bool valid = crypto::verify(key, digest, sig);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = entries_.find(k);
+    if (it != entries_.end()) {
+      // Another worker inserted the same triple while we verified; both
+      // computed the same deterministic outcome.
+      lru_.splice(lru_.begin(), lru_, it->second.lru);
+      return it->second.valid;
+    }
+    if (entries_.size() >= capacity_) {
+      entries_.erase(lru_.back());
+      lru_.pop_back();
+      ++evictions_;
+    }
+    lru_.push_front(k);
+    entries_.emplace(k, Entry{valid, lru_.begin()});
+  }
+  return valid;
+}
+
+std::size_t VerifyCache::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+std::uint64_t VerifyCache::hits() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return hits_;
+}
+
+std::uint64_t VerifyCache::misses() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return misses_;
+}
+
+std::uint64_t VerifyCache::evictions() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return evictions_;
+}
+
+void VerifyCache::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  entries_.clear();
+  lru_.clear();
+}
+
+}  // namespace bm::crypto

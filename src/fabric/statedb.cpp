@@ -1,17 +1,53 @@
 #include "fabric/statedb.hpp"
 
+#include <algorithm>
+
+#include "common/thread_pool.hpp"
+#include "obs/metrics.hpp"
+
 namespace bm::fabric {
 
+namespace {
+
+/// FNV-1a over the key bytes. Stable across runs (never seeded): the shard
+/// layout is part of no observable output, but determinism keeps the
+/// contention metrics reproducible.
+std::uint64_t key_hash(const std::string& key) {
+  std::uint64_t h = 0xCBF29CE484222325ull;
+  for (const char c : key) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 0x100000001B3ull;
+  }
+  return h;
+}
+
+}  // namespace
+
+StateDb::StateDb(std::size_t shard_count) {
+  if (shard_count == 0) shard_count = 1;
+  shards_.reserve(shard_count);
+  for (std::size_t i = 0; i < shard_count; ++i)
+    shards_.push_back(std::make_unique<Shard>());
+}
+
+std::size_t StateDb::shard_of(const std::string& key) const {
+  return static_cast<std::size_t>(key_hash(key) % shards_.size());
+}
+
 std::optional<VersionedValue> StateDb::get(const std::string& key) const {
-  ++reads_;
-  const auto it = data_.find(key);
-  if (it == data_.end()) return std::nullopt;
+  const Shard& shard = *shards_[shard_of(key)];
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  ++shard.reads;
+  const auto it = shard.data.find(key);
+  if (it == shard.data.end()) return std::nullopt;
   return it->second;
 }
 
 void StateDb::put(const std::string& key, Bytes value, Version version) {
-  ++writes_;
-  data_[key] = VersionedValue{std::move(value), version};
+  Shard& shard = *shards_[shard_of(key)];
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  ++shard.writes;
+  shard.data[key] = VersionedValue{std::move(value), version};
 }
 
 void StateDb::apply_writes(const std::vector<KVWrite>& writes,
@@ -19,11 +55,75 @@ void StateDb::apply_writes(const std::vector<KVWrite>& writes,
   for (const KVWrite& write : writes) put(write.key, write.value, version);
 }
 
+void StateDb::erase(const std::string& key) {
+  Shard& shard = *shards_[shard_of(key)];
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  shard.data.erase(key);
+}
+
 bool StateDb::version_matches(const KVRead& read) const {
-  ++reads_;
-  const auto it = data_.find(read.key);
-  if (it == data_.end()) return !read.version.has_value();
+  const Shard& shard = *shards_[shard_of(read.key)];
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  ++shard.reads;
+  const auto it = shard.data.find(read.key);
+  if (it == shard.data.end()) return !read.version.has_value();
   return read.version.has_value() && *read.version == it->second.version;
+}
+
+std::size_t StateDb::size() const {
+  std::size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    total += shard->data.size();
+  }
+  return total;
+}
+
+void StateDb::clear() {
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    shard->data.clear();
+  }
+}
+
+void StateDb::WriteBatch::add(std::string key, Bytes value, Version version) {
+  const std::size_t shard =
+      static_cast<std::size_t>(key_hash(key) % per_shard_.size());
+  per_shard_[shard].push_back(
+      Write{std::move(key), std::move(value), version});
+  ++total_;
+}
+
+void StateDb::commit_batch(WriteBatch&& batch, ThreadPool* pool) {
+  // A batch built against a different shard count cannot be applied: the
+  // grouping would route keys to the wrong shards.
+  if (batch.per_shard_.size() != shards_.size()) {
+    for (auto& group : batch.per_shard_)
+      for (auto& write : group)
+        put(std::move(write.key), std::move(write.value), write.version);
+    ++batch_commits_;
+    return;
+  }
+  ++batch_commits_;
+  const auto apply_shard = [&](std::size_t s) {
+    auto& group = batch.per_shard_[s];
+    if (group.empty()) return;
+    Shard& shard = *shards_[s];
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    shard.writes += group.size();
+    for (auto& write : group)
+      shard.data[std::move(write.key)] =
+          VersionedValue{std::move(write.value), write.version};
+  };
+  std::uint64_t touched = 0;
+  for (const auto& group : batch.per_shard_)
+    if (!group.empty()) ++touched;
+  batch_shard_grabs_ += touched;
+  if (pool != nullptr && touched > 1) {
+    pool->parallel_for(shards_.size(), apply_shard);
+  } else {
+    for (std::size_t s = 0; s < shards_.size(); ++s) apply_shard(s);
+  }
 }
 
 std::string StateDb::namespaced(const std::string& chaincode,
@@ -34,6 +134,55 @@ std::string StateDb::namespaced(const std::string& chaincode,
   out += '\0';
   out += key;
   return out;
+}
+
+std::uint64_t StateDb::total_reads() const {
+  std::uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    total += shard->reads;
+  }
+  return total;
+}
+
+std::uint64_t StateDb::total_writes() const {
+  std::uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    total += shard->writes;
+  }
+  return total;
+}
+
+void StateDb::publish_metrics(obs::Registry& registry,
+                              const std::string& prefix) const {
+  registry.counter(prefix + "_reads_total", "state database reads")
+      .set(total_reads());
+  registry.counter(prefix + "_writes_total", "state database writes")
+      .set(total_writes());
+  registry.counter(prefix + "_batch_commits_total", "batched block commits")
+      .set(batch_commits_);
+  registry
+      .counter(prefix + "_batch_shard_grabs_total",
+               "per-shard lock acquisitions made by batched commits")
+      .set(batch_shard_grabs_);
+  registry.gauge(prefix + "_keys", "keys currently stored")
+      .set(static_cast<double>(size()));
+  registry.gauge(prefix + "_shards", "key-hash shard count")
+      .set(static_cast<double>(shards_.size()));
+  // Keyspace balance: max shard size / mean shard size (1.0 = even).
+  std::size_t max_shard = 0, total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    max_shard = std::max(max_shard, shard->data.size());
+    total += shard->data.size();
+  }
+  const double mean =
+      static_cast<double>(total) / static_cast<double>(shards_.size());
+  registry
+      .gauge(prefix + "_shard_imbalance",
+             "largest shard relative to the mean (1.0 = even spread)")
+      .set(mean > 0 ? static_cast<double>(max_shard) / mean : 0.0);
 }
 
 void HistoryDb::record(const std::string& key, Version version) {

@@ -34,6 +34,16 @@ void SoftwareValidator::set_parallelism(unsigned parallelism) {
     pool_.reset();
 }
 
+void SoftwareValidator::enable_verify_cache(std::size_t capacity) {
+  verify_cache_ =
+      capacity > 0 ? std::make_shared<crypto::VerifyCache>(capacity) : nullptr;
+}
+
+void SoftwareValidator::set_verify_cache(
+    std::shared_ptr<crypto::VerifyCache> cache) {
+  verify_cache_ = std::move(cache);
+}
+
 bool SoftwareValidator::verify_block_signature(const Block& block) {
   ++stats_.block_signature_checks;
   const auto cert = Certificate::unmarshal(block.metadata.orderer_cert);
@@ -73,7 +83,14 @@ TxValidationCode SoftwareValidator::validate_transaction(
     ++stats.endorsement_signature_checks;
     const crypto::Digest digest = endorsement_digest(
         tx.chaincode_id, tx.rwset_bytes, endorsement.cert_bytes);
-    if (!crypto::verify(endorsement.cert.public_key, digest, *sig)) continue;
+    // The memoized path keys on (public key, digest, DER bytes) — the full
+    // verification input — so flags are identical with the cache attached.
+    const bool ok =
+        verify_cache_ != nullptr
+            ? verify_cache_->verify(endorsement.cert.public_key, digest,
+                                    endorsement.signature, *sig)
+            : crypto::verify(endorsement.cert.public_key, digest, *sig);
+    if (!ok) continue;
     if (const auto id = msp_.encode(endorsement.cert))
       valid_endorsers.push_back(*id);
   }
@@ -146,9 +163,13 @@ BlockValidationResult SoftwareValidator::validate_and_commit(
       pending_writes[StateDb::namespaced(tx.chaincode_id, write.key)] = version;
   }
 
-  // Step 4: commit — state database writes for valid transactions, then the
-  // flagged block to the ledger.
+  // Step 4: commit — the block's whole write-set goes into one shard-grouped
+  // batch applied with a single lock grab per touched shard (in parallel
+  // across shards when a pool is configured), then the flagged block is
+  // appended to the ledger. Batch order preserves transaction order, so the
+  // final state matches the equivalent sequence of put() calls exactly.
   Block committed = block;
+  StateDb::WriteBatch batch = db.make_batch();
   for (std::size_t i = 0; i < block.tx_count(); ++i) {
     committed.metadata.tx_flags[i] = static_cast<std::uint8_t>(result.flags[i]);
     if (result.flags[i] != TxValidationCode::kValid) continue;
@@ -157,12 +178,13 @@ BlockValidationResult SoftwareValidator::validate_and_commit(
     const Version version{block.header.number, static_cast<std::uint32_t>(i)};
     for (const KVWrite& write : tx.rwset.writes) {
       ++stats_.db_writes;
-      const std::string key = StateDb::namespaced(tx.chaincode_id, write.key);
-      db.put(key, write.value, version);
-      // Step 5: history database update.
+      std::string key = StateDb::namespaced(tx.chaincode_id, write.key);
+      // Step 5: history database update — on this thread, in tx order.
       if (history != nullptr) history->record(key, version);
+      batch.add(std::move(key), write.value, version);
     }
   }
+  db.commit_batch(std::move(batch), pool_.get());
   result.commit_hash = ledger.append(std::move(committed));
   return result;
 }
@@ -189,6 +211,22 @@ void SoftwareValidator::publish_metrics(obs::Registry& registry,
       .set(stats_.db_writes);
   registry.counter(prefix + "_envelopes_parsed_total", "envelopes unmarshaled")
       .set(stats_.envelopes_parsed);
+  if (verify_cache_ != nullptr) {
+    registry
+        .counter(prefix + "_verify_cache_hits_total",
+                 "endorsement verifications answered from the cache")
+        .set(verify_cache_->hits());
+    registry
+        .counter(prefix + "_verify_cache_misses_total",
+                 "endorsement verifications computed and memoized")
+        .set(verify_cache_->misses());
+    registry
+        .counter(prefix + "_verify_cache_evictions_total",
+                 "verify-cache LRU evictions")
+        .set(verify_cache_->evictions());
+    registry.gauge(prefix + "_verify_cache_entries", "verify-cache fill")
+        .set(static_cast<double>(verify_cache_->size()));
+  }
 }
 
 }  // namespace bm::fabric

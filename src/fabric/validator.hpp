@@ -19,10 +19,12 @@
 #include <memory>
 
 #include "common/thread_pool.hpp"
+#include "crypto/verify_cache.hpp"
 #include "fabric/ledger.hpp"
 #include "fabric/policy.hpp"
 #include "fabric/statedb.hpp"
 #include "fabric/transaction.hpp"
+#include "fabric/validator_backend.hpp"
 #include "obs/metrics.hpp"
 
 namespace bm::fabric {
@@ -60,7 +62,7 @@ struct BlockValidationResult {
   crypto::Digest commit_hash{};  ///< zero when the block was rejected
 };
 
-class SoftwareValidator {
+class SoftwareValidator final : public ValidatorBackend {
  public:
   /// `policies` maps chaincode id -> endorsement policy. Transactions whose
   /// chaincode has no registered policy are marked invalid.
@@ -79,18 +81,30 @@ class SoftwareValidator {
   void set_parallelism(unsigned parallelism);
   unsigned parallelism() const { return pool_ ? pool_->concurrency() : 1; }
 
+  /// Attach a fresh endorsement-verification cache (capacity 0 detaches).
+  /// Flags, commit hashes, and stats are identical with or without it —
+  /// only repeated verifications get cheaper.
+  void enable_verify_cache(
+      std::size_t capacity = crypto::VerifyCache::kDefaultCapacity);
+  /// Share an existing cache (e.g. across several validators). Null detaches.
+  void set_verify_cache(std::shared_ptr<crypto::VerifyCache> cache);
+  const crypto::VerifyCache* verify_cache() const {
+    return verify_cache_.get();
+  }
+
   /// Run the full pipeline on one block, mutating the state DB and ledger.
   BlockValidationResult validate_and_commit(const Block& block, StateDb& db,
                                             Ledger& ledger,
-                                            HistoryDb* history = nullptr);
+                                            HistoryDb* history = nullptr) override;
 
-  const ValidationStats& stats() const { return stats_; }
-  void reset_stats() { stats_ = ValidationStats{}; }
+  const ValidationStats& stats() const override { return stats_; }
+  void reset_stats() override { stats_ = ValidationStats{}; }
 
-  /// Publish the lifetime ValidationStats as counters under
-  /// "<prefix>_..." (snapshot-style, idempotent).
+  /// Publish the lifetime ValidationStats (plus verify-cache hit/miss
+  /// counters when a cache is attached) as counters under "<prefix>_..."
+  /// (snapshot-style, idempotent).
   void publish_metrics(obs::Registry& registry,
-                       const std::string& prefix) const;
+                       const std::string& prefix) const override;
 
  private:
   bool verify_block_signature(const Block& block);
@@ -103,6 +117,7 @@ class SoftwareValidator {
   std::map<std::string, EndorsementPolicy> policies_;
   ValidationStats stats_;
   std::unique_ptr<ThreadPool> pool_;  ///< null when sequential
+  std::shared_ptr<crypto::VerifyCache> verify_cache_;  ///< null = uncached
 };
 
 }  // namespace bm::fabric

@@ -1,0 +1,25 @@
+#include "fabric/validator_backend.hpp"
+
+#include "fabric/validator.hpp"
+
+namespace bm::fabric {
+
+std::unique_ptr<ValidatorBackend> make_software_backend(
+    const Msp& msp, std::map<std::string, EndorsementPolicy> policies,
+    SoftwareBackendOptions options) {
+  auto backend = std::make_unique<SoftwareValidator>(msp, std::move(policies),
+                                                     options.parallelism);
+  if (options.verify_cache_capacity > 0)
+    backend->enable_verify_cache(options.verify_cache_capacity);
+  return backend;
+}
+
+ValidatorBackendFactory software_backend_factory(
+    SoftwareBackendOptions options) {
+  return [options](const Msp& msp,
+                   std::map<std::string, EndorsementPolicy> policies) {
+    return make_software_backend(msp, std::move(policies), options);
+  };
+}
+
+}  // namespace bm::fabric

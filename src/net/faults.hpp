@@ -18,10 +18,10 @@
 //     callback. The Go-Back-N shim (bmac/reliable.hpp) rides on top of it
 //     and turns every fault except undetected corruption back into "loss".
 //
+// This layer is the only source of impairments: the former
 // `Link::Config::loss_probability` and `GossipNetwork::Config::message_loss`
-// are deprecated in favour of this layer (they remain as thin uniform-loss
-// adapters so existing benches and tests are unchanged; see
-// FaultConfig::uniform_loss).
+// uniform-loss adapters have been removed. Their one-line equivalent is
+// FaultConfig::uniform_loss(p, seed).
 #pragma once
 
 #include <optional>
@@ -142,8 +142,8 @@ class FaultInjector {
 /// a FaultInjector composed onto a Link. The Link charges serialization +
 /// propagation for every frame (including doomed ones — the sender's NIC
 /// transmits regardless); the injector decides what arrives, in what shape,
-/// and when. The Link should be fault-free (loss_probability == 0): all
-/// impairments belong to the injector so they are scriptable and counted.
+/// and when. The Link itself is lossless: all impairments belong to the
+/// injector so they are scriptable and counted.
 class FaultyChannel {
  public:
   using DeliverFn = std::function<void(Bytes)>;

@@ -24,8 +24,6 @@ void GossipNetwork::push_to(int from, int to, std::uint64_t block_num,
     const FaultInjector::Verdict verdict = faults_->assess(sim_.now(), bytes);
     if (verdict.dropped()) return;
     fault_delay = verdict.extra_delay;
-  } else if (rng_.chance(config_.message_loss)) {
-    return;  // deprecated uniform-loss adapter
   }
   const auto serialization = static_cast<sim::Time>(
       static_cast<double>(bytes) * 8.0 / (config_.gbps * 1e9) * sim::kSecond);

@@ -30,14 +30,10 @@ class GossipNetwork {
     sim::Time hop_delay = 300 * sim::kMicrosecond;  ///< propagation + stack
     sim::Time hop_jitter = 200 * sim::kMicrosecond;
     sim::Time forward_processing = 200 * sim::kMicrosecond;
-    /// DEPRECATED: uniform i.i.d. per-hop loss, kept as a thin adapter so
-    /// existing tests are unchanged. Prefer `faults` below, which adds
-    /// Gilbert–Elliott burst loss, delay spikes and partition windows.
-    double message_loss = 0.0;
     /// Hop-level fault schedule (drop/delay decisions; corruption and
-    /// duplication do not apply to gossip messages). When any knob is set,
-    /// it replaces `message_loss`; its own seed keeps the topology RNG
-    /// sequence untouched, so enabling faults never reshuffles fanout.
+    /// duplication do not apply to gossip messages). Uniform i.i.d. loss is
+    /// FaultConfig::uniform_loss(p, seed); its own seed keeps the topology
+    /// RNG sequence untouched, so enabling faults never reshuffles fanout.
     FaultConfig faults;
     sim::Time anti_entropy_interval = 50 * sim::kMillisecond;
     std::uint64_t seed = 1;

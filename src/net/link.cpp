@@ -21,15 +21,9 @@ void Link::send(std::size_t bytes, std::function<void()> on_delivery) {
   busy_until_ = done;
   busy_time_ += done - start;
 
-  const bool lost = rng_.chance(config_.loss_probability);
   if (tracer_ != nullptr) {
     tracer_->complete(lane_, "frame", "net", start, done,
-                      {{"bytes", static_cast<std::uint64_t>(bytes)},
-                       {"lost", lost}});
-  }
-  if (lost) {
-    ++frames_lost_;
-    return;
+                      {{"bytes", static_cast<std::uint64_t>(bytes)}});
   }
   sim::Time jitter = 0;
   if (config_.jitter_max > 0)
@@ -43,8 +37,6 @@ void Link::publish_metrics(obs::Registry& registry,
                            const std::string& prefix) const {
   registry.counter(prefix + "_frames_sent_total", "frames queued on the link")
       .set(frames_sent_);
-  registry.counter(prefix + "_frames_lost_total", "frames dropped by loss")
-      .set(frames_lost_);
   registry.counter(prefix + "_bytes_sent_total", "payload bytes queued")
       .set(bytes_sent_);
   const auto now = static_cast<double>(sim_.now());

@@ -1,9 +1,10 @@
 // Point-to-point network link model.
 //
 // Models the 1 Gbps LAN of the paper's testbed (Fig. 5): a transmit queue
-// with serialization delay (bytes / rate), propagation delay, bounded
-// random jitter and an optional loss probability. Deterministic for a fixed
-// RNG seed.
+// with serialization delay (bytes / rate), propagation delay and bounded
+// random jitter. Deterministic for a fixed RNG seed. The link itself is
+// lossless: impairments (loss, corruption, reordering, partitions) belong
+// to net::FaultyChannel (src/net/faults.hpp), layered on top.
 #pragma once
 
 #include <functional>
@@ -22,13 +23,6 @@ class Link {
     double gbps = 1.0;                           ///< line rate
     sim::Time propagation = 50 * sim::kMicrosecond;  ///< LAN + switch latency
     sim::Time jitter_max = 0;  ///< uniform [0, jitter_max) added per frame
-    /// DEPRECATED: uniform i.i.d. loss, kept as a thin adapter so existing
-    /// benches/tests are unchanged. New code should model impairments with
-    /// net::FaultConfig / net::FaultyChannel (src/net/faults.hpp), which
-    /// adds burst loss, corruption, reordering, duplication, delay spikes
-    /// and partition windows — all scriptable and observable. Equivalent:
-    /// FaultConfig::uniform_loss(loss_probability, seed).
-    double loss_probability = 0.0;
     std::uint64_t seed = 1;
   };
 
@@ -36,14 +30,13 @@ class Link {
       : sim_(sim), config_(config), rng_(config.seed) {}
 
   /// Queue a frame of `bytes` for transmission; `on_delivery` fires at
-  /// arrival time (never, if the frame is lost).
+  /// arrival time.
   void send(std::size_t bytes, std::function<void()> on_delivery);
 
   /// Time to serialize `bytes` at line rate.
   sim::Time serialization_delay(std::size_t bytes) const;
 
   std::uint64_t frames_sent() const { return frames_sent_; }
-  std::uint64_t frames_lost() const { return frames_lost_; }
   std::uint64_t bytes_sent() const { return bytes_sent_; }
   /// Total simulated time the link spent serializing frames.
   sim::Time busy_time() const { return busy_time_; }
@@ -67,7 +60,6 @@ class Link {
   sim::Time busy_until_ = 0;
   sim::Time busy_time_ = 0;
   std::uint64_t frames_sent_ = 0;
-  std::uint64_t frames_lost_ = 0;
   std::uint64_t bytes_sent_ = 0;
   obs::Tracer* tracer_ = nullptr;
   int lane_ = 0;

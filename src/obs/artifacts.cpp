@@ -1,0 +1,35 @@
+#include "obs/artifacts.hpp"
+
+#include <cstdio>
+
+namespace bm::obs {
+
+int write_artifacts(const cli::CommonFlags& flags, const Registry& registry,
+                    const Tracer& tracer, sim::Time at) {
+  if (!flags.trace_out.empty()) {
+    if (!tracer.write_chrome_json(flags.trace_out)) {
+      std::fprintf(stderr, "cannot write %s\n", flags.trace_out.c_str());
+      return 1;
+    }
+    std::printf("trace: %s (%zu events)\n", flags.trace_out.c_str(),
+                tracer.event_count());
+  }
+  if (!flags.metrics_out.empty()) {
+    if (!registry.write_json(flags.metrics_out, at)) {
+      std::fprintf(stderr, "cannot write %s\n", flags.metrics_out.c_str());
+      return 1;
+    }
+    std::printf("metrics: %s (%zu series)\n", flags.metrics_out.c_str(),
+                registry.size());
+  }
+  if (!flags.metrics_text.empty()) {
+    if (!registry.write_text(flags.metrics_text, at)) {
+      std::fprintf(stderr, "cannot write %s\n", flags.metrics_text.c_str());
+      return 1;
+    }
+    std::printf("metrics (text): %s\n", flags.metrics_text.c_str());
+  }
+  return 0;
+}
+
+}  // namespace bm::obs

@@ -1,0 +1,20 @@
+// Shared "write the requested observability artifacts" step for the tool
+// and bench binaries: one implementation of the trace/metrics output logic
+// that used to be duplicated per executable, keyed off the uniform
+// cli::CommonFlags flag names.
+#pragma once
+
+#include "common/cli.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace bm::obs {
+
+/// Write whichever artifacts `flags` requested (trace JSON, metrics JSON,
+/// metrics text), printing one confirmation line per file. `at` is the
+/// simulated time the metrics snapshot is taken at. Returns 0 on success
+/// (including when nothing was requested), 1 on any write failure.
+int write_artifacts(const cli::CommonFlags& flags, const Registry& registry,
+                    const Tracer& tracer, sim::Time at);
+
+}  // namespace bm::obs

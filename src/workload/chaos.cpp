@@ -60,6 +60,9 @@ ChaosReport run_chaos_scenario(const ChaosOptions& options,
   sim::Simulation sim;
   bmac::BmacPeer peer(sim, harness.msp(), options.hw, harness.policies());
   peer.enable_graceful_degradation(options.degrade);
+  if (options.fallback_factory)
+    peer.set_fallback_backend(
+        options.fallback_factory(harness.msp(), harness.policies()));
   if (registry != nullptr || tracer != nullptr)
     peer.attach_observability(registry, tracer);
   peer.start();

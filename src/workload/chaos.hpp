@@ -31,6 +31,10 @@ struct ChaosOptions {
   bmac::HwConfig hw;
   bmac::GbnSender::Config gbn = default_gbn();
   bmac::BmacPeer::DegradeConfig degrade = default_degrade();
+  /// Engine for the peer's software fallback (null = the peer's default
+  /// sequential software backend). The equivalence check still runs against
+  /// the harness reference, so any conforming backend must pass it.
+  fabric::ValidatorBackendFactory fallback_factory;
 
   double link_gbps = 1.0;
   sim::Time block_interval = 20 * sim::kMillisecond;

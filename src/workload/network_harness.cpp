@@ -40,8 +40,9 @@ FabricNetworkHarness::FabricNetworkHarness(NetworkOptions options)
   else
     drm_.emplace(options_.drm);
 
-  reference_validator_ =
-      std::make_unique<fabric::SoftwareValidator>(msp_, policies_);
+  reference_backend_ = options_.backend_factory
+                           ? options_.backend_factory(msp_, policies_)
+                           : fabric::make_software_backend(msp_, policies_);
 }
 
 ChaincodeResult FabricNetworkHarness::execute_chaincode() {
@@ -95,7 +96,7 @@ fabric::Block FabricNetworkHarness::next_block() {
 
   // Reference-commit so the endorsement state observes this block.
   fabric::BlockValidationResult result =
-      reference_validator_->validate_and_commit(*block, state_, ledger_);
+      reference_backend_->validate_and_commit(*block, state_, ledger_);
   reference_results_[block->header.number] = std::move(result);
   return *block;
 }

@@ -12,6 +12,7 @@
 
 #include "fabric/orderer.hpp"
 #include "fabric/validator.hpp"
+#include "fabric/validator_backend.hpp"
 #include "workload/chaincode.hpp"
 
 namespace bm::workload {
@@ -31,6 +32,11 @@ struct NetworkOptions {
   double bad_signature_rate = 0.0;
   double missing_endorsement_rate = 0.0;
   double conflicting_read_rate = 0.0;  ///< stale read-set versions
+
+  /// Engine for the harness's reference pipeline. Null = the default
+  /// software backend. Any conforming ValidatorBackend yields the same
+  /// reference results — that is the interface's contract.
+  fabric::ValidatorBackendFactory backend_factory;
 };
 
 class FabricNetworkHarness {
@@ -83,7 +89,7 @@ class FabricNetworkHarness {
   // Reference pipeline (endorsement state evolves with committed blocks).
   fabric::StateDb state_;
   fabric::Ledger ledger_;
-  std::unique_ptr<fabric::SoftwareValidator> reference_validator_;
+  std::unique_ptr<fabric::ValidatorBackend> reference_backend_;
   std::map<std::uint64_t, fabric::BlockValidationResult> reference_results_;
 
   std::uint64_t next_tx_id_ = 0;

@@ -3,39 +3,41 @@
 #include "bmac/peer.hpp"
 #include "bmac/reliable.hpp"
 #include "common/rng.hpp"
+#include "net/faults.hpp"
 #include "net/link.hpp"
 #include "workload/network_harness.hpp"
 
 namespace bm::bmac {
 namespace {
 
-/// Loopback harness: sender frames traverse a lossy simulated link to the
-/// receiver; ACKs travel back over a second (also lossy) link.
+/// Loopback harness over the real byte path: sender frames are encoded and
+/// traverse a FaultyChannel (uniform loss) to the receiver's on_wire();
+/// CRC-protected ACKs travel back over a second lossy channel.
 struct GbnHarness {
   explicit GbnHarness(double loss, std::uint64_t seed = 1,
                       GbnSender::Config config = {})
       : data_link(sim, {.gbps = 1.0,
-                        .propagation = 100 * sim::kMicrosecond,
-                        .loss_probability = loss,
-                        .seed = seed}),
+                        .propagation = 100 * sim::kMicrosecond}),
         ack_link(sim, {.gbps = 1.0,
-                       .propagation = 100 * sim::kMicrosecond,
-                       .loss_probability = loss,
-                       .seed = seed + 1}),
+                       .propagation = 100 * sim::kMicrosecond}),
+        data(sim, data_link, net::FaultConfig::uniform_loss(loss, seed)),
+        ack(sim, ack_link, net::FaultConfig::uniform_loss(loss, seed + 1)),
         receiver([this](Bytes payload) { delivered.push_back(std::move(payload)); },
-                 [this](std::uint64_t next) {
-                   ack_link.send(54, [this, next] { sender->on_ack(next); });
-                 }) {
+                 [this](std::uint64_t next) { ack.send(encode_ack(next)); }) {
+    data.set_receiver([this](Bytes wire) { receiver.on_wire(wire); });
+    ack.set_receiver([this](Bytes wire) {
+      if (const auto next = decode_ack(wire)) sender->on_ack(*next);
+    });
     sender = std::make_unique<GbnSender>(
-        sim, config, [this](const SequencedFrame& frame) {
-          data_link.send(frame.wire_size(),
-                         [this, frame] { receiver.on_frame(frame); });
-        });
+        sim, config,
+        [this](const SequencedFrame& frame) { data.send(frame.encode()); });
   }
 
   sim::Simulation sim;
   net::Link data_link;
   net::Link ack_link;
+  net::FaultyChannel data;
+  net::FaultyChannel ack;
   GbnReceiver receiver;
   std::unique_ptr<GbnSender> sender;
   std::vector<Bytes> delivered;
@@ -115,7 +117,7 @@ TEST(GoBackN, StaleAcksIgnored) {
   EXPECT_TRUE(sender.idle());
 }
 
-// End-to-end: a full block over a 10%-lossy link, reconstructed by the
+// End-to-end: a full block over a 10%-lossy channel, reconstructed by the
 // hardware receiver with flags identical to the software validator's.
 TEST(GoBackN, BmacBlockSurvivesLossyLink) {
   workload::NetworkOptions options;
@@ -130,13 +132,13 @@ TEST(GoBackN, BmacBlockSurvivesLossyLink) {
   ProtocolSender protocol(network.msp());
 
   net::Link data_link(sim, {.gbps = 1.0,
-                            .propagation = 50 * sim::kMicrosecond,
-                            .loss_probability = 0.10,
-                            .seed = 99});
+                            .propagation = 50 * sim::kMicrosecond});
   net::Link ack_link(sim, {.gbps = 1.0,
-                           .propagation = 50 * sim::kMicrosecond,
-                           .loss_probability = 0.10,
-                           .seed = 100});
+                           .propagation = 50 * sim::kMicrosecond});
+  net::FaultyChannel data(sim, data_link,
+                          net::FaultConfig::uniform_loss(0.10, /*seed=*/99));
+  net::FaultyChannel ack(sim, ack_link,
+                         net::FaultConfig::uniform_loss(0.10, /*seed=*/100));
 
   std::unique_ptr<GbnSender> gbn_sender;
   GbnReceiver gbn_receiver(
@@ -145,14 +147,14 @@ TEST(GoBackN, BmacBlockSurvivesLossyLink) {
         ASSERT_TRUE(packet.has_value());
         peer.deliver_packet(std::move(*packet));
       },
-      [&](std::uint64_t next) {
-        ack_link.send(54, [&, next] { gbn_sender->on_ack(next); });
-      });
+      [&](std::uint64_t next) { ack.send(encode_ack(next)); });
+  data.set_receiver([&](Bytes wire) { gbn_receiver.on_wire(wire); });
+  ack.set_receiver([&](Bytes wire) {
+    if (const auto next = decode_ack(wire)) gbn_sender->on_ack(*next);
+  });
   gbn_sender = std::make_unique<GbnSender>(
-      sim, GbnSender::Config{}, [&](const SequencedFrame& frame) {
-        data_link.send(frame.wire_size(),
-                       [&, frame] { gbn_receiver.on_frame(frame); });
-      });
+      sim, GbnSender::Config{},
+      [&](const SequencedFrame& frame) { data.send(frame.encode()); });
 
   std::vector<fabric::Block> blocks;
   for (int b = 0; b < 3; ++b) {

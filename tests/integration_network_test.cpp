@@ -15,6 +15,8 @@
 #include "bmac/reliable.hpp"
 #include "fabric/raft.hpp"
 #include "fabric/validator.hpp"
+#include "fabric/validator_backend.hpp"
+#include "net/faults.hpp"
 #include "net/transport.hpp"
 #include "workload/chaincode.hpp"
 
@@ -26,7 +28,7 @@ using namespace bm::fabric;
 struct SwPeer {
   StateDb db;
   Ledger ledger;
-  std::unique_ptr<SoftwareValidator> validator;
+  std::unique_ptr<ValidatorBackend> validator;  ///< any conforming backend
   std::vector<Block> delivered;  ///< blocks received via Gossip, in order
 
   void process_delivered() {
@@ -62,9 +64,13 @@ TEST(IntegrationNetwork, MixedPeersCommitIdenticalChains) {
   RaftOrderingService ordering(sim, raft_config, orderers);
 
   // --- peers -----------------------------------------------------------------
+  // One peer runs the plain software backend, the other the cached variant:
+  // the cross-peer chain equality below is itself a backend-swap check.
   SwPeer sw_org1, sw_org2;
-  sw_org1.validator = std::make_unique<SoftwareValidator>(msp, policies);
-  sw_org2.validator = std::make_unique<SoftwareValidator>(msp, policies);
+  sw_org1.validator = make_software_backend(msp, policies);
+  sw_org2.validator = make_software_backend(
+      msp, policies,
+      {.parallelism = 1, .verify_cache_capacity = 1024});
 
   bmac::HwConfig hw;
   hw.tx_validators = 4;
@@ -77,9 +83,14 @@ TEST(IntegrationNetwork, MixedPeersCommitIdenticalChains) {
   net::Link gossip_link2(sim, {.gbps = 1.0, .seed = 22});
   net::TcpStream gossip1(sim, gossip_link1, {});
   net::TcpStream gossip2(sim, gossip_link2, {});
-  // The BMac path crosses a lossy link with Go-Back-N on top.
-  net::Link bmac_link(sim, {.gbps = 1.0, .loss_probability = 0.05, .seed = 23});
-  net::Link ack_link(sim, {.gbps = 1.0, .loss_probability = 0.05, .seed = 24});
+  // The BMac path crosses a lossy channel with Go-Back-N on top (loss
+  // injected by the fault layer; the links themselves are lossless).
+  net::Link bmac_link(sim, {.gbps = 1.0, .seed = 23});
+  net::Link ack_link(sim, {.gbps = 1.0, .seed = 24});
+  net::FaultyChannel bmac_channel(
+      sim, bmac_link, net::FaultConfig::uniform_loss(0.05, /*seed=*/23));
+  net::FaultyChannel ack_channel(
+      sim, ack_link, net::FaultConfig::uniform_loss(0.05, /*seed=*/24));
 
   std::unique_ptr<bmac::GbnSender> gbn_sender;
   bmac::GbnReceiver gbn_receiver(
@@ -88,13 +99,15 @@ TEST(IntegrationNetwork, MixedPeersCommitIdenticalChains) {
         ASSERT_TRUE(packet.has_value());
         bmac_peer.deliver_packet(std::move(*packet));
       },
-      [&](std::uint64_t next) {
-        ack_link.send(54, [&, next] { gbn_sender->on_ack(next); });
-      });
+      [&](std::uint64_t next) { ack_channel.send(bmac::encode_ack(next)); });
+  bmac_channel.set_receiver([&](Bytes wire) { gbn_receiver.on_wire(wire); });
+  ack_channel.set_receiver([&](Bytes wire) {
+    if (const auto next = bmac::decode_ack(wire)) gbn_sender->on_ack(*next);
+  });
   gbn_sender = std::make_unique<bmac::GbnSender>(
-      sim, bmac::GbnSender::Config{}, [&](const bmac::SequencedFrame& frame) {
-        bmac_link.send(frame.wire_size(),
-                       [&, frame] { gbn_receiver.on_frame(frame); });
+      sim, bmac::GbnSender::Config{},
+      [&](const bmac::SequencedFrame& frame) {
+        bmac_channel.send(frame.encode());
       });
 
   // --- block dissemination: lead orderer sends through BOTH protocols -------

@@ -61,7 +61,9 @@ TEST(Gossip, DeliversExactlyOncePerPeer) {
 
 TEST(Gossip, AntiEntropyRepairsLosses) {
   GossipNetwork::Config config;
-  config.message_loss = 0.4;  // heavy push loss
+  // Heavy uniform push loss, through the fault layer (its own seed keeps
+  // the topology RNG untouched).
+  config.faults = FaultConfig::uniform_loss(0.4, /*seed=*/17);
   config.seed = 17;
   GossipHarness harness(10, config);
   harness.network.start_anti_entropy();
@@ -78,8 +80,8 @@ TEST(Gossip, AntiEntropyRepairsLosses) {
 }
 
 TEST(Gossip, AntiEntropyRepairsBurstLosses) {
-  // The deprecated message_loss knob is uniform i.i.d.; real gossip meshes
-  // see correlated bursts. Drive the push path through a Gilbert–Elliott
+  // Uniform i.i.d. loss (above) is the easy case; real gossip meshes see
+  // correlated bursts. Drive the push path through a Gilbert–Elliott
   // injector (Config::faults) and verify the digest-exchange repair still
   // converges even when whole fanout rounds die together.
   GossipNetwork::Config config;

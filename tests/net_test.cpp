@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include "net/faults.hpp"
 #include "net/transport.hpp"
 
 namespace bm::net {
@@ -39,14 +40,18 @@ TEST(Link, FramesQueueBackToBack) {
   EXPECT_EQ(link.frames_sent(), 3u);
 }
 
-TEST(Link, LossDropsDeliveries) {
+TEST(FaultyChannel, LossDropsDeliveries) {
+  // Loss lives in the fault layer now — the Link itself never drops.
   sim::Simulation sim;
-  Link link(sim, {.gbps = 1.0, .loss_probability = 1.0});
+  Link link(sim, {.gbps = 1.0});
+  FaultyChannel channel(sim, link, FaultConfig::uniform_loss(1.0));
   bool delivered = false;
-  link.send(100, [&] { delivered = true; });
+  channel.set_receiver([&](Bytes) { delivered = true; });
+  channel.send(Bytes(100));
   sim.run();
   EXPECT_FALSE(delivered);
-  EXPECT_EQ(link.frames_lost(), 1u);
+  EXPECT_EQ(channel.stats().dropped_total(), 1u);
+  EXPECT_EQ(link.frames_sent(), 1u);  // the NIC transmits doomed frames too
 }
 
 TEST(Link, JitterIsBoundedAndDeterministic) {

@@ -8,8 +8,12 @@
 //       FPGA resource estimate (Table 1 style) for the configured
 //       architecture and its compiled policy circuits.
 //   validate [--config FILE] [--blocks N] [--block-size N] [--faults]
+//            [--verify-cache N] [--db-shards N]
 //       Run real endorsed blocks through both validators end to end and
-//       report the §4.1 consistency check.
+//       report the §4.1 consistency check. --verify-cache N gives the
+//       software backend an N-entry endorsement-verification cache;
+//       --db-shards N sets the software state DB's shard count (both leave
+//       the commit hashes unchanged — that is the point).
 //   protocol [--config FILE] [--block-size N]
 //       BMac protocol vs Gossip block sizes on real marshaled blocks.
 //   chaos --faults-config FILE [--blocks N] [--block-size N] [--tamper]
@@ -33,9 +37,12 @@
 #include "bmac/config.hpp"
 #include "bmac/peer.hpp"
 #include "bmac/resource_model.hpp"
+#include "common/cli.hpp"
 #include "common/hex.hpp"
 #include "common/log.hpp"
 #include "fabric/validator.hpp"
+#include "fabric/validator_backend.hpp"
+#include "obs/artifacts.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "workload/chaos.hpp"
@@ -67,105 +74,45 @@ struct Options {
   int vcpus = 8;
   bool faults = false;
   bool tamper = false;
-  std::string faults_config;
-  std::string trace_out;
-  std::string metrics_out;
-  std::string metrics_text;
+  std::size_t verify_cache = 0;  ///< 0 = no endorsement-verification cache
+  std::size_t db_shards = fabric::StateDb::kDefaultShards;
+  cli::CommonFlags flags;  ///< shared --trace-out/--metrics-*/--faults-config
+  std::string usage;       ///< flag help lines, filled by parse_args
 };
 
 bool parse_args(int argc, char** argv, Options& options) {
+  cli::ArgParser parser;
+  parser.add_string("--config", &options.config_path, "deployment YAML");
+  parser.add_int("--blocks", &options.blocks, "blocks to run");
+  parser.add_int("--block-size", &options.block_size, "transactions per block");
+  parser.add_int("--vcpus", &options.vcpus, "software peer vCPUs");
+  bool faults_flag = false, tamper_flag = false;
+  parser.add_flag("--faults", &faults_flag, "inject invalid transactions");
+  parser.add_flag("--tamper", &tamper_flag, "corrupt the last block's signature");
+  parser.add_size("--verify-cache", &options.verify_cache,
+                  "endorsement-verification cache entries (0 = off)");
+  parser.add_size("--db-shards", &options.db_shards,
+                  "software state DB shard count");
+  options.flags.register_with(parser, /*with_faults=*/true);
+  options.usage = parser.help_text();
+
   if (argc < 2) return false;
-  int i = 2;
+  int start = 2;
   if (argv[1][0] == '-') {
     // Plain `bmac_sim --trace-out t.json` etc.: default to the end-to-end
     // validate run, which exercises every pipeline stage.
     options.command = "validate";
-    i = 1;
+    start = 1;
   } else {
     options.command = argv[1];
   }
-  for (; i < argc; ++i) {
-    const std::string arg = argv[i];
-    auto next = [&]() -> const char* {
-      return i + 1 < argc ? argv[++i] : nullptr;
-    };
-    if (arg == "--config") {
-      const char* v = next();
-      if (v == nullptr) return false;
-      options.config_path = v;
-    } else if (arg == "--blocks") {
-      const char* v = next();
-      if (v == nullptr) return false;
-      options.blocks = std::atoi(v);
-    } else if (arg == "--block-size") {
-      const char* v = next();
-      if (v == nullptr) return false;
-      options.block_size = std::atoi(v);
-    } else if (arg == "--vcpus") {
-      const char* v = next();
-      if (v == nullptr) return false;
-      options.vcpus = std::atoi(v);
-    } else if (arg == "--faults") {
-      options.faults = true;
-    } else if (arg == "--tamper") {
-      options.tamper = true;
-    } else if (arg == "--faults-config") {
-      const char* v = next();
-      if (v == nullptr) return false;
-      options.faults_config = v;
-    } else if (arg == "--trace-out") {
-      const char* v = next();
-      if (v == nullptr) return false;
-      options.trace_out = v;
-    } else if (arg == "--metrics-out") {
-      const char* v = next();
-      if (v == nullptr) return false;
-      options.metrics_out = v;
-    } else if (arg == "--metrics-text") {
-      const char* v = next();
-      if (v == nullptr) return false;
-      options.metrics_text = v;
-    } else {
-      std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
-      return false;
-    }
+  if (!parser.parse(argc, argv, start)) {
+    std::fprintf(stderr, "%s\n", parser.error().c_str());
+    return false;
   }
+  options.faults = faults_flag;
+  options.tamper = tamper_flag;
   return true;
-}
-
-/// True when any observability output was requested.
-bool wants_obs(const Options& options) {
-  return !options.trace_out.empty() || !options.metrics_out.empty() ||
-         !options.metrics_text.empty();
-}
-
-/// Write the requested artifacts; `at` is the snapshot's simulated time.
-int write_obs_outputs(const Options& options, const obs::Registry& registry,
-                      const obs::Tracer& tracer, sim::Time at) {
-  if (!options.trace_out.empty()) {
-    if (!tracer.write_chrome_json(options.trace_out)) {
-      std::fprintf(stderr, "cannot write %s\n", options.trace_out.c_str());
-      return 1;
-    }
-    std::printf("trace: %s (%zu events)\n", options.trace_out.c_str(),
-                tracer.event_count());
-  }
-  if (!options.metrics_out.empty()) {
-    if (!registry.write_json(options.metrics_out, at)) {
-      std::fprintf(stderr, "cannot write %s\n", options.metrics_out.c_str());
-      return 1;
-    }
-    std::printf("metrics: %s (%zu series)\n", options.metrics_out.c_str(),
-                registry.size());
-  }
-  if (!options.metrics_text.empty()) {
-    if (!registry.write_text(options.metrics_text, at)) {
-      std::fprintf(stderr, "cannot write %s\n", options.metrics_text.c_str());
-      return 1;
-    }
-    std::printf("metrics (text): %s\n", options.metrics_text.c_str());
-  }
-  return 0;
 }
 
 bmac::BmacConfig load_config(const Options& options) {
@@ -195,7 +142,7 @@ int cmd_throughput(const Options& options) {
 
   obs::Registry registry;
   obs::Tracer tracer;
-  if (wants_obs(options)) {
+  if (options.flags.wants_obs()) {
     tracer.begin_process("bmac " + config.hw.name());
     spec.registry = &registry;
     spec.tracer = &tracer;
@@ -217,10 +164,10 @@ int cmd_throughput(const Options& options) {
               hw.tps / sw.validator_tps,
               static_cast<unsigned long long>(hw.ecdsa_executed),
               static_cast<unsigned long long>(hw.ecdsa_skipped));
-  if (wants_obs(options)) {
+  if (options.flags.wants_obs()) {
     const auto at =
         static_cast<sim::Time>(hw.sim_seconds * sim::kSecond);
-    return write_obs_outputs(options, registry, tracer, at);
+    return obs::write_artifacts(options.flags, registry, tracer, at);
   }
   return 0;
 }
@@ -258,15 +205,20 @@ int cmd_validate(const Options& options) {
   }
   workload::FabricNetworkHarness harness(net_options);
 
-  fabric::StateDb sw_db;
+  fabric::StateDb sw_db(options.db_shards);
   fabric::Ledger sw_ledger;
-  fabric::SoftwareValidator sw(harness.msp(), harness.policies());
+  // The software side goes through the ValidatorBackend seam: cache and
+  // shard count are tuning knobs, not semantics — the consistency check
+  // below must PASS at any setting.
+  const auto sw = fabric::make_software_backend(
+      harness.msp(), harness.policies(),
+      {.parallelism = 0, .verify_cache_capacity = options.verify_cache});
 
   sim::Simulation sim;
   bmac::BmacPeer peer(sim, harness.msp(), config.hw, harness.policies());
   obs::Registry registry;
   obs::Tracer tracer;
-  if (wants_obs(options)) {
+  if (options.flags.wants_obs()) {
     sim::attach_log_clock(sim);
     tracer.begin_process("bmac_peer " + config.hw.name());
     peer.attach_observability(&registry, &tracer);
@@ -277,7 +229,7 @@ int cmd_validate(const Options& options) {
   int valid = 0, invalid = 0;
   for (int b = 0; b < options.blocks; ++b) {
     const fabric::Block block = harness.next_block();
-    const auto result = sw.validate_and_commit(block, sw_db, sw_ledger);
+    const auto result = sw->validate_and_commit(block, sw_db, sw_ledger);
     valid += static_cast<int>(result.valid_tx_count);
     invalid +=
         static_cast<int>(block.tx_count()) - static_cast<int>(result.valid_tx_count);
@@ -297,11 +249,13 @@ int cmd_validate(const Options& options) {
               hex_encode(crypto::digest_view(sw_ledger.last().commit_hash))
                   .c_str());
   std::printf("hw/sw consistency: %s\n", match ? "PASS" : "FAIL");
-  if (wants_obs(options)) {
+  if (options.flags.wants_obs()) {
     peer.publish_metrics();
-    sw.publish_metrics(registry, "fabric_sw");
+    sw->publish_metrics(registry, "fabric_sw");
+    sw_db.publish_metrics(registry, "fabric_sw_statedb");
     sim::detach_log_clock();
-    const int rc = write_obs_outputs(options, registry, tracer, sim.now());
+    const int rc = obs::write_artifacts(options.flags, registry, tracer,
+                                        sim.now());
     if (rc != 0) return rc;
   }
   return match ? 0 : 1;
@@ -330,16 +284,17 @@ int cmd_protocol(const Options& options) {
 }
 
 int cmd_chaos(const Options& options) {
-  if (options.faults_config.empty()) {
+  if (options.flags.faults_config.empty()) {
     std::fprintf(stderr,
                  "chaos needs --faults-config FILE (see configs/faults_*.json)\n");
     return 2;
   }
   std::string error;
-  const auto scenario = net::load_fault_scenario(options.faults_config, &error);
+  const auto scenario =
+      net::load_fault_scenario(options.flags.faults_config, &error);
   if (!scenario) {
-    std::fprintf(stderr, "cannot load %s: %s\n", options.faults_config.c_str(),
-                 error.c_str());
+    std::fprintf(stderr, "cannot load %s: %s\n",
+                 options.flags.faults_config.c_str(), error.c_str());
     return 2;
   }
 
@@ -352,7 +307,7 @@ int cmd_chaos(const Options& options) {
 
   obs::Registry registry;
   obs::Tracer tracer;
-  const bool obs_on = wants_obs(options);
+  const bool obs_on = options.flags.wants_obs();
   if (obs_on) tracer.begin_process("chaos " + scenario->name);
   const workload::ChaosReport report = workload::run_chaos_scenario(
       chaos, obs_on ? &registry : nullptr, obs_on ? &tracer : nullptr);
@@ -364,7 +319,8 @@ int cmd_chaos(const Options& options) {
               report.ok() ? "PASS" : "FAIL");
   if (obs_on) {
     const int rc =
-        write_obs_outputs(options, registry, tracer, report.finished_at);
+        obs::write_artifacts(options.flags, registry, tracer,
+                             report.finished_at);
     if (rc != 0) return rc;
   }
   return report.ok() ? 0 : 1;
@@ -377,10 +333,8 @@ int main(int argc, char** argv) {
   if (!parse_args(argc, argv, options)) {
     std::fprintf(stderr,
                  "usage: bmac_sim <throughput|resources|validate|protocol|"
-                 "chaos> [--config FILE] [--blocks N] [--block-size N] "
-                 "[--vcpus N] [--faults] [--faults-config FILE] [--tamper] "
-                 "[--trace-out FILE] [--metrics-out FILE] "
-                 "[--metrics-text FILE]\n");
+                 "chaos> [flags]\n%s",
+                 options.usage.c_str());
     return 2;
   }
   try {

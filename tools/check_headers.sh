@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Header self-containment lint: every public header under src/ must compile
+# as its own translation unit (all of its includes spelled out, nothing
+# leaking in from whoever happened to include it first). Run from the repo
+# root; exits non-zero listing every offender.
+set -u
+
+cxx="${CXX:-g++}"
+root="$(cd "$(dirname "$0")/.." && pwd)"
+failed=0
+checked=0
+
+for header in $(cd "$root" && find src -name '*.hpp' | sort); do
+  checked=$((checked + 1))
+  if ! out="$("$cxx" -std=c++20 -fsyntax-only -I "$root/src" \
+        -x c++ "$root/$header" 2>&1)"; then
+    failed=$((failed + 1))
+    echo "NOT SELF-CONTAINED: $header"
+    echo "$out" | head -n 12
+    echo
+  fi
+done
+
+echo "$checked headers checked, $failed not self-contained"
+[ "$failed" -eq 0 ]
