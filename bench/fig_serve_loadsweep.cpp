@@ -1,0 +1,159 @@
+// Goodput vs offered load for the client-serving front end
+// (docs/SERVING.md).
+//
+// The closed-loop benches measure capacity; this one measures what happens
+// when clients do not wait for it. A fixed serving configuration (2
+// endorser lanes at ~1 ms/tx => ~2000 tps of endorsement capacity) is
+// swept with open-loop Poisson traffic from well below to 3x above the
+// knee. Below the knee goodput tracks offered load; past it the admission
+// queue sheds explicitly (kOverloaded) and goodput holds near capacity
+// instead of collapsing — the hockey stick lives in the p99 latency
+// column, not the goodput column. That non-collapse is the acceptance
+// check, alongside a deterministic rerun of the heaviest point.
+//
+// Emits the full sweep as JSON (stdout, and --out FILE when given).
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+#include "bench_common.hpp"
+#include "serve/pipeline.hpp"
+
+namespace {
+
+using namespace bm;
+
+serve::ServeOptions scenario(double offered_tps) {
+  serve::ServeOptions options;
+  options.name = "loadsweep";
+  options.network.seed = 7;
+  options.traffic.seed = 7 ^ 0x9E3779B97F4A7C15ull;
+  options.traffic.rate_tps = offered_tps;
+  options.duration = 300 * sim::kMillisecond;
+  options.admission.queue_capacity = 128;
+  options.endorse.workers = 2;
+  options.endorse.service_base = sim::kMillisecond;
+  options.endorse.per_endorsement = 0;
+  options.endorse.deadline = 50 * sim::kMillisecond;
+  options.ingress.max_batch = 50;
+  // A long batch timeout keeps low-load blocks from shrinking to a few
+  // transactions each — the commit stage's fixed ~6 ms/block cost would
+  // otherwise saturate it long before the endorsement stage does.
+  options.ingress.batch_timeout = 25 * sim::kMillisecond;
+  return options;
+}
+
+std::string point_json(const serve::ServeReport& r) {
+  std::ostringstream out;
+  char buf[360];
+  std::snprintf(
+      buf, sizeof(buf),
+      "{\"offered_tps\": %.0f, \"goodput_tps\": %.1f, \"offered\": %llu, "
+      "\"admitted\": %llu, \"shed\": %llu, \"timed_out\": %llu, "
+      "\"committed\": %llu, \"valid\": %llu, "
+      "\"p50_ms\": %.2f, \"p99_ms\": %.2f, \"p999_ms\": %.2f}",
+      r.offered_tps, r.goodput_tps,
+      static_cast<unsigned long long>(r.offered),
+      static_cast<unsigned long long>(r.admitted),
+      static_cast<unsigned long long>(r.shed_total()),
+      static_cast<unsigned long long>(r.timed_out),
+      static_cast<unsigned long long>(r.committed_txs),
+      static_cast<unsigned long long>(r.valid_txs), r.total_ms.p50,
+      r.total_ms.p99, r.total_ms.p999);
+  return out.str() + buf;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path;
+  cli::ArgParser parser(cli::ArgParser::Unknown::kIgnore);
+  parser.add_string("--out", &out_path, "write the sweep JSON here too");
+  parser.parse(argc, argv);
+
+  const double offered[] = {500, 1000, 1500, 2000, 3000, 4000, 6000};
+
+  bench::title(
+      "serve: goodput vs offered load (open loop, ~2000 tps capacity)");
+  std::printf("%-11s | %9s %9s %9s %9s | %8s %8s %9s\n", "offered tps",
+              "goodput", "admitted", "shed", "timedout", "p50 ms", "p99 ms",
+              "p99.9 ms");
+  bench::rule(86);
+
+  std::vector<serve::ServeReport> reports;
+  bool all_drained = true;
+  for (const double rate : offered) {
+    reports.push_back(serve::run_serve(scenario(rate)));
+    const serve::ServeReport& r = reports.back();
+    all_drained = all_drained && r.ok();
+    std::printf("%-11.0f | %9.1f %9llu %9llu %9llu | %8.2f %8.2f %9.2f\n",
+                rate, r.goodput_tps,
+                static_cast<unsigned long long>(r.admitted),
+                static_cast<unsigned long long>(r.shed_total()),
+                static_cast<unsigned long long>(r.timed_out), r.total_ms.p50,
+                r.total_ms.p99, r.total_ms.p999);
+  }
+  bench::rule(86);
+
+  // The knee: the highest offered rate whose goodput still tracks the
+  // *realized* arrival rate (the nominal rate has Poisson sampling noise
+  // at these durations).
+  double knee = offered[0], max_goodput = 0;
+  for (std::size_t i = 0; i < reports.size(); ++i) {
+    if (reports[i].goodput_tps >= 0.85 * reports[i].offered_tps)
+      knee = offered[i];
+    max_goodput = std::max(max_goodput, reports[i].goodput_tps);
+  }
+
+  // Past the knee goodput must hold — shedding, not collapsing.
+  bool non_collapse = true;
+  for (std::size_t i = 0; i < reports.size(); ++i)
+    if (offered[i] > knee && reports[i].goodput_tps < 0.85 * max_goodput)
+      non_collapse = false;
+
+  // Determinism: the heaviest point rerun must reproduce its admission and
+  // shed counts exactly.
+  const serve::ServeReport rerun =
+      serve::run_serve(scenario(offered[std::size(offered) - 1]));
+  const serve::ServeReport& heaviest = reports.back();
+  const bool deterministic = rerun.offered == heaviest.offered &&
+                             rerun.admitted == heaviest.admitted &&
+                             rerun.shed_queue_full ==
+                                 heaviest.shed_queue_full &&
+                             rerun.shed_rate_limited ==
+                                 heaviest.shed_rate_limited &&
+                             rerun.timed_out == heaviest.timed_out &&
+                             rerun.valid_txs == heaviest.valid_txs;
+
+  std::printf("knee ~%.0f tps | peak goodput %.0f tps | past-knee goodput "
+              "held >= 85%% of peak: %s\ndeterministic rerun of %0.f tps "
+              "point: %s | all points drained: %s\n",
+              knee, max_goodput, non_collapse ? "PASS" : "FAIL",
+              offered[std::size(offered) - 1],
+              deterministic ? "PASS" : "FAIL", all_drained ? "yes" : "NO");
+
+  std::ostringstream json;
+  json << "{\n  \"bench\": \"fig_serve_loadsweep\",\n"
+       << "  \"knee_offered_tps\": " << knee << ",\n"
+       << "  \"peak_goodput_tps\": " << max_goodput << ",\n"
+       << "  \"non_collapse\": " << (non_collapse ? "true" : "false")
+       << ",\n"
+       << "  \"deterministic_rerun\": "
+       << (deterministic ? "true" : "false") << ",\n  \"points\": [\n";
+  for (std::size_t i = 0; i < reports.size(); ++i)
+    json << "    " << point_json(reports[i])
+         << (i + 1 < reports.size() ? "," : "") << "\n";
+  json << "  ]\n}\n";
+
+  std::printf("\n%s", json.str().c_str());
+  if (!out_path.empty()) {
+    std::ofstream out(out_path, std::ios::binary);
+    out << json.str();
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", out_path.c_str());
+  }
+  return (non_collapse && deterministic && all_drained) ? 0 : 1;
+}

@@ -1,0 +1,240 @@
+#include "serve/config.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "obs/json.hpp"
+
+namespace bm::serve {
+
+namespace {
+
+using obs::json::Value;
+
+bool read_number(const Value& parent, std::string_view key, double* out,
+                 std::string* error) {
+  const Value* v = parent.find(key);
+  if (v == nullptr) return true;  // optional: keep default
+  if (!v->is_number()) {
+    if (error != nullptr)
+      *error = "serve config: \"" + std::string(key) + "\" must be a number";
+    return false;
+  }
+  *out = v->number;
+  return true;
+}
+
+bool read_size(const Value& parent, std::string_view key, std::size_t* out,
+               std::string* error) {
+  double value = static_cast<double>(*out);
+  if (!read_number(parent, key, &value, error)) return false;
+  if (value < 0) value = 0;
+  *out = static_cast<std::size_t>(value);
+  return true;
+}
+
+bool read_int(const Value& parent, std::string_view key, int* out,
+              std::string* error) {
+  double value = static_cast<double>(*out);
+  if (!read_number(parent, key, &value, error)) return false;
+  *out = static_cast<int>(value);
+  return true;
+}
+
+bool read_time_ms(const Value& parent, std::string_view key, sim::Time* out,
+                  std::string* error) {
+  double ms = static_cast<double>(*out) / static_cast<double>(sim::kMillisecond);
+  if (!read_number(parent, key, &ms, error)) return false;
+  *out = static_cast<sim::Time>(ms * static_cast<double>(sim::kMillisecond));
+  return true;
+}
+
+bool read_time_us(const Value& parent, std::string_view key, sim::Time* out,
+                  std::string* error) {
+  double us = static_cast<double>(*out) / static_cast<double>(sim::kMicrosecond);
+  if (!read_number(parent, key, &us, error)) return false;
+  *out = static_cast<sim::Time>(us * static_cast<double>(sim::kMicrosecond));
+  return true;
+}
+
+bool parse_traffic(const Value* node, TrafficConfig* config,
+                   std::string* error) {
+  if (node == nullptr) return true;
+  if (!node->is_object()) {
+    if (error != nullptr) *error = "serve config: \"traffic\" must be an object";
+    return false;
+  }
+  if (const Value* process = node->find("process")) {
+    if (!process->is_string()) {
+      if (error != nullptr)
+        *error = "serve config: \"traffic.process\" must be a string";
+      return false;
+    }
+    if (process->string == "poisson") {
+      config->process = ArrivalProcess::kPoisson;
+    } else if (process->string == "mmpp") {
+      config->process = ArrivalProcess::kMmpp;
+    } else if (process->string == "diurnal") {
+      config->process = ArrivalProcess::kDiurnal;
+    } else {
+      if (error != nullptr)
+        *error = "serve config: unknown arrival process \"" +
+                 process->string + "\" (poisson | mmpp | diurnal)";
+      return false;
+    }
+  }
+  return read_number(*node, "rate_tps", &config->rate_tps, error) &&
+         read_number(*node, "burst_rate_tps", &config->burst_rate_tps,
+                     error) &&
+         read_number(*node, "p_enter_burst", &config->p_enter_burst, error) &&
+         read_number(*node, "p_exit_burst", &config->p_exit_burst, error) &&
+         read_number(*node, "peak_rate_tps", &config->peak_rate_tps, error) &&
+         read_time_ms(*node, "period_ms", &config->period, error);
+}
+
+bool parse_admission(const Value* node, AdmissionConfig* config,
+                     std::string* error) {
+  if (node == nullptr) return true;
+  if (!node->is_object()) {
+    if (error != nullptr)
+      *error = "serve config: \"admission\" must be an object";
+    return false;
+  }
+  return read_size(*node, "queue_capacity", &config->queue_capacity, error) &&
+         read_number(*node, "token_rate_tps", &config->token_rate_tps,
+                     error) &&
+         read_number(*node, "bucket_capacity", &config->bucket_capacity,
+                     error) &&
+         read_int(*node, "classes", &config->classes, error) &&
+         read_number(*node, "pressure_refill_factor",
+                     &config->pressure_refill_factor, error);
+}
+
+bool parse_endorse(const Value* node, EndorsementService::Config* config,
+                   std::string* error) {
+  if (node == nullptr) return true;
+  if (!node->is_object()) {
+    if (error != nullptr) *error = "serve config: \"endorse\" must be an object";
+    return false;
+  }
+  int sign_threads = static_cast<int>(config->sign_threads);
+  if (!read_int(*node, "workers", &config->workers, error) ||
+      !read_time_us(*node, "service_base_us", &config->service_base, error) ||
+      !read_time_us(*node, "per_endorsement_us", &config->per_endorsement,
+                    error) ||
+      !read_time_ms(*node, "deadline_ms", &config->deadline, error) ||
+      !read_int(*node, "sign_threads", &sign_threads, error))
+    return false;
+  config->sign_threads = sign_threads < 0 ? 0u
+                                          : static_cast<unsigned>(sign_threads);
+  return true;
+}
+
+bool parse_ingress(const Value* node, IngressConfig* config,
+                   std::string* error) {
+  if (node == nullptr) return true;
+  if (!node->is_object()) {
+    if (error != nullptr) *error = "serve config: \"ingress\" must be an object";
+    return false;
+  }
+  return read_size(*node, "max_batch", &config->max_batch, error) &&
+         read_time_ms(*node, "batch_timeout_ms", &config->batch_timeout,
+                      error) &&
+         read_size(*node, "high_watermark", &config->high_watermark, error) &&
+         read_size(*node, "low_watermark", &config->low_watermark, error);
+}
+
+bool parse_network(const Value* node, workload::NetworkOptions* config,
+                   std::string* error) {
+  if (node == nullptr) return true;
+  if (!node->is_object()) {
+    if (error != nullptr) *error = "serve config: \"network\" must be an object";
+    return false;
+  }
+  if (const Value* chaincode = node->find("chaincode")) {
+    if (!chaincode->is_string()) {
+      if (error != nullptr)
+        *error = "serve config: \"network.chaincode\" must be a string";
+      return false;
+    }
+    if (chaincode->string == "smallbank") {
+      config->chaincode = workload::ChaincodeKind::kSmallbank;
+    } else if (chaincode->string == "drm") {
+      config->chaincode = workload::ChaincodeKind::kDrm;
+    } else {
+      if (error != nullptr)
+        *error = "serve config: unknown chaincode \"" + chaincode->string +
+                 "\" (smallbank | drm)";
+      return false;
+    }
+  }
+  if (const Value* policy = node->find("policy");
+      policy != nullptr && policy->is_string())
+    config->policy_text = policy->string;
+  return read_int(*node, "orgs", &config->orgs, error) &&
+         read_number(*node, "bad_signature_rate", &config->bad_signature_rate,
+                     error) &&
+         read_number(*node, "missing_endorsement_rate",
+                     &config->missing_endorsement_rate, error) &&
+         read_number(*node, "conflicting_read_rate",
+                     &config->conflicting_read_rate, error);
+}
+
+}  // namespace
+
+std::optional<ServeOptions> parse_serve_scenario(std::string_view text,
+                                                 std::string* error) {
+  std::string parse_error;
+  const auto root = obs::json::parse(text, &parse_error);
+  if (!root) {
+    if (error != nullptr) *error = "serve config: " + parse_error;
+    return std::nullopt;
+  }
+  if (!root->is_object()) {
+    if (error != nullptr) *error = "serve config: root must be an object";
+    return std::nullopt;
+  }
+
+  ServeOptions options;
+  if (const Value* name = root->find("name");
+      name != nullptr && name->is_string())
+    options.name = name->string;
+
+  // One top-level seed drives both deterministic streams; the arrival
+  // process gets a fixed odd-constant mix so its schedule is independent of
+  // the harness's fault/op draws (same decorrelation idiom as net/faults).
+  double seed = static_cast<double>(options.network.seed);
+  if (!read_number(*root, "seed", &seed, error)) return std::nullopt;
+  options.network.seed = static_cast<std::uint64_t>(seed);
+  options.traffic.seed =
+      static_cast<std::uint64_t>(seed) ^ 0x9E3779B97F4A7C15ull;
+
+  if (!read_time_ms(*root, "duration_ms", &options.duration, error) ||
+      !read_time_ms(*root, "drain_limit_ms", &options.drain_limit, error) ||
+      !read_int(*root, "validate_vcpus", &options.validate_vcpus, error) ||
+      !read_number(*root, "high_priority_share", &options.high_priority_share,
+                   error))
+    return std::nullopt;
+
+  if (!parse_traffic(root->find("traffic"), &options.traffic, error) ||
+      !parse_admission(root->find("admission"), &options.admission, error) ||
+      !parse_endorse(root->find("endorse"), &options.endorse, error) ||
+      !parse_ingress(root->find("ingress"), &options.ingress, error) ||
+      !parse_network(root->find("network"), &options.network, error))
+    return std::nullopt;
+  return options;
+}
+
+std::optional<ServeOptions> load_serve_scenario(const std::string& path,
+                                                std::string* error) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    if (error != nullptr) *error = "serve config: cannot open " + path;
+    return std::nullopt;
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  return parse_serve_scenario(text.str(), error);
+}
+
+}  // namespace bm::serve

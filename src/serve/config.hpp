@@ -1,0 +1,27 @@
+// JSON scenario loading for serve runs (configs/serve_*.json).
+//
+// Mirrors the net/faults scenario loader: every key is optional and falls
+// back to the ServeOptions default, unknown keys are ignored, and one
+// top-level seed derives the decorrelated per-component seeds (harness rng
+// vs arrival process) so a scenario file plus one integer fully determines
+// the run.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "serve/pipeline.hpp"
+
+namespace bm::serve {
+
+/// Parse a scenario from JSON text. Returns nullopt (and sets *error) on
+/// malformed input.
+std::optional<ServeOptions> parse_serve_scenario(std::string_view text,
+                                                 std::string* error = nullptr);
+
+/// Load a scenario file from disk.
+std::optional<ServeOptions> load_serve_scenario(const std::string& path,
+                                                std::string* error = nullptr);
+
+}  // namespace bm::serve

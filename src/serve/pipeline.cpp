@@ -1,0 +1,450 @@
+#include "serve/pipeline.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <sstream>
+
+#include "fabric/timing_model.hpp"
+#include "fabric/validator_backend.hpp"
+#include "workload/caliper.hpp"
+#include "workload/chaincode.hpp"
+
+namespace bm::serve {
+
+namespace {
+
+/// Per-request lifecycle timestamps; ids index the records array.
+struct Record {
+  enum class Fate : std::uint8_t {
+    kPending = 0,
+    kShed,
+    kTimedOut,
+    kCommitted,
+  };
+  Fate fate = Fate::kPending;
+  fabric::TxValidationCode flag = fabric::TxValidationCode::kNotValidated;
+  sim::Time arrived = 0;
+  sim::Time dispatched = 0;  ///< endorsement service start
+  sim::Time endorsed = 0;
+  sim::Time ordered = 0;  ///< block cut
+  sim::Time committed = 0;
+};
+
+/// A cut block waiting for (or in) the commit stage.
+struct CutBlock {
+  fabric::Block block;
+  std::vector<std::uint64_t> members;  ///< request ids, envelope order
+  sim::Time cut_at = 0;
+};
+
+class ServeRun {
+ public:
+  ServeRun(const ServeOptions& options, obs::Registry* registry,
+           obs::Tracer* tracer)
+      : options_(options),
+        harness_(sized_network(options)),
+        traffic_(options.traffic),
+        admission_(options.admission),
+        endorse_(sim_, options.endorse, harness_, admission_),
+        class_rng_(options.network.seed ^ 0xC2B2AE3D27D4EB4Full),
+        registry_(registry),
+        tracer_(tracer) {
+    if (options_.check_equivalence) options_.keep_blocks = true;
+
+    // Commit-stage timing model inputs, fixed for the run.
+    const auto& policy = harness_.policies().at(harness_.chaincode_name());
+    endorsements_per_tx_ = static_cast<int>(policy.principals().size());
+    if (options_.network.chaincode == workload::ChaincodeKind::kSmallbank) {
+      const workload::SmallbankChaincode cc(options_.network.smallbank);
+      db_reads_per_tx_ = cc.avg_reads();
+      db_writes_per_tx_ = cc.avg_writes();
+    } else {
+      const workload::DrmChaincode cc(options_.network.drm);
+      db_reads_per_tx_ = cc.avg_reads();
+      db_writes_per_tx_ = cc.avg_writes();
+    }
+
+    if (tracer_ != nullptr) {
+      tracer_->begin_process("serve:" + options_.name);
+      lane_admission_ = tracer_->lane("admission");
+      lane_ingress_ = tracer_->lane("orderer_ingress");
+      lane_commit_ = tracer_->lane("validate_commit");
+    }
+
+    endorse_.set_completion([this](AdmittedRequest request,
+                                   workload::TxDraft draft) {
+      on_endorsed(request, std::move(draft));
+    });
+    endorse_.set_cancelled([this](AdmittedRequest request) {
+      records_[request.id].fate = Record::Fate::kTimedOut;
+    });
+  }
+
+  ServeReport run() {
+    schedule_next_arrival(traffic_.next_arrival());
+    sim_.run_until(options_.duration + options_.drain_limit);
+    return assemble();
+  }
+
+ private:
+  static workload::NetworkOptions sized_network(const ServeOptions& options) {
+    workload::NetworkOptions network = options.network;
+    // The ingress stage owns block cutting: the orderer's batch size is the
+    // ingress max_batch, so a full batch cuts on its last submit and a
+    // batch-timeout cut flushes a partial block.
+    network.block_size = std::max<std::size_t>(1, options.ingress.max_batch);
+    return network;
+  }
+
+  void schedule_next_arrival(sim::Time at) {
+    if (at > options_.duration) return;
+    sim_.schedule(at - sim_.now(), [this] {
+      on_arrival();
+      schedule_next_arrival(traffic_.next_arrival());
+    });
+  }
+
+  void on_arrival() {
+    const std::uint64_t id = records_.size();
+    Record& record = records_.emplace_back();
+    record.arrived = sim_.now();
+
+    int klass = 0;
+    if (admission_.config().classes > 1)
+      klass = class_rng_.chance(options_.high_priority_share) ? 0 : 1;
+
+    const AdmissionDecision decision = admission_.offer(id, klass, sim_.now());
+    if (!decision.admitted()) {
+      record.fate = Record::Fate::kShed;
+      return;
+    }
+    endorse_.pump();
+  }
+
+  void on_endorsed(const AdmittedRequest& request, workload::TxDraft draft) {
+    Record& record = records_[request.id];
+    record.endorsed = sim_.now();
+    record.dispatched = sim_.now() - endorse_.service_time(draft);
+
+    if (pending_members_.empty()) {
+      batch_opened_ = sim_.now();
+      batch_timer_ = sim_.schedule(options_.ingress.batch_timeout,
+                                   [this] { cut_batch(); });
+    }
+    pending_members_.push_back(request.id);
+    pending_drafts_.push_back(std::move(draft));
+    ingress_high_water_ =
+        std::max(ingress_high_water_, pending_members_.size());
+    if (pending_members_.size() >= options_.ingress.max_batch) {
+      sim_.cancel(batch_timer_);
+      cut_batch();
+    }
+  }
+
+  void cut_batch() {
+    if (pending_members_.empty()) return;
+    std::vector<std::uint64_t> members = std::move(pending_members_);
+    std::vector<workload::TxDraft> drafts = std::move(pending_drafts_);
+    pending_members_.clear();
+    pending_drafts_.clear();
+
+    // The real ECDSA work, fanned across the endorsement service's thread
+    // pool (wall clock only — the simulated signing cost was part of the
+    // endorsement service time).
+    std::vector<Bytes> envelopes = endorse_.sign_envelopes(drafts);
+    std::optional<fabric::Block> block;
+    for (auto& envelope : envelopes)
+      block = harness_.submit_envelope(std::move(envelope));
+    if (!block) block = harness_.flush_block();  // batch-timeout partial cut
+
+    for (const std::uint64_t id : members)
+      records_[id].ordered = sim_.now();
+    if (tracer_ != nullptr)
+      tracer_->complete(lane_ingress_,
+                        "batch " + std::to_string(block->header.number),
+                        "serve", batch_opened_, sim_.now(),
+                        {{"txs", static_cast<std::uint64_t>(members.size())}});
+
+    commit_queue_.push_back(
+        CutBlock{std::move(*block), std::move(members), sim_.now()});
+    commit_backlog_high_water_ =
+        std::max(commit_backlog_high_water_, commit_backlog());
+    update_pressure();
+    pump_commit();
+  }
+
+  std::size_t commit_backlog() const {
+    return commit_queue_.size() + (commit_busy_ ? 1 : 0);
+  }
+
+  void update_pressure() {
+    const std::size_t backlog = commit_backlog();
+    if (backlog >= options_.ingress.high_watermark) {
+      if (!admission_.pressure() && tracer_ != nullptr)
+        tracer_->instant(lane_admission_, "pressure on", "serve", sim_.now());
+      admission_.set_pressure(true, sim_.now());
+    } else if (backlog <= options_.ingress.low_watermark) {
+      if (admission_.pressure() && tracer_ != nullptr)
+        tracer_->instant(lane_admission_, "pressure off", "serve", sim_.now());
+      admission_.set_pressure(false, sim_.now());
+    }
+  }
+
+  void pump_commit() {
+    if (commit_busy_ || commit_queue_.empty()) return;
+    CutBlock cut = std::move(commit_queue_.front());
+    commit_queue_.pop_front();
+    commit_busy_ = true;
+
+    fabric::SwBlockWorkload shape;
+    shape.n_tx = static_cast<int>(cut.block.tx_count());
+    shape.endorsements_verified_per_tx = endorsements_per_tx_;
+    shape.policy_literals = endorsements_per_tx_;
+    shape.db_reads_per_tx = db_reads_per_tx_;
+    shape.db_writes_per_tx = db_writes_per_tx_;
+    shape.vcpus = options_.validate_vcpus;
+    const sim::Time service = fabric::SwTimingModel{}.block_latency(shape);
+
+    sim_.schedule(service, [this, cut = std::move(cut),
+                            started = sim_.now()]() mutable {
+      const fabric::BlockValidationResult& result =
+          harness_.commit_block(cut.block);
+      for (std::size_t i = 0; i < cut.members.size(); ++i) {
+        Record& record = records_[cut.members[i]];
+        record.fate = Record::Fate::kCommitted;
+        record.flag = result.flags[i];
+        record.committed = sim_.now();
+      }
+      blocks_committed_ += 1;
+      valid_txs_ += result.valid_tx_count;
+      committed_txs_ += cut.members.size();
+      last_commit_at_ = sim_.now();
+
+      caliper_.record(workload::BlockObservation{
+          cut.block.header.number, static_cast<std::uint32_t>(cut.members.size()),
+          result.valid_tx_count, cut.cut_at, sim_.now(), sim_.now()});
+      if (tracer_ != nullptr)
+        tracer_->complete(
+            lane_commit_, "block " + std::to_string(cut.block.header.number),
+            "serve", started, sim_.now(),
+            {{"valid", result.valid_tx_count}});
+      if (options_.keep_blocks) blocks_.push_back(std::move(cut.block));
+
+      commit_busy_ = false;
+      update_pressure();
+      pump_commit();
+    });
+  }
+
+  ServeReport assemble() {
+    ServeReport report;
+    report.offered = records_.size();
+    report.admitted = admission_.stats().admitted;
+    report.shed_queue_full = admission_.stats().shed_queue_full;
+    report.shed_rate_limited = admission_.stats().shed_rate_limited;
+    report.timed_out = endorse_.stats().cancelled;
+    report.committed_txs = committed_txs_;
+    report.valid_txs = valid_txs_;
+    report.blocks_committed = blocks_committed_;
+    report.admission_depth_high_water = admission_.stats().depth_high_water;
+    report.ingress_high_water = ingress_high_water_;
+    report.commit_backlog_high_water = commit_backlog_high_water_;
+    report.pressure_raised = admission_.stats().pressure_raised;
+    report.finished_at = last_commit_at_ > 0 ? last_commit_at_ : sim_.now();
+
+    report.offered_tps =
+        static_cast<double>(report.offered) /
+        (static_cast<double>(options_.duration) / sim::kSecond);
+    if (last_commit_at_ > 0)
+      report.goodput_tps =
+          static_cast<double>(valid_txs_) /
+          (static_cast<double>(last_commit_at_) / sim::kSecond);
+
+    report.drained = true;
+    for (const Record& record : records_)
+      if (record.fate == Record::Fate::kPending) report.drained = false;
+
+    // Per-stage latency breakdown over committed transactions.
+    std::vector<double> wait, endorse, order, commit, total;
+    for (const Record& record : records_) {
+      if (record.fate != Record::Fate::kCommitted) continue;
+      constexpr double kMs = static_cast<double>(sim::kMillisecond);
+      wait.push_back(
+          static_cast<double>(record.dispatched - record.arrived) / kMs);
+      endorse.push_back(
+          static_cast<double>(record.endorsed - record.dispatched) / kMs);
+      order.push_back(
+          static_cast<double>(record.ordered - record.endorsed) / kMs);
+      commit.push_back(
+          static_cast<double>(record.committed - record.ordered) / kMs);
+      total.push_back(
+          static_cast<double>(record.committed - record.arrived) / kMs);
+    }
+    report.admission_wait_ms = workload::summarize(wait);
+    report.endorse_ms = workload::summarize(endorse);
+    report.order_wait_ms = workload::summarize(order);
+    report.commit_ms = workload::summarize(commit);
+    report.total_ms = workload::summarize(total);
+
+    if (options_.check_equivalence) verify_equivalence(report);
+    if (registry_ != nullptr) publish(report, wait, endorse, order, commit,
+                                      total);
+    if (options_.keep_blocks) report.blocks = std::move(blocks_);
+    return report;
+  }
+
+  /// Replay the committed chain through an independent software backend:
+  /// every admitted-and-committed transaction must carry flags identical to
+  /// the harness's (closed-loop) reference result, and the commit-hash
+  /// chain must match the reference ledger.
+  void verify_equivalence(ServeReport& report) {
+    fabric::StateDb db;
+    fabric::Ledger ledger;
+    const auto backend =
+        fabric::make_software_backend(harness_.msp(), harness_.policies());
+    for (const fabric::Block& block : blocks_) {
+      const auto result = backend->validate_and_commit(block, db, ledger);
+      const auto& reference = harness_.reference_result(block.header.number);
+      if (result.flags != reference.flags) {
+        report.flags_match = false;
+        report.mismatch =
+            "flags diverge at block " + std::to_string(block.header.number);
+        return;
+      }
+      const auto& expected =
+          harness_.reference_ledger().at(block.header.number).commit_hash;
+      if (result.commit_hash != expected) {
+        report.flags_match = false;
+        report.mismatch = "commit hash diverges at block " +
+                          std::to_string(block.header.number);
+        return;
+      }
+    }
+    report.flags_match = true;
+  }
+
+  void publish(const ServeReport& report, const std::vector<double>& wait,
+               const std::vector<double>& endorse,
+               const std::vector<double>& order,
+               const std::vector<double>& commit,
+               const std::vector<double>& total) {
+    obs::Registry& registry = *registry_;
+    admission_.publish_metrics(registry, "serve_admission");
+    endorse_.publish_metrics(registry, "serve_endorse");
+    registry.counter("serve_txs_committed_total", "transactions committed")
+        .set(report.committed_txs);
+    registry.counter("serve_txs_valid_total", "transactions flagged valid")
+        .set(report.valid_txs);
+    registry.counter("serve_blocks_committed_total", "blocks committed")
+        .set(report.blocks_committed);
+    registry.gauge("serve_offered_tps", "offered load").set(report.offered_tps);
+    registry.gauge("serve_goodput_tps", "valid committed throughput")
+        .set(report.goodput_tps);
+    registry
+        .gauge("serve_ingress_high_water", "most drafts awaiting a cut")
+        .set(static_cast<double>(report.ingress_high_water));
+    registry
+        .gauge("serve_commit_backlog_high_water",
+               "most blocks queued or in service at the commit stage")
+        .set(static_cast<double>(report.commit_backlog_high_water));
+
+    const auto observe_all = [&registry](const std::string& name,
+                                         const std::string& help,
+                                         const std::vector<double>& values) {
+      auto& histogram = registry.histogram(
+          name, obs::Histogram::latency_ms_buckets(), help);
+      for (const double v : values) histogram.observe(v);
+    };
+    observe_all("serve_admission_wait_ms",
+                "arrival -> endorsement dispatch (committed txs)", wait);
+    observe_all("serve_endorse_ms", "endorsement service time", endorse);
+    observe_all("serve_order_wait_ms", "endorsed -> block cut", order);
+    observe_all("serve_commit_ms", "block cut -> committed", commit);
+    observe_all("serve_total_latency_ms", "arrival -> committed", total);
+
+    caliper_.record_shed(report.shed_total());
+    caliper_.record_timeout(report.timed_out);
+    caliper_.publish_metrics(registry);
+  }
+
+  ServeOptions options_;
+  sim::Simulation sim_;
+  workload::FabricNetworkHarness harness_;
+  TrafficGenerator traffic_;
+  AdmissionQueue admission_;
+  EndorsementService endorse_;
+  Rng class_rng_;
+  obs::Registry* registry_;
+  obs::Tracer* tracer_;
+  int lane_admission_ = 0, lane_ingress_ = 0, lane_commit_ = 0;
+
+  int endorsements_per_tx_ = 2;
+  double db_reads_per_tx_ = 2.0, db_writes_per_tx_ = 2.0;
+
+  std::vector<Record> records_;
+  std::vector<std::uint64_t> pending_members_;
+  std::vector<workload::TxDraft> pending_drafts_;
+  sim::EventId batch_timer_ = 0;
+  sim::Time batch_opened_ = 0;
+  std::deque<CutBlock> commit_queue_;
+  bool commit_busy_ = false;
+
+  std::uint64_t committed_txs_ = 0, valid_txs_ = 0, blocks_committed_ = 0;
+  std::size_t ingress_high_water_ = 0, commit_backlog_high_water_ = 0;
+  sim::Time last_commit_at_ = 0;
+  std::vector<fabric::Block> blocks_;
+  workload::CaliperReport caliper_{"serve"};
+};
+
+}  // namespace
+
+std::string ServeReport::to_text() const {
+  std::ostringstream out;
+  char line[220];
+  const auto u = [](std::uint64_t v) {
+    return static_cast<unsigned long long>(v);
+  };
+  std::snprintf(line, sizeof(line),
+                "offered %llu (%.0f tps)\n"
+                "admitted %llu | shed %llu (queue %llu, rate %llu) | timed "
+                "out %llu\n"
+                "committed %llu txs (%llu valid) in %llu blocks | goodput "
+                "%.0f tps\n",
+                u(offered), offered_tps, u(admitted), u(shed_total()),
+                u(shed_queue_full), u(shed_rate_limited), u(timed_out),
+                u(committed_txs), u(valid_txs), u(blocks_committed),
+                goodput_tps);
+  out << line;
+  std::snprintf(line, sizeof(line),
+                "queues: admission high-water %zu | ingress %zu | commit "
+                "backlog %zu | pressure raised %llu\n",
+                admission_depth_high_water, ingress_high_water,
+                commit_backlog_high_water, u(pressure_raised));
+  out << line;
+  const auto row = [&](const char* name, const workload::Summary& s) {
+    std::snprintf(line, sizeof(line),
+                  "  %-16s p50 %8.2f  p99 %8.2f  p99.9 %8.2f  max %8.2f\n",
+                  name, s.p50, s.p99, s.p999, s.max);
+    out << line;
+  };
+  out << "latency breakdown (ms, committed txs):\n";
+  row("admission wait", admission_wait_ms);
+  row("endorse", endorse_ms);
+  row("order wait", order_wait_ms);
+  row("commit", commit_ms);
+  row("total", total_ms);
+  std::snprintf(line, sizeof(line), "drained: %s | flags match: %s%s%s\n",
+                drained ? "yes" : "NO", flags_match ? "yes" : "NO",
+                mismatch.empty() ? "" : " | ", mismatch.c_str());
+  out << line;
+  return out.str();
+}
+
+ServeReport run_serve(const ServeOptions& options, obs::Registry* registry,
+                      obs::Tracer* tracer) {
+  ServeRun run(options, registry, tracer);
+  return run.run();
+}
+
+}  // namespace bm::serve

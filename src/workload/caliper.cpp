@@ -63,6 +63,14 @@ void CaliperReport::publish_metrics(obs::Registry& registry) const {
   registry.counter(base + "_txs_valid_total", "transactions flagged valid")
       .set(valid_txs_);
   registry
+      .counter(base + "_txs_shed_total",
+               "transactions refused admission (kOverloaded)")
+      .set(shed_txs_);
+  registry
+      .counter(base + "_txs_timed_out_total",
+               "admitted transactions cancelled past their deadline")
+      .set(timed_out_txs_);
+  registry
       .gauge(base + "_commit_tps",
              "commit throughput over the whole run (first receive -> last "
              "commit)")
@@ -80,13 +88,20 @@ std::string CaliperReport::render(sim::Time window) const {
   const Summary latency = validation_latency_ms();
   out << "caliper report for '" << peer_ << "': " << observations_.size()
       << " blocks, " << total_txs_ << " txs (" << valid_txs_ << " valid)\n";
-  char line[160];
+  char line[200];
+  if (shed_txs_ > 0 || timed_out_txs_ > 0) {
+    std::snprintf(line, sizeof(line),
+                  "  shed %llu  timed out %llu (not in the block counts)\n",
+                  static_cast<unsigned long long>(shed_txs_),
+                  static_cast<unsigned long long>(timed_out_txs_));
+    out << line;
+  }
   std::snprintf(line, sizeof(line),
                 "  commit throughput: %.0f tps\n"
                 "  block validation latency (ms): mean %.2f  p50 %.2f  "
-                "p95 %.2f  max %.2f\n",
+                "p95 %.2f  p99 %.2f  p99.9 %.2f  max %.2f\n",
                 overall_tps(), latency.mean, latency.p50, latency.p95,
-                latency.max);
+                latency.p99, latency.p999, latency.max);
   out << line;
   out << "  windowed tps:";
   for (const double v : windowed_tps(window)) {

@@ -29,9 +29,19 @@ class CaliperReport {
 
   void record(const BlockObservation& observation);
 
+  /// Transactions the front end refused admission to (kOverloaded). They
+  /// never reach a block, so they are counted beside the observations: a
+  /// load sweep without them would pass off shedding as goodput.
+  void record_shed(std::uint64_t n = 1) { shed_txs_ += n; }
+  /// Admitted transactions cancelled because their deadline expired before
+  /// endorsement could start.
+  void record_timeout(std::uint64_t n = 1) { timed_out_txs_ += n; }
+
   std::size_t blocks() const { return observations_.size(); }
   std::uint64_t total_txs() const { return total_txs_; }
   std::uint64_t valid_txs() const { return valid_txs_; }
+  std::uint64_t shed_txs() const { return shed_txs_; }
+  std::uint64_t timed_out_txs() const { return timed_out_txs_; }
 
   /// Commit throughput over the whole run (first receive -> last commit).
   double overall_tps() const;
@@ -57,6 +67,8 @@ class CaliperReport {
   std::vector<BlockObservation> observations_;
   std::uint64_t total_txs_ = 0;
   std::uint64_t valid_txs_ = 0;
+  std::uint64_t shed_txs_ = 0;
+  std::uint64_t timed_out_txs_ = 0;
 };
 
 }  // namespace bm::workload

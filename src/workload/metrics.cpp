@@ -41,6 +41,7 @@ Summary summarize(const std::vector<double>& values) {
   s.p50 = percentile(values, 50);
   s.p95 = percentile(values, 95);
   s.p99 = percentile(values, 99);
+  s.p999 = percentile(values, 99.9);
   s.min = *std::min_element(values.begin(), values.end());
   s.max = *std::max_element(values.begin(), values.end());
   return s;

@@ -23,6 +23,7 @@ struct Summary {
   double p50 = 0;
   double p95 = 0;
   double p99 = 0;
+  double p999 = 0;  ///< p99.9 — the tail the load-sweep SLOs care about
   double min = 0;
   double max = 0;
 };

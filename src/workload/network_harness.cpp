@@ -50,54 +50,73 @@ ChaincodeResult FabricNetworkHarness::execute_chaincode() {
                     : drm_->execute(rng_, state_);
 }
 
-fabric::Block FabricNetworkHarness::next_block() {
-  // Endorsers named by the policy (one per principal, like the paper's
-  // clients, which gather an endorsement from every org in the policy).
-  const auto principals = policies_.at(chaincode_name_).principals();
+TxDraft FabricNetworkHarness::prepare_tx() {
+  ChaincodeResult executed = execute_chaincode();
 
-  std::optional<fabric::Block> block;
-  while (!block) {
-    ChaincodeResult executed = execute_chaincode();
+  TxDraft draft;
+  draft.proposal.channel_id = "mychannel";
+  draft.proposal.chaincode_id = chaincode_name_;
+  draft.proposal.tx_id = "tx" + std::to_string(next_tx_id_++);
+  draft.proposal.rwset = std::move(executed.rwset);
 
-    fabric::TxProposal proposal;
-    proposal.channel_id = "mychannel";
-    proposal.chaincode_id = chaincode_name_;
-    proposal.tx_id = "tx" + std::to_string(next_tx_id_++);
-    proposal.rwset = std::move(executed.rwset);
-
-    if (options_.conflicting_read_rate > 0 &&
-        rng_.chance(options_.conflicting_read_rate) &&
-        !proposal.rwset.reads.empty()) {
-      // Endorsed against stale state: bump the expected version so the mvcc
-      // re-read cannot match.
-      auto& read = proposal.rwset.reads.front();
-      if (read.version) read.version->tx_num += 1;
-      else read.version = fabric::Version{9999, 0};
-    }
-
-    std::vector<const fabric::Identity*> endorsing;
-    for (const auto& principal : principals) {
-      const auto* ca = msp_.find_org(principal.org);
-      if (ca == nullptr) continue;
-      endorsing.push_back(&endorsers_.at(ca->org_index() - 1));
-    }
-    if (options_.missing_endorsement_rate > 0 && endorsing.size() > 1 &&
-        rng_.chance(options_.missing_endorsement_rate)) {
-      endorsing.resize(endorsing.size() -
-                       (1 + rng_.uniform(endorsing.size() - 1)));
-    }
-
-    const bool rogue = options_.bad_signature_rate > 0 &&
-                       rng_.chance(options_.bad_signature_rate);
-    const fabric::Identity& signer = rogue ? rogue_client_ : client_;
-    block = orderer_->submit(
-        fabric::build_envelope(proposal, signer, endorsing));
+  if (options_.conflicting_read_rate > 0 &&
+      rng_.chance(options_.conflicting_read_rate) &&
+      !draft.proposal.rwset.reads.empty()) {
+    // Endorsed against stale state: bump the expected version so the mvcc
+    // re-read cannot match.
+    auto& read = draft.proposal.rwset.reads.front();
+    if (read.version) read.version->tx_num += 1;
+    else read.version = fabric::Version{9999, 0};
   }
 
+  // Endorsers named by the policy (one per principal, like the paper's
+  // clients, which gather an endorsement from every org in the policy).
+  for (const auto& principal : policies_.at(chaincode_name_).principals()) {
+    const auto* ca = msp_.find_org(principal.org);
+    if (ca == nullptr) continue;
+    draft.endorsers.push_back(&endorsers_.at(ca->org_index() - 1));
+  }
+  if (options_.missing_endorsement_rate > 0 && draft.endorsers.size() > 1 &&
+      rng_.chance(options_.missing_endorsement_rate)) {
+    draft.endorsers.resize(draft.endorsers.size() -
+                           (1 + rng_.uniform(draft.endorsers.size() - 1)));
+  }
+
+  const bool rogue = options_.bad_signature_rate > 0 &&
+                     rng_.chance(options_.bad_signature_rate);
+  draft.signer = rogue ? &rogue_client_ : &client_;
+  return draft;
+}
+
+Bytes FabricNetworkHarness::sign_envelope(const TxDraft& draft) const {
+  return fabric::build_envelope(draft.proposal, *draft.signer,
+                                draft.endorsers);
+}
+
+std::optional<fabric::Block> FabricNetworkHarness::submit_envelope(
+    Bytes envelope) {
+  return orderer_->submit(std::move(envelope));
+}
+
+std::optional<fabric::Block> FabricNetworkHarness::flush_block() {
+  return orderer_->flush();
+}
+
+const fabric::BlockValidationResult& FabricNetworkHarness::commit_block(
+    const fabric::Block& block) {
   // Reference-commit so the endorsement state observes this block.
   fabric::BlockValidationResult result =
-      reference_backend_->validate_and_commit(*block, state_, ledger_);
-  reference_results_[block->header.number] = std::move(result);
+      reference_backend_->validate_and_commit(block, state_, ledger_);
+  auto [it, inserted] =
+      reference_results_.insert_or_assign(block.header.number,
+                                          std::move(result));
+  return it->second;
+}
+
+fabric::Block FabricNetworkHarness::next_block() {
+  std::optional<fabric::Block> block;
+  while (!block) block = submit_envelope(sign_envelope(prepare_tx()));
+  commit_block(*block);
   return *block;
 }
 

@@ -39,6 +39,20 @@ struct NetworkOptions {
   fabric::ValidatorBackendFactory backend_factory;
 };
 
+/// One transaction's worth of endorsement work, prepared but not yet
+/// signed: the executed proposal plus who endorses and who signs it (the
+/// fault-injection knobs may have picked the rogue client or dropped
+/// endorsers). Drafts reference the harness's identities, so they must not
+/// outlive it. Splitting "decide" (prepare_tx, sequential, consumes the
+/// harness rng and reads endorsement state) from "sign" (sign_envelope,
+/// pure ECDSA over the draft) lets the serve layer fan the expensive
+/// signing across a thread pool while keeping the schedule deterministic.
+struct TxDraft {
+  fabric::TxProposal proposal;
+  std::vector<const fabric::Identity*> endorsers;
+  const fabric::Identity* signer = nullptr;
+};
+
 class FabricNetworkHarness {
  public:
   explicit FabricNetworkHarness(NetworkOptions options);
@@ -55,6 +69,33 @@ class FabricNetworkHarness {
   /// Produce the next fully endorsed block. Internally commits it to the
   /// harness's endorsement state so subsequent blocks read fresh versions.
   fabric::Block next_block();
+
+  // --- step-wise (submit/collect) path --------------------------------------
+  // The open-loop serving front end (src/serve) and next_block() share this
+  // one endorsement-state path: next_block() is exactly
+  // submit_envelope(sign_envelope(prepare_tx())) until a block cuts,
+  // followed by commit_block().
+
+  /// Execute the chaincode against committed endorsement state and apply the
+  /// per-tx fault-injection knobs. Sequential: consumes the harness rng.
+  TxDraft prepare_tx();
+
+  /// Client-sign and endorse a draft into a wire envelope. Pure function of
+  /// the draft (deterministic ECDSA) — safe to call from worker threads for
+  /// distinct drafts.
+  Bytes sign_envelope(const TxDraft& draft) const;
+
+  /// Enqueue an endorsed envelope with the orderer; returns a cut block when
+  /// the batch fills (NetworkOptions::block_size).
+  std::optional<fabric::Block> submit_envelope(Bytes envelope);
+
+  /// Cut whatever is pending into a block (batch-timeout path); nullopt if
+  /// nothing is pending.
+  std::optional<fabric::Block> flush_block();
+
+  /// Reference-commit a block this harness produced, so the endorsement
+  /// state observes it and reference_result() is recorded.
+  const fabric::BlockValidationResult& commit_block(const fabric::Block& block);
 
   /// A block whose orderer signature is corrupted (block_verify must fail).
   fabric::Block next_tampered_block();

@@ -20,6 +20,11 @@
 //       Drive the degraded-path stack (GBN + fault injection + software
 //       fallback) with a configs/faults_*.json scenario and check the
 //       committed chain against the fault-free reference (docs/FAULTS.md).
+//   serve [--serve-config FILE]
+//       Run the open-loop client-serving front end (traffic -> admission ->
+//       endorse -> order -> commit, docs/SERVING.md) on a
+//       configs/serve_*.json scenario and print the SLO report. Without
+//       --serve-config, a built-in steady Poisson scenario is used.
 //
 // Observability (throughput and validate): --trace-out FILE writes a Chrome
 // trace-event JSON of the whole run (open in Perfetto / chrome://tracing);
@@ -45,6 +50,8 @@
 #include "obs/artifacts.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "serve/config.hpp"
+#include "serve/pipeline.hpp"
 #include "workload/chaos.hpp"
 #include "workload/network_harness.hpp"
 #include "workload/synthetic.hpp"
@@ -76,6 +83,7 @@ struct Options {
   bool tamper = false;
   std::size_t verify_cache = 0;  ///< 0 = no endorsement-verification cache
   std::size_t db_shards = fabric::StateDb::kDefaultShards;
+  std::string serve_config;  ///< configs/serve_*.json scenario
   cli::CommonFlags flags;  ///< shared --trace-out/--metrics-*/--faults-config
   std::string usage;       ///< flag help lines, filled by parse_args
 };
@@ -93,6 +101,8 @@ bool parse_args(int argc, char** argv, Options& options) {
                   "endorsement-verification cache entries (0 = off)");
   parser.add_size("--db-shards", &options.db_shards,
                   "software state DB shard count");
+  parser.add_string("--serve-config", &options.serve_config,
+                    "serving scenario JSON (configs/serve_*.json)");
   options.flags.register_with(parser, /*with_faults=*/true);
   options.usage = parser.help_text();
 
@@ -328,12 +338,52 @@ int cmd_chaos(const Options& options) {
 
 }  // namespace
 
+int cmd_serve(const Options& options) {
+  serve::ServeOptions serve_options;  // defaults: steady 1000 tps Poisson
+  if (!options.serve_config.empty()) {
+    std::string error;
+    const auto loaded =
+        serve::load_serve_scenario(options.serve_config, &error);
+    if (!loaded) {
+      std::fprintf(stderr, "cannot load %s: %s\n",
+                   options.serve_config.c_str(), error.c_str());
+      return 2;
+    }
+    serve_options = *loaded;
+  }
+
+  obs::Registry registry;
+  obs::Tracer tracer;
+  const bool obs_on = options.flags.wants_obs();
+  const serve::ServeReport report =
+      serve::run_serve(serve_options, obs_on ? &registry : nullptr,
+                       obs_on ? &tracer : nullptr);
+
+  std::printf("scenario %s: %s arrivals at %.0f tps for %.0f ms\n%s",
+              serve_options.name.c_str(),
+              serve_options.traffic.process == serve::ArrivalProcess::kPoisson
+                  ? "poisson"
+                  : serve_options.traffic.process ==
+                            serve::ArrivalProcess::kMmpp
+                        ? "mmpp"
+                        : "diurnal",
+              serve_options.traffic.rate_tps,
+              static_cast<double>(serve_options.duration) / sim::kMillisecond,
+              report.to_text().c_str());
+  if (obs_on) {
+    const int rc = obs::write_artifacts(options.flags, registry, tracer,
+                                        report.finished_at);
+    if (rc != 0) return rc;
+  }
+  return report.ok() ? 0 : 1;
+}
+
 int main(int argc, char** argv) {
   Options options;
   if (!parse_args(argc, argv, options)) {
     std::fprintf(stderr,
                  "usage: bmac_sim <throughput|resources|validate|protocol|"
-                 "chaos> [flags]\n%s",
+                 "chaos|serve> [flags]\n%s",
                  options.usage.c_str());
     return 2;
   }
@@ -343,6 +393,7 @@ int main(int argc, char** argv) {
     if (options.command == "validate") return cmd_validate(options);
     if (options.command == "protocol") return cmd_protocol(options);
     if (options.command == "chaos") return cmd_chaos(options);
+    if (options.command == "serve") return cmd_serve(options);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
