@@ -6,7 +6,9 @@
 #pragma once
 
 #include <algorithm>
+#include <cstdint>
 #include <cstdio>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -50,6 +52,20 @@ inline workload::SyntheticSpec drm_spec() {
   spec.reads_per_tx = 2.0 / 3.0;
   spec.writes_per_tx = 1.0;
   return spec;
+}
+
+/// Standard metadata preamble for bench JSON artifacts. Every artifact
+/// opens with a schema_version, the bench name, the seed the runs used and
+/// the knob values that shaped them (`config` is a JSON object literal), so
+/// a consumer can validate provenance without reconstructing the command
+/// line. Bump the version when a bench's artifact layout changes shape.
+inline std::string artifact_meta(const std::string& bench, std::uint64_t seed,
+                                 const std::string& config) {
+  std::ostringstream out;
+  out << "  \"schema_version\": 1,\n  \"kind\": \"bench\",\n  \"bench\": \""
+      << bench << "\",\n  \"seed\": " << seed
+      << ",\n  \"config\": " << config << ",\n";
+  return out.str();
 }
 
 /// Optional observability for the figure benches: pass

@@ -133,7 +133,12 @@ int main(int argc, char** argv) {
               deterministic ? "PASS" : "FAIL", all_drained ? "yes" : "NO");
 
   std::ostringstream json;
-  json << "{\n  \"bench\": \"fig_serve_loadsweep\",\n"
+  json << "{\n"
+       << bench::artifact_meta(
+              "fig_serve_loadsweep", scenario(offered[0]).network.seed,
+              "{\"duration_ms\": 300, \"endorse_workers\": 2, "
+              "\"queue_capacity\": 128, \"offered_tps\": "
+              "[500, 1000, 1500, 2000, 3000, 4000, 6000]}")
        << "  \"knee_offered_tps\": " << knee << ",\n"
        << "  \"peak_goodput_tps\": " << max_goodput << ",\n"
        << "  \"non_collapse\": " << (non_collapse ? "true" : "false")

@@ -3,6 +3,7 @@
 #include <cassert>
 
 #include "fabric/transaction.hpp"
+#include "obs/flight.hpp"
 #include "obs/probes.hpp"
 
 namespace bm::bmac {
@@ -66,6 +67,20 @@ void BmacPeer::attach_observability(obs::Registry* registry,
     commit_latency_us_ = &registry_->histogram(
         "bmac_host_commit_latency_us", obs::Histogram::latency_us_buckets(),
         "reg_map result ready -> ledger append done");
+    if (degrade_) {
+      fallback_ctr_ = &registry_->counter(
+          "bmac_fallback_blocks_total",
+          "blocks validated in software after a stalled stream");
+      watchdog_ctr_ = &registry_->counter(
+          "bmac_watchdog_fires_total",
+          "result-budget expiries with an incomplete stream");
+      deferral_ctr_ = &registry_->counter(
+          "bmac_watchdog_deferrals_total",
+          "result-budget expiries with a healthy stream (re-armed)");
+      abort_ctr_ = &registry_->counter(
+          "bmac_streams_aborted_total",
+          "partial record assemblies discarded at fallback");
+    }
   }
   if (tracer_ != nullptr) {
     // Lanes are created before the BlockProcessor's so the trace reads
@@ -313,6 +328,7 @@ void BmacPeer::on_watchdog(std::uint64_t block_num, std::size_t armed_local,
     // earlier block is being resolved, or validation is slow). The result
     // is guaranteed to arrive; give it another budget.
     ++degrade_metrics_.watchdog_deferrals;
+    if (deferral_ctr_ != nullptr) deferral_ctr_->inc();
     arm_watchdog(block_num);
     return;
   }
@@ -321,6 +337,7 @@ void BmacPeer::on_watchdog(std::uint64_t block_num, std::size_t armed_local,
     // budget, retransmissions in flight), not stalled. Fall back only when
     // a full budget passes with zero assembly progress.
     ++degrade_metrics_.watchdog_deferrals;
+    if (deferral_ctr_ != nullptr) deferral_ctr_->inc();
     arm_watchdog(block_num);
     return;
   }
@@ -333,6 +350,7 @@ void BmacPeer::on_watchdog(std::uint64_t block_num, std::size_t armed_local,
     // resync that abandoned the block still falls back within one budget of
     // the pipe draining.
     ++degrade_metrics_.watchdog_deferrals;
+    if (deferral_ctr_ != nullptr) deferral_ctr_->inc();
     arm_watchdog(block_num);
     return;
   }
@@ -344,12 +362,18 @@ void BmacPeer::on_watchdog(std::uint64_t block_num, std::size_t armed_local,
     // queued packets may still belong to it. Fall back only once the pipe
     // idles or staging moves beyond the block.
     ++degrade_metrics_.watchdog_deferrals;
+    if (deferral_ctr_ != nullptr) deferral_ctr_->inc();
     arm_watchdog(block_num);
     return;
   }
   // Stream stalled (sections missing, frames abandoned by the GBN sender,
   // or nothing arrived at all): schedule the software fallback.
   ++degrade_metrics_.watchdog_fires;
+  if (watchdog_ctr_ != nullptr) watchdog_ctr_->inc();
+  if (flight_ != nullptr) {
+    flight_->record(obs::FlightStage::kWatchdog, block_num, "stream_stalled");
+    flight_->trigger("bmac:watchdog block " + std::to_string(block_num));
+  }
   fallback_pending_.insert(block_num);
   commit_kick_->fire(0);
 }
@@ -443,6 +467,12 @@ sim::Process BmacPeer::degraded_host_commit_proc() {
           ++host_metrics_.blocks_rejected;
         }
         ++degrade_metrics_.fallback_blocks;
+        if (fallback_ctr_ != nullptr) fallback_ctr_->inc();
+        if (flight_ != nullptr) {
+          flight_->record(obs::FlightStage::kFallback, block_num,
+                          verdict.block_valid ? "committed" : "rejected");
+          flight_->trigger("bmac:fallback block " + std::to_string(block_num));
+        }
         if (commits_ctr_ != nullptr && verdict.block_valid)
           commits_ctr_->inc();
         if (commit_latency_us_ != nullptr) {
@@ -476,8 +506,13 @@ sim::Process BmacPeer::degraded_host_commit_proc() {
 void BmacPeer::resolve_block(std::uint64_t block_num) {
   auto it = streams_.find(block_num);
   if (it != streams_.end()) {
-    if (it->second.state != StreamAssembly::State::kReleased)
+    if (it->second.state != StreamAssembly::State::kReleased) {
       ++degrade_metrics_.streams_aborted;
+      if (abort_ctr_ != nullptr) abort_ctr_->inc();
+      if (flight_ != nullptr)
+        flight_->record(obs::FlightStage::kAborted, block_num,
+                        "partial_stream");
+    }
     streams_.erase(it);
   }
   hw_results_.erase(block_num);

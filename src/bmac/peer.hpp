@@ -37,6 +37,10 @@
 #include "fabric/validator.hpp"
 #include "fabric/validator_backend.hpp"
 
+namespace bm::obs {
+class FlightRecorder;
+}
+
 namespace bm::bmac {
 
 class BmacPeer {
@@ -54,6 +58,12 @@ class BmacPeer {
 
   /// Publish/refresh host-side and pipeline gauges. Idempotent.
   void publish_metrics();
+
+  /// Record degrade-path lifecycle events (watchdog fires, fallback
+  /// commits, stream aborts) into a flight recorder, and trigger its
+  /// post-mortem dump on the first watchdog fire / fallback activation.
+  /// Null detaches. Call before start().
+  void set_flight_recorder(obs::FlightRecorder* flight) { flight_ = flight; }
 
   // --- graceful degradation -------------------------------------------------
   struct DegradeConfig {
@@ -210,6 +220,14 @@ class BmacPeer {
   obs::Counter* packets_ctr_ = nullptr;
   obs::Counter* commits_ctr_ = nullptr;
   obs::Histogram* commit_latency_us_ = nullptr;
+  // Live degrade counters (same names publish_metrics sets; bound when a
+  // registry is attached with degradation enabled, so the continuous
+  // sampler sees the degrade path move during the run).
+  obs::Counter* fallback_ctr_ = nullptr;
+  obs::Counter* watchdog_ctr_ = nullptr;
+  obs::Counter* deferral_ctr_ = nullptr;
+  obs::Counter* abort_ctr_ = nullptr;
+  obs::FlightRecorder* flight_ = nullptr;
 };
 
 /// Compile every chaincode policy into its hardware circuit (the YAML-driven

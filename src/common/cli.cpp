@@ -37,6 +37,17 @@ void ArgParser::add_size(std::string name, std::size_t* out,
                         }});
 }
 
+void ArgParser::add_double(std::string name, double* out, std::string help) {
+  specs_.push_back(Spec{std::move(name), std::move(help), true,
+                        [out](const char* v) {
+                          char* end = nullptr;
+                          const double parsed = std::strtod(v, &end);
+                          if (end == v || *end != '\0') return false;
+                          *out = parsed;
+                          return true;
+                        }});
+}
+
 void ArgParser::add_flag(std::string name, bool* out, std::string help) {
   specs_.push_back(Spec{std::move(name), std::move(help), false,
                         [out](const char*) {
@@ -99,6 +110,18 @@ void CommonFlags::register_with(ArgParser& parser, bool with_faults) {
   if (with_faults)
     parser.add_string("--faults-config", &faults_config,
                       "fault scenario JSON (see configs/faults_*.json)");
+  parser.add_double("--sample-interval", &sample_interval_ms,
+                    "sample metrics every N ms of sim time");
+  parser.add_string("--timeseries-out", &timeseries_out,
+                    "write the sampled time series as columnar JSON");
+  parser.add_string("--timeseries-csv", &timeseries_csv,
+                    "write the sampled time series as CSV");
+  parser.add_string("--slo-config", &slo_config,
+                    "SLO rules JSON (see configs/slo_default.json)");
+  parser.add_string("--slo-out", &slo_out,
+                    "write the SLO alert log as JSON");
+  parser.add_string("--flight-out", &flight_out,
+                    "write the flight-recorder post-mortem dump");
 }
 
 }  // namespace bm::cli

@@ -30,6 +30,7 @@ class ArgParser {
   void add_string(std::string name, std::string* out, std::string help);
   void add_int(std::string name, int* out, std::string help);
   void add_size(std::string name, std::size_t* out, std::string help);
+  void add_double(std::string name, double* out, std::string help);
   /// Register a boolean "--name" flag (no value; sets *out = true).
   void add_flag(std::string name, bool* out, std::string help);
 
@@ -64,13 +65,30 @@ struct CommonFlags {
   std::string metrics_text;   ///< --metrics-text FILE (Prometheus text)
   std::string faults_config;  ///< --faults-config FILE
 
+  // Continuous telemetry (see src/obs/telemetry.hpp).
+  double sample_interval_ms = 0;  ///< --sample-interval MS (0 = no sampler)
+  std::string timeseries_out;     ///< --timeseries-out FILE (JSON columns)
+  std::string timeseries_csv;     ///< --timeseries-csv FILE
+  std::string slo_config;         ///< --slo-config FILE (SLO rules JSON)
+  std::string slo_out;            ///< --slo-out FILE (alert log JSON)
+  std::string flight_out;         ///< --flight-out FILE (post-mortem dump)
+
   /// Register the shared flags on `parser`. `with_faults` controls whether
   /// --faults-config is accepted (benches do not take fault scenarios).
   void register_with(ArgParser& parser, bool with_faults = false);
 
   /// True when any observability output was requested.
   bool wants_obs() const {
-    return !trace_out.empty() || !metrics_out.empty() || !metrics_text.empty();
+    return !trace_out.empty() || !metrics_out.empty() ||
+           !metrics_text.empty() || wants_telemetry();
+  }
+
+  /// True when continuous telemetry (sampler / SLO monitor / flight
+  /// recorder) should run during the simulation.
+  bool wants_telemetry() const {
+    return sample_interval_ms > 0 || !timeseries_out.empty() ||
+           !timeseries_csv.empty() || !slo_config.empty() ||
+           !slo_out.empty() || !flight_out.empty();
   }
 };
 

@@ -1,0 +1,105 @@
+// Per-transaction flight recorder: a bounded ring buffer of lifecycle
+// events, dumped as a post-mortem JSON artifact when something goes wrong.
+//
+// Probe sites across the pipeline append one event per lifecycle edge
+// (admitted -> dispatched -> endorsed -> ordered -> committed, or the sad
+// paths: shed, timed out, watchdog fire, fallback commit, stream abort).
+// The ring holds only the most recent `capacity` events, so steady state
+// costs O(1) per transaction and a dump shows the window leading up to the
+// trigger — exactly what a human asks for first in an incident review.
+//
+// Triggers are first-wins: the first SLO alert / watchdog fire / drain
+// failure freezes the story and writes the dump; later triggers are
+// counted but do not overwrite the post-mortem. Recording keeps going, so
+// in-memory inspection after the run still sees the full tail.
+//
+// Like the rest of obs/, everything is keyed to simulated time: same seed,
+// byte-identical dump.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/simulation.hpp"
+
+namespace bm::obs {
+
+enum class FlightStage : std::uint8_t {
+  kSubmitted,      ///< client draft entered the system
+  kAdmitted,       ///< passed admission control
+  kShed,           ///< rejected by admission (queue full / rate limited)
+  kDispatched,     ///< handed to an endorser worker
+  kEndorsed,       ///< endorsement latency paid
+  kOrdered,        ///< sealed into a block by the ingress batcher
+  kValidated,      ///< block-level validation finished
+  kCommitted,      ///< transaction durably committed
+  kTimedOut,       ///< exceeded its client deadline
+  kWatchdog,       ///< hardware watchdog fired (block-scoped)
+  kFallback,       ///< block committed via software fallback path
+  kAborted,        ///< stream / block abandoned (fault path)
+};
+
+/// Stable name used in dump artifacts.
+std::string_view flight_stage_name(FlightStage stage);
+
+struct FlightEvent {
+  sim::Time at = 0;
+  FlightStage stage = FlightStage::kSubmitted;
+  std::uint64_t id = 0;  ///< transaction id, or block id for block stages
+  std::string note;      ///< optional context ("queue_full", rule name, ...)
+};
+
+struct FlightConfig {
+  std::size_t capacity = 4096;  ///< events retained; older ones evicted
+};
+
+class FlightRecorder {
+ public:
+  explicit FlightRecorder(sim::Simulation& sim, FlightConfig config = {});
+
+  /// Set the dump destination. Without a path, triggers still latch (for
+  /// tests and in-memory inspection) but nothing is written.
+  void arm(std::string path);
+
+  /// Append one lifecycle event at the current sim time.
+  void record(FlightStage stage, std::uint64_t id, std::string note = "");
+
+  /// Fire a trigger. The first trigger freezes `reason` and writes the
+  /// post-mortem dump (when armed); later calls only bump trigger_count().
+  /// Returns true when this call performed the dump.
+  bool trigger(const std::string& reason);
+
+  bool triggered() const { return trigger_count_ > 0; }
+  std::uint64_t trigger_count() const { return trigger_count_; }
+  const std::string& trigger_reason() const { return trigger_reason_; }
+  sim::Time trigger_at() const { return trigger_at_; }
+
+  std::size_t size() const { return ring_.size(); }
+  std::size_t capacity() const { return config_.capacity; }
+  /// Events evicted to make room (total recorded = size + dropped).
+  std::uint64_t dropped() const { return dropped_; }
+  std::uint64_t recorded() const { return recorded_; }
+
+  /// Buffered events, oldest first.
+  std::vector<FlightEvent> events() const;
+
+  /// Post-mortem JSON (schema_version, trigger, ring oldest-first).
+  std::string to_json() const;
+  bool write_json(const std::string& path) const;
+
+ private:
+  sim::Simulation& sim_;
+  FlightConfig config_;
+  std::vector<FlightEvent> ring_;  ///< circular once full
+  std::size_t head_ = 0;           ///< next write slot when full
+  std::uint64_t recorded_ = 0;
+  std::uint64_t dropped_ = 0;
+  std::string dump_path_;
+  std::uint64_t trigger_count_ = 0;
+  std::string trigger_reason_;
+  sim::Time trigger_at_ = 0;
+};
+
+}  // namespace bm::obs

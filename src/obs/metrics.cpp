@@ -6,6 +6,7 @@
 #include <cstdio>
 #include <fstream>
 #include <sstream>
+#include <stdexcept>
 
 namespace bm::obs {
 
@@ -133,7 +134,15 @@ Histogram& Registry::histogram(const std::string& name,
   if (!entry.metric) {
     entry.metric = std::make_unique<Histogram>(std::move(upper_bounds));
     entry.help = help;
+    return *entry.metric;
   }
+  // register-or-get is only sound when both sites mean the same histogram;
+  // different bounds silently reusing the first entry hid real bugs.
+  std::sort(upper_bounds.begin(), upper_bounds.end());
+  if (upper_bounds != entry.metric->upper_bounds())
+    throw std::invalid_argument(
+        "obs::Registry: histogram '" + name +
+        "' re-registered with different bucket bounds");
   return *entry.metric;
 }
 
@@ -150,6 +159,20 @@ const Gauge* Registry::find_gauge(const std::string& name) const {
 const Histogram* Registry::find_histogram(const std::string& name) const {
   const auto it = histograms_.find(name);
   return it != histograms_.end() ? it->second.metric.get() : nullptr;
+}
+
+void Registry::for_each(
+    const std::function<void(const std::string&, const Counter&)>& counter_fn,
+    const std::function<void(const std::string&, const Gauge&)>& gauge_fn,
+    const std::function<void(const std::string&, const Histogram&)>&
+        histogram_fn) const {
+  if (counter_fn)
+    for (const auto& [name, entry] : counters_) counter_fn(name, *entry.metric);
+  if (gauge_fn)
+    for (const auto& [name, entry] : gauges_) gauge_fn(name, *entry.metric);
+  if (histogram_fn)
+    for (const auto& [name, entry] : histograms_)
+      histogram_fn(name, *entry.metric);
 }
 
 std::string Registry::render_text(sim::Time at) const {

@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
@@ -90,6 +91,10 @@ class Registry {
 
   Counter& counter(const std::string& name, const std::string& help = "");
   Gauge& gauge(const std::string& name, const std::string& help = "");
+  /// Register-or-get, with one sharp edge: re-registering an existing name
+  /// with *different* bucket bounds throws std::invalid_argument instead of
+  /// silently handing back the first entry's buckets (which would make two
+  /// call sites disagree about what the histogram measures).
   Histogram& histogram(const std::string& name,
                        std::vector<double> upper_bounds,
                        const std::string& help = "");
@@ -98,6 +103,15 @@ class Registry {
   const Counter* find_counter(const std::string& name) const;
   const Gauge* find_gauge(const std::string& name) const;
   const Histogram* find_histogram(const std::string& name) const;
+
+  /// Visit every metric in name order (counters, then gauges, then
+  /// histograms). Read-only: the continuous-telemetry sampler is built on
+  /// this, so visiting must not register or mutate anything.
+  void for_each(
+      const std::function<void(const std::string&, const Counter&)>& counter_fn,
+      const std::function<void(const std::string&, const Gauge&)>& gauge_fn,
+      const std::function<void(const std::string&, const Histogram&)>&
+          histogram_fn) const;
 
   /// Prometheus text exposition format, annotated with the snapshot time.
   std::string render_text(sim::Time at) const;

@@ -1,0 +1,449 @@
+#include "obs/slo.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "obs/json.hpp"
+
+namespace bm::obs {
+
+namespace {
+
+bool write_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return false;
+  out << content;
+  return static_cast<bool>(out);
+}
+
+std::optional<SloRuleKind> kind_from_name(std::string_view name) {
+  if (name == "ratio") return SloRuleKind::kRatio;
+  if (name == "rate_above") return SloRuleKind::kRateAbove;
+  if (name == "gauge_above") return SloRuleKind::kGaugeAbove;
+  if (name == "gauge_below") return SloRuleKind::kGaugeBelow;
+  if (name == "latency_quantile") return SloRuleKind::kLatencyQuantile;
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::string_view slo_rule_kind_name(SloRuleKind kind) {
+  switch (kind) {
+    case SloRuleKind::kRatio: return "ratio";
+    case SloRuleKind::kRateAbove: return "rate_above";
+    case SloRuleKind::kGaugeAbove: return "gauge_above";
+    case SloRuleKind::kGaugeBelow: return "gauge_below";
+    case SloRuleKind::kLatencyQuantile: return "latency_quantile";
+  }
+  return "unknown";
+}
+
+// --- config parsing ---------------------------------------------------------
+
+namespace {
+
+using json::Value;
+
+bool rule_error(std::string* error, const std::string& message) {
+  if (error != nullptr) *error = "slo config: " + message;
+  return false;
+}
+
+bool parse_rule(const Value& node, SloRule* rule, std::string* error) {
+  if (!node.is_object()) return rule_error(error, "each rule must be an object");
+  const Value* name = node.find("name");
+  if (name == nullptr || !name->is_string() || name->string.empty())
+    return rule_error(error, "rule needs a non-empty \"name\"");
+  rule->name = name->string;
+
+  const Value* kind = node.find("kind");
+  if (kind == nullptr || !kind->is_string())
+    return rule_error(error, "rule \"" + rule->name + "\" needs a \"kind\"");
+  const auto parsed_kind = kind_from_name(kind->string);
+  if (!parsed_kind)
+    return rule_error(error, "rule \"" + rule->name + "\": unknown kind \"" +
+                                 kind->string +
+                                 "\" (ratio | rate_above | gauge_above | "
+                                 "gauge_below | latency_quantile)");
+  rule->kind = *parsed_kind;
+
+  const Value* metric = node.find("metric");
+  if (metric == nullptr || !metric->is_string() || metric->string.empty())
+    return rule_error(error, "rule \"" + rule->name + "\" needs a \"metric\"");
+  rule->metric = metric->string;
+
+  if (const Value* den = node.find("denominator");
+      den != nullptr && den->is_string())
+    rule->denominator = den->string;
+  if (rule->kind == SloRuleKind::kRatio && rule->denominator.empty())
+    return rule_error(error, "ratio rule \"" + rule->name +
+                                 "\" needs a \"denominator\" counter");
+
+  // "objective" (ratio) and "threshold" are the same slot; accept either.
+  const Value* threshold = node.find("objective");
+  if (threshold == nullptr) threshold = node.find("threshold");
+  if (threshold == nullptr || !threshold->is_number())
+    return rule_error(error, "rule \"" + rule->name +
+                                 "\" needs an \"objective\" or \"threshold\"");
+  rule->threshold = threshold->number;
+  if (rule->kind == SloRuleKind::kRatio && rule->threshold <= 0)
+    return rule_error(error, "ratio rule \"" + rule->name +
+                                 "\": objective must be > 0");
+
+  if (const Value* q = node.find("quantile")) {
+    if (!q->is_number() || q->number <= 0 || q->number >= 1)
+      return rule_error(error, "rule \"" + rule->name +
+                                   "\": quantile must be in (0,1)");
+    rule->quantile = q->number;
+  }
+  if (const Value* burn = node.find("burn_rate")) {
+    if (!burn->is_number() || burn->number <= 0)
+      return rule_error(error, "rule \"" + rule->name +
+                                   "\": burn_rate must be > 0");
+    rule->burn_rate = burn->number;
+  }
+  if (const Value* m = node.find("min_count")) {
+    if (!m->is_number() || m->number < 0)
+      return rule_error(error,
+                        "rule \"" + rule->name + "\": bad min_count");
+    rule->min_count = static_cast<std::uint64_t>(m->number);
+  }
+
+  const Value* windows = node.find("windows_ms");
+  if (windows == nullptr || !windows->is_array() || windows->array.empty())
+    return rule_error(error, "rule \"" + rule->name +
+                                 "\" needs a non-empty \"windows_ms\" array");
+  for (const Value& w : windows->array) {
+    if (!w.is_number() || w.number <= 0)
+      return rule_error(error, "rule \"" + rule->name +
+                                   "\": windows_ms entries must be > 0");
+    rule->windows.push_back(static_cast<sim::Time>(
+        w.number * static_cast<double>(sim::kMillisecond)));
+  }
+  std::sort(rule->windows.begin(), rule->windows.end());
+  return true;
+}
+
+}  // namespace
+
+std::optional<SloConfig> parse_slo_config(std::string_view text,
+                                          std::string* error) {
+  std::string parse_error;
+  const auto root = json::parse(text, &parse_error);
+  if (!root) {
+    rule_error(error, parse_error);
+    return std::nullopt;
+  }
+  if (!root->is_object()) {
+    rule_error(error, "root must be an object");
+    return std::nullopt;
+  }
+
+  SloConfig config;
+  if (const Value* name = root->find("name");
+      name != nullptr && name->is_string())
+    config.name = name->string;
+  if (const Value* interval = root->find("evaluation_interval_ms")) {
+    if (!interval->is_number() || interval->number <= 0) {
+      rule_error(error, "evaluation_interval_ms must be > 0");
+      return std::nullopt;
+    }
+    config.evaluation_interval = static_cast<sim::Time>(
+        interval->number * static_cast<double>(sim::kMillisecond));
+  }
+  const Value* rules = root->find("rules");
+  if (rules == nullptr || !rules->is_array()) {
+    rule_error(error, "needs a \"rules\" array");
+    return std::nullopt;
+  }
+  for (const Value& node : rules->array) {
+    SloRule rule;
+    if (!parse_rule(node, &rule, error)) return std::nullopt;
+    config.rules.push_back(std::move(rule));
+  }
+  return config;
+}
+
+std::optional<SloConfig> load_slo_config(const std::string& path,
+                                         std::string* error) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    rule_error(error, "cannot open " + path);
+    return std::nullopt;
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  return parse_slo_config(text.str(), error);
+}
+
+// --- monitor ----------------------------------------------------------------
+
+SloMonitor::SloMonitor(sim::Simulation& sim, Registry& registry,
+                       SloConfig config)
+    : sim_(sim), registry_(registry), config_(std::move(config)) {
+  fires_total_ =
+      &registry_.counter("slo_alerts_fired_total", "SLO rule fire transitions");
+  active_gauge_ =
+      &registry_.gauge("slo_alerts_active", "SLO rules currently firing");
+  for (const SloRule& rule : config_.rules) {
+    RuleState state;
+    state.rule = rule;
+    state.horizon = rule.windows.empty() ? 0 : rule.windows.back();
+    state.fired_counter =
+        &registry_.counter("slo_alert_" + rule.name + "_fired_total",
+                           "fire transitions of SLO rule " + rule.name);
+    states_.push_back(std::move(state));
+  }
+}
+
+void SloMonitor::set_tracer(Tracer* tracer, int lane) {
+  tracer_ = tracer;
+  lane_ = lane;
+}
+
+void SloMonitor::set_alert_hook(std::function<void(const SloAlert&)> hook) {
+  hook_ = std::move(hook);
+}
+
+void SloMonitor::observe(RuleState& state) {
+  const SloRule& rule = state.rule;
+  Sample sample;
+  sample.at = sim_.now();
+  switch (rule.kind) {
+    case SloRuleKind::kRatio: {
+      const Counter* a = registry_.find_counter(rule.metric);
+      const Counter* b = registry_.find_counter(rule.denominator);
+      sample.a = a != nullptr ? static_cast<double>(a->value()) : 0;
+      sample.b = b != nullptr ? static_cast<double>(b->value()) : 0;
+      break;
+    }
+    case SloRuleKind::kRateAbove: {
+      const Counter* a = registry_.find_counter(rule.metric);
+      sample.a = a != nullptr ? static_cast<double>(a->value()) : 0;
+      break;
+    }
+    case SloRuleKind::kGaugeAbove:
+    case SloRuleKind::kGaugeBelow: {
+      const Gauge* g = registry_.find_gauge(rule.metric);
+      sample.a = g != nullptr ? g->value() : 0;
+      break;
+    }
+    case SloRuleKind::kLatencyQuantile: {
+      const Histogram* h = registry_.find_histogram(rule.metric);
+      if (h != nullptr) {
+        sample.buckets = h->bucket_counts();
+        sample.count = h->count();
+      }
+      break;
+    }
+  }
+  // Deduplicate same-instant samples (baseline + first tick).
+  if (!state.samples.empty() && state.samples.back().at == sample.at)
+    state.samples.back() = std::move(sample);
+  else
+    state.samples.push_back(std::move(sample));
+  // Retain one sample at or before the horizon edge so every window delta
+  // has a base; everything older is dead weight.
+  const sim::Time edge = sim_.now() - state.horizon;
+  while (state.samples.size() >= 2 && state.samples[1].at <= edge)
+    state.samples.pop_front();
+}
+
+std::optional<double> SloMonitor::window_value(const RuleState& state,
+                                               sim::Time window) const {
+  if (state.samples.size() < 2) return std::nullopt;
+  const Sample& now = state.samples.back();
+  const sim::Time start = now.at - window;
+
+  // Base = the latest sample at or before the window start. Delta-based
+  // rules tolerate a partial window early in the run (the detection-latency
+  // clock should not wait for the long window to fill); sustained gauge
+  // rules require full coverage.
+  std::size_t base = 0;
+  bool full = false;
+  for (std::size_t i = 0; i + 1 < state.samples.size(); ++i) {
+    if (state.samples[i].at <= start) {
+      base = i;
+      full = true;
+    }
+  }
+  const Sample& from = state.samples[base];
+  const SloRule& rule = state.rule;
+
+  switch (rule.kind) {
+    case SloRuleKind::kRatio: {
+      const double db = now.b - from.b;
+      if (db < static_cast<double>(rule.min_count)) return 0.0;
+      const double da = now.a - from.a;
+      return (da / db) / rule.threshold;  // error-budget burn rate
+    }
+    case SloRuleKind::kRateAbove: {
+      const sim::Time dt = now.at - from.at;
+      if (dt <= 0) return std::nullopt;
+      return (now.a - from.a) /
+             (static_cast<double>(dt) / static_cast<double>(sim::kSecond));
+    }
+    case SloRuleKind::kGaugeAbove:
+    case SloRuleKind::kGaugeBelow: {
+      if (!full) return std::nullopt;  // "sustained" needs the whole window
+      double extreme = now.a;
+      for (std::size_t i = base; i < state.samples.size(); ++i) {
+        const Sample& s = state.samples[i];
+        if (s.at < start) continue;
+        extreme = rule.kind == SloRuleKind::kGaugeAbove
+                      ? std::min(extreme, s.a)
+                      : std::max(extreme, s.a);
+      }
+      return extreme;
+    }
+    case SloRuleKind::kLatencyQuantile: {
+      const std::uint64_t dcount =
+          now.count >= from.count ? now.count - from.count : 0;
+      if (dcount < std::max<std::uint64_t>(1, rule.min_count)) return 0.0;
+      const Histogram* h = registry_.find_histogram(rule.metric);
+      if (h == nullptr) return 0.0;
+      const std::vector<double>& bounds = h->upper_bounds();
+      const double target = rule.quantile * static_cast<double>(dcount);
+      double cumulative = 0;
+      for (std::size_t i = 0; i < now.buckets.size(); ++i) {
+        const double in_bucket =
+            static_cast<double>(now.buckets[i]) -
+            (i < from.buckets.size() ? static_cast<double>(from.buckets[i])
+                                     : 0.0);
+        if (in_bucket <= 0) continue;
+        if (cumulative + in_bucket >= target) {
+          if (i >= bounds.size())  // +Inf bucket: clamp to the last bound
+            return bounds.empty() ? 0.0 : bounds.back();
+          const double lower = i == 0 ? 0.0 : bounds[i - 1];
+          return lower +
+                 (bounds[i] - lower) * (target - cumulative) / in_bucket;
+        }
+        cumulative += in_bucket;
+      }
+      return bounds.empty() ? 0.0 : bounds.back();
+    }
+  }
+  return std::nullopt;
+}
+
+bool SloMonitor::condition_met(const RuleState& state, double value) const {
+  switch (state.rule.kind) {
+    case SloRuleKind::kRatio: return value >= state.rule.burn_rate;
+    case SloRuleKind::kRateAbove: return value >= state.rule.threshold;
+    case SloRuleKind::kGaugeAbove: return value >= state.rule.threshold;
+    case SloRuleKind::kGaugeBelow: return value <= state.rule.threshold;
+    case SloRuleKind::kLatencyQuantile: return value >= state.rule.threshold;
+  }
+  return false;
+}
+
+void SloMonitor::transition(RuleState& state, bool firing, double value) {
+  if (firing == state.firing) return;
+  state.firing = firing;
+  SloAlert alert{state.rule.name, sim_.now(), firing, value};
+  if (firing) {
+    ++fires_;
+    fires_total_->inc();
+    state.fired_counter->inc();
+  } else {
+    ++clears_;
+  }
+  active_gauge_->set(static_cast<double>(active()));
+  if (tracer_ != nullptr)
+    tracer_->instant(lane_, std::string(firing ? "slo fire: " : "slo clear: ") +
+                                state.rule.name,
+                     "slo", sim_.now(),
+                     {{"value", detail::format_number(value)},
+                      {"rule", state.rule.name}});
+  alerts_.push_back(alert);
+  if (hook_) hook_(alert);
+}
+
+void SloMonitor::evaluate_now() {
+  for (RuleState& state : states_) {
+    observe(state);
+    bool met = !state.rule.windows.empty();
+    double reported = 0;
+    for (std::size_t i = 0; i < state.rule.windows.size(); ++i) {
+      const auto value = window_value(state, state.rule.windows[i]);
+      if (!value) {
+        met = false;
+        break;
+      }
+      if (i == 0) reported = *value;  // shortest window = headline number
+      if (!condition_met(state, *value)) met = false;
+    }
+    transition(state, met, reported);
+  }
+}
+
+void SloMonitor::tick() {
+  evaluate_now();
+  pending_ = sim_.schedule(config_.evaluation_interval, [this] { tick(); });
+}
+
+void SloMonitor::start() {
+  if (running_) return;
+  running_ = true;
+  // Baseline sample only: no rule can fire before one interval of history.
+  for (RuleState& state : states_) observe(state);
+  pending_ = sim_.schedule(config_.evaluation_interval, [this] { tick(); });
+}
+
+void SloMonitor::stop() {
+  if (!running_) return;
+  running_ = false;
+  sim_.cancel(pending_);
+}
+
+std::size_t SloMonitor::active() const {
+  std::size_t n = 0;
+  for (const RuleState& state : states_)
+    if (state.firing) ++n;
+  return n;
+}
+
+std::optional<sim::Time> SloMonitor::first_fire(const std::string& rule) const {
+  for (const SloAlert& alert : alerts_)
+    if (alert.firing && (rule.empty() || alert.rule == rule)) return alert.at;
+  return std::nullopt;
+}
+
+std::string SloMonitor::to_json() const {
+  using detail::format_number;
+  std::ostringstream out;
+  out << "{\n  \"schema_version\": 1,\n  \"kind\": \"slo_alerts\",\n"
+      << "  \"config\": \"" << config_.name << "\",\n"
+      << "  \"evaluation_interval_ns\": " << config_.evaluation_interval
+      << ",\n  \"rules\": [";
+  for (std::size_t i = 0; i < config_.rules.size(); ++i) {
+    const SloRule& rule = config_.rules[i];
+    out << (i == 0 ? "\n" : ",\n") << "    {\"name\": \"" << rule.name
+        << "\", \"kind\": \"" << slo_rule_kind_name(rule.kind)
+        << "\", \"metric\": \"" << rule.metric << "\", \"windows_ms\": [";
+    for (std::size_t w = 0; w < rule.windows.size(); ++w)
+      out << (w == 0 ? "" : ", ")
+          << format_number(static_cast<double>(rule.windows[w]) /
+                           static_cast<double>(sim::kMillisecond));
+    out << "]}";
+  }
+  out << (config_.rules.empty() ? "" : "\n  ") << "],\n"
+      << "  \"fires\": " << fires_ << ",\n  \"clears\": " << clears_
+      << ",\n  \"events\": [";
+  for (std::size_t i = 0; i < alerts_.size(); ++i) {
+    const SloAlert& alert = alerts_[i];
+    out << (i == 0 ? "\n" : ",\n") << "    {\"rule\": \"" << alert.rule
+        << "\", \"event\": \"" << (alert.firing ? "fire" : "clear")
+        << "\", \"at_ns\": " << alert.at
+        << ", \"value\": " << format_number(alert.value) << "}";
+  }
+  out << (alerts_.empty() ? "" : "\n  ") << "]\n}\n";
+  return out.str();
+}
+
+bool SloMonitor::write_json(const std::string& path) const {
+  return write_file(path, to_json());
+}
+
+}  // namespace bm::obs

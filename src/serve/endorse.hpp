@@ -16,6 +16,7 @@
 #include <functional>
 
 #include "common/thread_pool.hpp"
+#include "obs/flight.hpp"
 #include "serve/admission.hpp"
 #include "workload/network_harness.hpp"
 
@@ -81,6 +82,13 @@ class EndorsementService {
   void publish_metrics(obs::Registry& registry,
                        const std::string& prefix) const;
 
+  /// Bind live counters (same names publish_metrics sets) plus a
+  /// "<prefix>_busy_workers" gauge for the continuous-telemetry sampler.
+  void attach_observability(obs::Registry& registry, const std::string& prefix);
+
+  /// Record dispatch / deadline-cancel lifecycle events (null to detach).
+  void set_flight_recorder(obs::FlightRecorder* flight) { flight_ = flight; }
+
  private:
   sim::Simulation& sim_;
   Config config_;
@@ -91,6 +99,12 @@ class EndorsementService {
   CancelFn cancelled_;
   int busy_ = 0;
   Stats stats_;
+
+  obs::Counter* live_dispatched_ = nullptr;
+  obs::Counter* live_completed_ = nullptr;
+  obs::Counter* live_cancelled_ = nullptr;
+  obs::Gauge* live_busy_ = nullptr;
+  obs::FlightRecorder* flight_ = nullptr;
 };
 
 }  // namespace bm::serve

@@ -7,6 +7,7 @@
 
 #include "fabric/timing_model.hpp"
 #include "fabric/validator_backend.hpp"
+#include "obs/telemetry.hpp"
 #include "workload/caliper.hpp"
 #include "workload/chaincode.hpp"
 
@@ -72,6 +73,37 @@ class ServeRun {
       lane_commit_ = tracer_->lane("validate_commit");
     }
 
+    if (registry_ != nullptr) {
+      // Live bindings: the same names assemble()'s publish() sets at the
+      // end, incremented as events happen so the continuous-telemetry
+      // sampler sees them move. The end-of-run .set() is idempotent.
+      obs::Registry& registry = *registry_;
+      admission_.attach_observability(registry, "serve_admission");
+      endorse_.attach_observability(registry, "serve_endorse");
+      live_committed_ = &registry.counter("serve_txs_committed_total",
+                                          "transactions committed");
+      live_valid_ = &registry.counter("serve_txs_valid_total",
+                                      "transactions flagged valid");
+      live_blocks_ = &registry.counter("serve_blocks_committed_total",
+                                       "blocks committed");
+      live_ingress_pending_ =
+          &registry.gauge("serve_ingress_pending", "drafts awaiting a cut");
+      live_commit_backlog_ = &registry.gauge(
+          "serve_commit_backlog", "blocks queued or in service right now");
+      const auto buckets = obs::Histogram::latency_ms_buckets();
+      h_wait_ = &registry.histogram(
+          "serve_admission_wait_ms", buckets,
+          "arrival -> endorsement dispatch (committed txs)");
+      h_endorse_ = &registry.histogram("serve_endorse_ms", buckets,
+                                       "endorsement service time");
+      h_order_ = &registry.histogram("serve_order_wait_ms", buckets,
+                                     "endorsed -> block cut");
+      h_commit_ = &registry.histogram("serve_commit_ms", buckets,
+                                      "block cut -> committed");
+      h_total_ = &registry.histogram("serve_total_latency_ms", buckets,
+                                     "arrival -> committed");
+    }
+
     endorse_.set_completion([this](AdmittedRequest request,
                                    workload::TxDraft draft) {
       on_endorsed(request, std::move(draft));
@@ -81,10 +113,19 @@ class ServeRun {
     });
   }
 
-  ServeReport run() {
+  ServeReport run(obs::Telemetry* telemetry) {
+    if (telemetry != nullptr && telemetry->enabled() && registry_ != nullptr) {
+      telemetry->attach(sim_, *registry_, tracer_);
+      flight_ = telemetry->flight();
+      endorse_.set_flight_recorder(flight_);
+    }
     schedule_next_arrival(traffic_.next_arrival());
     sim_.run_until(options_.duration + options_.drain_limit);
-    return assemble();
+    ServeReport report = assemble();
+    // The sampler/monitor hold recurring events on sim_, which dies with
+    // this ServeRun — settle them (final sample + evaluation) before return.
+    if (telemetry != nullptr) telemetry->finish();
+    return report;
   }
 
  private:
@@ -114,11 +155,20 @@ class ServeRun {
     if (admission_.config().classes > 1)
       klass = class_rng_.chance(options_.high_priority_share) ? 0 : 1;
 
+    const std::uint64_t rate_sheds_before =
+        admission_.stats().shed_rate_limited;
     const AdmissionDecision decision = admission_.offer(id, klass, sim_.now());
     if (!decision.admitted()) {
       record.fate = Record::Fate::kShed;
+      if (flight_ != nullptr)
+        flight_->record(obs::FlightStage::kShed, id,
+                        admission_.stats().shed_rate_limited >
+                                rate_sheds_before
+                            ? "rate_limited"
+                            : "queue_full");
       return;
     }
+    if (flight_ != nullptr) flight_->record(obs::FlightStage::kAdmitted, id);
     endorse_.pump();
   }
 
@@ -126,6 +176,8 @@ class ServeRun {
     Record& record = records_[request.id];
     record.endorsed = sim_.now();
     record.dispatched = sim_.now() - endorse_.service_time(draft);
+    if (flight_ != nullptr)
+      flight_->record(obs::FlightStage::kEndorsed, request.id);
 
     if (pending_members_.empty()) {
       batch_opened_ = sim_.now();
@@ -136,6 +188,9 @@ class ServeRun {
     pending_drafts_.push_back(std::move(draft));
     ingress_high_water_ =
         std::max(ingress_high_water_, pending_members_.size());
+    if (live_ingress_pending_ != nullptr)
+      live_ingress_pending_->set(
+          static_cast<double>(pending_members_.size()));
     if (pending_members_.size() >= options_.ingress.max_batch) {
       sim_.cancel(batch_timer_);
       cut_batch();
@@ -158,8 +213,12 @@ class ServeRun {
       block = harness_.submit_envelope(std::move(envelope));
     if (!block) block = harness_.flush_block();  // batch-timeout partial cut
 
-    for (const std::uint64_t id : members)
+    for (const std::uint64_t id : members) {
       records_[id].ordered = sim_.now();
+      if (flight_ != nullptr)
+        flight_->record(obs::FlightStage::kOrdered, id);
+    }
+    if (live_ingress_pending_ != nullptr) live_ingress_pending_->set(0);
     if (tracer_ != nullptr)
       tracer_->complete(lane_ingress_,
                         "batch " + std::to_string(block->header.number),
@@ -170,6 +229,8 @@ class ServeRun {
         CutBlock{std::move(*block), std::move(members), sim_.now()});
     commit_backlog_high_water_ =
         std::max(commit_backlog_high_water_, commit_backlog());
+    if (live_commit_backlog_ != nullptr)
+      live_commit_backlog_->set(static_cast<double>(commit_backlog()));
     update_pressure();
     pump_commit();
   }
@@ -215,11 +276,20 @@ class ServeRun {
         record.fate = Record::Fate::kCommitted;
         record.flag = result.flags[i];
         record.committed = sim_.now();
+        observe_latencies(record);
+        if (flight_ != nullptr)
+          flight_->record(obs::FlightStage::kCommitted, cut.members[i]);
       }
+      if (flight_ != nullptr)
+        flight_->record(obs::FlightStage::kValidated, cut.block.header.number,
+                        "block");
       blocks_committed_ += 1;
       valid_txs_ += result.valid_tx_count;
       committed_txs_ += cut.members.size();
       last_commit_at_ = sim_.now();
+      if (live_blocks_ != nullptr) live_blocks_->inc();
+      if (live_valid_ != nullptr) live_valid_->inc(result.valid_tx_count);
+      if (live_committed_ != nullptr) live_committed_->inc(cut.members.size());
 
       caliper_.record(workload::BlockObservation{
           cut.block.header.number, static_cast<std::uint32_t>(cut.members.size()),
@@ -232,9 +302,29 @@ class ServeRun {
       if (options_.keep_blocks) blocks_.push_back(std::move(cut.block));
 
       commit_busy_ = false;
+      if (live_commit_backlog_ != nullptr)
+        live_commit_backlog_->set(static_cast<double>(commit_backlog()));
       update_pressure();
       pump_commit();
     });
+  }
+
+  /// Live per-stage latency observation at commit time; mirrors the report
+  /// breakdown exactly (same records, same unit) so the end-of-run
+  /// histograms equal what publish() used to bulk-observe.
+  void observe_latencies(const Record& record) {
+    if (h_total_ == nullptr) return;
+    constexpr double kMs = static_cast<double>(sim::kMillisecond);
+    h_wait_->observe(
+        static_cast<double>(record.dispatched - record.arrived) / kMs);
+    h_endorse_->observe(
+        static_cast<double>(record.endorsed - record.dispatched) / kMs);
+    h_order_->observe(
+        static_cast<double>(record.ordered - record.endorsed) / kMs);
+    h_commit_->observe(
+        static_cast<double>(record.committed - record.ordered) / kMs);
+    h_total_->observe(
+        static_cast<double>(record.committed - record.arrived) / kMs);
   }
 
   ServeReport assemble() {
@@ -264,6 +354,8 @@ class ServeRun {
     report.drained = true;
     for (const Record& record : records_)
       if (record.fate == Record::Fate::kPending) report.drained = false;
+    if (!report.drained && flight_ != nullptr)
+      flight_->trigger("serve:drain_failure");
 
     // Per-stage latency breakdown over committed transactions.
     std::vector<double> wait, endorse, order, commit, total;
@@ -288,8 +380,7 @@ class ServeRun {
     report.total_ms = workload::summarize(total);
 
     if (options_.check_equivalence) verify_equivalence(report);
-    if (registry_ != nullptr) publish(report, wait, endorse, order, commit,
-                                      total);
+    if (registry_ != nullptr) publish(report);
     if (options_.keep_blocks) report.blocks = std::move(blocks_);
     return report;
   }
@@ -324,11 +415,7 @@ class ServeRun {
     report.flags_match = true;
   }
 
-  void publish(const ServeReport& report, const std::vector<double>& wait,
-               const std::vector<double>& endorse,
-               const std::vector<double>& order,
-               const std::vector<double>& commit,
-               const std::vector<double>& total) {
+  void publish(const ServeReport& report) {
     obs::Registry& registry = *registry_;
     admission_.publish_metrics(registry, "serve_admission");
     endorse_.publish_metrics(registry, "serve_endorse");
@@ -349,19 +436,8 @@ class ServeRun {
                "most blocks queued or in service at the commit stage")
         .set(static_cast<double>(report.commit_backlog_high_water));
 
-    const auto observe_all = [&registry](const std::string& name,
-                                         const std::string& help,
-                                         const std::vector<double>& values) {
-      auto& histogram = registry.histogram(
-          name, obs::Histogram::latency_ms_buckets(), help);
-      for (const double v : values) histogram.observe(v);
-    };
-    observe_all("serve_admission_wait_ms",
-                "arrival -> endorsement dispatch (committed txs)", wait);
-    observe_all("serve_endorse_ms", "endorsement service time", endorse);
-    observe_all("serve_order_wait_ms", "endorsed -> block cut", order);
-    observe_all("serve_commit_ms", "block cut -> committed", commit);
-    observe_all("serve_total_latency_ms", "arrival -> committed", total);
+    // Latency histograms were observed live at each commit
+    // (observe_latencies); re-observing here would double-count.
 
     caliper_.record_shed(report.shed_total());
     caliper_.record_timeout(report.timed_out);
@@ -378,6 +454,19 @@ class ServeRun {
   obs::Registry* registry_;
   obs::Tracer* tracer_;
   int lane_admission_ = 0, lane_ingress_ = 0, lane_commit_ = 0;
+
+  // Live telemetry bindings; null without a registry.
+  obs::Counter* live_committed_ = nullptr;
+  obs::Counter* live_valid_ = nullptr;
+  obs::Counter* live_blocks_ = nullptr;
+  obs::Gauge* live_ingress_pending_ = nullptr;
+  obs::Gauge* live_commit_backlog_ = nullptr;
+  obs::Histogram* h_wait_ = nullptr;
+  obs::Histogram* h_endorse_ = nullptr;
+  obs::Histogram* h_order_ = nullptr;
+  obs::Histogram* h_commit_ = nullptr;
+  obs::Histogram* h_total_ = nullptr;
+  obs::FlightRecorder* flight_ = nullptr;
 
   int endorsements_per_tx_ = 2;
   double db_reads_per_tx_ = 2.0, db_writes_per_tx_ = 2.0;
@@ -442,9 +531,9 @@ std::string ServeReport::to_text() const {
 }
 
 ServeReport run_serve(const ServeOptions& options, obs::Registry* registry,
-                      obs::Tracer* tracer) {
+                      obs::Tracer* tracer, obs::Telemetry* telemetry) {
   ServeRun run(options, registry, tracer);
-  return run.run();
+  return run.run(telemetry);
 }
 
 }  // namespace bm::serve

@@ -33,6 +33,10 @@
 #include "workload/metrics.hpp"
 #include "workload/network_harness.hpp"
 
+namespace bm::obs {
+class Telemetry;
+}
+
 namespace bm::serve {
 
 struct IngressConfig {
@@ -123,9 +127,13 @@ struct ServeReport {
 
 /// Run one open-loop serving scenario end to end. Observability sinks are
 /// optional; when given, every stage publishes into them ("serve_*" metrics
-/// plus a caliper_serve_* report with shed/timeout counts).
+/// plus a caliper_serve_* report with shed/timeout counts). A configured
+/// obs::Telemetry (requires `registry`) additionally runs the continuous
+/// time-series sampler, SLO monitor and flight recorder on the run's
+/// simulated clock; the report itself is identical with or without it.
 ServeReport run_serve(const ServeOptions& options,
                       obs::Registry* registry = nullptr,
-                      obs::Tracer* tracer = nullptr);
+                      obs::Tracer* tracer = nullptr,
+                      obs::Telemetry* telemetry = nullptr);
 
 }  // namespace bm::serve

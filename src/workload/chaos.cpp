@@ -2,6 +2,8 @@
 
 #include <sstream>
 
+#include "obs/telemetry.hpp"
+
 namespace bm::workload {
 
 namespace {
@@ -53,7 +55,8 @@ std::string ChaosReport::to_text() const {
 }
 
 ChaosReport run_chaos_scenario(const ChaosOptions& options,
-                               obs::Registry* registry, obs::Tracer* tracer) {
+                               obs::Registry* registry, obs::Tracer* tracer,
+                               obs::Telemetry* telemetry) {
   ChaosReport report;
   FabricNetworkHarness harness(options.network);
 
@@ -65,6 +68,10 @@ ChaosReport run_chaos_scenario(const ChaosOptions& options,
         options.fallback_factory(harness.msp(), harness.policies()));
   if (registry != nullptr || tracer != nullptr)
     peer.attach_observability(registry, tracer);
+  if (telemetry != nullptr && telemetry->enabled() && registry != nullptr) {
+    telemetry->attach(sim, *registry, tracer);
+    peer.set_flight_recorder(telemetry->flight());
+  }
   peer.start();
   bmac::ProtocolSender sender(harness.msp());
 
@@ -192,6 +199,9 @@ ChaosReport run_chaos_scenario(const ChaosOptions& options,
                       "frames dropped by the GBN CRC check")
         .set(report.receiver_stats.frames_corrupted);
   }
+  // The sampler/monitor hold recurring events on `sim`, which dies with this
+  // frame — settle them (final sample + evaluation) before returning.
+  if (telemetry != nullptr) telemetry->finish();
   return report;
 }
 

@@ -20,6 +20,10 @@
 #include "net/faults.hpp"
 #include "workload/network_harness.hpp"
 
+namespace bm::obs {
+class Telemetry;
+}
+
 namespace bm::workload {
 
 struct ChaosOptions {
@@ -80,9 +84,13 @@ struct ChaosReport {
 };
 
 /// Run one scenario end to end. Observability sinks are optional; when
-/// given, the peer, channels and fault counters publish into them.
+/// given, the peer, channels and fault counters publish into them. A
+/// configured obs::Telemetry (requires `registry`) additionally samples the
+/// run continuously and arms the flight recorder on the degrade path; the
+/// report itself is identical with or without it.
 ChaosReport run_chaos_scenario(const ChaosOptions& options,
                                obs::Registry* registry = nullptr,
-                               obs::Tracer* tracer = nullptr);
+                               obs::Tracer* tracer = nullptr,
+                               obs::Telemetry* telemetry = nullptr);
 
 }  // namespace bm::workload

@@ -34,6 +34,13 @@
 // files. When the first argument is an option, the command defaults to
 // `validate`.
 //
+// Continuous telemetry (chaos and serve, docs/OBSERVABILITY.md):
+// --sample-interval MS samples every metric on the simulated clock into
+// --timeseries-out / --timeseries-csv; --slo-config FILE evaluates SLO
+// burn-rate rules during the run (--slo-out writes the alert log);
+// --flight-out FILE arms the per-transaction flight recorder, dumped at the
+// first SLO alert / watchdog fire / fallback activation.
+//
 // Without --config, a built-in two-org smallbank deployment is used.
 #include <cstdio>
 #include <cstring>
@@ -49,6 +56,7 @@
 #include "fabric/validator_backend.hpp"
 #include "obs/artifacts.hpp"
 #include "obs/metrics.hpp"
+#include "obs/telemetry.hpp"
 #include "obs/trace.hpp"
 #include "serve/config.hpp"
 #include "serve/pipeline.hpp"
@@ -317,10 +325,17 @@ int cmd_chaos(const Options& options) {
 
   obs::Registry registry;
   obs::Tracer tracer;
+  obs::Telemetry telemetry;
   const bool obs_on = options.flags.wants_obs();
+  std::string telemetry_error;
+  if (!telemetry.configure(options.flags, &telemetry_error)) {
+    std::fprintf(stderr, "%s\n", telemetry_error.c_str());
+    return 2;
+  }
   if (obs_on) tracer.begin_process("chaos " + scenario->name);
   const workload::ChaosReport report = workload::run_chaos_scenario(
-      chaos, obs_on ? &registry : nullptr, obs_on ? &tracer : nullptr);
+      chaos, obs_on ? &registry : nullptr, obs_on ? &tracer : nullptr,
+      &telemetry);
 
   std::printf("scenario %s, %d blocks of %d txs\n%s",
               scenario->name.c_str(), options.blocks, options.block_size,
@@ -332,6 +347,8 @@ int cmd_chaos(const Options& options) {
         obs::write_artifacts(options.flags, registry, tracer,
                              report.finished_at);
     if (rc != 0) return rc;
+    const int telemetry_rc = telemetry.write();
+    if (telemetry_rc != 0) return telemetry_rc;
   }
   return report.ok() ? 0 : 1;
 }
@@ -354,10 +371,16 @@ int cmd_serve(const Options& options) {
 
   obs::Registry registry;
   obs::Tracer tracer;
+  obs::Telemetry telemetry;
   const bool obs_on = options.flags.wants_obs();
+  std::string telemetry_error;
+  if (!telemetry.configure(options.flags, &telemetry_error)) {
+    std::fprintf(stderr, "%s\n", telemetry_error.c_str());
+    return 2;
+  }
   const serve::ServeReport report =
       serve::run_serve(serve_options, obs_on ? &registry : nullptr,
-                       obs_on ? &tracer : nullptr);
+                       obs_on ? &tracer : nullptr, &telemetry);
 
   std::printf("scenario %s: %s arrivals at %.0f tps for %.0f ms\n%s",
               serve_options.name.c_str(),
@@ -374,6 +397,8 @@ int cmd_serve(const Options& options) {
     const int rc = obs::write_artifacts(options.flags, registry, tracer,
                                         report.finished_at);
     if (rc != 0) return rc;
+    const int telemetry_rc = telemetry.write();
+    if (telemetry_rc != 0) return telemetry_rc;
   }
   return report.ok() ? 0 : 1;
 }

@@ -4,6 +4,13 @@
 // the artifact contract — what a user loads into Perfetto or scrapes into
 // Prometheus — is covered by the default test run, not just the unit tests.
 //
+// Phase 2 validates the continuous-telemetry artifacts the same way: a
+// serve_burst run with --sample-interval/--slo-config/--flight-out must
+// produce a well-formed time series (monotone timestamps, monotone
+// counters, aligned rate columns), an SLO alert log with at least one fire
+// (the burst overloads the front end by design), a triggered flight dump —
+// and a byte-identical set of files when rerun (docs/OBSERVABILITY.md).
+//
 // Usage: obs_selfcheck <path-to-bmac_sim> [work-dir]
 #include <cstdio>
 #include <cstdlib>
@@ -153,6 +160,139 @@ int main(int argc, char** argv) {
                           : nullptr;
   check(packets != nullptr && packets->number > 0,
         "metrics count processed packets");
+
+  // --- phase 2: continuous telemetry ---------------------------------------
+#ifdef BM_REPO_ROOT
+  const std::string repo = BM_REPO_ROOT;
+  const std::string ts_path = dir + "/obs_selfcheck_ts.json";
+  const std::string csv_path = dir + "/obs_selfcheck_ts.csv";
+  const std::string slo_path = dir + "/obs_selfcheck_slo.json";
+  const std::string flight_path = dir + "/obs_selfcheck_flight.json";
+
+  const auto telemetry_cmd = [&](const std::string& suffix) {
+    return "\"" + bmac_sim + "\" serve --serve-config \"" + repo +
+           "/configs/serve_burst.json\" --sample-interval 5"
+           " --timeseries-out \"" + ts_path + suffix + "\""
+           " --timeseries-csv \"" + csv_path + suffix + "\""
+           " --slo-config \"" + repo + "/configs/slo_default.json\""
+           " --slo-out \"" + slo_path + suffix + "\""
+           " --flight-out \"" + flight_path + suffix + "\""
+           " > /dev/null 2>&1";
+  };
+  std::printf("running: %s\n", telemetry_cmd("").c_str());
+  const int rc2 = std::system(telemetry_cmd("").c_str());
+  check(rc2 == 0, "bmac_sim serve (telemetry) exits cleanly");
+  if (rc2 != 0) return 1;
+
+  // Time series: schema + aligned, monotone columns.
+  const auto ts = bm::obs::json::parse(read_file(ts_path), &error);
+  check(ts.has_value(), "timeseries parses as JSON (" + error + ")");
+  if (!ts) return 1;
+  const Value* schema = find(*ts, "schema_version");
+  check(schema != nullptr && schema->number == 1,
+        "timeseries schema_version is 1");
+  const Value* kind = find(*ts, "kind");
+  check(kind != nullptr && kind->string == "timeseries",
+        "timeseries kind tag");
+  const Value* ts_at = find(*ts, "at_ns");
+  check(ts_at != nullptr && ts_at->is_array() && ts_at->array.size() > 2,
+        "timeseries has > 2 samples");
+  bool at_monotone = true;
+  if (ts_at != nullptr && ts_at->is_array())
+    for (std::size_t i = 1; i < ts_at->array.size(); ++i)
+      if (ts_at->array[i].number <= ts_at->array[i - 1].number)
+        at_monotone = false;
+  check(at_monotone, "timeseries at_ns strictly increases");
+
+  const Value* series = find(*ts, "series");
+  check(series != nullptr && series->is_object() && !series->object.empty(),
+        "timeseries has series");
+  bool columns_aligned = true, counters_monotone = true, has_rates = false;
+  if (series != nullptr && series->is_object()) {
+    for (const auto& [name, entry] : series->object) {
+      const Value* values = find(entry, "values");
+      if (values == nullptr || !values->is_array() || ts_at == nullptr ||
+          values->array.size() != ts_at->array.size())
+        columns_aligned = false;
+      const Value* type = find(entry, "type");
+      const Value* rates = find(entry, "rate_per_s");
+      if (type != nullptr && type->string == "counter") {
+        if (rates == nullptr || !rates->is_array() || values == nullptr ||
+            rates->array.size() != values->array.size())
+          columns_aligned = false;
+        else
+          has_rates = true;
+        if (values != nullptr && values->is_array())
+          for (std::size_t i = 1; i < values->array.size(); ++i)
+            if (values->array[i].number < values->array[i - 1].number)
+              counters_monotone = false;
+      }
+    }
+  }
+  check(columns_aligned, "every series column aligns with at_ns (and rates)");
+  check(counters_monotone, "counter series never decrease");
+  check(has_rates, "counter series carry derived rate_per_s columns");
+
+  // CSV: one header plus one row per sample.
+  const std::string csv = read_file(csv_path);
+  std::size_t csv_rows = 0;
+  for (const char c : csv) csv_rows += c == '\n' ? 1 : 0;
+  check(ts_at != nullptr && csv_rows == ts_at->array.size() + 1,
+        "csv has one row per sample plus the header");
+
+  // SLO alert log: the burst must trip at least one rule.
+  const auto slo = bm::obs::json::parse(read_file(slo_path), &error);
+  check(slo.has_value(), "slo log parses as JSON (" + error + ")");
+  if (!slo) return 1;
+  const Value* slo_kind = find(*slo, "kind");
+  check(slo_kind != nullptr && slo_kind->string == "slo_alerts",
+        "slo log kind tag");
+  const Value* fires = find(*slo, "fires");
+  check(fires != nullptr && fires->number >= 1,
+        "serve_burst fires at least one SLO alert");
+  const Value* slo_events = find(*slo, "events");
+  bool events_ordered = true;
+  if (slo_events != nullptr && slo_events->is_array()) {
+    double last = -1;
+    for (const Value& e : slo_events->array) {
+      const Value* at = find(e, "at_ns");
+      if (at == nullptr || at->number < last) events_ordered = false;
+      if (at != nullptr) last = at->number;
+    }
+  }
+  check(events_ordered, "slo transitions are time-ordered");
+
+  // Flight recorder: the first alert freezes a post-mortem.
+  const auto flight = bm::obs::json::parse(read_file(flight_path), &error);
+  check(flight.has_value(), "flight dump parses as JSON (" + error + ")");
+  if (!flight) return 1;
+  const Value* trigger = find(*flight, "trigger");
+  check(trigger != nullptr && trigger->is_object(),
+        "flight dump was written by a trigger");
+  if (trigger != nullptr && trigger->is_object()) {
+    const Value* reason = find(*trigger, "reason");
+    check(reason != nullptr &&
+              reason->string.rfind("slo:", 0) == 0,
+          "flight trigger names the SLO rule (" +
+              (reason != nullptr ? reason->string : "<none>") + ")");
+  }
+  const Value* flight_events = find(*flight, "events");
+  check(flight_events != nullptr && flight_events->is_array() &&
+            !flight_events->array.empty(),
+        "flight dump holds the pre-trigger event window");
+
+  // Determinism: the identical command must reproduce every artifact byte
+  // for byte.
+  const int rc3 = std::system(telemetry_cmd(".rerun").c_str());
+  check(rc3 == 0, "telemetry rerun exits cleanly");
+  if (rc3 == 0) {
+    for (const std::string& p : {ts_path, csv_path, slo_path, flight_path})
+      check(read_file(p) == read_file(p + ".rerun"),
+            "rerun byte-identical: " + p);
+  }
+#else
+  std::printf("(phase 2 skipped: BM_REPO_ROOT not defined)\n");
+#endif
 
   if (g_failures == 0) {
     std::printf("obs_selfcheck: all checks passed\n");
