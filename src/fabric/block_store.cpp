@@ -1,30 +1,125 @@
 #include "fabric/block_store.hpp"
 
+#include <unistd.h>
+
 #include <cstdio>
+#include <filesystem>
 #include <stdexcept>
 
 #include "common/crc32.hpp"
 #include "fabric/statedb.hpp"
 #include "fabric/transaction.hpp"
+#include "obs/metrics.hpp"
 
 namespace bm::fabric {
 
 namespace {
 constexpr std::uint32_t kMagic = 0x424D4C47;  // "BMLG"
+constexpr std::size_t kHeaderSize = 12;       // magic + len + crc
 
 void put_u32le(Bytes& out, std::uint32_t v) {
   for (int i = 0; i < 4; ++i)
     out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
 }
 
-std::uint32_t get_u32le(ByteView b, std::size_t offset) {
+std::uint32_t get_u32le(const std::uint8_t* b) {
   std::uint32_t v = 0;
-  for (int i = 3; i >= 0; --i) v = (v << 8) | b[offset + static_cast<std::size_t>(i)];
+  for (int i = 3; i >= 0; --i) v = (v << 8) | b[i];
   return v;
 }
+
+/// One pass over a store file, one record at a time (memory bounded by the
+/// largest single record, never the file). Records below `first_height` get
+/// a framing-only check and an fseek past the payload; from there on every
+/// record is CRC-checked, chain-checked against `seed` and (when `collect`)
+/// unmarshaled. The scan stops at the first inconsistency.
+struct ScanResult {
+  std::uint64_t records = 0;    ///< verified records (skipped ones included)
+  std::uint64_t valid_end = 0;  ///< byte offset after the last good record
+  std::uint64_t file_size = 0;
+  crypto::Digest tail{};  ///< commit hash of the last verified record
+  std::vector<std::uint64_t> offsets;
+  std::vector<CommittedBlock> blocks;  ///< when `collect`
+};
+
+ScanResult scan_store(const std::string& path, std::uint64_t first_height,
+                      const crypto::Digest& seed, bool collect) {
+  ScanResult result;
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return result;  // no file yet: empty chain
+
+  std::fseek(f, 0, SEEK_END);
+  result.file_size = static_cast<std::uint64_t>(std::ftell(f));
+  std::fseek(f, 0, SEEK_SET);
+
+  std::uint64_t pos = 0;
+  crypto::Digest prev_commit = first_height == 0 ? crypto::Digest{} : seed;
+  Bytes payload;
+  std::uint8_t header[kHeaderSize];
+  while (pos + kHeaderSize <= result.file_size) {
+    if (std::fread(header, 1, kHeaderSize, f) != kHeaderSize) break;
+    if (get_u32le(header) != kMagic) break;
+    const std::uint32_t len = get_u32le(header + 4);
+    const std::uint32_t crc = get_u32le(header + 8);
+    // Validate the length *before* touching the payload: a commit hash alone
+    // is 32 bytes, so any shorter length (or one past the sanity bound, or
+    // past end-of-file) marks a torn or corrupt record.
+    if (len < 32 || len > FileBlockStore::kMaxPayload) break;
+    if (pos + kHeaderSize + len > result.file_size) break;  // torn tail
+
+    if (result.records < first_height) {
+      // Skipped prefix (covered by a snapshot): framing checks only.
+      if (std::fseek(f, static_cast<long>(len), SEEK_CUR) != 0) break;
+    } else {
+      payload.resize(len);
+      if (std::fread(payload.data(), 1, len, f) != len) break;
+      if (crc32(payload) != crc) break;
+
+      // Verify the commit-hash chain: H(prev_commit || marshaled block).
+      crypto::Sha256 h;
+      h.update(crypto::digest_view(prev_commit));
+      h.update(ByteView(payload).subspan(32));
+      const crypto::Digest commit_hash = h.finish();
+      if (!std::equal(payload.begin(), payload.begin() + 32,
+                      commit_hash.begin()))
+        break;
+      prev_commit = commit_hash;
+      result.tail = commit_hash;
+
+      if (collect) {
+        auto block = Block::unmarshal(ByteView(payload).subspan(32));
+        if (!block) break;
+        CommittedBlock committed;
+        committed.commit_hash = commit_hash;
+        committed.block = std::move(*block);
+        result.blocks.push_back(std::move(committed));
+      }
+      result.offsets.push_back(pos);
+    }
+    pos += kHeaderSize + len;
+    result.records += 1;
+    result.valid_end = pos;
+  }
+  std::fclose(f);
+  result.offsets.push_back(result.valid_end);
+  return result;
+}
+
 }  // namespace
 
 FileBlockStore::FileBlockStore(std::string path) : path_(std::move(path)) {
+  // Safe reopen: find the valid prefix, cut the torn tail off the file and
+  // seed the chain head from what survived. Appending blindly after a crash
+  // would park every new block beyond the first inconsistency, where
+  // recover() (which stops there by design) could never reach it.
+  const ScanResult scan =
+      scan_store(path_, 0, crypto::Digest{}, /*collect=*/false);
+  height_ = scan.records;
+  tail_commit_hash_ = scan.tail;
+  truncated_bytes_ = scan.file_size - scan.valid_end;
+  if (truncated_bytes_ > 0)
+    std::filesystem::resize_file(path_, scan.valid_end);
+
   std::FILE* f = std::fopen(path_.c_str(), "ab");
   if (f == nullptr)
     throw std::runtime_error("cannot open block store: " + path_);
@@ -36,9 +131,26 @@ FileBlockStore::~FileBlockStore() {
 }
 
 void FileBlockStore::append(const CommittedBlock& block) {
+  if (block.block.header.number != height_)
+    throw std::invalid_argument(
+        "block store: append of block " +
+        std::to_string(block.block.header.number) + " at height " +
+        std::to_string(height_));
+
   Bytes payload;
   bm::append(payload, crypto::digest_view(block.commit_hash));
   bm::append(payload, block.block.marshal());
+
+  // The append must extend the recovered tail: its commit hash re-derives
+  // from our chain head. Anything else would write a record recovery stops
+  // in front of, silently orphaning all of its successors.
+  crypto::Sha256 h;
+  h.update(crypto::digest_view(tail_commit_hash_));
+  h.update(ByteView(payload).subspan(32));
+  if (h.finish() != block.commit_hash)
+    throw std::invalid_argument(
+        "block store: commit hash does not extend the stored chain at height " +
+        std::to_string(height_));
 
   Bytes frame;
   put_u32le(frame, kMagic);
@@ -50,55 +162,60 @@ void FileBlockStore::append(const CommittedBlock& block) {
   if (std::fwrite(frame.data(), 1, frame.size(), f) != frame.size())
     throw std::runtime_error("block store write failed: " + path_);
   std::fflush(f);
-  ++blocks_written_;
+  tail_commit_hash_ = block.commit_hash;
+  height_ += 1;
+  blocks_written_ += 1;
+  bytes_written_ += frame.size();
+}
+
+void FileBlockStore::sync() {
+  auto* f = static_cast<std::FILE*>(file_);
+  std::fflush(f);
+  ::fsync(fileno(f));
+  fsyncs_ += 1;
 }
 
 FileBlockStore::RecoveredChain FileBlockStore::recover(
     const std::string& path) {
+  return recover_from(path, 0, crypto::Digest{});
+}
+
+FileBlockStore::RecoveredChain FileBlockStore::recover_from(
+    const std::string& path, std::uint64_t first_height,
+    const crypto::Digest& prev_commit) {
+  ScanResult scan = scan_store(path, first_height, prev_commit,
+                               /*collect=*/true);
   RecoveredChain chain;
-  std::FILE* f = std::fopen(path.c_str(), "rb");
-  if (f == nullptr) return chain;  // no file yet: empty chain
-
-  Bytes contents;
-  std::uint8_t buffer[65536];
-  std::size_t n;
-  while ((n = std::fread(buffer, 1, sizeof(buffer), f)) > 0)
-    contents.insert(contents.end(), buffer, buffer + n);
-  std::fclose(f);
-
-  std::size_t pos = 0;
-  crypto::Digest prev_commit{};
-  while (pos + 12 <= contents.size()) {
-    if (get_u32le(contents, pos) != kMagic) break;
-    const std::uint32_t len = get_u32le(contents, pos + 4);
-    const std::uint32_t crc = get_u32le(contents, pos + 8);
-    if (pos + 12 + len > contents.size()) break;  // torn tail
-    const ByteView payload = ByteView(contents).subspan(pos + 12, len);
-    if (crc32(payload) != crc || len < 32) break;
-
-    CommittedBlock committed;
-    std::copy(payload.begin(), payload.begin() + 32,
-              committed.commit_hash.begin());
-    auto block = Block::unmarshal(payload.subspan(32));
-    if (!block) break;
-    committed.block = std::move(*block);
-
-    // Verify the commit-hash chain: H(prev_commit || marshaled block).
-    crypto::Sha256 h;
-    h.update(crypto::digest_view(prev_commit));
-    h.update(payload.subspan(32));
-    if (h.finish() != committed.commit_hash) break;
-    prev_commit = committed.commit_hash;
-
-    chain.blocks.push_back(std::move(committed));
-    pos += 12 + len;
-  }
-  chain.torn_bytes = contents.size() - pos;
+  chain.blocks = std::move(scan.blocks);
+  chain.first_height = std::min(first_height, scan.records);
+  chain.torn_bytes = scan.file_size - scan.valid_end;
+  chain.record_offsets = std::move(scan.offsets);
   return chain;
+}
+
+void FileBlockStore::publish_metrics(obs::Registry& registry,
+                                     const std::string& prefix) const {
+  registry
+      .counter(prefix + "_blocks_appended_total",
+               "blocks appended through this store handle")
+      .set(blocks_written_);
+  registry
+      .counter(prefix + "_bytes_written_total",
+               "framed bytes appended to the block log")
+      .set(bytes_written_);
+  registry.counter(prefix + "_fsyncs_total", "fsync calls on the block log")
+      .set(fsyncs_);
+  registry.gauge(prefix + "_height", "blocks in the log file")
+      .set(static_cast<double>(height_));
+  registry
+      .gauge(prefix + "_truncated_bytes",
+             "torn bytes cut off the log when it was reopened")
+      .set(static_cast<double>(truncated_bytes_));
 }
 
 bool replay_chain(const FileBlockStore::RecoveredChain& chain, Ledger& ledger,
                   StateDb* state) {
+  if (ledger.height() != chain.first_height) return false;
   for (const CommittedBlock& committed : chain.blocks) {
     crypto::Digest recomputed;
     try {
@@ -109,7 +226,11 @@ bool replay_chain(const FileBlockStore::RecoveredChain& chain, Ledger& ledger,
     if (recomputed != committed.commit_hash) return false;
 
     if (state != nullptr) {
+      // Same batched path live commits take: one grouped, version-stamped
+      // apply per block, so replayed state carries the same batch
+      // accounting as the original run.
       const Block& block = committed.block;
+      StateDb::WriteBatch batch = state->make_batch();
       for (std::size_t i = 0; i < block.tx_count(); ++i) {
         if (block.metadata.tx_flags[i] !=
             static_cast<std::uint8_t>(TxValidationCode::kValid))
@@ -119,9 +240,10 @@ bool replay_chain(const FileBlockStore::RecoveredChain& chain, Ledger& ledger,
         const Version version{block.header.number,
                               static_cast<std::uint32_t>(i)};
         for (const KVWrite& write : tx->rwset.writes)
-          state->put(StateDb::namespaced(tx->chaincode_id, write.key),
-                     write.value, version);
+          batch.add(StateDb::namespaced(tx->chaincode_id, write.key),
+                    write.value, version);
       }
+      state->commit_batch(std::move(batch));
     }
   }
   return true;

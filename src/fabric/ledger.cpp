@@ -5,11 +5,10 @@
 namespace bm::fabric {
 
 crypto::Digest Ledger::append(Block block) {
-  if (block.header.number != blocks_.size())
+  if (block.header.number != height())
     throw std::invalid_argument("ledger: non-sequential block number");
-  if (!blocks_.empty()) {
-    const crypto::Digest prev = blocks_.back().block.block_hash();
-    if (!equal(block.header.prev_hash, crypto::digest_view(prev)))
+  if (height() > 0) {
+    if (!equal(block.header.prev_hash, crypto::digest_view(last_header_hash_)))
       throw std::invalid_argument("ledger: prev_hash mismatch");
   }
   if (block.metadata.tx_flags.size() != block.envelopes.size())
@@ -23,13 +22,26 @@ crypto::Digest Ledger::append(Block block) {
   h.update(marshaled);
   const crypto::Digest commit_hash = h.finish();
 
+  last_header_hash_ = block.block_hash();
   blocks_.push_back(CommittedBlock{std::move(block), commit_hash});
   last_commit_hash_ = commit_hash;
   return commit_hash;
 }
 
+void Ledger::open_at(std::uint64_t height,
+                     const crypto::Digest& last_commit_hash,
+                     const crypto::Digest& last_header_hash) {
+  if (base_height_ != 0 || !blocks_.empty())
+    throw std::logic_error("ledger: open_at on a non-empty ledger");
+  base_height_ = height;
+  last_commit_hash_ = last_commit_hash;
+  last_header_hash_ = last_header_hash;
+}
+
 const CommittedBlock& Ledger::at(std::uint64_t index) const {
-  return blocks_.at(index);
+  if (index < base_height_)
+    throw std::out_of_range("ledger: block below the recovered base height");
+  return blocks_.at(index - base_height_);
 }
 
 const CommittedBlock& Ledger::last() const {

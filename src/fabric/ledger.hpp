@@ -24,7 +24,17 @@ class Ledger {
   /// Returns the commit hash.
   crypto::Digest append(Block block);
 
-  std::uint64_t height() const { return blocks_.size(); }
+  /// Seed an *empty* ledger at a recovered chain position (StateDb snapshot
+  /// + replay-from-height recovery): the next append must carry block number
+  /// `height` and chain onto `last_commit_hash` / `last_header_hash`.
+  /// Blocks below `height` are not held — at() on them throws.
+  void open_at(std::uint64_t height, const crypto::Digest& last_commit_hash,
+               const crypto::Digest& last_header_hash);
+
+  std::uint64_t height() const { return base_height_ + blocks_.size(); }
+  /// Lowest height this ledger holds a block for (0 unless open_at() was
+  /// used).
+  std::uint64_t base_height() const { return base_height_; }
   const CommittedBlock& at(std::uint64_t index) const;
   const CommittedBlock& last() const;
   const crypto::Digest& last_commit_hash() const { return last_commit_hash_; }
@@ -34,7 +44,9 @@ class Ledger {
 
  private:
   std::vector<CommittedBlock> blocks_;
+  std::uint64_t base_height_ = 0;      // first held block's number
   crypto::Digest last_commit_hash_{};  // zero for the empty chain
+  crypto::Digest last_header_hash_{};  // block_hash of the chain tail
   std::uint64_t bytes_written_ = 0;
 };
 

@@ -1,7 +1,10 @@
 #include "fabric/statedb.hpp"
 
 #include <algorithm>
+#include <cstdio>
+#include <filesystem>
 
+#include "common/crc32.hpp"
 #include "common/thread_pool.hpp"
 #include "obs/metrics.hpp"
 
@@ -124,6 +127,220 @@ void StateDb::commit_batch(WriteBatch&& batch, ThreadPool* pool) {
   } else {
     for (std::size_t s = 0; s < shards_.size(); ++s) apply_shard(s);
   }
+}
+
+namespace {
+
+constexpr std::uint32_t kSnapMagic = 0x424D5353;  // "BMSS"
+constexpr std::uint32_t kSnapVersion = 1;
+constexpr std::size_t kSnapHeaderSize = 12;  // magic + len + crc
+constexpr std::uint32_t kSnapMaxFrame = 256u << 20;  // corrupt-length guard
+
+void snap_u32(Bytes& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i)
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void snap_u64(Bytes& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i)
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void snap_bytes(Bytes& out, ByteView v) {
+  snap_u32(out, static_cast<std::uint32_t>(v.size()));
+  bm::append(out, v);
+}
+
+void snap_string(Bytes& out, const std::string& v) {
+  snap_u32(out, static_cast<std::uint32_t>(v.size()));
+  out.insert(out.end(), v.begin(), v.end());
+}
+
+/// Bounds-checked little-endian reader over one frame payload.
+struct SnapReader {
+  ByteView data;
+  std::size_t pos = 0;
+  bool ok = true;
+
+  std::uint32_t u32() {
+    if (pos + 4 > data.size()) {
+      ok = false;
+      return 0;
+    }
+    std::uint32_t v = 0;
+    for (int i = 3; i >= 0; --i)
+      v = (v << 8) | data[pos + static_cast<std::size_t>(i)];
+    pos += 4;
+    return v;
+  }
+
+  std::uint64_t u64() {
+    if (pos + 8 > data.size()) {
+      ok = false;
+      return 0;
+    }
+    std::uint64_t v = 0;
+    for (int i = 7; i >= 0; --i)
+      v = (v << 8) | data[pos + static_cast<std::size_t>(i)];
+    pos += 8;
+    return v;
+  }
+
+  ByteView bytes() {
+    const std::uint32_t n = u32();
+    if (!ok || pos + n > data.size()) {
+      ok = false;
+      return {};
+    }
+    const ByteView v = data.subspan(pos, n);
+    pos += n;
+    return v;
+  }
+};
+
+bool write_snap_frame(std::FILE* f, const Bytes& payload) {
+  Bytes frame;
+  snap_u32(frame, kSnapMagic);
+  snap_u32(frame, static_cast<std::uint32_t>(payload.size()));
+  snap_u32(frame, crc32(payload));
+  bm::append(frame, payload);
+  return std::fwrite(frame.data(), 1, frame.size(), f) == frame.size();
+}
+
+/// Read one CRC-framed payload; false on EOF, bad magic, bad length or CRC.
+bool read_snap_frame(std::FILE* f, Bytes* payload) {
+  std::uint8_t header[kSnapHeaderSize];
+  if (std::fread(header, 1, kSnapHeaderSize, f) != kSnapHeaderSize)
+    return false;
+  SnapReader reader{ByteView(header, kSnapHeaderSize)};
+  if (reader.u32() != kSnapMagic) return false;
+  const std::uint32_t len = reader.u32();
+  const std::uint32_t crc = reader.u32();
+  if (len > kSnapMaxFrame) return false;
+  payload->resize(len);
+  if (std::fread(payload->data(), 1, len, f) != len) return false;
+  return crc32(*payload) == crc;
+}
+
+}  // namespace
+
+bool StateDb::snapshot(const std::string& path,
+                       const StateSnapshotMeta& meta) const {
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) return false;
+
+  std::vector<std::uint32_t> populated;
+  std::uint64_t key_count = 0;
+  for (std::uint32_t s = 0; s < shards_.size(); ++s) {
+    std::lock_guard<std::mutex> lock(shards_[s]->mutex);
+    if (shards_[s]->data.empty()) continue;
+    populated.push_back(s);
+    key_count += shards_[s]->data.size();
+  }
+
+  Bytes header;
+  snap_u32(header, kSnapVersion);
+  snap_u64(header, meta.height);
+  snap_bytes(header, meta.commit_hash);
+  snap_bytes(header, meta.header_hash);
+  snap_u32(header, static_cast<std::uint32_t>(shards_.size()));
+  snap_u32(header, static_cast<std::uint32_t>(populated.size()));
+  snap_u64(header, key_count);
+  bool ok = write_snap_frame(f, header);
+
+  Bytes payload;
+  for (const std::uint32_t s : populated) {
+    if (!ok) break;
+    payload.clear();
+    std::lock_guard<std::mutex> lock(shards_[s]->mutex);
+    snap_u32(payload, s);
+    snap_u64(payload, shards_[s]->data.size());
+    for (const auto& [key, value] : shards_[s]->data) {
+      snap_string(payload, key);
+      snap_bytes(payload, value.value);
+      snap_u64(payload, value.version.block_num);
+      snap_u32(payload, value.version.tx_num);
+    }
+    ok = write_snap_frame(f, payload);
+  }
+  ok = std::fflush(f) == 0 && ok;
+  std::fclose(f);
+  if (!ok) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  return !ec;
+}
+
+std::optional<StateSnapshotMeta> StateDb::restore(const std::string& path) {
+  clear();
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return std::nullopt;
+
+  Bytes payload;
+  StateSnapshotMeta meta;
+  std::uint32_t frames = 0;
+  std::uint64_t key_count = 0;
+  {
+    if (!read_snap_frame(f, &payload)) {
+      std::fclose(f);
+      return std::nullopt;
+    }
+    SnapReader reader{payload};
+    const std::uint32_t version = reader.u32();
+    meta.height = reader.u64();
+    const ByteView commit = reader.bytes();
+    meta.commit_hash.assign(commit.begin(), commit.end());
+    const ByteView header_hash = reader.bytes();
+    meta.header_hash.assign(header_hash.begin(), header_hash.end());
+    reader.u32();  // writer's shard count: informational only
+    frames = reader.u32();
+    key_count = reader.u64();
+    if (!reader.ok || version != kSnapVersion ||
+        reader.pos != payload.size()) {
+      std::fclose(f);
+      return std::nullopt;
+    }
+  }
+
+  std::uint64_t restored = 0;
+  for (std::uint32_t frame = 0; frame < frames; ++frame) {
+    if (!read_snap_frame(f, &payload)) {
+      std::fclose(f);
+      clear();
+      return std::nullopt;
+    }
+    SnapReader reader{payload};
+    reader.u32();  // writer's shard index: keys re-route by hash below
+    const std::uint64_t entries = reader.u64();
+    for (std::uint64_t e = 0; e < entries && reader.ok; ++e) {
+      const ByteView key_bytes = reader.bytes();
+      std::string key(key_bytes.begin(), key_bytes.end());
+      const ByteView value = reader.bytes();
+      Version version;
+      version.block_num = reader.u64();
+      version.tx_num = reader.u32();
+      if (!reader.ok) break;
+      put(std::move(key), Bytes(value.begin(), value.end()), version);
+      ++restored;
+    }
+    if (!reader.ok || reader.pos != payload.size()) {
+      std::fclose(f);
+      clear();
+      return std::nullopt;
+    }
+  }
+  // Exactly the promised keys, and nothing after the last frame.
+  const bool trailing = std::fgetc(f) != EOF;
+  std::fclose(f);
+  if (restored != key_count || trailing) {
+    clear();
+    return std::nullopt;
+  }
+  return meta;
 }
 
 std::string StateDb::namespaced(const std::string& chaincode,

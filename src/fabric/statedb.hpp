@@ -38,6 +38,15 @@ struct VersionedValue {
   friend bool operator==(const VersionedValue&, const VersionedValue&) = default;
 };
 
+/// Chain position a StateDb snapshot was cut at: recovery restores the
+/// snapshot, seeds the ledger here (Ledger::open_at) and replays only the
+/// blocks past it.
+struct StateSnapshotMeta {
+  std::uint64_t height = 0;  ///< blocks committed when the snapshot was cut
+  Bytes commit_hash;         ///< ledger commit-hash chain tail (32 bytes)
+  Bytes header_hash;         ///< block_hash of the last committed block
+};
+
 class StateDb {
  public:
   static constexpr std::size_t kDefaultShards = 8;
@@ -100,6 +109,22 @@ class StateDb {
   /// applied in parallel (they are disjoint, so the final state is
   /// schedule-independent); without one, in shard order.
   void commit_batch(WriteBatch&& batch, ThreadPool* pool = nullptr);
+
+  // --- snapshots ------------------------------------------------------------
+  /// Write a versioned snapshot file: a CRC-framed header (format version,
+  /// chain position, shard count, key count) followed by one CRC-framed
+  /// key/value/version dump per non-empty shard — the same framing as the
+  /// block log, so torn or corrupt snapshots are detected, not trusted.
+  /// Written to "<path>.tmp" and renamed, so a crash mid-cut never leaves a
+  /// half snapshot under the real name. Returns false on I/O failure.
+  bool snapshot(const std::string& path, const StateSnapshotMeta& meta) const;
+
+  /// Replace this store's contents from a snapshot file. Returns the chain
+  /// position it was cut at, or nullopt if the file is missing, torn or
+  /// corrupt (the store is left cleared — fall back to full replay).
+  /// Entries re-route by key hash, so the shard count may differ from the
+  /// writer's.
+  std::optional<StateSnapshotMeta> restore(const std::string& path);
 
   /// Namespacing helper: Fabric stores keys as "<chaincode>\x00<key>".
   static std::string namespaced(const std::string& chaincode,

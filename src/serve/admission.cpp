@@ -45,6 +45,11 @@ AdmissionDecision AdmissionQueue::offer(std::uint64_t id, int klass,
   refill(now);
 
   AdmissionDecision decision;
+  // Guard both retry-after hints against a zero refill rate: with
+  // pressure_refill_factor == 0 the bucket stops refilling entirely while
+  // pressure is on, and dividing by it would cast inf to sim::Time (UB).
+  // Fall back to the unthrottled one-millisecond hint instead.
+  const double rate = refill_rate();
   if (depth() >= class_cap(klass)) {
     stats_.shed_queue_full += 1;
     if (live_shed_queue_full_ != nullptr) live_shed_queue_full_->inc();
@@ -53,10 +58,9 @@ AdmissionDecision AdmissionQueue::offer(std::uint64_t id, int klass,
     // The queue drains at (at most) the token rate; hint one slot's worth,
     // or a millisecond when unthrottled (capacity-bound, drain unknown).
     decision.retry_after =
-        config_.token_rate_tps > 0
-            ? static_cast<sim::Time>(static_cast<double>(sim::kSecond) /
-                                     refill_rate())
-            : sim::kMillisecond;
+        rate > 0 ? static_cast<sim::Time>(static_cast<double>(sim::kSecond) /
+                                          rate)
+                 : sim::kMillisecond;
     return decision;
   }
   if (config_.token_rate_tps > 0 && tokens_ < 1.0) {
@@ -64,8 +68,10 @@ AdmissionDecision AdmissionQueue::offer(std::uint64_t id, int klass,
     if (live_shed_rate_limited_ != nullptr) live_shed_rate_limited_->inc();
     if (live_shed_total_ != nullptr) live_shed_total_->inc();
     decision.result = AdmitResult::kOverloaded;
-    decision.retry_after = static_cast<sim::Time>(
-        (1.0 - tokens_) / refill_rate() * static_cast<double>(sim::kSecond));
+    decision.retry_after =
+        rate > 0 ? static_cast<sim::Time>((1.0 - tokens_) / rate *
+                                          static_cast<double>(sim::kSecond))
+                 : sim::kMillisecond;
     return decision;
   }
 

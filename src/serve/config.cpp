@@ -180,6 +180,34 @@ bool parse_network(const Value* node, workload::NetworkOptions* config,
                      &config->conflicting_read_rate, error);
 }
 
+bool parse_durability(const Value* node, fabric::DurabilityConfig* config,
+                      std::string* error) {
+  if (node == nullptr) return true;
+  if (!node->is_object()) {
+    if (error != nullptr)
+      *error = "serve config: \"durability\" must be an object";
+    return false;
+  }
+  if (const Value* path = node->find("ledger_path")) {
+    if (!path->is_string()) {
+      if (error != nullptr)
+        *error = "serve config: \"durability.ledger_path\" must be a string";
+      return false;
+    }
+    config->ledger_path = path->string;
+  }
+  double interval = static_cast<double>(config->snapshot_interval);
+  double fsync_each = config->fsync_each_block ? 1.0 : 0.0;
+  if (!read_number(*node, "snapshot_interval_blocks", &interval, error) ||
+      !read_size(*node, "keep_snapshots", &config->keep_snapshots, error) ||
+      !read_number(*node, "fsync_each_block", &fsync_each, error))
+    return false;
+  config->snapshot_interval =
+      interval < 0 ? 0 : static_cast<std::uint64_t>(interval);
+  config->fsync_each_block = fsync_each != 0.0;
+  return true;
+}
+
 }  // namespace
 
 std::optional<ServeOptions> parse_serve_scenario(std::string_view text,
@@ -220,7 +248,9 @@ std::optional<ServeOptions> parse_serve_scenario(std::string_view text,
       !parse_admission(root->find("admission"), &options.admission, error) ||
       !parse_endorse(root->find("endorse"), &options.endorse, error) ||
       !parse_ingress(root->find("ingress"), &options.ingress, error) ||
-      !parse_network(root->find("network"), &options.network, error))
+      !parse_network(root->find("network"), &options.network, error) ||
+      !parse_durability(root->find("durability"), &options.network.durability,
+                        error))
     return std::nullopt;
   return options;
 }

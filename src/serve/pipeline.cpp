@@ -419,6 +419,10 @@ class ServeRun {
     obs::Registry& registry = *registry_;
     admission_.publish_metrics(registry, "serve_admission");
     endorse_.publish_metrics(registry, "serve_endorse");
+    // Durable-ledger accounting (bytes appended, fsyncs, snapshot age) when
+    // the scenario persists its chain (docs/DURABILITY.md).
+    if (harness_.durable() != nullptr)
+      harness_.durable()->publish_metrics(registry, "serve_durable");
     registry.counter("serve_txs_committed_total", "transactions committed")
         .set(report.committed_txs);
     registry.counter("serve_txs_valid_total", "transactions flagged valid")

@@ -1,7 +1,10 @@
 #include "workload/chaos.hpp"
 
+#include <algorithm>
+#include <filesystem>
 #include <sstream>
 
+#include "common/rng.hpp"
 #include "obs/telemetry.hpp"
 
 namespace bm::workload {
@@ -202,6 +205,182 @@ ChaosReport run_chaos_scenario(const ChaosOptions& options,
   // The sampler/monitor hold recurring events on `sim`, which dies with this
   // frame — settle them (final sample + evaluation) before returning.
   if (telemetry != nullptr) telemetry->finish();
+  return report;
+}
+
+// --- kill-and-restart: the durable-ledger crash drill ----------------------
+
+namespace {
+
+/// Start the drill from a clean slate: a stale log or snapshot left behind
+/// by an earlier run would poison the equivalence check.
+void remove_durability_files(const fabric::DurabilityConfig& config) {
+  std::error_code ec;
+  std::filesystem::remove(config.ledger_path, ec);
+  const std::filesystem::path log(config.ledger_path);
+  const std::string prefix = log.filename().string() + ".snap.";
+  std::filesystem::path dir = log.parent_path();
+  if (dir.empty()) dir = ".";
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (name.size() > prefix.size() &&
+        name.compare(0, prefix.size(), prefix) == 0)
+      std::filesystem::remove(entry.path(), ec);
+  }
+}
+
+/// First height in [ledger.base_height(), ledger.height()) whose commit hash
+/// differs from the reference, or the ledger height when none does. Heights
+/// below a snapshot base are covered by the last_commit_hash check instead
+/// (the chain hash commits to the whole prefix).
+std::uint64_t first_hash_divergence(
+    const fabric::Ledger& ledger,
+    const std::vector<crypto::Digest>& reference) {
+  for (std::uint64_t h = ledger.base_height(); h < ledger.height(); ++h) {
+    if (h >= reference.size() ||
+        ledger.at(h).commit_hash != reference[h])
+      return h;
+  }
+  return ledger.height();
+}
+
+}  // namespace
+
+std::string CrashRecoveryReport::to_text() const {
+  // recovery.duration_s is wall clock — deliberately absent, the text must
+  // be byte-identical across reruns.
+  std::ostringstream out;
+  out << "crashed_mid_record " << crashed_mid_record << "\n"
+      << "recovered " << recovered << "\n"
+      << "hashes_match " << hashes_match << "\n"
+      << "resumed " << resumed << "\n"
+      << "final_chain_matches " << final_chain_matches << "\n"
+      << "crash_offset " << crash_offset << "\n"
+      << "torn_bytes " << recovery.torn_bytes << "\n"
+      << "used_snapshot " << recovery.used_snapshot << "\n"
+      << "snapshot_height " << recovery.snapshot_height << "\n"
+      << "blocks_replayed " << recovery.blocks_replayed << "\n"
+      << "recovered_height " << recovered_height << "\n"
+      << "final_height " << final_height << "\n";
+  if (!mismatch.empty()) out << "mismatch " << mismatch << "\n";
+  return out.str();
+}
+
+CrashRecoveryReport run_crash_recovery(const CrashRecoveryOptions& options,
+                                       obs::Registry* registry) {
+  CrashRecoveryReport report;
+  NetworkOptions net = options.network;
+  net.durability = options.durability;
+  const std::string& path = options.durability.ledger_path;
+  // Need a committed block *before* the torn one so the survivor prefix is
+  // non-empty and the reopened store has a real chain head to defend.
+  const int before = std::max(2, options.blocks_before_crash);
+  const int total = before + std::max(0, options.blocks_after);
+
+  remove_durability_files(options.durability);
+
+  // --- 1. commit durably, then "kill -9" ---------------------------------
+  {
+    FabricNetworkHarness harness(net);
+    for (int i = 0; i < before; ++i) harness.next_block();
+    harness.durable()->sync();
+  }  // dropped on the floor: no orderly shutdown, the file just closes
+
+  // --- 2. tear the tail: truncate mid-record at a random byte ------------
+  {
+    const auto chain = fabric::FileBlockStore::recover(path);
+    if (chain.blocks.size() != static_cast<std::size_t>(before)) {
+      report.mismatch = "pre-crash log holds " +
+                        std::to_string(chain.blocks.size()) + " blocks, want " +
+                        std::to_string(before);
+      return report;
+    }
+    const std::uint64_t last_start =
+        chain.record_offsets[chain.blocks.size() - 1];
+    const std::uint64_t end = chain.record_offsets.back();
+    Rng rng(options.crash_seed);
+    const std::uint64_t cut = last_start + 1 + rng.uniform(end - last_start - 1);
+    std::filesystem::resize_file(path, cut);
+    report.crash_offset = cut;
+    report.crashed_mid_record = cut > last_start && cut < end;
+  }
+
+  // --- 3. recover from disk ----------------------------------------------
+  fabric::Ledger recovered_ledger;
+  fabric::StateDb recovered_state;
+  report.recovery = fabric::DurableLedger::recover(options.durability,
+                                                   recovered_ledger,
+                                                   recovered_state);
+  report.recovered = report.recovery.ok &&
+                     recovered_ledger.height() ==
+                         static_cast<std::uint64_t>(before) - 1;
+  report.recovered_height = recovered_ledger.height();
+  if (!report.recovered && report.mismatch.empty())
+    report.mismatch = report.recovery.ok
+                          ? "recovered height " +
+                                std::to_string(recovered_ledger.height()) +
+                                ", want " + std::to_string(before - 1)
+                          : "recovery failed: " + report.recovery.error;
+
+  // --- 4. restart over the same log, commit at full speed ----------------
+  // Same seed => the harness regenerates the identical block stream; the
+  // reopened store must seed its head from the surviving prefix, skip the
+  // already-durable replay, re-append the torn-away block and then extend.
+  std::uint64_t store_height = 0;
+  std::vector<crypto::Digest> reference;
+  {
+    FabricNetworkHarness harness(net);
+    for (int i = 0; i < total; ++i) harness.next_block();
+    harness.durable()->sync();
+    store_height = harness.durable()->store().height();
+    if (registry != nullptr)
+      harness.durable()->publish_metrics(*registry, "chaos_durable");
+    const fabric::Ledger& ref = harness.reference_ledger();
+    reference.reserve(ref.height());
+    for (std::uint64_t h = 0; h < ref.height(); ++h)
+      reference.push_back(ref.at(h).commit_hash);
+  }
+  report.resumed = store_height == static_cast<std::uint64_t>(total);
+  if (!report.resumed && report.mismatch.empty())
+    report.mismatch = "store height " + std::to_string(store_height) +
+                      " after restart, want " + std::to_string(total);
+
+  // --- the §4.1 oracle: byte-for-byte commit-hash equality ----------------
+  const std::uint64_t diverged =
+      first_hash_divergence(recovered_ledger, reference);
+  report.hashes_match =
+      report.recovered && diverged == recovered_ledger.height() &&
+      (recovered_ledger.height() == 0 ||
+       recovered_ledger.last_commit_hash() ==
+           reference[recovered_ledger.height() - 1]);
+  if (report.recovered && !report.hashes_match && report.mismatch.empty())
+    report.mismatch =
+        "recovered commit hash diverged at height " + std::to_string(diverged);
+
+  // --- 5. recover once more: the whole chain must reproduce --------------
+  fabric::Ledger final_ledger;
+  fabric::StateDb final_state;
+  const fabric::RecoveryResult final_recovery =
+      fabric::DurableLedger::recover(options.durability, final_ledger,
+                                     final_state);
+  report.final_height = final_ledger.height();
+  const std::uint64_t final_diverged =
+      first_hash_divergence(final_ledger, reference);
+  report.final_chain_matches =
+      final_recovery.ok && final_ledger.height() == reference.size() &&
+      final_diverged == final_ledger.height() &&
+      !reference.empty() &&
+      final_ledger.last_commit_hash() == reference.back();
+  if (!report.final_chain_matches && report.mismatch.empty())
+    report.mismatch =
+        final_recovery.ok
+            ? "final chain diverged at height " + std::to_string(final_diverged)
+            : "final recovery failed: " + final_recovery.error;
+
+  if (registry != nullptr)
+    fabric::DurableLedger::publish_recovery_metrics(*registry,
+                                                    "chaos_recovery",
+                                                    report.recovery);
   return report;
 }
 

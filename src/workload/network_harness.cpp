@@ -43,6 +43,9 @@ FabricNetworkHarness::FabricNetworkHarness(NetworkOptions options)
   reference_backend_ = options_.backend_factory
                            ? options_.backend_factory(msp_, policies_)
                            : fabric::make_software_backend(msp_, policies_);
+
+  if (options_.durability.enabled())
+    durable_ = std::make_unique<fabric::DurableLedger>(options_.durability);
 }
 
 ChaincodeResult FabricNetworkHarness::execute_chaincode() {
@@ -105,8 +108,13 @@ std::optional<fabric::Block> FabricNetworkHarness::flush_block() {
 const fabric::BlockValidationResult& FabricNetworkHarness::commit_block(
     const fabric::Block& block) {
   // Reference-commit so the endorsement state observes this block.
+  const std::uint64_t height_before = ledger_.height();
   fabric::BlockValidationResult result =
       reference_backend_->validate_and_commit(block, state_, ledger_);
+  // Persist exactly what the ledger accepted (a rejected block never lands
+  // in the chain, so it never lands on disk either).
+  if (durable_ != nullptr && ledger_.height() > height_before)
+    durable_->on_commit(ledger_, state_);
   auto [it, inserted] =
       reference_results_.insert_or_assign(block.header.number,
                                           std::move(result));

@@ -10,6 +10,7 @@
 // conflicts) — used to exercise every invalid path in both validators.
 #pragma once
 
+#include "fabric/durability.hpp"
 #include "fabric/orderer.hpp"
 #include "fabric/validator.hpp"
 #include "fabric/validator_backend.hpp"
@@ -37,6 +38,11 @@ struct NetworkOptions {
   /// software backend. Any conforming ValidatorBackend yields the same
   /// reference results — that is the interface's contract.
   fabric::ValidatorBackendFactory backend_factory;
+
+  /// Durable ledger: when ledger_path is set, every reference-committed
+  /// block is appended to the on-disk block log and StateDb snapshots are
+  /// cut on schedule (docs/DURABILITY.md).
+  fabric::DurabilityConfig durability;
 };
 
 /// One transaction's worth of endorsement work, prepared but not yet
@@ -109,6 +115,9 @@ class FabricNetworkHarness {
 
   const fabric::StateDb& endorsement_state() const { return state_; }
   const fabric::Ledger& reference_ledger() const { return ledger_; }
+  /// Non-null when NetworkOptions::durability is enabled.
+  const fabric::DurableLedger* durable() const { return durable_.get(); }
+  fabric::DurableLedger* durable() { return durable_.get(); }
 
  private:
   ChaincodeResult execute_chaincode();
@@ -130,6 +139,7 @@ class FabricNetworkHarness {
   // Reference pipeline (endorsement state evolves with committed blocks).
   fabric::StateDb state_;
   fabric::Ledger ledger_;
+  std::unique_ptr<fabric::DurableLedger> durable_;
   std::unique_ptr<fabric::ValidatorBackend> reference_backend_;
   std::map<std::uint64_t, fabric::BlockValidationResult> reference_results_;
 

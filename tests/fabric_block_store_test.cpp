@@ -142,5 +142,168 @@ TEST_F(StoreFixture, ReplayRejectsTamperedChain) {
   EXPECT_FALSE(replay_chain(chain, recovered));
 }
 
+// --- malformed frames -------------------------------------------------------
+
+constexpr std::uint32_t kTestMagic = 0x424D4C47;  // "BMLG", mirrors the store
+
+void put_u32le(Bytes& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i)
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+/// Append one raw frame with caller-chosen header fields (no validation).
+void append_raw_frame(const std::string& path, std::uint32_t magic,
+                      std::uint32_t len, std::uint32_t crc,
+                      const Bytes& payload) {
+  Bytes frame;
+  put_u32le(frame, magic);
+  put_u32le(frame, len);
+  put_u32le(frame, crc);
+  bm::append(frame, payload);
+  std::FILE* f = std::fopen(path.c_str(), "ab");
+  ASSERT_NE(f, nullptr);
+  ASSERT_EQ(std::fwrite(frame.data(), 1, frame.size(), f), frame.size());
+  std::fclose(f);
+}
+
+Bytes read_file(const std::string& path) {
+  Bytes bytes(std::filesystem::file_size(path));
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  EXPECT_EQ(std::fread(bytes.data(), 1, bytes.size(), f), bytes.size());
+  std::fclose(f);
+  return bytes;
+}
+
+void write_file(const std::string& path, ByteView bytes) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  ASSERT_EQ(std::fwrite(bytes.data(), 1, bytes.size(), f), bytes.size());
+  std::fclose(f);
+}
+
+TEST_F(StoreFixture, ZeroLengthFrameStopsTheScan) {
+  persist(2);
+  const auto before = std::filesystem::file_size(path);
+  append_raw_frame(path, kTestMagic, 0, crc32(Bytes{}), Bytes{});
+
+  const auto chain = FileBlockStore::recover(path);
+  EXPECT_EQ(chain.blocks.size(), 2u);
+  EXPECT_EQ(chain.torn_bytes, 12u);  // the whole malformed frame
+
+  // Reopen cuts it off the file entirely.
+  FileBlockStore store(path);
+  EXPECT_EQ(store.height(), 2u);
+  EXPECT_EQ(store.truncated_bytes(), 12u);
+  EXPECT_EQ(std::filesystem::file_size(path), before);
+}
+
+TEST_F(StoreFixture, ShortLengthFrameRejectedEvenWithValidCrc) {
+  persist(2);
+  // A record shorter than a bare commit hash cannot be well-formed; the
+  // length check must fire *before* the payload is viewed or CRC-checked,
+  // so a valid CRC does not save it.
+  const Bytes payload(16, 0xAB);
+  append_raw_frame(path, kTestMagic, 16, crc32(payload), payload);
+
+  const auto chain = FileBlockStore::recover(path);
+  EXPECT_EQ(chain.blocks.size(), 2u);
+  EXPECT_EQ(chain.torn_bytes, 12u + 16u);
+
+  FileBlockStore store(path);
+  EXPECT_EQ(store.height(), 2u);
+  EXPECT_EQ(store.truncated_bytes(), 12u + 16u);
+}
+
+TEST_F(StoreFixture, OversizedLengthFrameStopsTheScan) {
+  persist(2);
+  append_raw_frame(path, kTestMagic, FileBlockStore::kMaxPayload + 1, 0,
+                   Bytes{});
+  const auto chain = FileBlockStore::recover(path);
+  EXPECT_EQ(chain.blocks.size(), 2u);
+  EXPECT_EQ(chain.torn_bytes, 12u);
+}
+
+TEST_F(StoreFixture, StrayMagicInsidePayloadDoesNotResync) {
+  persist(3);
+  const auto chain = FileBlockStore::recover(path);
+  ASSERT_EQ(chain.blocks.size(), 3u);
+  const Bytes pristine = read_file(path);
+
+  // Rebuild the file as: records 0-1, then a CRC-valid frame whose payload
+  // *embeds the complete valid frame of record 2* (stray magic and all)
+  // behind 32 bytes of junk. The frame passes magic/len/CRC but fails the
+  // chain-hash check; a scanner that resynced on the embedded magic would
+  // resurrect record 2 out of thin air.
+  const std::uint64_t record2_start = chain.record_offsets[2];
+  const Bytes record2(pristine.begin() + static_cast<long>(record2_start),
+                      pristine.end());
+  write_file(path, ByteView(pristine).subspan(0, record2_start));
+  Bytes payload(32, 0x00);
+  bm::append(payload, record2);
+  append_raw_frame(path, kTestMagic, static_cast<std::uint32_t>(payload.size()),
+                   crc32(payload), payload);
+
+  const auto rescanned = FileBlockStore::recover(path);
+  EXPECT_EQ(rescanned.blocks.size(), 2u);
+  EXPECT_EQ(rescanned.torn_bytes, 12u + payload.size());
+}
+
+// --- the reopen-after-crash regression --------------------------------------
+
+// The headline bug: a store reopened over a torn tail used to append blindly
+// past the tear, burying every new block where recover() (which stops at the
+// first inconsistency) could never reach it. Truncate the log at *every*
+// byte offset inside the last record, reopen, append — all pre-crash and
+// post-reopen blocks must come back.
+TEST_F(StoreFixture, ReopenAfterCrashAtEveryOffset) {
+  options.block_size = 1;  // small records keep the byte sweep fast
+  persist(3);
+  const Bytes pristine = read_file(path);
+  const auto chain = FileBlockStore::recover(path);
+  ASSERT_EQ(chain.blocks.size(), 3u);
+  const std::uint64_t last_start = chain.record_offsets[2];
+
+  for (std::uint64_t cut = last_start + 1; cut < pristine.size(); ++cut) {
+    write_file(path, ByteView(pristine).subspan(0, cut));
+
+    FileBlockStore store(path);
+    ASSERT_EQ(store.height(), 2u) << "cut=" << cut;
+    ASSERT_EQ(store.truncated_bytes(), cut - last_start) << "cut=" << cut;
+    ASSERT_EQ(store.tail_commit_hash(), ledger.at(1).commit_hash)
+        << "cut=" << cut;
+    ASSERT_EQ(std::filesystem::file_size(path), last_start) << "cut=" << cut;
+
+    // Re-append the block the crash tore away (same chain position).
+    store.append(ledger.at(2));
+    ASSERT_EQ(store.blocks_written(), 1u) << "cut=" << cut;
+
+    const auto recovered = FileBlockStore::recover(path);
+    ASSERT_EQ(recovered.blocks.size(), 3u) << "cut=" << cut;
+    ASSERT_EQ(recovered.blocks.back().commit_hash, ledger.at(2).commit_hash)
+        << "cut=" << cut;
+    ASSERT_EQ(recovered.torn_bytes, 0u) << "cut=" << cut;
+  }
+}
+
+TEST_F(StoreFixture, ReopenedStoreRejectsNonExtendingAppend) {
+  persist(2);
+  FileBlockStore store(path);
+  EXPECT_EQ(store.height(), 2u);
+  EXPECT_EQ(store.tail_commit_hash(), ledger.at(1).commit_hash);
+
+  // Wrong chain position: block 1 at height 2.
+  EXPECT_THROW(store.append(ledger.at(1)), std::invalid_argument);
+
+  // Right number, wrong hash: does not extend the recovered tail.
+  CommittedBlock forged = ledger.at(1);
+  forged.block.header.number = 2;
+  EXPECT_THROW(store.append(forged), std::invalid_argument);
+
+  // Nothing was written by the rejected appends.
+  EXPECT_EQ(store.blocks_written(), 0u);
+  const auto chain = FileBlockStore::recover(path);
+  EXPECT_EQ(chain.blocks.size(), 2u);
+}
+
 }  // namespace
 }  // namespace bm::fabric

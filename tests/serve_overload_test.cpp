@@ -107,6 +107,40 @@ TEST(AdmissionQueue, PressureSlowsTheRefill) {
   EXPECT_TRUE(queue.offer(3, 0, 5 * sim::kMillisecond).admitted());
 }
 
+// Regression: pressure_refill_factor == 0 (a legal "stop admitting under
+// pressure" setting) made the retry-after hints divide by a zero refill
+// rate — undefined behaviour on the int cast. Both shed paths must fall
+// back to the 1 ms hint instead.
+TEST(AdmissionQueue, ZeroPressureRefillFactorShedsWithFiniteRetryAfter) {
+  AdmissionConfig config;
+  config.queue_capacity = 2;
+  config.classes = 1;
+  config.token_rate_tps = 1000;
+  config.bucket_capacity = 3;
+  config.pressure_refill_factor = 0.0;
+  AdmissionQueue queue(config);
+  queue.set_pressure(true, 0);
+
+  // Rate-limited shed path: the bucket never refills under pressure.
+  EXPECT_TRUE(queue.offer(0, 0, 0).admitted());
+  EXPECT_TRUE(queue.offer(1, 0, 0).admitted());
+  // Queue is now full (capacity 2): queue-full shed path, zero rate.
+  const AdmissionDecision full = queue.offer(2, 0, 0);
+  EXPECT_EQ(full.result, AdmitResult::kOverloaded);
+  EXPECT_EQ(full.retry_after, sim::kMillisecond);
+  EXPECT_EQ(queue.stats().shed_queue_full, 1u);
+
+  // Drain the queue; the third token goes, then the empty bucket (which
+  // refills at 0 tps) sheds rate-limited — also with the finite fallback.
+  EXPECT_TRUE(queue.pop().has_value());
+  EXPECT_TRUE(queue.pop().has_value());
+  EXPECT_TRUE(queue.offer(3, 0, sim::kSecond).admitted());
+  const AdmissionDecision limited = queue.offer(4, 0, 2 * sim::kSecond);
+  EXPECT_EQ(limited.result, AdmitResult::kOverloaded);
+  EXPECT_EQ(limited.retry_after, sim::kMillisecond);
+  EXPECT_EQ(queue.stats().shed_rate_limited, 1u);
+}
+
 // --- end-to-end pipeline tests ----------------------------------------------
 
 ServeOptions small_scenario(std::uint64_t seed = 7) {

@@ -8,12 +8,20 @@
 //       FPGA resource estimate (Table 1 style) for the configured
 //       architecture and its compiled policy circuits.
 //   validate [--config FILE] [--blocks N] [--block-size N] [--faults]
-//            [--verify-cache N] [--db-shards N]
+//            [--verify-cache N] [--db-shards N] [--ledger FILE]
+//            [--snapshot-interval N]
 //       Run real endorsed blocks through both validators end to end and
 //       report the §4.1 consistency check. --verify-cache N gives the
 //       software backend an N-entry endorsement-verification cache;
 //       --db-shards N sets the software state DB's shard count (both leave
-//       the commit hashes unchanged — that is the point).
+//       the commit hashes unchanged — that is the point). --ledger FILE
+//       persists the committed chain to an on-disk block log, cutting a
+//       StateDb snapshot every --snapshot-interval N blocks
+//       (docs/DURABILITY.md).
+//   recover --ledger FILE
+//       Rebuild ledger + world state from a block log written by a
+//       --ledger run (newest intact snapshot + replay, falling back to a
+//       full replay) and print the recovered chain position.
 //   protocol [--config FILE] [--block-size N]
 //       BMac protocol vs Gossip block sizes on real marshaled blocks.
 //   chaos --faults-config FILE [--blocks N] [--block-size N] [--tamper]
@@ -92,6 +100,8 @@ struct Options {
   std::size_t verify_cache = 0;  ///< 0 = no endorsement-verification cache
   std::size_t db_shards = fabric::StateDb::kDefaultShards;
   std::string serve_config;  ///< configs/serve_*.json scenario
+  std::string ledger_path;   ///< on-disk block log (validate writes, recover reads)
+  std::size_t snapshot_interval = 0;  ///< StateDb snapshot cadence (0 = never)
   cli::CommonFlags flags;  ///< shared --trace-out/--metrics-*/--faults-config
   std::string usage;       ///< flag help lines, filled by parse_args
 };
@@ -111,6 +121,10 @@ bool parse_args(int argc, char** argv, Options& options) {
                   "software state DB shard count");
   parser.add_string("--serve-config", &options.serve_config,
                     "serving scenario JSON (configs/serve_*.json)");
+  parser.add_string("--ledger", &options.ledger_path,
+                    "on-disk block log (validate writes it, recover reads it)");
+  parser.add_size("--snapshot-interval", &options.snapshot_interval,
+                  "cut a StateDb snapshot every N blocks (0 = never)");
   options.flags.register_with(parser, /*with_faults=*/true);
   options.usage = parser.help_text();
 
@@ -221,6 +235,10 @@ int cmd_validate(const Options& options) {
     net_options.missing_endorsement_rate = 0.1;
     net_options.conflicting_read_rate = 0.15;
   }
+  if (!options.ledger_path.empty()) {
+    net_options.durability.ledger_path = options.ledger_path;
+    net_options.durability.snapshot_interval = options.snapshot_interval;
+  }
   workload::FabricNetworkHarness harness(net_options);
 
   fabric::StateDb sw_db(options.db_shards);
@@ -267,10 +285,25 @@ int cmd_validate(const Options& options) {
               hex_encode(crypto::digest_view(sw_ledger.last().commit_hash))
                   .c_str());
   std::printf("hw/sw consistency: %s\n", match ? "PASS" : "FAIL");
+  if (harness.durable() != nullptr) {
+    harness.durable()->sync();
+    const fabric::FileBlockStore& store = harness.durable()->store();
+    std::printf("durable ledger: %llu blocks (%llu bytes) at %s, "
+                "%llu snapshots (newest at height %llu)\n",
+                static_cast<unsigned long long>(store.height()),
+                static_cast<unsigned long long>(store.bytes_written()),
+                options.ledger_path.c_str(),
+                static_cast<unsigned long long>(
+                    harness.durable()->snapshots_cut()),
+                static_cast<unsigned long long>(
+                    harness.durable()->last_snapshot_height()));
+  }
   if (options.flags.wants_obs()) {
     peer.publish_metrics();
     sw->publish_metrics(registry, "fabric_sw");
     sw_db.publish_metrics(registry, "fabric_sw_statedb");
+    if (harness.durable() != nullptr)
+      harness.durable()->publish_metrics(registry, "durable");
     sim::detach_log_clock();
     const int rc = obs::write_artifacts(options.flags, registry, tracer,
                                         sim.now());
@@ -299,6 +332,53 @@ int cmd_protocol(const Options& options) {
               result.packets.size(), result.identities_removed,
               result.identity_bytes_removed);
   return 0;
+}
+
+int cmd_recover(const Options& options) {
+  if (options.ledger_path.empty()) {
+    std::fprintf(stderr, "recover needs --ledger FILE (a block log written "
+                         "by `validate --ledger`)\n");
+    return 2;
+  }
+  fabric::DurabilityConfig config;
+  config.ledger_path = options.ledger_path;
+
+  fabric::Ledger ledger;
+  fabric::StateDb state(options.db_shards);
+  const fabric::RecoveryResult result =
+      fabric::DurableLedger::recover(config, ledger, state);
+
+  std::printf("recovered %llu blocks (%llu replayed from the log%s) "
+              "in %.2f ms\n",
+              static_cast<unsigned long long>(result.height),
+              static_cast<unsigned long long>(result.blocks_replayed),
+              result.used_snapshot
+                  ? (", snapshot at height " +
+                     std::to_string(result.snapshot_height))
+                        .c_str()
+                  : ", no snapshot",
+              result.duration_s * 1e3);
+  if (result.torn_bytes > 0)
+    std::printf("torn tail: %llu bytes discarded\n",
+                static_cast<unsigned long long>(result.torn_bytes));
+  std::printf("world state: %zu keys\n", state.size());
+  if (result.height > 0)
+    std::printf("final commit hash: %s\n",
+                hex_encode(crypto::digest_view(ledger.last_commit_hash()))
+                    .c_str());
+  if (!result.ok)
+    std::printf("recovery FAILED: %s\n", result.error.c_str());
+
+  if (options.flags.wants_obs()) {
+    obs::Registry registry;
+    obs::Tracer tracer;
+    fabric::DurableLedger::publish_recovery_metrics(registry, "recover",
+                                                    result);
+    state.publish_metrics(registry, "recover_statedb");
+    const int rc = obs::write_artifacts(options.flags, registry, tracer, 0);
+    if (rc != 0) return rc;
+  }
+  return result.ok ? 0 : 1;
 }
 
 int cmd_chaos(const Options& options) {
@@ -408,7 +488,7 @@ int main(int argc, char** argv) {
   if (!parse_args(argc, argv, options)) {
     std::fprintf(stderr,
                  "usage: bmac_sim <throughput|resources|validate|protocol|"
-                 "chaos|serve> [flags]\n%s",
+                 "chaos|serve|recover> [flags]\n%s",
                  options.usage.c_str());
     return 2;
   }
@@ -419,6 +499,7 @@ int main(int argc, char** argv) {
     if (options.command == "protocol") return cmd_protocol(options);
     if (options.command == "chaos") return cmd_chaos(options);
     if (options.command == "serve") return cmd_serve(options);
+    if (options.command == "recover") return cmd_recover(options);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
