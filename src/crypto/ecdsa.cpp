@@ -116,7 +116,14 @@ Signature sign(const PrivateKey& key, const Digest& digest) {
   }
 }
 
-bool verify(const PublicKey& key, const Digest& digest, const Signature& sig) {
+namespace {
+
+/// Shared ECDSA verification skeleton; `mul` evaluates u1*G + u2*Q for the
+/// public key's point Q. Every range/curve check runs before `mul`, so the
+/// comb and generic paths agree on all malformed inputs.
+template <typename Mul>
+bool verify_impl(const PublicKey& key, const Digest& digest,
+                 const Signature& sig, Mul&& mul) {
   const U256& n = p256_n();
   if (sig.r.is_zero() || sig.s.is_zero()) return false;
   if (cmp(sig.r, n) >= 0 || cmp(sig.s, n) >= 0) return false;
@@ -126,10 +133,25 @@ bool verify(const PublicKey& key, const Digest& digest, const Signature& sig) {
   const U256 w = inv_mod_prime(sig.s, n);
   const U256 u1 = mul_mod(e, w, n);
   const U256 u2 = mul_mod(sig.r, w, n);
-  const JacobianPoint p = double_scalar_mult(u1, u2, key.point);
+  const JacobianPoint p = mul(u1, u2);
   if (p.is_infinity()) return false;
   const AffinePoint pa = to_affine(p);
   return mod(pa.x, n) == sig.r;
+}
+
+}  // namespace
+
+bool verify(const PublicKey& key, const Digest& digest, const Signature& sig) {
+  return verify_impl(key, digest, sig, [&](const U256& u1, const U256& u2) {
+    return double_scalar_mult(u1, u2, key.point);
+  });
+}
+
+bool verify_comb(const PublicKey& key, const Digest& digest,
+                 const Signature& sig, const PointCombTable& table) {
+  return verify_impl(key, digest, sig, [&](const U256& u1, const U256& u2) {
+    return double_scalar_mult_comb(u1, u2, table);
+  });
 }
 
 }  // namespace bm::crypto

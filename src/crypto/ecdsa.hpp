@@ -44,6 +44,14 @@ Signature sign(const PrivateKey& key, const Digest& digest);
 /// Verify a signature over a 32-byte message digest.
 bool verify(const PublicKey& key, const Digest& digest, const Signature& sig);
 
+/// verify() with the u1*G + u2*Q combine evaluated over a prebuilt
+/// per-identity comb table for the public key (two comb lookups per column
+/// on one shared doubling chain instead of the generic joint-wNAF walk).
+/// `table` must have been built from `key.point`; outcomes are identical to
+/// verify() bit for bit.
+bool verify_comb(const PublicKey& key, const Digest& digest,
+                 const Signature& sig, const PointCombTable& table);
+
 /// RFC 6979 deterministic nonce (exposed for the known-answer tests).
 U256 rfc6979_nonce(const U256& d, const Digest& digest, std::uint32_t attempt);
 

@@ -289,26 +289,35 @@ const std::vector<AffinePoint>& base_wnaf_table() {
   return tbl;
 }
 
-/// Lim–Lee comb table for G: entry d (1..255) is sum_{t in bits(d)}
-/// 2^(32t) * G, stored affine. 255 entries, ~16 KiB.
+/// Lim–Lee comb entries for P: entry d (1..255) is sum_{t in bits(d)}
+/// 2^(32t) * P, stored affine. 255 entries, ~16 KiB.
+std::vector<AffinePoint> build_comb_entries(const AffinePoint& p) {
+  std::array<JacobianPoint, kCombTeeth> spine;
+  spine[0] = to_jacobian(p);
+  for (int t = 1; t < kCombTeeth; ++t) {
+    spine[t] = spine[t - 1];
+    for (int i = 0; i < kCombSpacing; ++i) spine[t] = point_double(spine[t]);
+  }
+  std::vector<JacobianPoint> entries(1u << kCombTeeth);  // entry 0 unused
+  for (unsigned d = 1; d < entries.size(); ++d) {
+    const unsigned t = static_cast<unsigned>(__builtin_ctz(d));
+    entries[d] =
+        d == (1u << t) ? spine[t] : point_add(entries[d & (d - 1)], spine[t]);
+  }
+  return batch_to_affine(entries);
+}
+
 const std::vector<AffinePoint>& base_comb_table() {
-  static const std::vector<AffinePoint> tbl = [] {
-    std::array<JacobianPoint, kCombTeeth> spine;
-    spine[0] = to_jacobian(kG);
-    for (int t = 1; t < kCombTeeth; ++t) {
-      spine[t] = spine[t - 1];
-      for (int i = 0; i < kCombSpacing; ++i) spine[t] = point_double(spine[t]);
-    }
-    std::vector<JacobianPoint> entries(1u << kCombTeeth);  // entry 0 unused
-    for (unsigned d = 1; d < entries.size(); ++d) {
-      const unsigned t = static_cast<unsigned>(__builtin_ctz(d));
-      entries[d] = d == (1u << t)
-                       ? spine[t]
-                       : point_add(entries[d & (d - 1)], spine[t]);
-    }
-    return batch_to_affine(entries);
-  }();
+  static const std::vector<AffinePoint> tbl = build_comb_entries(kG);
   return tbl;
+}
+
+/// Column digit of the comb decomposition: bit t*32+col of k selects tooth t.
+unsigned comb_digit(const U256& k, int col) {
+  unsigned d = 0;
+  for (int t = 0; t < kCombTeeth; ++t)
+    d |= static_cast<unsigned>(k.bit(t * kCombSpacing + col)) << t;
+  return d;
 }
 
 U256 reduce_mod_n(const U256& k) {
@@ -354,10 +363,45 @@ JacobianPoint base_mult(const U256& k) {
   JacobianPoint acc{};
   for (int col = kCombSpacing - 1; col >= 0; --col) {
     acc = point_double(acc);
-    unsigned d = 0;
-    for (int t = 0; t < kCombTeeth; ++t)
-      d |= static_cast<unsigned>(kr.bit(t * kCombSpacing + col)) << t;
+    const unsigned d = comb_digit(kr, col);
     if (d != 0) acc = point_add_affine(acc, tbl[d]);
+  }
+  return acc;
+}
+
+PointCombTable PointCombTable::build(const AffinePoint& p) {
+  PointCombTable tbl;
+  tbl.point_ = p;
+  if (!p.infinity) tbl.entries_ = build_comb_entries(p);
+  return tbl;
+}
+
+JacobianPoint PointCombTable::mult(const U256& k) const {
+  const U256 kr = reduce_mod_n(k);
+  if (kr.is_zero() || point_.infinity) return JacobianPoint{};
+  JacobianPoint acc{};
+  for (int col = kCombSpacing - 1; col >= 0; --col) {
+    acc = point_double(acc);
+    const unsigned d = comb_digit(kr, col);
+    if (d != 0) acc = point_add_affine(acc, entries_[d]);
+  }
+  return acc;
+}
+
+JacobianPoint double_scalar_mult_comb(const U256& u1, const U256& u2,
+                                      const PointCombTable& q) {
+  const U256 u1r = reduce_mod_n(u1);
+  const U256 u2r = q.point().infinity ? U256{} : reduce_mod_n(u2);
+  if (u2r.is_zero()) return base_mult(u1r);
+  if (u1r.is_zero()) return q.mult(u2r);
+  const std::vector<AffinePoint>& gtbl = base_comb_table();
+  JacobianPoint acc{};
+  for (int col = kCombSpacing - 1; col >= 0; --col) {
+    acc = point_double(acc);
+    const unsigned d1 = comb_digit(u1r, col);
+    if (d1 != 0) acc = point_add_affine(acc, gtbl[d1]);
+    const unsigned d2 = comb_digit(u2r, col);
+    if (d2 != 0) acc = point_add_affine(acc, q.entry(d2));
   }
   return acc;
 }

@@ -76,9 +76,43 @@ JacobianPoint base_mult(const U256& k);
 
 /// u1*G + u2*Q by joint wNAF (Shamir's trick): one shared doubling chain,
 /// G digits resolved against a precomputed affine odd-multiples table and Q
-/// digits against a per-call table; the ECDSA verification hot path.
+/// digits against a per-call table; the generic ECDSA verification path.
 JacobianPoint double_scalar_mult(const U256& u1, const U256& u2,
                                  const AffinePoint& q);
+
+/// Per-point Lim–Lee comb table, the same 8-teeth x 32-column layout the
+/// generator's fixed-base table uses: 255 affine entries (~16 KiB). Building
+/// one costs a few hundred point operations — roughly two generic scalar
+/// multiplications — which amortizes whenever the same point is multiplied
+/// more than a handful of times (hot endorser public keys).
+class PointCombTable {
+ public:
+  /// Precompute the table for P. An infinity P yields a table whose
+  /// multiplies all return infinity.
+  static PointCombTable build(const AffinePoint& p);
+
+  const AffinePoint& point() const { return point_; }
+
+  /// k * P via the comb: 31 doublings + <= 32 mixed additions (reduces k
+  /// mod n first, like scalar_mult).
+  JacobianPoint mult(const U256& k) const;
+
+  /// Comb entry d (1..255): sum over set bits t of d of 2^(32t) * P.
+  const AffinePoint& entry(unsigned d) const { return entries_[d]; }
+
+ private:
+  PointCombTable() = default;
+
+  AffinePoint point_{{}, {}, true};
+  std::vector<AffinePoint> entries_;  ///< 256 entries; entry 0 unused
+};
+
+/// u1*G + u2*Q with Q on a prebuilt comb table: ONE shared 31-doubling
+/// chain with both comb lookups folded per column, <= 64 mixed additions
+/// total. The generic joint-wNAF path pays ~256 doublings, so a table hit
+/// makes verification ~4x cheaper — the per-identity ECDSA hot path.
+JacobianPoint double_scalar_mult_comb(const U256& u1, const U256& u2,
+                                      const PointCombTable& q);
 
 /// True iff (x, y) satisfies the curve equation and both are < p.
 bool on_curve(const AffinePoint& p);

@@ -1,5 +1,7 @@
 #include "crypto/verify_cache.hpp"
 
+#include "crypto/comb_cache.hpp"
+
 namespace bm::crypto {
 
 namespace {
@@ -34,7 +36,8 @@ VerifyCache::VerifyCache(std::size_t capacity)
     : capacity_(capacity == 0 ? 1 : capacity) {}
 
 bool VerifyCache::verify(const PublicKey& key, const Digest& digest,
-                         ByteView sig_bytes, const Signature& sig) {
+                         ByteView sig_bytes, const Signature& sig,
+                         CombCache* comb) {
   const Digest k = cache_key(key, digest, sig_bytes);
   {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -48,7 +51,8 @@ bool VerifyCache::verify(const PublicKey& key, const Digest& digest,
   }
   // The expensive check runs outside the lock so parallel vscc workers
   // verifying distinct signatures never serialize on the cache.
-  const bool valid = crypto::verify(key, digest, sig);
+  const bool valid = comb != nullptr ? comb->verify(key, digest, sig)
+                                     : crypto::verify(key, digest, sig);
   {
     std::lock_guard<std::mutex> lock(mutex_);
     const auto it = entries_.find(k);

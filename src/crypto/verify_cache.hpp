@@ -29,6 +29,8 @@
 
 namespace bm::crypto {
 
+class CombCache;
+
 class VerifyCache {
  public:
   /// Paper-scale default: comfortably holds a few hundred blocks' worth of
@@ -40,8 +42,11 @@ class VerifyCache {
 
   /// Memoized crypto::verify. `sig_bytes` is the signature as it appeared
   /// on the wire (DER); `sig` the already-decoded form used on a miss.
+  /// When `comb` is given, misses compute through its per-identity comb
+  /// tables instead of the generic double-scalar multiply — same outcome,
+  /// cheaper miss.
   bool verify(const PublicKey& key, const Digest& digest, ByteView sig_bytes,
-              const Signature& sig);
+              const Signature& sig, CombCache* comb = nullptr);
 
   std::size_t size() const;
   std::size_t capacity() const { return capacity_; }

@@ -1,0 +1,83 @@
+#include "fabric/commit_graph.hpp"
+
+#include <unordered_map>
+
+#include "fabric/statedb.hpp"
+
+namespace bm::fabric {
+
+namespace {
+
+/// Wave constraints seen so far for one key. Both are running maxima over
+/// the transactions already placed: a later reader must clear every prior
+/// writer (not just the last — an early writer can land in a late wave when
+/// its own reads hold it back), and a later writer must not fold in before
+/// any prior reader has been decided.
+struct KeyWaves {
+  std::uint32_t max_writer_wave = 0;  ///< valid iff has_writer
+  std::uint32_t max_reader_wave = 0;  ///< valid iff has_reader
+  bool has_writer = false;
+  bool has_reader = false;
+};
+
+}  // namespace
+
+CommitSchedule build_commit_schedule(
+    const std::vector<ParsedTransaction>& txs,
+    const std::vector<TxValidationCode>& flags) {
+  CommitSchedule schedule;
+  std::unordered_map<std::string, KeyWaves> keys;
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> placed;  // (wave, tx)
+  std::uint32_t last_wave = 0;
+
+  for (std::uint32_t i = 0; i < txs.size(); ++i) {
+    if (flags[i] != TxValidationCode::kValid) continue;
+    const ParsedTransaction& tx = txs[i];
+
+    std::uint32_t wave = 0;
+    // True dependencies: this transaction's verdict inspects every key it
+    // reads, so it must run strictly after any prior writer of those keys.
+    for (const KVRead& read : tx.rwset.reads) {
+      const auto it = keys.find(StateDb::namespaced(tx.chaincode_id, read.key));
+      if (it != keys.end() && it->second.has_writer) {
+        wave = std::max(wave, it->second.max_writer_wave + 1);
+        ++schedule.dependencies;
+      }
+    }
+    // Anti dependencies: this transaction's writes fold in after its wave,
+    // so every prior reader of those keys must be decided no later.
+    for (const KVWrite& write : tx.rwset.writes) {
+      const auto it =
+          keys.find(StateDb::namespaced(tx.chaincode_id, write.key));
+      if (it != keys.end() && it->second.has_reader) {
+        wave = std::max(wave, it->second.max_reader_wave);
+        ++schedule.dependencies;
+      }
+    }
+
+    for (const KVRead& read : tx.rwset.reads) {
+      KeyWaves& kw = keys[StateDb::namespaced(tx.chaincode_id, read.key)];
+      kw.max_reader_wave =
+          kw.has_reader ? std::max(kw.max_reader_wave, wave) : wave;
+      kw.has_reader = true;
+    }
+    for (const KVWrite& write : tx.rwset.writes) {
+      KeyWaves& kw = keys[StateDb::namespaced(tx.chaincode_id, write.key)];
+      kw.max_writer_wave =
+          kw.has_writer ? std::max(kw.max_writer_wave, wave) : wave;
+      kw.has_writer = true;
+    }
+
+    placed.emplace_back(wave, i);
+    last_wave = std::max(last_wave, wave);
+    ++schedule.scheduled_txs;
+  }
+
+  if (placed.empty()) return schedule;
+  schedule.waves.resize(last_wave + 1);
+  // `placed` is in transaction order, so each wave's indices ascend.
+  for (const auto& [wave, tx] : placed) schedule.waves[wave].push_back(tx);
+  return schedule;
+}
+
+}  // namespace bm::fabric

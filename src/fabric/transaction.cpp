@@ -10,9 +10,17 @@ using namespace txfield;
 crypto::Digest endorsement_digest(std::string_view chaincode_id,
                                   ByteView rwset_bytes,
                                   ByteView endorser_cert) {
-  crypto::Sha256 h;
-  h.update(to_bytes(chaincode_id));
-  h.update(rwset_bytes);
+  return EndorsementDigester(chaincode_id, rwset_bytes).digest(endorser_cert);
+}
+
+EndorsementDigester::EndorsementDigester(std::string_view chaincode_id,
+                                         ByteView rwset_bytes) {
+  prefix_.update(to_bytes(chaincode_id));
+  prefix_.update(rwset_bytes);
+}
+
+crypto::Digest EndorsementDigester::digest(ByteView endorser_cert) const {
+  crypto::Sha256 h = prefix_;  // fork the midstate; the prefix stays intact
   h.update(endorser_cert);
   return h.finish();
 }
@@ -20,13 +28,13 @@ crypto::Digest endorsement_digest(std::string_view chaincode_id,
 Bytes build_envelope(const TxProposal& proposal, const Identity& client,
                      const std::vector<const Identity*>& endorsers) {
   const Bytes rwset_bytes = proposal.rwset.marshal();
+  const EndorsementDigester digester(proposal.chaincode_id, rwset_bytes);
   std::vector<Endorsement> ends;
   ends.reserve(endorsers.size());
   for (const Identity* endorser : endorsers) {
     Endorsement e;
     e.endorser_cert = endorser->cert.marshal();
-    const crypto::Digest digest = endorsement_digest(
-        proposal.chaincode_id, rwset_bytes, e.endorser_cert);
+    const crypto::Digest digest = digester.digest(e.endorser_cert);
     e.signature = crypto::der_encode_signature(endorser->sign(digest));
     ends.push_back(std::move(e));
   }

@@ -27,6 +27,22 @@ crypto::Digest endorsement_digest(std::string_view chaincode_id,
                                   ByteView rwset_bytes,
                                   ByteView endorser_cert);
 
+/// Batched endorsement digests for one transaction: the (chaincode, rwset)
+/// prefix — the bulk of the hashed bytes — is absorbed into a SHA-256
+/// midstate ONCE, then forked per endorser certificate. Byte-identical to
+/// endorsement_digest for every input (SHA-256 streams over the same
+/// concatenation); with M endorsements the rwset is hashed once, not M
+/// times.
+class EndorsementDigester {
+ public:
+  EndorsementDigester(std::string_view chaincode_id, ByteView rwset_bytes);
+
+  crypto::Digest digest(ByteView endorser_cert) const;
+
+ private:
+  crypto::Sha256 prefix_;  ///< midstate after chaincode id + rwset bytes
+};
+
 /// A transaction proposal: the client-visible inputs before endorsement.
 struct TxProposal {
   std::string channel_id;

@@ -1,8 +1,10 @@
 #include "fabric/validator.hpp"
 
 #include <cstdlib>
+#include <unordered_set>
 
 #include "crypto/der.hpp"
+#include "fabric/commit_graph.hpp"
 
 namespace bm::fabric {
 
@@ -44,6 +46,16 @@ void SoftwareValidator::set_verify_cache(
   verify_cache_ = std::move(cache);
 }
 
+void SoftwareValidator::enable_comb_cache(std::size_t tables) {
+  comb_cache_ =
+      tables > 0 ? std::make_shared<crypto::CombCache>(tables) : nullptr;
+}
+
+void SoftwareValidator::set_comb_cache(
+    std::shared_ptr<crypto::CombCache> cache) {
+  comb_cache_ = std::move(cache);
+}
+
 bool SoftwareValidator::verify_block_signature(const Block& block) {
   ++stats_.block_signature_checks;
   const auto cert = Certificate::unmarshal(block.metadata.orderer_cert);
@@ -51,8 +63,11 @@ bool SoftwareValidator::verify_block_signature(const Block& block) {
     return false;
   const auto sig = crypto::der_decode_signature(block.metadata.orderer_sig);
   if (!sig) return false;
-  if (!crypto::verify(cert->public_key, block.signing_digest(), *sig))
-    return false;
+  const crypto::Digest digest = block.signing_digest();
+  const bool ok = comb_cache_ != nullptr
+                      ? comb_cache_->verify(cert->public_key, digest, *sig)
+                      : crypto::verify(cert->public_key, digest, *sig);
+  if (!ok) return false;
   // Retrieving block data also re-checks the data hash.
   return equal(block.header.data_hash,
                crypto::digest_view(block.compute_data_hash()));
@@ -61,13 +76,21 @@ bool SoftwareValidator::verify_block_signature(const Block& block) {
 TxValidationCode SoftwareValidator::validate_transaction(
     const ParsedTransaction& tx, ValidationStats& stats) const {
   // Step 2a: transaction verification — creator identity and signature.
+  // Creator payloads are unique per transaction (tx id), so the verify
+  // cache never hits here — but the creator's KEY repeats constantly, which
+  // is exactly what the per-identity comb tables amortize.
   if (!msp_.validate(tx.creator)) return TxValidationCode::kBadCreatorSignature;
   const auto creator_sig = crypto::der_decode_signature(tx.signature);
   if (!creator_sig) return TxValidationCode::kBadCreatorSignature;
   ++stats.creator_signature_checks;
-  if (!crypto::verify(tx.creator.public_key, crypto::sha256(tx.payload_bytes),
-                      *creator_sig))
-    return TxValidationCode::kBadCreatorSignature;
+  const crypto::Digest payload_digest = crypto::sha256(tx.payload_bytes);
+  const bool creator_ok =
+      comb_cache_ != nullptr
+          ? comb_cache_->verify(tx.creator.public_key, payload_digest,
+                                *creator_sig)
+          : crypto::verify(tx.creator.public_key, payload_digest,
+                           *creator_sig);
+  if (!creator_ok) return TxValidationCode::kBadCreatorSignature;
 
   // Step 2b: vscc — verify endorsements, then evaluate the policy.
   const auto policy_it = policies_.find(tx.chaincode_id);
@@ -75,21 +98,30 @@ TxValidationCode SoftwareValidator::validate_transaction(
     return TxValidationCode::kInvalidEndorserTransaction;
 
   // Fabric always verifies all endorsements, irrespective of the policy.
+  // The (chaincode, rwset) digest prefix is shared by every endorsement of
+  // this transaction: hash it once and fork the midstate per certificate.
+  const EndorsementDigester digester(tx.chaincode_id, tx.rwset_bytes);
   std::vector<EncodedId> valid_endorsers;
   for (const auto& endorsement : tx.endorsements) {
     if (!msp_.validate(endorsement.cert)) continue;
     const auto sig = crypto::der_decode_signature(endorsement.signature);
     if (!sig) continue;
     ++stats.endorsement_signature_checks;
-    const crypto::Digest digest = endorsement_digest(
-        tx.chaincode_id, tx.rwset_bytes, endorsement.cert_bytes);
+    const crypto::Digest digest = digester.digest(endorsement.cert_bytes);
     // The memoized path keys on (public key, digest, DER bytes) — the full
-    // verification input — so flags are identical with the cache attached.
-    const bool ok =
-        verify_cache_ != nullptr
-            ? verify_cache_->verify(endorsement.cert.public_key, digest,
-                                    endorsement.signature, *sig)
-            : crypto::verify(endorsement.cert.public_key, digest, *sig);
+    // verification input — so flags are identical with the cache attached;
+    // cache misses (and the uncached path) run through the per-identity
+    // comb tables when those are enabled.
+    bool ok;
+    if (verify_cache_ != nullptr) {
+      ok = verify_cache_->verify(endorsement.cert.public_key, digest,
+                                 endorsement.signature, *sig,
+                                 comb_cache_.get());
+    } else if (comb_cache_ != nullptr) {
+      ok = comb_cache_->verify(endorsement.cert.public_key, digest, *sig);
+    } else {
+      ok = crypto::verify(endorsement.cert.public_key, digest, *sig);
+    }
     if (!ok) continue;
     if (const auto id = msp_.encode(endorsement.cert))
       valid_endorsers.push_back(*id);
@@ -98,6 +130,56 @@ TxValidationCode SoftwareValidator::validate_transaction(
     return TxValidationCode::kEndorsementPolicyFailure;
 
   return TxValidationCode::kValid;
+}
+
+void SoftwareValidator::run_mvcc_waves(
+    const Block& block, const std::vector<ParsedTransaction>& parsed,
+    StateDb& db, std::vector<TxValidationCode>& flags) {
+  const CommitSchedule schedule = build_commit_schedule(parsed, flags);
+  stats_.commit_waves += schedule.wave_count();
+  stats_.commit_deps += schedule.dependencies;
+
+  // Keys written by surviving transactions of completed waves. Read-only
+  // while a wave's verdicts run; folded in between waves on this thread.
+  std::unordered_set<std::string> pending_writes;
+  // Per-transaction read counters, merged in transaction order below so
+  // stats_.db_reads matches the sequential walk exactly.
+  std::vector<std::uint64_t> mvcc_reads(block.tx_count(), 0);
+
+  for (const std::vector<std::uint32_t>& wave : schedule.waves) {
+    const auto decide = [&](std::size_t w) {
+      const std::uint32_t i = wave[w];
+      const ParsedTransaction& tx = parsed[i];
+      bool conflict = false;
+      for (const KVRead& read : tx.rwset.reads) {
+        ++mvcc_reads[i];
+        const std::string key = StateDb::namespaced(tx.chaincode_id, read.key);
+        // The wave constraints guarantee this membership test sees exactly
+        // the writes of earlier valid transactions that matter to this
+        // read — never a later transaction's (anti dependency) and never
+        // missing an earlier writer's (true dependency).
+        if (pending_writes.count(key) != 0 ||
+            !db.version_matches(KVRead{key, read.version})) {
+          conflict = true;
+          break;
+        }
+      }
+      if (conflict) flags[i] = TxValidationCode::kMvccReadConflict;
+    };
+    if (wave.size() > 1) {
+      pool_->parallel_for(wave.size(), decide);
+    } else {
+      for (std::size_t w = 0; w < wave.size(); ++w) decide(w);
+    }
+    // Fold in this wave's surviving writes, in transaction order.
+    for (const std::uint32_t i : wave) {
+      if (flags[i] != TxValidationCode::kValid) continue;
+      for (const KVWrite& write : parsed[i].rwset.writes)
+        pending_writes.insert(
+            StateDb::namespaced(parsed[i].chaincode_id, write.key));
+    }
+  }
+  for (const std::uint64_t reads : mvcc_reads) stats_.db_reads += reads;
 }
 
 BlockValidationResult SoftwareValidator::validate_and_commit(
@@ -136,31 +218,38 @@ BlockValidationResult SoftwareValidator::validate_and_commit(
   }
   for (const ValidationStats& stats : tx_stats) stats_ += stats;
 
-  // Step 3: mvcc — sequential, in transaction order. Reads must match the
-  // committed state, and keys written by an earlier valid transaction of
-  // this block invalidate later readers.
-  std::map<std::string, Version> pending_writes;
-  for (std::size_t i = 0; i < block.tx_count(); ++i) {
-    if (result.flags[i] != TxValidationCode::kValid) continue;
-    const ParsedTransaction& tx = parsed[i];
-    bool conflict = false;
-    for (const KVRead& read : tx.rwset.reads) {
-      ++stats_.db_reads;
-      const std::string key = StateDb::namespaced(tx.chaincode_id, read.key);
-      if (pending_writes.count(key) != 0 ||
-          !db.version_matches(KVRead{key, read.version})) {
-        conflict = true;
-        break;
+  // Step 3: mvcc. Reads must match the committed state, and keys written by
+  // an earlier valid transaction of this block invalidate later readers.
+  // The dependency-aware path decides independent transactions in parallel
+  // waves; the default walks transactions sequentially in order. Both
+  // produce byte-identical flags (differential-tested).
+  if (parallel_commit_ && pool_ != nullptr) {
+    run_mvcc_waves(block, parsed, db, result.flags);
+  } else {
+    std::map<std::string, Version> pending_writes;
+    for (std::size_t i = 0; i < block.tx_count(); ++i) {
+      if (result.flags[i] != TxValidationCode::kValid) continue;
+      const ParsedTransaction& tx = parsed[i];
+      bool conflict = false;
+      for (const KVRead& read : tx.rwset.reads) {
+        ++stats_.db_reads;
+        const std::string key = StateDb::namespaced(tx.chaincode_id, read.key);
+        if (pending_writes.count(key) != 0 ||
+            !db.version_matches(KVRead{key, read.version})) {
+          conflict = true;
+          break;
+        }
       }
+      if (conflict) {
+        result.flags[i] = TxValidationCode::kMvccReadConflict;
+        continue;
+      }
+      const Version version{block.header.number,
+                            static_cast<std::uint32_t>(i)};
+      for (const KVWrite& write : tx.rwset.writes)
+        pending_writes[StateDb::namespaced(tx.chaincode_id, write.key)] =
+            version;
     }
-    if (conflict) {
-      result.flags[i] = TxValidationCode::kMvccReadConflict;
-      continue;
-    }
-    const Version version{block.header.number,
-                          static_cast<std::uint32_t>(i)};
-    for (const KVWrite& write : tx.rwset.writes)
-      pending_writes[StateDb::namespaced(tx.chaincode_id, write.key)] = version;
   }
 
   // Step 4: commit — the block's whole write-set goes into one shard-grouped
@@ -211,6 +300,39 @@ void SoftwareValidator::publish_metrics(obs::Registry& registry,
       .set(stats_.db_writes);
   registry.counter(prefix + "_envelopes_parsed_total", "envelopes unmarshaled")
       .set(stats_.envelopes_parsed);
+  if (parallel_commit_) {
+    registry
+        .counter(prefix + "_commit_waves_total",
+                 "dependency waves scheduled by the parallel commit path")
+        .set(stats_.commit_waves);
+    registry
+        .counter(prefix + "_commit_deps_total",
+                 "rw-set dependencies that forced commit ordering")
+        .set(stats_.commit_deps);
+    registry
+        .gauge(prefix + "_deps_per_block",
+               "mean rw-set dependencies per processed block")
+        .set(stats_.blocks_processed > 0
+                 ? static_cast<double>(stats_.commit_deps) /
+                       static_cast<double>(stats_.blocks_processed)
+                 : 0.0);
+  }
+  if (comb_cache_ != nullptr) {
+    registry
+        .counter(prefix + "_comb_table_hits_total",
+                 "verifications run over a cached per-identity comb table")
+        .set(comb_cache_->hits());
+    registry
+        .counter(prefix + "_comb_table_misses_total",
+                 "per-identity comb tables built on first sight of a key")
+        .set(comb_cache_->misses());
+    registry
+        .counter(prefix + "_comb_table_evictions_total",
+                 "comb-table LRU evictions (budget pressure)")
+        .set(comb_cache_->evictions());
+    registry.gauge(prefix + "_comb_tables", "per-identity comb tables held")
+        .set(static_cast<double>(comb_cache_->size()));
+  }
   if (verify_cache_ != nullptr) {
     registry
         .counter(prefix + "_verify_cache_hits_total",

@@ -19,6 +19,7 @@
 #include <memory>
 
 #include "common/thread_pool.hpp"
+#include "crypto/comb_cache.hpp"
 #include "crypto/verify_cache.hpp"
 #include "fabric/ledger.hpp"
 #include "fabric/policy.hpp"
@@ -37,6 +38,10 @@ struct ValidationStats {
   std::uint64_t db_reads = 0;
   std::uint64_t db_writes = 0;
   std::uint64_t envelopes_parsed = 0;
+  /// Dependency-aware commit only (zero on the sequential path): waves the
+  /// scheduler emitted, and rw-set dependencies that forced ordering.
+  std::uint64_t commit_waves = 0;
+  std::uint64_t commit_deps = 0;
 
   std::uint64_t total_ecdsa_checks() const {
     return block_signature_checks + creator_signature_checks +
@@ -51,6 +56,8 @@ struct ValidationStats {
     db_reads += o.db_reads;
     db_writes += o.db_writes;
     envelopes_parsed += o.envelopes_parsed;
+    commit_waves += o.commit_waves;
+    commit_deps += o.commit_deps;
     return *this;
   }
 };
@@ -92,6 +99,23 @@ class SoftwareValidator final : public ValidatorBackend {
     return verify_cache_.get();
   }
 
+  /// Attach a fresh per-identity comb-table cache holding up to `tables`
+  /// tables (0 detaches). Hot endorser/creator keys then verify through two
+  /// comb lookups per column instead of the generic double-scalar multiply;
+  /// flags, commit hashes, and stats are identical either way.
+  void enable_comb_cache(std::size_t tables = crypto::CombCache::kDefaultTables);
+  /// Share an existing comb cache (endorsers repeat across validators too).
+  void set_comb_cache(std::shared_ptr<crypto::CombCache> cache);
+  const crypto::CombCache* comb_cache() const { return comb_cache_.get(); }
+
+  /// Dependency-aware parallel commit: schedule mvcc verdicts by rw-set
+  /// dependency waves across the worker pool and commit out of order
+  /// (sequential when no pool is configured). Flags, version stamps, and
+  /// the commit hash are byte-identical to the in-order path — the
+  /// sequential commit hash is the equivalence oracle.
+  void set_parallel_commit(bool enabled) { parallel_commit_ = enabled; }
+  bool parallel_commit() const { return parallel_commit_; }
+
   /// Run the full pipeline on one block, mutating the state DB and ledger.
   BlockValidationResult validate_and_commit(const Block& block, StateDb& db,
                                             Ledger& ledger,
@@ -113,11 +137,19 @@ class SoftwareValidator final : public ValidatorBackend {
   TxValidationCode validate_transaction(const ParsedTransaction& tx,
                                         ValidationStats& stats) const;
 
+  /// Step 3 for the parallel-commit path: wave-scheduled mvcc verdicts,
+  /// byte-identical flags to the sequential walk.
+  void run_mvcc_waves(const Block& block,
+                      const std::vector<ParsedTransaction>& parsed,
+                      StateDb& db, std::vector<TxValidationCode>& flags);
+
   const Msp& msp_;
   std::map<std::string, EndorsementPolicy> policies_;
   ValidationStats stats_;
   std::unique_ptr<ThreadPool> pool_;  ///< null when sequential
   std::shared_ptr<crypto::VerifyCache> verify_cache_;  ///< null = uncached
+  std::shared_ptr<crypto::CombCache> comb_cache_;  ///< null = generic mults
+  bool parallel_commit_ = false;
 };
 
 }  // namespace bm::fabric

@@ -98,6 +98,8 @@ struct Options {
   bool faults = false;
   bool tamper = false;
   std::size_t verify_cache = 0;  ///< 0 = no endorsement-verification cache
+  std::size_t comb_tables = 0;   ///< 0 = no per-identity comb-table cache
+  bool parallel_commit = false;  ///< dependency-aware parallel MVCC + commit
   std::size_t db_shards = fabric::StateDb::kDefaultShards;
   std::string serve_config;  ///< configs/serve_*.json scenario
   std::string ledger_path;   ///< on-disk block log (validate writes, recover reads)
@@ -117,6 +119,11 @@ bool parse_args(int argc, char** argv, Options& options) {
   parser.add_flag("--tamper", &tamper_flag, "corrupt the last block's signature");
   parser.add_size("--verify-cache", &options.verify_cache,
                   "endorsement-verification cache entries (0 = off)");
+  parser.add_size("--comb-tables", &options.comb_tables,
+                  "per-identity ECDSA comb tables to cache (0 = off)");
+  bool parallel_commit_flag = false;
+  parser.add_flag("--parallel-commit", &parallel_commit_flag,
+                  "dependency-aware parallel MVCC + commit");
   parser.add_size("--db-shards", &options.db_shards,
                   "software state DB shard count");
   parser.add_string("--serve-config", &options.serve_config,
@@ -144,6 +151,7 @@ bool parse_args(int argc, char** argv, Options& options) {
   }
   options.faults = faults_flag;
   options.tamper = tamper_flag;
+  options.parallel_commit = parallel_commit_flag;
   return true;
 }
 
@@ -248,7 +256,11 @@ int cmd_validate(const Options& options) {
   // below must PASS at any setting.
   const auto sw = fabric::make_software_backend(
       harness.msp(), harness.policies(),
-      {.parallelism = 0, .verify_cache_capacity = options.verify_cache});
+      {.parallelism =
+           options.parallel_commit ? static_cast<unsigned>(options.vcpus) : 0u,
+       .verify_cache_capacity = options.verify_cache,
+       .comb_table_budget = options.comb_tables,
+       .parallel_commit = options.parallel_commit});
 
   sim::Simulation sim;
   bmac::BmacPeer peer(sim, harness.msp(), config.hw, harness.policies());

@@ -1,8 +1,8 @@
 #!/usr/bin/env bash
-# Header self-containment lint: every public header under src/ must compile
-# as its own translation unit (all of its includes spelled out, nothing
-# leaking in from whoever happened to include it first). Run from the repo
-# root; exits non-zero listing every offender.
+# Header self-containment lint: every public header under src/ and bench/
+# must compile as its own translation unit (all of its includes spelled out,
+# nothing leaking in from whoever happened to include it first). Run from
+# the repo root; exits non-zero listing every offender.
 set -u
 
 cxx="${CXX:-g++}"
@@ -10,9 +10,9 @@ root="$(cd "$(dirname "$0")/.." && pwd)"
 failed=0
 checked=0
 
-for header in $(cd "$root" && find src -name '*.hpp' | sort); do
+for header in $(cd "$root" && find src bench -name '*.hpp' | sort); do
   checked=$((checked + 1))
-  if ! out="$("$cxx" -std=c++20 -fsyntax-only -I "$root/src" \
+  if ! out="$("$cxx" -std=c++20 -fsyntax-only -I "$root/src" -I "$root/bench" \
         -x c++ "$root/$header" 2>&1)"; then
     failed=$((failed + 1))
     echo "NOT SELF-CONTAINED: $header"

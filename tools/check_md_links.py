@@ -1,12 +1,15 @@
 #!/usr/bin/env python3
 """Markdown link checker (stdlib only), run by CI over the repo's docs.
 
-Checks every inline link/image target in the given markdown files:
+Checks every link/image target in the given markdown files, both inline
+(`[text](target)`) and reference-style (`[text][ref]` resolved through
+`[ref]: target` definitions):
   - relative paths must exist on disk (relative to the file);
   - intra-document fragments (#section) must match a heading in the target
     file, using GitHub's anchor slug rules (lowercase, spaces -> dashes,
-    punctuation stripped);
-  - http(s)/mailto targets are skipped (CI must not depend on the network).
+    punctuation stripped, duplicate headings suffixed -1, -2, ...);
+  - http(s)/mailto targets are skipped (CI must not depend on the network);
+  - a `[text][ref]` whose ref has no definition is itself an error.
 
 Usage: check_md_links.py FILE.md [FILE.md ...]
 Exits non-zero and prints one line per broken link.
@@ -17,6 +20,11 @@ import sys
 from pathlib import Path
 
 INLINE_LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+# [text][ref] — must not be followed by ( or : (those are inline links and
+# reference definitions respectively).
+REFERENCE_LINK = re.compile(r"!?\[[^\]]+\]\[([^\]]*)\](?![(:])")
+# [ref]: target, at line start.
+REFERENCE_DEF = re.compile(r"^\s{0,3}\[([^\]]+)\]:\s+(\S+)", re.MULTILINE)
 HEADING = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
 CODE_FENCE = re.compile(r"```.*?```", re.DOTALL)
 
@@ -31,25 +39,46 @@ def github_slug(heading: str) -> str:
 def anchors_of(path: Path, cache={}) -> set:
     if path not in cache:
         text = CODE_FENCE.sub("", path.read_text(encoding="utf-8"))
-        cache[path] = {github_slug(h) for h in HEADING.findall(text)}
+        # GitHub de-duplicates repeated headings by suffixing -1, -2, ...
+        anchors, seen = set(), {}
+        for heading in HEADING.findall(text):
+            slug = github_slug(heading)
+            n = seen.get(slug, 0)
+            seen[slug] = n + 1
+            anchors.add(slug if n == 0 else f"{slug}-{n}")
+        cache[path] = anchors
     return cache[path]
+
+
+def check_target(md: Path, target: str) -> list:
+    if target.startswith(("http://", "https://", "mailto:")):
+        return []
+    path_part, _, fragment = target.partition("#")
+    dest = md if not path_part else (md.parent / path_part).resolve()
+    if not dest.exists():
+        return [f"{md}: broken link -> {target}"]
+    if fragment and dest.suffix == ".md":
+        if fragment.lower() not in anchors_of(dest):
+            return [f"{md}: missing anchor -> {target}"]
+    return []
 
 
 def check_file(md: Path) -> list:
     errors = []
     text = CODE_FENCE.sub("", md.read_text(encoding="utf-8"))
+    defs = {ref.lower(): target for ref, target in REFERENCE_DEF.findall(text)}
     for match in INLINE_LINK.finditer(text):
-        target = match.group(1)
-        if target.startswith(("http://", "https://", "mailto:")):
+        errors.extend(check_target(md, match.group(1)))
+    for match in REFERENCE_LINK.finditer(text):
+        ref = match.group(1).lower()
+        if not ref:  # collapsed form [text][] uses the text as the ref
+            ref = match.group(0).lstrip("!")[1:].split("]")[0].lower()
+        if ref not in defs:
+            errors.append(f"{md}: undefined reference -> [{match.group(1)}]")
             continue
-        path_part, _, fragment = target.partition("#")
-        dest = md if not path_part else (md.parent / path_part).resolve()
-        if not dest.exists():
-            errors.append(f"{md}: broken link -> {target}")
-            continue
-        if fragment and dest.suffix == ".md":
-            if fragment.lower() not in anchors_of(dest):
-                errors.append(f"{md}: missing anchor -> {target}")
+        errors.extend(check_target(md, defs[ref]))
+    for target in defs.values():
+        errors.extend(check_target(md, target))
     return errors
 
 
