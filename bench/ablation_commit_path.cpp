@@ -235,7 +235,7 @@ bool parallel_commit_sweep(int blocks, int block_size, bool* speedup_ok) {
     const LaneResult par = run_lane(
         w, {.parallelism = threads,
             .verify_cache_capacity = 8192,
-            .comb_table_budget = 64,
+            .comb_table_capacity = 64,
             .parallel_commit = true});
     const double waves_per_block =
         static_cast<double>(par.stats.commit_waves) /
@@ -297,7 +297,7 @@ int main(int argc, char** argv) {
   std::printf("%-28s %10.0f %9.2fx %12s %12s\n", "cache off, 1 thread",
               off.tps, 1.0, "-", "-");
   const LaneResult comb =
-      run_lane(w, {.parallelism = 1, .comb_table_budget = 64});
+      run_lane(w, {.parallelism = 1, .comb_table_capacity = 64});
   std::printf("%-28s %10.0f %9.2fx %12s %12llu\n", "comb 64, 1 thread",
               comb.tps, comb.tps / off.tps, "-",
               static_cast<unsigned long long>(comb.comb_hits));
@@ -308,7 +308,7 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(on.cache_hits), "-");
   const LaneResult both = run_lane(w, {.parallelism = 4,
                                        .verify_cache_capacity = 8192,
-                                       .comb_table_budget = 64});
+                                       .comb_table_capacity = 64});
   std::printf("%-28s %10.0f %9.2fx %12llu %12llu\n",
               "cache+comb, 4 threads", both.tps, both.tps / off.tps,
               static_cast<unsigned long long>(both.cache_hits),

@@ -1,0 +1,175 @@
+// Session-count scaling of the serving front end (docs/SERVING.md).
+//
+// The paper's deployment model is one network-attached peer absorbing the
+// traffic of a whole Fabric client population; this bench checks that the
+// session layer holds up when that population grows from 10^3 to 10^6
+// concurrent sessions. The offered rate is FIXED (the traffic generator's
+// schedule is seed-identical across points), so every difference between
+// rows is session-layer overhead: handshakes at preconnect, per-request
+// sequence checks, rate-class fan-out, and the idle-eviction storm the
+// mostly-idle long tail throws at the O(1) timer wheel (a 10^6-session
+// point arms, evicts and purges ~10^6 timers).
+//
+// Acceptance gates (exit non-zero on failure):
+//   - goodput at every population >= 85% of the peak across the sweep
+//     (session bookkeeping must not eat throughput);
+//   - committed p99.9 latency within 2x of the 10^3-session baseline
+//     (no per-event cost growing with table size);
+//   - byte-identical ServeReport::to_text() on a rerun of the heaviest
+//     point (determinism at full scale).
+//
+// --quick caps the sweep at 10^5 sessions for CI smoke runs; --out FILE
+// additionally writes the sweep artifact JSON.
+#include <cmath>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "serve/pipeline.hpp"
+
+namespace {
+
+using namespace bm;
+
+serve::ServeOptions scenario(std::size_t population) {
+  serve::ServeOptions options;
+  options.name = "session_scale";
+  options.network.seed = 7;
+  options.traffic.seed = 7 ^ 0x9E3779B97F4A7C15ull;
+  options.traffic.rate_tps = 2000;
+  options.duration = 300 * sim::kMillisecond;
+  options.admission.queue_capacity = 256;
+  options.admission.classes = 4;
+  options.endorse.workers = 8;
+  options.endorse.deadline = 50 * sim::kMillisecond;
+  options.ingress.max_batch = 100;
+  options.ingress.batch_timeout = 25 * sim::kMillisecond;
+
+  options.sessions.enabled = true;
+  options.sessions.population = population;
+  options.sessions.zipf_s = 1.1;   // hot-key skew: few clients, most requests
+  options.sessions.rate_classes = 4;
+  options.sessions.idle_timeout = 60 * sim::kMillisecond;
+  options.sessions.grace = 20 * sim::kMillisecond;
+  options.sessions.wheel_granularity = sim::kMillisecond;
+  options.sessions.preconnect = true;  // the 10^6 handshake storm at t = 0
+  options.sessions.cert_pool = 64;
+  return options;
+}
+
+std::string point_json(std::size_t population, const serve::ServeReport& r) {
+  char buf[512];
+  std::snprintf(
+      buf, sizeof(buf),
+      "{\"population\": %zu, \"goodput_tps\": %.1f, \"offered\": %llu, "
+      "\"committed\": %llu, \"rejected_session\": %llu, \"shed\": %llu, "
+      "\"opened\": %llu, \"evicted\": %llu, \"reconnected\": %llu, "
+      "\"purged\": %llu, \"table\": %zu, "
+      "\"p50_ms\": %.2f, \"p99_ms\": %.2f, \"p999_ms\": %.2f}",
+      population, r.goodput_tps, static_cast<unsigned long long>(r.offered),
+      static_cast<unsigned long long>(r.committed_txs),
+      static_cast<unsigned long long>(r.rejected_session),
+      static_cast<unsigned long long>(r.shed_total()),
+      static_cast<unsigned long long>(r.session_stats.opened),
+      static_cast<unsigned long long>(r.session_stats.evicted),
+      static_cast<unsigned long long>(r.session_stats.reconnected),
+      static_cast<unsigned long long>(r.session_stats.purged),
+      r.session_table, r.total_ms.p50, r.total_ms.p99, r.total_ms.p999);
+  return buf;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path;
+  bool quick = false;
+  cli::ArgParser parser(cli::ArgParser::Unknown::kIgnore);
+  parser.add_string("--out", &out_path, "write the sweep JSON here too");
+  parser.add_flag("--quick", &quick, "cap the sweep at 10^5 sessions (CI)");
+  parser.parse(argc, argv);
+
+  std::vector<std::size_t> populations = {1000, 10000, 100000};
+  if (!quick) populations.push_back(1000000);
+
+  bench::title("serve: session-count scaling at a fixed 2000 tps offered");
+  std::printf("%-10s | %9s %9s %9s | %9s %9s %7s | %8s %9s\n", "sessions",
+              "goodput", "committed", "shed", "evicted", "purged", "reconn",
+              "p99 ms", "p99.9 ms");
+  bench::rule(96);
+
+  std::vector<serve::ServeReport> reports;
+  bool all_ok = true;
+  for (const std::size_t population : populations) {
+    reports.push_back(serve::run_serve(scenario(population)));
+    const serve::ServeReport& r = reports.back();
+    all_ok = all_ok && r.ok();
+    std::printf("%-10zu | %9.1f %9llu %9llu | %9llu %9llu %7llu | %8.2f "
+                "%9.2f\n",
+                population, r.goodput_tps,
+                static_cast<unsigned long long>(r.committed_txs),
+                static_cast<unsigned long long>(r.shed_total()),
+                static_cast<unsigned long long>(r.session_stats.evicted),
+                static_cast<unsigned long long>(r.session_stats.purged),
+                static_cast<unsigned long long>(r.session_stats.reconnected),
+                r.total_ms.p99, r.total_ms.p999);
+  }
+  bench::rule(96);
+
+  double peak_goodput = 0;
+  for (const auto& r : reports)
+    peak_goodput = std::max(peak_goodput, r.goodput_tps);
+  bool goodput_flat = true;
+  for (const auto& r : reports)
+    if (r.goodput_tps < 0.85 * peak_goodput) goodput_flat = false;
+
+  const double baseline_p999 = reports.front().total_ms.p999;
+  bool latency_flat = true;
+  for (const auto& r : reports)
+    if (r.total_ms.p999 > 2.0 * baseline_p999) latency_flat = false;
+
+  // Determinism at the heaviest point: the full human-readable report must
+  // reproduce byte for byte (covers every counter, percentile and the
+  // per-class table in one comparison).
+  const serve::ServeReport rerun = serve::run_serve(scenario(populations.back()));
+  const bool deterministic = rerun.to_text() == reports.back().to_text();
+
+  std::printf(
+      "peak goodput %.0f tps | goodput held >= 85%% of peak at every "
+      "population: %s\np99.9 baseline (10^3) %.2f ms | within 2x at every "
+      "population: %s\nbyte-identical rerun of the %zu-session point: %s | "
+      "all points drained: %s\n",
+      peak_goodput, goodput_flat ? "PASS" : "FAIL", baseline_p999,
+      latency_flat ? "PASS" : "FAIL", populations.back(),
+      deterministic ? "PASS" : "FAIL", all_ok ? "yes" : "NO");
+
+  std::ostringstream json;
+  json << "{\n"
+       << bench::artifact_meta(
+              "fig_session_scale", scenario(populations[0]).network.seed,
+              quick ? "{\"rate_tps\": 2000, \"duration_ms\": 300, "
+                      "\"quick\": true}"
+                    : "{\"rate_tps\": 2000, \"duration_ms\": 300, "
+                      "\"quick\": false}")
+       << "  \"peak_goodput_tps\": " << peak_goodput << ",\n"
+       << "  \"goodput_flat\": " << (goodput_flat ? "true" : "false") << ",\n"
+       << "  \"latency_flat\": " << (latency_flat ? "true" : "false") << ",\n"
+       << "  \"deterministic_rerun\": " << (deterministic ? "true" : "false")
+       << ",\n  \"points\": [\n";
+  for (std::size_t i = 0; i < reports.size(); ++i)
+    json << "    " << point_json(populations[i], reports[i])
+         << (i + 1 < reports.size() ? "," : "") << "\n";
+  json << "  ]\n}\n";
+
+  std::printf("\n%s", json.str().c_str());
+  if (!out_path.empty()) {
+    std::ofstream out(out_path, std::ios::binary);
+    out << json.str();
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+      return 1;
+    }
+  }
+
+  return (goodput_flat && latency_flat && deterministic && all_ok) ? 0 : 1;
+}

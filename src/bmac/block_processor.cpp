@@ -139,16 +139,34 @@ void BlockProcessor::publish_metrics() {
   obs::publish_fifo_metrics(*registry_, res_fifo_, "bmac_fifo");
   obs::publish_fifo_metrics(*registry_, reg_map_, "bmac_fifo");
 
+  // Standard bounded-cache metric set (docs/OBSERVABILITY.md):
+  // capacity / entries gauges + hits / misses / evictions counters.
+  registry_
+      ->gauge("bmac_statedb_capacity", "on-chip store entry capacity")
+      .set(static_cast<double>(statedb_.capacity()));
+  registry_
+      ->gauge("bmac_statedb_entries", "on-chip store fill")
+      .set(static_cast<double>(statedb_.size()));
+  registry_
+      ->counter("bmac_statedb_hits_total",
+                "accesses served by the on-chip tier")
+      .set(statedb_.hits());
+  registry_
+      ->counter("bmac_statedb_misses_total",
+                "accesses that fell through to the host tier")
+      .set(statedb_.misses());
   registry_
       ->counter("bmac_statedb_overflows_total",
                 "writes dropped by the on-chip store")
-      .set(statedb_.overflow_count());
+      .set(statedb_.overflows());
   registry_
       ->counter("bmac_statedb_evictions_total", "entries evicted to the host")
-      .set(statedb_.eviction_count());
+      .set(statedb_.evictions());
+  // Deprecated alias of bmac_statedb_misses_total; kept one release.
   registry_
       ->counter("bmac_statedb_host_accesses_total",
-                "accesses served by the host tier")
+                "accesses served by the host tier (deprecated: use "
+                "bmac_statedb_misses_total)")
       .set(statedb_.host_accesses());
 
   registry_

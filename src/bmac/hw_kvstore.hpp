@@ -75,10 +75,16 @@ class HwKvStore {
     return locked_.count(key) > 0;
   }
 
+  // Counter accessors follow the repo-wide bounded-cache vocabulary
+  // (capacity / entries / hits / misses / evictions, docs/OBSERVABILITY.md):
+  // a hit is an access the on-chip tier served, a miss one that fell
+  // through to the host.
   std::size_t size() const { return data_.size(); }
   std::size_t capacity() const { return capacity_; }
-  std::uint64_t overflow_count() const { return overflows_; }
-  std::uint64_t eviction_count() const { return evictions_; }
+  std::uint64_t hits() const { return reads_ + writes_ - host_accesses_; }
+  std::uint64_t misses() const { return host_accesses_; }
+  std::uint64_t overflows() const { return overflows_; }
+  std::uint64_t evictions() const { return evictions_; }
   std::uint64_t host_accesses() const { return host_accesses_; }
   std::uint64_t total_reads() const { return reads_; }
   std::uint64_t total_writes() const { return writes_; }

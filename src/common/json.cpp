@@ -1,9 +1,9 @@
-#include "obs/json.hpp"
+#include "common/json.hpp"
 
 #include <cctype>
 #include <cstdlib>
 
-namespace bm::obs::json {
+namespace bm::json {
 
 const Value* Value::find(std::string_view key) const {
   if (type != Type::kObject) return nullptr;
@@ -235,4 +235,4 @@ std::optional<Value> parse(std::string_view text, std::string* error) {
   return Parser(text).run(error);
 }
 
-}  // namespace bm::obs::json
+}  // namespace bm::json

@@ -41,4 +41,29 @@ class Rng {
   std::uint64_t s_[4];
 };
 
+/// Zipf-distributed sampler over {0, 1, ..., n-1} with exponent s, using
+/// Hörmann's rejection-inversion method: O(1) per sample with no per-rank
+/// table, so it scales to 10^6-element populations (hot-key workloads,
+/// skewed session mixes). s = 0 degenerates to the uniform distribution.
+/// Rank 0 is the most popular element.
+class Zipf {
+ public:
+  Zipf(std::uint64_t n, double s);
+
+  std::uint64_t sample(Rng& rng) const;
+
+  std::uint64_t size() const { return n_; }
+  double exponent() const { return s_; }
+
+ private:
+  double h(double x) const;
+  double h_inv(double x) const;
+
+  std::uint64_t n_ = 1;
+  double s_ = 0;
+  double hx0_ = 0;   // H(0.5)
+  double hxm_ = 0;   // H(n + 0.5)
+  double threshold_ = 0;  // s = 1 - Hinv(H(1.5) - 1/1^s)
+};
+
 }  // namespace bm

@@ -330,7 +330,19 @@ void SoftwareValidator::publish_metrics(obs::Registry& registry,
         .counter(prefix + "_comb_table_evictions_total",
                  "comb-table LRU evictions (budget pressure)")
         .set(comb_cache_->evictions());
-    registry.gauge(prefix + "_comb_tables", "per-identity comb tables held")
+    registry
+        .gauge(prefix + "_comb_table_capacity",
+               "per-identity comb tables the cache can hold")
+        .set(static_cast<double>(comb_cache_->capacity()));
+    registry
+        .gauge(prefix + "_comb_table_entries",
+               "per-identity comb tables held")
+        .set(static_cast<double>(comb_cache_->size()));
+    // Deprecated alias of <prefix>_comb_table_entries; kept one release.
+    registry
+        .gauge(prefix + "_comb_tables",
+               "per-identity comb tables held (deprecated: use "
+               "_comb_table_entries)")
         .set(static_cast<double>(comb_cache_->size()));
   }
   if (verify_cache_ != nullptr) {
@@ -346,6 +358,10 @@ void SoftwareValidator::publish_metrics(obs::Registry& registry,
         .counter(prefix + "_verify_cache_evictions_total",
                  "verify-cache LRU evictions")
         .set(verify_cache_->evictions());
+    registry
+        .gauge(prefix + "_verify_cache_capacity",
+               "verify-cache entry capacity")
+        .set(static_cast<double>(verify_cache_->capacity()));
     registry.gauge(prefix + "_verify_cache_entries", "verify-cache fill")
         .set(static_cast<double>(verify_cache_->size()));
   }

@@ -1,10 +1,8 @@
 #include "net/faults.hpp"
 
 #include <algorithm>
-#include <fstream>
-#include <sstream>
 
-#include "obs/json.hpp"
+#include "common/config.hpp"
 
 namespace bm::net {
 
@@ -183,137 +181,108 @@ void FaultyChannel::send(Bytes frame) {
 }
 
 // --- JSON scenario loading --------------------------------------------------
+//
+// Built on the shared scenario-config facility (common/config.hpp):
+// diagnostics name the file (when loaded from disk) and the JSON path of
+// the offending key, e.g. `faults.data.loss.good: expected number in [0, 1]`.
 
 namespace {
 
-using obs::json::Value;
-
-bool read_number(const Value& parent, std::string_view key, double* out,
-                 std::string* error) {
-  const Value* v = parent.find(key);
-  if (v == nullptr) return true;  // optional: keep default
-  if (!v->is_number()) {
-    if (error != nullptr)
-      *error = "faults config: \"" + std::string(key) + "\" must be a number";
-    return false;
-  }
-  *out = v->number;
-  return true;
-}
-
-bool read_time_us(const Value& parent, std::string_view key, sim::Time* out,
-                  std::string* error) {
-  double us = static_cast<double>(*out) / 1000.0;
-  if (!read_number(parent, key, &us, error)) return false;
-  *out = static_cast<sim::Time>(us * 1000.0);
-  return true;
-}
-
 /// One direction ("data" / "ack"). Missing object => all-defaults (clean).
-bool parse_direction(const Value* dir, FaultConfig* config,
-                     std::string* error) {
-  if (dir == nullptr) return true;
-  if (!dir->is_object()) {
-    if (error != nullptr) *error = "faults config: direction must be an object";
-    return false;
+void parse_direction(const config::Section& dir, FaultConfig* config) {
+  if (dir.present() && !dir.is_object()) {
+    dir.fail("expected an object");
+    return;
   }
-  if (const Value* loss = dir->find("loss")) {
-    if (!read_number(*loss, "good", &config->loss_good, error) ||
-        !read_number(*loss, "bad", &config->loss_bad, error) ||
-        !read_number(*loss, "p_good_to_bad", &config->p_good_to_bad, error) ||
-        !read_number(*loss, "p_bad_to_good", &config->p_bad_to_good, error))
-      return false;
-  }
-  if (const Value* corrupt = dir->find("corrupt")) {
-    if (!read_number(*corrupt, "detectable", &config->corrupt_detectable,
-                     error) ||
-        !read_number(*corrupt, "silent", &config->corrupt_silent, error))
-      return false;
-  }
-  if (!read_number(*dir, "duplicate", &config->duplicate, error)) return false;
-  if (const Value* reorder = dir->find("reorder")) {
-    if (!read_number(*reorder, "probability", &config->reorder, error) ||
-        !read_time_us(*reorder, "hold_max_us", &config->reorder_hold_max,
-                      error))
-      return false;
-  }
-  if (const Value* spike = dir->find("delay_spike")) {
-    if (!read_number(*spike, "probability", &config->delay_spike, error) ||
-        !read_time_us(*spike, "magnitude_us", &config->delay_spike_magnitude,
-                      error))
-      return false;
-  }
-  if (const Value* partitions = dir->find("partitions_ms")) {
-    if (!partitions->is_array()) {
-      if (error != nullptr)
-        *error = "faults config: \"partitions_ms\" must be an array";
-      return false;
+  const config::Section loss = dir.object("loss");
+  loss.read_number("good", &config->loss_good, config::unit_interval());
+  loss.read_number("bad", &config->loss_bad, config::unit_interval());
+  loss.read_number("p_good_to_bad", &config->p_good_to_bad,
+                   config::unit_interval());
+  loss.read_number("p_bad_to_good", &config->p_bad_to_good,
+                   config::unit_interval());
+  const config::Section corrupt = dir.object("corrupt");
+  corrupt.read_number("detectable", &config->corrupt_detectable,
+                      config::unit_interval());
+  corrupt.read_number("silent", &config->corrupt_silent,
+                      config::unit_interval());
+  dir.read_number("duplicate", &config->duplicate, config::unit_interval());
+  const config::Section reorder = dir.object("reorder");
+  reorder.read_number("probability", &config->reorder,
+                      config::unit_interval());
+  reorder.read_time_us("hold_max_us", &config->reorder_hold_max,
+                       config::non_negative());
+  const config::Section spike = dir.object("delay_spike");
+  spike.read_number("probability", &config->delay_spike,
+                    config::unit_interval());
+  spike.read_time_us("magnitude_us", &config->delay_spike_magnitude,
+                     config::non_negative());
+  const config::Section partitions = dir.array("partitions_ms");
+  for (std::size_t i = 0; i < partitions.array_size(); ++i) {
+    const config::Section window = partitions.element(i);
+    if (!window.is_array() || window.array_size() != 2) {
+      window.fail("expected [start_ms, end_ms]");
+      return;
     }
-    for (const Value& window : partitions->array) {
-      if (!window.is_array() || window.array.size() != 2 ||
-          !window.array[0].is_number() || !window.array[1].is_number() ||
-          window.array[0].number > window.array[1].number) {
-        if (error != nullptr)
-          *error =
-              "faults config: each partition must be [start_ms, end_ms] "
-              "with start <= end";
-        return false;
-      }
-      FaultConfig::Window w;
-      w.start = static_cast<sim::Time>(window.array[0].number *
-                                       static_cast<double>(sim::kMillisecond));
-      w.end = static_cast<sim::Time>(window.array[1].number *
+    double start_ms = 0;
+    double end_ms = 0;
+    if (!window.element(0).value_number(&start_ms, config::non_negative()) ||
+        !window.element(1).value_number(&end_ms, config::non_negative()))
+      return;
+    if (start_ms > end_ms) {
+      window.fail("expected start_ms <= end_ms");
+      return;
+    }
+    FaultConfig::Window w;
+    w.start = static_cast<sim::Time>(start_ms *
                                      static_cast<double>(sim::kMillisecond));
-      config->partitions.push_back(w);
-    }
+    w.end =
+        static_cast<sim::Time>(end_ms * static_cast<double>(sim::kMillisecond));
+    config->partitions.push_back(w);
   }
-  return true;
+}
+
+std::optional<FaultScenario> faults_from_root(const config::Root& root,
+                                              std::string* error) {
+  FaultScenario scenario = detail::parse_faults_section(root.section());
+  if (!root.ok()) {
+    if (error != nullptr) *error = root.error();
+    return std::nullopt;
+  }
+  return scenario;
 }
 
 }  // namespace
 
-std::optional<FaultScenario> parse_fault_scenario(std::string_view text,
-                                                  std::string* error) {
-  std::string parse_error;
-  const auto root = obs::json::parse(text, &parse_error);
-  if (!root) {
-    if (error != nullptr) *error = "faults config: " + parse_error;
-    return std::nullopt;
-  }
-  if (!root->is_object()) {
-    if (error != nullptr) *error = "faults config: root must be an object";
-    return std::nullopt;
-  }
+namespace detail {
 
+FaultScenario parse_faults_section(const bm::config::Section& s) {
   FaultScenario scenario;
-  if (const Value* name = root->find("name"); name != nullptr && name->is_string())
-    scenario.name = name->string;
+  s.read_string("name", &scenario.name);
 
   double seed = 1;
-  if (!read_number(*root, "seed", &seed, error)) return std::nullopt;
+  s.read_number("seed", &seed, config::non_negative());
   scenario.data.seed = static_cast<std::uint64_t>(seed);
   // Decorrelate the reverse direction with a fixed odd-constant mix so one
   // top-level seed still yields two independent deterministic schedules.
   scenario.ack.seed =
       static_cast<std::uint64_t>(seed) ^ 0x9E3779B97F4A7C15ull;
 
-  if (!parse_direction(root->find("data"), &scenario.data, error))
-    return std::nullopt;
-  if (!parse_direction(root->find("ack"), &scenario.ack, error))
-    return std::nullopt;
+  parse_direction(s.member("data"), &scenario.data);
+  parse_direction(s.member("ack"), &scenario.ack);
   return scenario;
+}
+
+}  // namespace detail
+
+std::optional<FaultScenario> parse_fault_scenario(std::string_view text,
+                                                  std::string* error) {
+  return faults_from_root(config::Root::parse(text, "faults"), error);
 }
 
 std::optional<FaultScenario> load_fault_scenario(const std::string& path,
                                                  std::string* error) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) {
-    if (error != nullptr) *error = "faults config: cannot open " + path;
-    return std::nullopt;
-  }
-  std::ostringstream text;
-  text << in.rdbuf();
-  return parse_fault_scenario(text.str(), error);
+  return faults_from_root(config::Root::load(path, "faults"), error);
 }
 
 }  // namespace bm::net

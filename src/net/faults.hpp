@@ -35,6 +35,10 @@
 #include "obs/trace.hpp"
 #include "sim/simulation.hpp"
 
+namespace bm::config {
+class Section;
+}
+
 namespace bm::net {
 
 /// Fault schedule for ONE direction of a channel.
@@ -198,5 +202,13 @@ std::optional<FaultScenario> parse_fault_scenario(std::string_view text,
 /// Read + parse a configs/faults_*.json file.
 std::optional<FaultScenario> load_fault_scenario(const std::string& path,
                                                  std::string* error = nullptr);
+
+namespace detail {
+/// Section-level parser shared with the composed --scenario loader: same
+/// schema whether the schedule sits in its own faults_*.json file or under
+/// a scenario file's "faults" section. Errors land in the section's sink;
+/// the caller checks its config::Root.
+FaultScenario parse_faults_section(const bm::config::Section& root);
+}  // namespace detail
 
 }  // namespace bm::net

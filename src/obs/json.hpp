@@ -1,44 +1,14 @@
-// Minimal recursive-descent JSON parser.
-//
-// Exists so the observability self-checks (tests/obs_test.cpp,
-// tools/obs_selfcheck.cpp) can validate the registry snapshots and Chrome
-// trace files this repo emits without external dependencies. Supports the
-// full JSON grammar the serializers produce; not meant as a general-purpose
-// library.
+// Compatibility shim: the JSON parser moved to common/json.hpp so the
+// scenario-config facility (common/config.hpp) can use it without a layering
+// cycle. Existing includes of obs/json.hpp and uses of bm::obs::json::*
+// keep compiling unchanged.
 #pragma once
 
-#include <map>
-#include <memory>
-#include <optional>
-#include <string>
-#include <string_view>
-#include <vector>
+#include "common/json.hpp"
 
 namespace bm::obs::json {
 
-class Value {
- public:
-  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
-
-  Type type = Type::kNull;
-  bool boolean = false;
-  double number = 0;
-  std::string string;
-  std::vector<Value> array;
-  /// Insertion-ordered, duplicate keys keep the last value.
-  std::vector<std::pair<std::string, Value>> object;
-
-  bool is_object() const { return type == Type::kObject; }
-  bool is_array() const { return type == Type::kArray; }
-  bool is_number() const { return type == Type::kNumber; }
-  bool is_string() const { return type == Type::kString; }
-
-  /// Object member lookup; null when absent or not an object.
-  const Value* find(std::string_view key) const;
-};
-
-/// Parse `text`; on failure returns nullopt and (if given) fills `error`
-/// with a message including the byte offset.
-std::optional<Value> parse(std::string_view text, std::string* error = nullptr);
+using bm::json::Value;
+using bm::json::parse;
 
 }  // namespace bm::obs::json

@@ -4,7 +4,7 @@
 #include <fstream>
 #include <sstream>
 
-#include "obs/json.hpp"
+#include "common/config.hpp"
 
 namespace bm::obs {
 
@@ -15,15 +15,6 @@ bool write_file(const std::string& path, const std::string& content) {
   if (!out) return false;
   out << content;
   return static_cast<bool>(out);
-}
-
-std::optional<SloRuleKind> kind_from_name(std::string_view name) {
-  if (name == "ratio") return SloRuleKind::kRatio;
-  if (name == "rate_above") return SloRuleKind::kRateAbove;
-  if (name == "gauge_above") return SloRuleKind::kGaugeAbove;
-  if (name == "gauge_below") return SloRuleKind::kGaugeBelow;
-  if (name == "latency_quantile") return SloRuleKind::kLatencyQuantile;
-  return std::nullopt;
 }
 
 }  // namespace
@@ -40,141 +31,106 @@ std::string_view slo_rule_kind_name(SloRuleKind kind) {
 }
 
 // --- config parsing ---------------------------------------------------------
+//
+// Built on the shared scenario-config facility (common/config.hpp):
+// diagnostics name the file (when loaded from disk) and the JSON path of
+// the offending key, e.g. `slo.rules[1].burn_rate: expected number > 0`.
 
 namespace {
 
-using json::Value;
-
-bool rule_error(std::string* error, const std::string& message) {
-  if (error != nullptr) *error = "slo config: " + message;
-  return false;
-}
-
-bool parse_rule(const Value& node, SloRule* rule, std::string* error) {
-  if (!node.is_object()) return rule_error(error, "each rule must be an object");
-  const Value* name = node.find("name");
-  if (name == nullptr || !name->is_string() || name->string.empty())
-    return rule_error(error, "rule needs a non-empty \"name\"");
-  rule->name = name->string;
-
-  const Value* kind = node.find("kind");
-  if (kind == nullptr || !kind->is_string())
-    return rule_error(error, "rule \"" + rule->name + "\" needs a \"kind\"");
-  const auto parsed_kind = kind_from_name(kind->string);
-  if (!parsed_kind)
-    return rule_error(error, "rule \"" + rule->name + "\": unknown kind \"" +
-                                 kind->string +
-                                 "\" (ratio | rate_above | gauge_above | "
-                                 "gauge_below | latency_quantile)");
-  rule->kind = *parsed_kind;
-
-  const Value* metric = node.find("metric");
-  if (metric == nullptr || !metric->is_string() || metric->string.empty())
-    return rule_error(error, "rule \"" + rule->name + "\" needs a \"metric\"");
-  rule->metric = metric->string;
-
-  if (const Value* den = node.find("denominator");
-      den != nullptr && den->is_string())
-    rule->denominator = den->string;
+bool parse_rule(const config::Section& node, SloRule* rule) {
+  if (!node.is_object()) return node.fail("expected an object");
+  bool ok = true;
+  ok &= node.require_string("name", &rule->name);
+  if (node.member("kind").present()) {
+    ok &= node.read_enum<SloRuleKind>(
+        "kind", &rule->kind,
+        {{"ratio", SloRuleKind::kRatio},
+         {"rate_above", SloRuleKind::kRateAbove},
+         {"gauge_above", SloRuleKind::kGaugeAbove},
+         {"gauge_below", SloRuleKind::kGaugeBelow},
+         {"latency_quantile", SloRuleKind::kLatencyQuantile}});
+  } else {
+    ok &= node.fail_key("kind", "missing required string");
+  }
+  ok &= node.require_string("metric", &rule->metric);
+  ok &= node.read_string("denominator", &rule->denominator);
   if (rule->kind == SloRuleKind::kRatio && rule->denominator.empty())
-    return rule_error(error, "ratio rule \"" + rule->name +
-                                 "\" needs a \"denominator\" counter");
+    ok &= node.fail_key("denominator", "ratio rules need a denominator counter");
 
   // "objective" (ratio) and "threshold" are the same slot; accept either.
-  const Value* threshold = node.find("objective");
-  if (threshold == nullptr) threshold = node.find("threshold");
-  if (threshold == nullptr || !threshold->is_number())
-    return rule_error(error, "rule \"" + rule->name +
-                                 "\" needs an \"objective\" or \"threshold\"");
-  rule->threshold = threshold->number;
-  if (rule->kind == SloRuleKind::kRatio && rule->threshold <= 0)
-    return rule_error(error, "ratio rule \"" + rule->name +
-                                 "\": objective must be > 0");
+  const config::Range bound = rule->kind == SloRuleKind::kRatio
+                                  ? config::positive()
+                                  : config::Range{};
+  if (node.member("objective").present())
+    ok &= node.read_number("objective", &rule->threshold, bound);
+  else if (node.member("threshold").present())
+    ok &= node.read_number("threshold", &rule->threshold, bound);
+  else
+    ok &= node.fail_key("objective",
+                        "missing required number (or \"threshold\")");
 
-  if (const Value* q = node.find("quantile")) {
-    if (!q->is_number() || q->number <= 0 || q->number >= 1)
-      return rule_error(error, "rule \"" + rule->name +
-                                   "\": quantile must be in (0,1)");
-    rule->quantile = q->number;
-  }
-  if (const Value* burn = node.find("burn_rate")) {
-    if (!burn->is_number() || burn->number <= 0)
-      return rule_error(error, "rule \"" + rule->name +
-                                   "\": burn_rate must be > 0");
-    rule->burn_rate = burn->number;
-  }
-  if (const Value* m = node.find("min_count")) {
-    if (!m->is_number() || m->number < 0)
-      return rule_error(error,
-                        "rule \"" + rule->name + "\": bad min_count");
-    rule->min_count = static_cast<std::uint64_t>(m->number);
-  }
+  ok &= node.read_number("quantile", &rule->quantile, config::open_unit());
+  ok &= node.read_number("burn_rate", &rule->burn_rate, config::positive());
+  ok &= node.read_u64("min_count", &rule->min_count, config::non_negative());
 
-  const Value* windows = node.find("windows_ms");
-  if (windows == nullptr || !windows->is_array() || windows->array.empty())
-    return rule_error(error, "rule \"" + rule->name +
-                                 "\" needs a non-empty \"windows_ms\" array");
-  for (const Value& w : windows->array) {
-    if (!w.is_number() || w.number <= 0)
-      return rule_error(error, "rule \"" + rule->name +
-                                   "\": windows_ms entries must be > 0");
-    rule->windows.push_back(static_cast<sim::Time>(
-        w.number * static_cast<double>(sim::kMillisecond)));
+  const config::Section windows = node.require_array("windows_ms");
+  if (!windows.present()) ok = false;
+  if (windows.present() && windows.array_size() == 0)
+    ok &= windows.fail("expected a non-empty array");
+  for (std::size_t i = 0; i < windows.array_size(); ++i) {
+    double ms = 0;
+    if (!windows.element(i).value_number(&ms, config::positive()))
+      return false;
+    rule->windows.push_back(
+        static_cast<sim::Time>(ms * static_cast<double>(sim::kMillisecond)));
   }
   std::sort(rule->windows.begin(), rule->windows.end());
-  return true;
+  return ok;
+}
+
+}  // namespace
+
+namespace detail {
+
+SloConfig parse_slo_section(const bm::config::Section& s) {
+  SloConfig config;
+  s.read_string("name", &config.name);
+  s.read_time_ms("evaluation_interval_ms", &config.evaluation_interval,
+                 config::positive());
+  const config::Section rules = s.require_array("rules");
+  for (std::size_t i = 0; i < rules.array_size(); ++i) {
+    SloRule rule;
+    if (!parse_rule(rules.element(i), &rule)) break;
+    config.rules.push_back(std::move(rule));
+  }
+  return config;
+}
+
+}  // namespace detail
+
+namespace {
+
+std::optional<SloConfig> slo_from_root(const config::Root& root,
+                                       std::string* error) {
+  SloConfig config = detail::parse_slo_section(root.section());
+  if (!root.ok()) {
+    if (error != nullptr) *error = root.error();
+    return std::nullopt;
+  }
+  return config;
 }
 
 }  // namespace
 
 std::optional<SloConfig> parse_slo_config(std::string_view text,
                                           std::string* error) {
-  std::string parse_error;
-  const auto root = json::parse(text, &parse_error);
-  if (!root) {
-    rule_error(error, parse_error);
-    return std::nullopt;
-  }
-  if (!root->is_object()) {
-    rule_error(error, "root must be an object");
-    return std::nullopt;
-  }
-
-  SloConfig config;
-  if (const Value* name = root->find("name");
-      name != nullptr && name->is_string())
-    config.name = name->string;
-  if (const Value* interval = root->find("evaluation_interval_ms")) {
-    if (!interval->is_number() || interval->number <= 0) {
-      rule_error(error, "evaluation_interval_ms must be > 0");
-      return std::nullopt;
-    }
-    config.evaluation_interval = static_cast<sim::Time>(
-        interval->number * static_cast<double>(sim::kMillisecond));
-  }
-  const Value* rules = root->find("rules");
-  if (rules == nullptr || !rules->is_array()) {
-    rule_error(error, "needs a \"rules\" array");
-    return std::nullopt;
-  }
-  for (const Value& node : rules->array) {
-    SloRule rule;
-    if (!parse_rule(node, &rule, error)) return std::nullopt;
-    config.rules.push_back(std::move(rule));
-  }
-  return config;
+  return slo_from_root(config::Root::parse(text, "slo"), error);
 }
 
 std::optional<SloConfig> load_slo_config(const std::string& path,
                                          std::string* error) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) {
-    rule_error(error, "cannot open " + path);
-    return std::nullopt;
-  }
-  std::ostringstream text;
-  text << in.rdbuf();
-  return parse_slo_config(text.str(), error);
+  return slo_from_root(config::Root::load(path, "slo"), error);
 }
 
 // --- monitor ----------------------------------------------------------------

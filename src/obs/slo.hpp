@@ -37,6 +37,10 @@
 #include "obs/trace.hpp"
 #include "sim/simulation.hpp"
 
+namespace bm::config {
+class Section;
+}
+
 namespace bm::obs {
 
 enum class SloRuleKind : std::uint8_t {
@@ -79,6 +83,14 @@ std::optional<SloConfig> parse_slo_config(std::string_view text,
                                           std::string* error = nullptr);
 std::optional<SloConfig> load_slo_config(const std::string& path,
                                          std::string* error = nullptr);
+
+namespace detail {
+/// Section-level parser shared with the composed --scenario loader: same
+/// schema whether the rules sit in their own slo_*.json file or under a
+/// scenario file's "slo" section. Errors land in the section's sink; the
+/// caller checks its config::Root.
+SloConfig parse_slo_section(const bm::config::Section& root);
+}  // namespace detail
 
 /// One state transition of one rule. `value` is the measured quantity on
 /// the shortest window at the transition (burn rate for ratio rules).

@@ -39,6 +39,11 @@ void Telemetry::configure(TimeSeriesConfig sampler_config,
   flight_out_.clear();
 }
 
+void Telemetry::set_slo_config(std::optional<SloConfig> slo_config) {
+  slo_config_ = std::move(slo_config);
+  if (slo_config_) enabled_ = true;
+}
+
 void Telemetry::attach(sim::Simulation& sim, Registry& registry,
                        Tracer* tracer) {
   if (!enabled_) return;

@@ -41,6 +41,12 @@ class Telemetry {
   void configure(TimeSeriesConfig sampler_config,
                  std::optional<SloConfig> slo_config);
 
+  /// Install (or clear) an in-memory SLO rule set on top of whatever
+  /// configure() decided — the composed --scenario path, where the rules
+  /// arrive inline in the scenario file rather than via --slo-config.
+  /// A non-empty rule set enables the bundle. Call before attach().
+  void set_slo_config(std::optional<SloConfig> slo_config);
+
   bool enabled() const { return enabled_; }
 
   /// Create the instruments for this run and start the recurring sampling /

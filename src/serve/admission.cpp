@@ -38,7 +38,7 @@ std::size_t AdmissionQueue::class_cap(int klass) const {
 }
 
 AdmissionDecision AdmissionQueue::offer(std::uint64_t id, int klass,
-                                        sim::Time now) {
+                                        sim::Time now, SessionId session) {
   stats_.offered += 1;
   if (live_offered_ != nullptr) live_offered_->inc();
   klass = std::clamp(klass, 0, config_.classes - 1);
@@ -77,7 +77,7 @@ AdmissionDecision AdmissionQueue::offer(std::uint64_t id, int klass,
 
   if (config_.token_rate_tps > 0) tokens_ -= 1.0;
   queues_[static_cast<std::size_t>(klass)].push_back(
-      AdmittedRequest{id, klass, now});
+      AdmittedRequest{id, klass, now, session});
   stats_.admitted += 1;
   stats_.depth_high_water = std::max(stats_.depth_high_water, depth());
   if (live_admitted_ != nullptr) live_admitted_->inc();

@@ -70,19 +70,27 @@ struct AdmissionStats {
   }
 };
 
+/// Session handle threaded through the pipeline; the full definition lives
+/// in serve/session.hpp (same alias — (generation << 32) | slot, 0 = none).
+using SessionId = std::uint64_t;
+
 /// One admitted request waiting for an endorsement worker.
 struct AdmittedRequest {
   std::uint64_t id = 0;
   int klass = 0;
   sim::Time arrived = 0;
+  SessionId session = 0;  ///< owning session; 0 for anonymous arrivals
 };
 
 class AdmissionQueue {
  public:
   explicit AdmissionQueue(AdmissionConfig config);
 
-  /// Admit-or-shed decision for a request arriving at `now`.
-  AdmissionDecision offer(std::uint64_t id, int klass, sim::Time now);
+  /// Admit-or-shed decision for a request arriving at `now`. `session`
+  /// rides along into the AdmittedRequest so downstream stages can account
+  /// per session / rate class.
+  AdmissionDecision offer(std::uint64_t id, int klass, sim::Time now,
+                          SessionId session = 0);
 
   /// Highest-priority waiting request, or nullopt when empty.
   std::optional<AdmittedRequest> pop();

@@ -1,270 +1,189 @@
 #include "serve/config.hpp"
 
-#include <fstream>
-#include <sstream>
-
-#include "obs/json.hpp"
+#include "common/config.hpp"
 
 namespace bm::serve {
 
 namespace {
 
-using obs::json::Value;
-
-bool read_number(const Value& parent, std::string_view key, double* out,
-                 std::string* error) {
-  const Value* v = parent.find(key);
-  if (v == nullptr) return true;  // optional: keep default
-  if (!v->is_number()) {
-    if (error != nullptr)
-      *error = "serve config: \"" + std::string(key) + "\" must be a number";
-    return false;
-  }
-  *out = v->number;
-  return true;
+void parse_traffic(const config::Section& node, TrafficConfig* config) {
+  node.read_enum<ArrivalProcess>("process", &config->process,
+                                 {{"poisson", ArrivalProcess::kPoisson},
+                                  {"mmpp", ArrivalProcess::kMmpp},
+                                  {"diurnal", ArrivalProcess::kDiurnal}});
+  node.read_number("rate_tps", &config->rate_tps, config::positive());
+  node.read_number("burst_rate_tps", &config->burst_rate_tps,
+                   config::positive());
+  node.read_number("p_enter_burst", &config->p_enter_burst,
+                   config::unit_interval());
+  node.read_number("p_exit_burst", &config->p_exit_burst,
+                   config::unit_interval());
+  node.read_number("peak_rate_tps", &config->peak_rate_tps,
+                   config::positive());
+  node.read_time_ms("period_ms", &config->period, config::positive());
 }
 
-bool read_size(const Value& parent, std::string_view key, std::size_t* out,
-               std::string* error) {
-  double value = static_cast<double>(*out);
-  if (!read_number(parent, key, &value, error)) return false;
-  if (value < 0) value = 0;
-  *out = static_cast<std::size_t>(value);
-  return true;
+void parse_sessions(const config::Section& node, SessionConfig* config) {
+  node.read_bool("enabled", &config->enabled);
+  node.read_size("population", &config->population, config::positive());
+  node.read_size("max_sessions", &config->max_sessions,
+                 config::non_negative());
+  node.read_time_ms("idle_timeout_ms", &config->idle_timeout,
+                    config::positive());
+  node.read_time_ms("grace_ms", &config->grace, config::non_negative());
+  node.read_time_ms("wheel_granularity_ms", &config->wheel_granularity,
+                    config::positive());
+  node.read_int("rate_classes", &config->rate_classes, config::at_least(1));
+  node.read_number("zipf_s", &config->zipf_s, config::non_negative());
+  node.read_number("bad_cert_share", &config->bad_cert_share,
+                   config::unit_interval());
+  node.read_number("duplicate_rate", &config->duplicate_rate,
+                   config::unit_interval());
+  node.read_number("out_of_order_rate", &config->out_of_order_rate,
+                   config::unit_interval());
+  node.read_bool("preconnect", &config->preconnect);
+  node.read_size("cert_pool", &config->cert_pool, config::positive());
+  node.read_u64("seq_limit", &config->seq_limit, config::positive());
 }
 
-bool read_int(const Value& parent, std::string_view key, int* out,
-              std::string* error) {
-  double value = static_cast<double>(*out);
-  if (!read_number(parent, key, &value, error)) return false;
-  *out = static_cast<int>(value);
-  return true;
+void parse_admission(const config::Section& node, AdmissionConfig* config) {
+  node.read_size("queue_capacity", &config->queue_capacity,
+                 config::non_negative());
+  node.read_number("token_rate_tps", &config->token_rate_tps,
+                   config::non_negative());
+  node.read_number("bucket_capacity", &config->bucket_capacity,
+                   config::non_negative());
+  node.read_int("classes", &config->classes, config::at_least(1));
+  node.read_number("pressure_refill_factor", &config->pressure_refill_factor,
+                   config::unit_interval());
 }
 
-bool read_time_ms(const Value& parent, std::string_view key, sim::Time* out,
-                  std::string* error) {
-  double ms = static_cast<double>(*out) / static_cast<double>(sim::kMillisecond);
-  if (!read_number(parent, key, &ms, error)) return false;
-  *out = static_cast<sim::Time>(ms * static_cast<double>(sim::kMillisecond));
-  return true;
-}
-
-bool read_time_us(const Value& parent, std::string_view key, sim::Time* out,
-                  std::string* error) {
-  double us = static_cast<double>(*out) / static_cast<double>(sim::kMicrosecond);
-  if (!read_number(parent, key, &us, error)) return false;
-  *out = static_cast<sim::Time>(us * static_cast<double>(sim::kMicrosecond));
-  return true;
-}
-
-bool parse_traffic(const Value* node, TrafficConfig* config,
-                   std::string* error) {
-  if (node == nullptr) return true;
-  if (!node->is_object()) {
-    if (error != nullptr) *error = "serve config: \"traffic\" must be an object";
-    return false;
-  }
-  if (const Value* process = node->find("process")) {
-    if (!process->is_string()) {
-      if (error != nullptr)
-        *error = "serve config: \"traffic.process\" must be a string";
-      return false;
-    }
-    if (process->string == "poisson") {
-      config->process = ArrivalProcess::kPoisson;
-    } else if (process->string == "mmpp") {
-      config->process = ArrivalProcess::kMmpp;
-    } else if (process->string == "diurnal") {
-      config->process = ArrivalProcess::kDiurnal;
-    } else {
-      if (error != nullptr)
-        *error = "serve config: unknown arrival process \"" +
-                 process->string + "\" (poisson | mmpp | diurnal)";
-      return false;
-    }
-  }
-  return read_number(*node, "rate_tps", &config->rate_tps, error) &&
-         read_number(*node, "burst_rate_tps", &config->burst_rate_tps,
-                     error) &&
-         read_number(*node, "p_enter_burst", &config->p_enter_burst, error) &&
-         read_number(*node, "p_exit_burst", &config->p_exit_burst, error) &&
-         read_number(*node, "peak_rate_tps", &config->peak_rate_tps, error) &&
-         read_time_ms(*node, "period_ms", &config->period, error);
-}
-
-bool parse_admission(const Value* node, AdmissionConfig* config,
-                     std::string* error) {
-  if (node == nullptr) return true;
-  if (!node->is_object()) {
-    if (error != nullptr)
-      *error = "serve config: \"admission\" must be an object";
-    return false;
-  }
-  return read_size(*node, "queue_capacity", &config->queue_capacity, error) &&
-         read_number(*node, "token_rate_tps", &config->token_rate_tps,
-                     error) &&
-         read_number(*node, "bucket_capacity", &config->bucket_capacity,
-                     error) &&
-         read_int(*node, "classes", &config->classes, error) &&
-         read_number(*node, "pressure_refill_factor",
-                     &config->pressure_refill_factor, error);
-}
-
-bool parse_endorse(const Value* node, EndorsementService::Config* config,
-                   std::string* error) {
-  if (node == nullptr) return true;
-  if (!node->is_object()) {
-    if (error != nullptr) *error = "serve config: \"endorse\" must be an object";
-    return false;
-  }
+void parse_endorse(const config::Section& node,
+                   EndorsementService::Config* config) {
+  node.read_int("workers", &config->workers, config::at_least(1));
+  node.read_time_us("service_base_us", &config->service_base,
+                    config::non_negative());
+  node.read_time_us("per_endorsement_us", &config->per_endorsement,
+                    config::non_negative());
+  node.read_time_ms("deadline_ms", &config->deadline, config::non_negative());
   int sign_threads = static_cast<int>(config->sign_threads);
-  if (!read_int(*node, "workers", &config->workers, error) ||
-      !read_time_us(*node, "service_base_us", &config->service_base, error) ||
-      !read_time_us(*node, "per_endorsement_us", &config->per_endorsement,
-                    error) ||
-      !read_time_ms(*node, "deadline_ms", &config->deadline, error) ||
-      !read_int(*node, "sign_threads", &sign_threads, error))
-    return false;
-  config->sign_threads = sign_threads < 0 ? 0u
-                                          : static_cast<unsigned>(sign_threads);
-  return true;
+  node.read_int("sign_threads", &sign_threads, config::non_negative());
+  config->sign_threads =
+      sign_threads < 0 ? 0u : static_cast<unsigned>(sign_threads);
 }
 
-bool parse_ingress(const Value* node, IngressConfig* config,
-                   std::string* error) {
-  if (node == nullptr) return true;
-  if (!node->is_object()) {
-    if (error != nullptr) *error = "serve config: \"ingress\" must be an object";
-    return false;
-  }
-  return read_size(*node, "max_batch", &config->max_batch, error) &&
-         read_time_ms(*node, "batch_timeout_ms", &config->batch_timeout,
-                      error) &&
-         read_size(*node, "high_watermark", &config->high_watermark, error) &&
-         read_size(*node, "low_watermark", &config->low_watermark, error);
+void parse_ingress(const config::Section& node, IngressConfig* config) {
+  node.read_size("max_batch", &config->max_batch, config::at_least(1));
+  node.read_time_ms("batch_timeout_ms", &config->batch_timeout,
+                    config::positive());
+  node.read_size("high_watermark", &config->high_watermark,
+                 config::non_negative());
+  node.read_size("low_watermark", &config->low_watermark,
+                 config::non_negative());
 }
 
-bool parse_network(const Value* node, workload::NetworkOptions* config,
-                   std::string* error) {
-  if (node == nullptr) return true;
-  if (!node->is_object()) {
-    if (error != nullptr) *error = "serve config: \"network\" must be an object";
-    return false;
-  }
-  if (const Value* chaincode = node->find("chaincode")) {
-    if (!chaincode->is_string()) {
-      if (error != nullptr)
-        *error = "serve config: \"network.chaincode\" must be a string";
-      return false;
-    }
-    if (chaincode->string == "smallbank") {
-      config->chaincode = workload::ChaincodeKind::kSmallbank;
-    } else if (chaincode->string == "drm") {
-      config->chaincode = workload::ChaincodeKind::kDrm;
-    } else {
-      if (error != nullptr)
-        *error = "serve config: unknown chaincode \"" + chaincode->string +
-                 "\" (smallbank | drm)";
-      return false;
-    }
-  }
-  if (const Value* policy = node->find("policy");
-      policy != nullptr && policy->is_string())
-    config->policy_text = policy->string;
-  return read_int(*node, "orgs", &config->orgs, error) &&
-         read_number(*node, "bad_signature_rate", &config->bad_signature_rate,
-                     error) &&
-         read_number(*node, "missing_endorsement_rate",
-                     &config->missing_endorsement_rate, error) &&
-         read_number(*node, "conflicting_read_rate",
-                     &config->conflicting_read_rate, error);
-}
-
-bool parse_durability(const Value* node, fabric::DurabilityConfig* config,
-                      std::string* error) {
-  if (node == nullptr) return true;
-  if (!node->is_object()) {
-    if (error != nullptr)
-      *error = "serve config: \"durability\" must be an object";
-    return false;
-  }
-  if (const Value* path = node->find("ledger_path")) {
-    if (!path->is_string()) {
-      if (error != nullptr)
-        *error = "serve config: \"durability.ledger_path\" must be a string";
-      return false;
-    }
-    config->ledger_path = path->string;
-  }
-  double interval = static_cast<double>(config->snapshot_interval);
-  double fsync_each = config->fsync_each_block ? 1.0 : 0.0;
-  if (!read_number(*node, "snapshot_interval_blocks", &interval, error) ||
-      !read_size(*node, "keep_snapshots", &config->keep_snapshots, error) ||
-      !read_number(*node, "fsync_each_block", &fsync_each, error))
-    return false;
-  config->snapshot_interval =
-      interval < 0 ? 0 : static_cast<std::uint64_t>(interval);
-  config->fsync_each_block = fsync_each != 0.0;
-  return true;
+void parse_network(const config::Section& node,
+                   workload::NetworkOptions* config) {
+  node.read_enum<workload::ChaincodeKind>(
+      "chaincode", &config->chaincode,
+      {{"smallbank", workload::ChaincodeKind::kSmallbank},
+       {"drm", workload::ChaincodeKind::kDrm}});
+  node.read_string("policy", &config->policy_text);
+  node.read_int("orgs", &config->orgs, config::at_least(1));
+  node.read_number("bad_signature_rate", &config->bad_signature_rate,
+                   config::unit_interval());
+  node.read_number("missing_endorsement_rate",
+                   &config->missing_endorsement_rate, config::unit_interval());
+  node.read_number("conflicting_read_rate", &config->conflicting_read_rate,
+                   config::unit_interval());
+  node.read_number("zipf_s", &config->smallbank.zipf_s,
+                   config::non_negative());
 }
 
 }  // namespace
 
-std::optional<ServeOptions> parse_serve_scenario(std::string_view text,
-                                                 std::string* error) {
-  std::string parse_error;
-  const auto root = obs::json::parse(text, &parse_error);
-  if (!root) {
-    if (error != nullptr) *error = "serve config: " + parse_error;
-    return std::nullopt;
-  }
-  if (!root->is_object()) {
-    if (error != nullptr) *error = "serve config: root must be an object";
-    return std::nullopt;
-  }
+namespace detail {
 
+void parse_serve_durability(const config::Section& node,
+                            fabric::DurabilityConfig* config) {
+  node.read_string("ledger_path", &config->ledger_path);
+  node.read_u64("snapshot_interval_blocks", &config->snapshot_interval,
+                config::non_negative());
+  node.read_size("keep_snapshots", &config->keep_snapshots,
+                 config::non_negative());
+  node.read_bool("fsync_each_block", &config->fsync_each_block);
+}
+
+void parse_serve_sessions(const config::Section& node, SessionConfig* config) {
+  parse_sessions(node, config);
+}
+
+std::optional<ServeOptions> parse_serve_section(const config::Section& root) {
   ServeOptions options;
-  if (const Value* name = root->find("name");
-      name != nullptr && name->is_string())
-    options.name = name->string;
+  root.read_string("name", &options.name);
 
   // One top-level seed drives both deterministic streams; the arrival
   // process gets a fixed odd-constant mix so its schedule is independent of
   // the harness's fault/op draws (same decorrelation idiom as net/faults).
-  double seed = static_cast<double>(options.network.seed);
-  if (!read_number(*root, "seed", &seed, error)) return std::nullopt;
-  options.network.seed = static_cast<std::uint64_t>(seed);
-  options.traffic.seed =
-      static_cast<std::uint64_t>(seed) ^ 0x9E3779B97F4A7C15ull;
+  std::uint64_t seed = options.network.seed;
+  root.read_u64("seed", &seed, config::non_negative());
+  options.network.seed = seed;
+  options.traffic.seed = seed ^ 0x9E3779B97F4A7C15ull;
 
-  if (!read_time_ms(*root, "duration_ms", &options.duration, error) ||
-      !read_time_ms(*root, "drain_limit_ms", &options.drain_limit, error) ||
-      !read_int(*root, "validate_vcpus", &options.validate_vcpus, error) ||
-      !read_number(*root, "high_priority_share", &options.high_priority_share,
-                   error))
-    return std::nullopt;
+  root.read_time_ms("duration_ms", &options.duration, config::positive());
+  root.read_time_ms("drain_limit_ms", &options.drain_limit,
+                    config::non_negative());
+  root.read_int("validate_vcpus", &options.validate_vcpus,
+                config::at_least(1));
+  root.read_number("high_priority_share", &options.high_priority_share,
+                   config::unit_interval());
 
-  if (!parse_traffic(root->find("traffic"), &options.traffic, error) ||
-      !parse_admission(root->find("admission"), &options.admission, error) ||
-      !parse_endorse(root->find("endorse"), &options.endorse, error) ||
-      !parse_ingress(root->find("ingress"), &options.ingress, error) ||
-      !parse_network(root->find("network"), &options.network, error) ||
-      !parse_durability(root->find("durability"), &options.network.durability,
-                        error))
+  parse_traffic(root.object("traffic"), &options.traffic);
+  parse_sessions(root.object("sessions"), &options.sessions);
+  parse_admission(root.object("admission"), &options.admission);
+  parse_endorse(root.object("endorse"), &options.endorse);
+  parse_ingress(root.object("ingress"), &options.ingress);
+  parse_network(root.object("network"), &options.network);
+  parse_serve_durability(root.object("durability"),
+                         &options.network.durability);
+  // The session layer admits per-class; keep the admission queue's class
+  // count in sync so every configured rate class has a cap.
+  if (options.sessions.enabled &&
+      options.admission.classes < options.sessions.rate_classes)
+    options.admission.classes = options.sessions.rate_classes;
+  return options;
+}
+
+}  // namespace detail
+
+std::optional<ServeOptions> parse_serve_scenario(std::string_view text,
+                                                 std::string* error) {
+  config::Root root = config::Root::parse(text, "serve");
+  if (!root.ok()) {
+    if (error != nullptr) *error = root.error();
     return std::nullopt;
+  }
+  auto options = detail::parse_serve_section(root.section());
+  if (!root.ok()) {
+    if (error != nullptr) *error = root.error();
+    return std::nullopt;
+  }
   return options;
 }
 
 std::optional<ServeOptions> load_serve_scenario(const std::string& path,
                                                 std::string* error) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) {
-    if (error != nullptr) *error = "serve config: cannot open " + path;
+  config::Root root = config::Root::load(path, "serve");
+  if (!root.ok()) {
+    if (error != nullptr) *error = root.error();
     return std::nullopt;
   }
-  std::ostringstream text;
-  text << in.rdbuf();
-  return parse_serve_scenario(text.str(), error);
+  auto options = detail::parse_serve_section(root.section());
+  if (!root.ok()) {
+    if (error != nullptr) *error = root.error();
+    return std::nullopt;
+  }
+  return options;
 }
 
 }  // namespace bm::serve

@@ -13,6 +13,10 @@
 
 #include "serve/pipeline.hpp"
 
+namespace bm::config {
+class Section;
+}
+
 namespace bm::serve {
 
 /// Parse a scenario from JSON text. Returns nullopt (and sets *error) on
@@ -23,5 +27,15 @@ std::optional<ServeOptions> parse_serve_scenario(std::string_view text,
 /// Load a scenario file from disk.
 std::optional<ServeOptions> load_serve_scenario(const std::string& path,
                                                 std::string* error = nullptr);
+
+namespace detail {
+/// Section-level parsers shared with the composed --scenario loader
+/// (serve/scenario.cpp): the same schema whether the keys sit at the top of
+/// a serve config file or under a scenario file's "serve" section.
+std::optional<ServeOptions> parse_serve_section(const config::Section& root);
+void parse_serve_durability(const config::Section& node,
+                            fabric::DurabilityConfig* config);
+void parse_serve_sessions(const config::Section& node, SessionConfig* config);
+}  // namespace detail
 
 }  // namespace bm::serve

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <deque>
+#include <memory>
 #include <sstream>
 
 #include "fabric/timing_model.hpp"
@@ -22,9 +23,11 @@ struct Record {
     kShed,
     kTimedOut,
     kCommitted,
+    kRejected,  ///< refused by the session layer (never reached admission)
   };
   Fate fate = Fate::kPending;
   fabric::TxValidationCode flag = fabric::TxValidationCode::kNotValidated;
+  int klass = 0;  ///< rate class (per-class breakdown when sessions are on)
   sim::Time arrived = 0;
   sim::Time dispatched = 0;  ///< endorsement service start
   sim::Time endorsed = 0;
@@ -46,12 +49,41 @@ class ServeRun {
       : options_(options),
         harness_(sized_network(options)),
         traffic_(options.traffic),
-        admission_(options.admission),
+        admission_(sized_admission(options)),
         endorse_(sim_, options.endorse, harness_, admission_),
         class_rng_(options.network.seed ^ 0xC2B2AE3D27D4EB4Full),
+        session_rng_(options.network.seed ^ 0xD1B54A32D192ED03ull),
         registry_(registry),
         tracer_(tracer) {
     if (options_.check_equivalence) options_.keep_blocks = true;
+
+    if (options_.sessions.enabled) {
+      sessions_ = std::make_unique<SessionManager>(sim_, harness_.msp(),
+                                                   options_.sessions);
+      mix_ = std::make_unique<SessionMix>(
+          options_.sessions.population, options_.sessions.zipf_s,
+          options_.sessions.rate_classes, options_.high_priority_share,
+          options_.network.seed ^ 0xA0761D6478BD642Full);
+      client_session_.assign(mix_->population(), kNoSession);
+      // Client certificate pool: real identities issued by the harness's
+      // registered CAs (so they validate), shared round-robin across the
+      // population. One rogue CA mints the forged-handshake certs.
+      const std::size_t pool =
+          options_.sessions.cert_pool > 0 ? options_.sessions.cert_pool : 1;
+      cert_pool_.reserve(pool);
+      const std::size_t orgs = harness_.msp().org_count();
+      for (std::size_t i = 0; i < pool; ++i) {
+        const auto* ca = harness_.msp().find_org(
+            static_cast<std::uint8_t>(1 + i % orgs));
+        cert_pool_.push_back(
+            ca->issue(fabric::Role::kClient,
+                      static_cast<std::uint8_t>(i % 16),
+                      "client" + std::to_string(i) + ".serve")
+                .cert);
+      }
+      const fabric::CertificateAuthority rogue("RogueOrg", 200);
+      rogue_cert_ = rogue.issue(fabric::Role::kClient, 0, "rogue.serve").cert;
+    }
 
     // Commit-stage timing model inputs, fixed for the run.
     const auto& policy = harness_.policies().at(harness_.chaincode_name());
@@ -80,6 +112,7 @@ class ServeRun {
       obs::Registry& registry = *registry_;
       admission_.attach_observability(registry, "serve_admission");
       endorse_.attach_observability(registry, "serve_endorse");
+      if (sessions_ != nullptr) sessions_->attach_observability(registry);
       live_committed_ = &registry.counter("serve_txs_committed_total",
                                           "transactions committed");
       live_valid_ = &registry.counter("serve_txs_valid_total",
@@ -119,6 +152,11 @@ class ServeRun {
       flight_ = telemetry->flight();
       endorse_.set_flight_recorder(flight_);
     }
+    // Flash-crowd option: handshake the whole population at t = 0, before
+    // any arrival, so the run starts from a warm session table.
+    if (sessions_ != nullptr && options_.sessions.preconnect)
+      for (std::size_t client = 0; client < mix_->population(); ++client)
+        ensure_session(client);
     schedule_next_arrival(traffic_.next_arrival());
     sim_.run_until(options_.duration + options_.drain_limit);
     ServeReport report = assemble();
@@ -138,6 +176,16 @@ class ServeRun {
     return network;
   }
 
+  static AdmissionConfig sized_admission(const ServeOptions& options) {
+    AdmissionConfig admission = options.admission;
+    // Session rate classes feed the admission queue's per-class caps, so
+    // the queue must have at least that many classes.
+    if (options.sessions.enabled)
+      admission.classes =
+          std::max(admission.classes, options.sessions.rate_classes);
+    return admission;
+  }
+
   void schedule_next_arrival(sim::Time at) {
     if (at > options_.duration) return;
     sim_.schedule(at - sim_.now(), [this] {
@@ -146,18 +194,75 @@ class ServeRun {
     });
   }
 
+  /// The session a client submits on: the cached one if still usable, a
+  /// resume() if it slipped into the grace window, otherwise a fresh
+  /// handshake (which the bad_cert_share knob occasionally forges).
+  /// kNoSession when the handshake was refused.
+  SessionId ensure_session(std::size_t client) {
+    SessionId id = client_session_[client];
+    if (id != kNoSession) {
+      if (sessions_->is_active(id)) return id;
+      if (sessions_->resume(id, cert_pool_[client % cert_pool_.size()]) ==
+          SessionVerdict::kOk)
+        return id;
+      client_session_[client] = kNoSession;  // purged: fresh handshake below
+    }
+    const bool forged = options_.sessions.bad_cert_share > 0 &&
+                        session_rng_.chance(options_.sessions.bad_cert_share);
+    const fabric::Certificate& cert =
+        forged ? rogue_cert_ : cert_pool_[client % cert_pool_.size()];
+    const SessionManager::OpenResult result =
+        sessions_->open(cert, mix_->rate_class_of(client));
+    client_session_[client] = result.id;
+    return result.id;
+  }
+
   void on_arrival() {
     const std::uint64_t id = records_.size();
     Record& record = records_.emplace_back();
     record.arrived = sim_.now();
 
     int klass = 0;
-    if (admission_.config().classes > 1)
+    SessionId session = kNoSession;
+    if (sessions_ != nullptr) {
+      const std::size_t client = mix_->next_client();
+      record.klass = mix_->rate_class_of(client);
+      session = ensure_session(client);
+      if (session == kNoSession) {
+        record.fate = Record::Fate::kRejected;
+        ++rejected_session_;
+        if (flight_ != nullptr)
+          flight_->record(obs::FlightStage::kShed, id, "session_rejected");
+        return;
+      }
+      // Well-behaved clients send the expected sequence number; the
+      // misbehaviour knobs replay the previous one or skip ahead.
+      const std::uint64_t expected = sessions_->expected_seq(session);
+      std::uint64_t seq = expected;
+      if (options_.sessions.duplicate_rate > 0 && expected > 0 &&
+          session_rng_.chance(options_.sessions.duplicate_rate))
+        seq = expected - 1;
+      else if (options_.sessions.out_of_order_rate > 0 &&
+               session_rng_.chance(options_.sessions.out_of_order_rate))
+        seq = expected + 1;
+      if (sessions_->submit(session, seq) != SessionVerdict::kOk) {
+        record.fate = Record::Fate::kRejected;
+        ++rejected_session_;
+        if (flight_ != nullptr)
+          flight_->record(obs::FlightStage::kShed, id, "session_rejected");
+        return;
+      }
+      klass = sessions_->rate_class(session);
+      record.klass = klass;
+    } else if (admission_.config().classes > 1) {
       klass = class_rng_.chance(options_.high_priority_share) ? 0 : 1;
+      record.klass = klass;
+    }
 
     const std::uint64_t rate_sheds_before =
         admission_.stats().shed_rate_limited;
-    const AdmissionDecision decision = admission_.offer(id, klass, sim_.now());
+    const AdmissionDecision decision =
+        admission_.offer(id, klass, sim_.now(), session);
     if (!decision.admitted()) {
       record.fate = Record::Fate::kShed;
       if (flight_ != nullptr)
@@ -343,6 +448,28 @@ class ServeRun {
     report.pressure_raised = admission_.stats().pressure_raised;
     report.finished_at = last_commit_at_ > 0 ? last_commit_at_ : sim_.now();
 
+    if (sessions_ != nullptr) {
+      report.sessions_enabled = true;
+      report.rejected_session = rejected_session_;
+      report.session_stats = sessions_->stats();
+      report.sessions_active = sessions_->active_count();
+      report.sessions_grace = sessions_->grace_count();
+      report.session_table = sessions_->table_size();
+      report.class_stats.resize(
+          static_cast<std::size_t>(admission_.config().classes));
+      for (const Record& record : records_) {
+        auto& cls = report.class_stats[static_cast<std::size_t>(record.klass)];
+        cls.offered += 1;
+        switch (record.fate) {
+          case Record::Fate::kRejected: cls.rejected += 1; break;
+          case Record::Fate::kShed: cls.shed += 1; break;
+          case Record::Fate::kTimedOut: cls.timed_out += 1; break;
+          case Record::Fate::kCommitted: cls.committed += 1; break;
+          case Record::Fate::kPending: break;
+        }
+      }
+    }
+
     report.offered_tps =
         static_cast<double>(report.offered) /
         (static_cast<double>(options_.duration) / sim::kSecond);
@@ -419,6 +546,13 @@ class ServeRun {
     obs::Registry& registry = *registry_;
     admission_.publish_metrics(registry, "serve_admission");
     endorse_.publish_metrics(registry, "serve_endorse");
+    if (sessions_ != nullptr) {
+      sessions_->publish_metrics(registry);
+      registry
+          .counter("serve_session_rejected_total",
+                   "arrivals refused by the session layer")
+          .set(report.rejected_session);
+    }
     // Durable-ledger accounting (bytes appended, fsyncs, snapshot age) when
     // the scenario persists its chain (docs/DURABILITY.md).
     if (harness_.durable() != nullptr)
@@ -455,6 +589,13 @@ class ServeRun {
   AdmissionQueue admission_;
   EndorsementService endorse_;
   Rng class_rng_;
+  Rng session_rng_;  ///< client-misbehaviour draws, decorrelated from arrivals
+  std::unique_ptr<SessionManager> sessions_;  ///< null when sessions disabled
+  std::unique_ptr<SessionMix> mix_;
+  std::vector<SessionId> client_session_;  ///< per client, kNoSession if none
+  std::vector<fabric::Certificate> cert_pool_;
+  fabric::Certificate rogue_cert_;
+  std::uint64_t rejected_session_ = 0;
   obs::Registry* registry_;
   obs::Tracer* tracer_;
   int lane_admission_ = 0, lane_ingress_ = 0, lane_commit_ = 0;
@@ -527,6 +668,34 @@ std::string ServeReport::to_text() const {
   row("order wait", order_wait_ms);
   row("commit", commit_ms);
   row("total", total_ms);
+  if (sessions_enabled) {
+    std::snprintf(line, sizeof(line),
+                  "sessions: opened %llu | active %zu (grace %zu) | evicted "
+                  "%llu | reconnected %llu | purged %llu | table %zu\n",
+                  u(session_stats.opened), sessions_active, sessions_grace,
+                  u(session_stats.evicted), u(session_stats.reconnected),
+                  u(session_stats.purged), session_table);
+    out << line;
+    std::snprintf(
+        line, sizeof(line),
+        "session rejects: %llu (bad cert %llu, capacity %llu, seq %llu, "
+        "unknown %llu)\n",
+        u(rejected_session), u(session_stats.rejected_bad_cert),
+        u(session_stats.rejected_capacity),
+        u(session_stats.seq_duplicate + session_stats.seq_out_of_order +
+          session_stats.seq_overflow),
+        u(session_stats.unknown_session));
+    out << line;
+    for (std::size_t c = 0; c < class_stats.size(); ++c) {
+      const ClassStats& cls = class_stats[c];
+      std::snprintf(line, sizeof(line),
+                    "  class %zu: offered %llu | rejected %llu | shed %llu | "
+                    "timed out %llu | committed %llu\n",
+                    c, u(cls.offered), u(cls.rejected), u(cls.shed),
+                    u(cls.timed_out), u(cls.committed));
+      out << line;
+    }
+  }
   std::snprintf(line, sizeof(line), "drained: %s | flags match: %s%s%s\n",
                 drained ? "yes" : "NO", flags_match ? "yes" : "NO",
                 mismatch.empty() ? "" : " | ", mismatch.c_str());

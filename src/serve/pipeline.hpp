@@ -29,6 +29,7 @@
 #include "obs/trace.hpp"
 #include "serve/admission.hpp"
 #include "serve/endorse.hpp"
+#include "serve/session.hpp"
 #include "serve/traffic.hpp"
 #include "workload/metrics.hpp"
 #include "workload/network_harness.hpp"
@@ -60,6 +61,12 @@ struct ServeOptions {
   AdmissionConfig admission;
   EndorsementService::Config endorse;
   IngressConfig ingress;
+  /// Session/identity layer (serve/session.hpp). Disabled by default:
+  /// arrivals are anonymous and the run is bit-identical to the pre-session
+  /// pipeline. When enabled, every arrival belongs to an authenticated
+  /// client session whose rate class feeds the admission queue, and
+  /// admission.classes is raised to at least sessions.rate_classes.
+  SessionConfig sessions;
   /// vCPUs of the modeled commit stage (fabric::SwTimingModel input).
   int validate_vcpus = 8;
   /// Fraction of arrivals in priority class 0 (rest are class 1; with one
@@ -79,9 +86,20 @@ struct ServeOptions {
 };
 
 struct ServeReport {
+  /// Per-rate-class request accounting (sessions enabled only). offered
+  /// partitions into rejected (session layer) + shed (admission) +
+  /// timed_out + committed + still-pending.
+  struct ClassStats {
+    std::uint64_t offered = 0;
+    std::uint64_t rejected = 0;  ///< refused by the session layer
+    std::uint64_t shed = 0;
+    std::uint64_t timed_out = 0;
+    std::uint64_t committed = 0;
+  };
+
   // Request accounting. offered = every generated arrival;
-  // admitted + shed_* partitions offered; timed_out + committed_txs
-  // partitions admitted (after the drain).
+  // admitted + shed_* (+ rejected_session) partitions offered;
+  // timed_out + committed_txs partitions admitted (after the drain).
   std::uint64_t offered = 0;
   std::uint64_t admitted = 0;
   std::uint64_t shed_queue_full = 0;
@@ -103,6 +121,15 @@ struct ServeReport {
   bool drained = false;     ///< all admitted work resolved in time
   bool flags_match = true;  ///< equivalence check (when requested)
   std::string mismatch;     ///< first divergence, empty when none
+
+  // Session layer (meaningful when sessions_enabled).
+  bool sessions_enabled = false;
+  std::uint64_t rejected_session = 0;  ///< arrivals refused by the session layer
+  SessionStats session_stats;
+  std::size_t sessions_active = 0;   ///< at end of run
+  std::size_t sessions_grace = 0;    ///< in the grace window at end of run
+  std::size_t session_table = 0;     ///< slots ever allocated (memory driver)
+  std::vector<ClassStats> class_stats;  ///< indexed by rate class
 
   // Per-stage latency breakdown (ms) over committed transactions:
   // admission wait (arrival -> endorse dispatch), endorse service,

@@ -1,0 +1,57 @@
+// One composed scenario file per experiment: `bmac_sim serve --scenario`.
+//
+// A scenario file bundles everything a serve run needs into a single JSON
+// document with one section per subsystem:
+//
+//   {
+//     "name": "steady_sessions",
+//     "serve":      { ... },   // schema of configs/serve_*.json
+//     "sessions":   { ... },   // overrides serve.sessions when present
+//     "durability": { ... },   // overrides serve.durability when present
+//     "slo":        { ... },   // schema of configs/slo_*.json
+//     "faults":     { ... }    // schema of configs/faults_*.json
+//   }
+//
+// Every section reuses the exact parser of its standalone config file
+// (serve/config.cpp, obs/slo.cpp, net/faults.cpp via their detail:: hooks),
+// so a section body can be cut-and-pasted between a scenario file and the
+// matching configs/*.json without edits, and diagnostics keep naming the
+// file plus full JSON path (`scenario.slo.rules[2].kind: ...`).
+//
+// The top-level "sessions" / "durability" sections exist so one scenario
+// file can layer a session population or a durable ledger onto a shared
+// base "serve" section; they win over the serve-nested equivalents.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "net/faults.hpp"
+#include "obs/slo.hpp"
+#include "serve/config.hpp"
+
+namespace bm::serve {
+
+struct Scenario {
+  std::string name;
+  ServeOptions serve;
+  /// SLO rules to evaluate during the run (inline equivalent of
+  /// --slo-config). nullopt when the scenario has no "slo" section.
+  std::optional<obs::SloConfig> slo;
+  /// Network fault schedule. nullopt when the scenario has no "faults"
+  /// section; serve runs currently ignore it (the serve harness models a
+  /// clean network) but `bmac_sim chaos --scenario` consumes it.
+  std::optional<net::FaultScenario> faults;
+};
+
+/// Parse a composed scenario from JSON text. Returns nullopt (and sets
+/// *error) on malformed input.
+std::optional<Scenario> parse_scenario(std::string_view text,
+                                       std::string* error = nullptr);
+
+/// Load a composed scenario file from disk.
+std::optional<Scenario> load_scenario(const std::string& path,
+                                      std::string* error = nullptr);
+
+}  // namespace bm::serve

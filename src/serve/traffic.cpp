@@ -79,4 +79,28 @@ std::vector<sim::Time> TrafficGenerator::schedule(sim::Time horizon) {
   return arrivals;
 }
 
+SessionMix::SessionMix(std::size_t population, double zipf_s,
+                       int rate_classes, double high_priority_share,
+                       std::uint64_t seed)
+    : population_(population > 0 ? population : 1),
+      rate_classes_(rate_classes > 0 ? rate_classes : 1),
+      high_priority_clients_(static_cast<std::size_t>(
+          high_priority_share * static_cast<double>(population_))),
+      zipf_(population_, zipf_s),
+      rng_(seed) {
+  if (high_priority_clients_ > population_)
+    high_priority_clients_ = population_;
+}
+
+std::size_t SessionMix::next_client() {
+  return static_cast<std::size_t>(zipf_.sample(rng_));
+}
+
+int SessionMix::rate_class_of(std::size_t client) const {
+  if (client < high_priority_clients_) return 0;
+  if (rate_classes_ <= 1) return 0;
+  return 1 + static_cast<int>(client % static_cast<std::size_t>(
+                                           rate_classes_ - 1));
+}
+
 }  // namespace bm::serve

@@ -88,4 +88,32 @@ class TrafficGenerator {
   std::uint64_t burst_arrivals_ = 0;
 };
 
+/// Deterministic client-population mix for session-aware runs: maps each
+/// arrival to a client index (optionally Zipf-skewed, so a hot minority of
+/// sessions dominates traffic) and each client to a rate class. Owns its
+/// own rng, decorrelated from the arrival schedule, so enabling sessions
+/// never perturbs arrival times.
+class SessionMix {
+ public:
+  SessionMix(std::size_t population, double zipf_s, int rate_classes,
+             double high_priority_share, std::uint64_t seed);
+
+  /// Client index of the next arrival, in [0, population).
+  std::size_t next_client();
+
+  /// Stable client -> rate class mapping: the first
+  /// high_priority_share * population clients are class 0 (and, under Zipf
+  /// skew, also the hottest); the rest round-robin classes 1..N-1.
+  int rate_class_of(std::size_t client) const;
+
+  std::size_t population() const { return population_; }
+
+ private:
+  std::size_t population_;
+  int rate_classes_;
+  std::size_t high_priority_clients_;
+  Zipf zipf_;
+  Rng rng_;
+};
+
 }  // namespace bm::serve

@@ -51,6 +51,10 @@ double SmallbankChaincode::avg_writes() const {
   return (2 + 1 + 1 + 2 + 2 + 1) / 6.0;
 }
 
+std::uint64_t SmallbankChaincode::pick_account(Rng& rng) const {
+  return account_pick_.sample(rng);
+}
+
 namespace {
 std::string account_key(const char* table, std::uint64_t id) {
   return std::string(table) + "_" + std::to_string(id);
@@ -59,7 +63,7 @@ std::string account_key(const char* table, std::uint64_t id) {
 
 ChaincodeResult SmallbankChaincode::create_account(
     Rng& rng, const fabric::StateDb&) const {
-  const std::uint64_t id = rng.uniform(config_.accounts);
+  const std::uint64_t id = pick_account(rng);
   ChaincodeResult result{"create_account", {}};
   result.rwset.writes.push_back(
       {account_key("savings", id), amount_bytes(1000)});
@@ -70,7 +74,7 @@ ChaincodeResult SmallbankChaincode::create_account(
 
 ChaincodeResult SmallbankChaincode::transact_savings(
     Rng& rng, const fabric::StateDb& state) const {
-  const std::uint64_t id = rng.uniform(config_.accounts);
+  const std::uint64_t id = pick_account(rng);
   const std::string key = account_key("savings", id);
   ChaincodeResult result{"transact_savings", {}};
   read_key(state, result.rwset, fabric::StateDb::namespaced(kName, key), key);
@@ -81,7 +85,7 @@ ChaincodeResult SmallbankChaincode::transact_savings(
 
 ChaincodeResult SmallbankChaincode::deposit_checking(
     Rng& rng, const fabric::StateDb& state) const {
-  const std::uint64_t id = rng.uniform(config_.accounts);
+  const std::uint64_t id = pick_account(rng);
   const std::string key = account_key("checking", id);
   ChaincodeResult result{"deposit_checking", {}};
   read_key(state, result.rwset, fabric::StateDb::namespaced(kName, key), key);
@@ -92,8 +96,8 @@ ChaincodeResult SmallbankChaincode::deposit_checking(
 
 ChaincodeResult SmallbankChaincode::send_payment(
     Rng& rng, const fabric::StateDb& state) const {
-  const std::uint64_t src = rng.uniform(config_.accounts);
-  std::uint64_t dst = rng.uniform(config_.accounts);
+  const std::uint64_t src = pick_account(rng);
+  std::uint64_t dst = pick_account(rng);
   if (dst == src) dst = (dst + 1) % config_.accounts;
   const std::string src_key = account_key("checking", src);
   const std::string dst_key = account_key("checking", dst);
@@ -110,7 +114,7 @@ ChaincodeResult SmallbankChaincode::send_payment(
 
 ChaincodeResult SmallbankChaincode::amalgamate(
     Rng& rng, const fabric::StateDb& state) const {
-  const std::uint64_t id = rng.uniform(config_.accounts);
+  const std::uint64_t id = pick_account(rng);
   const std::string savings = account_key("savings", id);
   const std::string checking = account_key("checking", id);
   ChaincodeResult result{"amalgamate", {}};
@@ -125,7 +129,7 @@ ChaincodeResult SmallbankChaincode::amalgamate(
 
 ChaincodeResult SmallbankChaincode::write_check(
     Rng& rng, const fabric::StateDb& state) const {
-  const std::uint64_t id = rng.uniform(config_.accounts);
+  const std::uint64_t id = pick_account(rng);
   const std::string key = account_key("checking", id);
   ChaincodeResult result{"write_check", {}};
   read_key(state, result.rwset, fabric::StateDb::namespaced(kName, key), key);
@@ -136,7 +140,7 @@ ChaincodeResult SmallbankChaincode::write_check(
 
 ChaincodeResult SmallbankChaincode::split_payment(
     Rng& rng, const fabric::StateDb& state) const {
-  const std::uint64_t src = rng.uniform(config_.accounts);
+  const std::uint64_t src = pick_account(rng);
   const std::string src_key = account_key("checking", src);
   ChaincodeResult result{"split_payment", {}};
   read_key(state, result.rwset, fabric::StateDb::namespaced(kName, src_key),

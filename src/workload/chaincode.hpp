@@ -30,9 +30,15 @@ class SmallbankChaincode {
     /// debits one account and credits `split_payment_accounts` accounts
     /// (Fig. 7g's variable database-request workload).
     std::uint32_t split_payment_accounts = 0;
+    /// Zipf exponent over account ids (hot-key skew); 0 keeps the classic
+    /// uniform pick and is draw-for-draw identical to the pre-knob model.
+    double zipf_s = 0.0;
   };
 
-  explicit SmallbankChaincode(Config config) : config_(config) {}
+  explicit SmallbankChaincode(Config config)
+      : config_(config),
+        account_pick_(config.accounts > 0 ? config.accounts : 1,
+                      config.zipf_s) {}
 
   static constexpr const char* kName = "smallbank";
 
@@ -52,7 +58,11 @@ class SmallbankChaincode {
   ChaincodeResult write_check(Rng& rng, const fabric::StateDb& s) const;
   ChaincodeResult split_payment(Rng& rng, const fabric::StateDb& s) const;
 
+  /// Account id draw: Zipf(zipf_s) over [0, accounts); uniform at s = 0.
+  std::uint64_t pick_account(Rng& rng) const;
+
   Config config_;
+  Zipf account_pick_;
 };
 
 class DrmChaincode {

@@ -185,8 +185,8 @@ HwRunResult run_hw_workload(const SyntheticSpec& spec) {
                            static_cast<double>(drain.txs) / sim::kMicrosecond;
   result.ecdsa_executed = processor.monitor().ecdsa_executed;
   result.ecdsa_skipped = processor.monitor().ecdsa_skipped;
-  result.db_overflows = processor.statedb().overflow_count();
-  result.db_evictions = processor.statedb().eviction_count();
+  result.db_overflows = processor.statedb().overflows();
+  result.db_evictions = processor.statedb().evictions();
   result.db_host_accesses = processor.statedb().host_accesses();
   result.events_executed = sim.events_executed();
   return result;

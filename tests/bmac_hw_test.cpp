@@ -27,7 +27,7 @@ TEST(HwKvStore, CapacityOverflow) {
   for (int i = 0; i < 4; ++i)
     EXPECT_TRUE(db.write("k" + std::to_string(i), to_bytes("v"), Version{}));
   EXPECT_FALSE(db.write("k4", to_bytes("v"), Version{}));
-  EXPECT_EQ(db.overflow_count(), 1u);
+  EXPECT_EQ(db.overflows(), 1u);
   // Overwrites of existing keys still succeed at capacity.
   EXPECT_TRUE(db.write("k0", to_bytes("v2"), Version{2, 0}));
   EXPECT_EQ(db.size(), 4u);

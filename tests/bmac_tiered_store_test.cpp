@@ -21,8 +21,8 @@ TEST(TieredKvStore, EvictsLruToHostInsteadOfOverflowing) {
   EXPECT_TRUE(db.write("d", to_bytes("4"), Version{1, 3}));  // evicts "a"
 
   EXPECT_EQ(db.size(), 3u);
-  EXPECT_EQ(db.eviction_count(), 1u);
-  EXPECT_EQ(db.overflow_count(), 0u);
+  EXPECT_EQ(db.evictions(), 1u);
+  EXPECT_EQ(db.overflows(), 0u);
   ASSERT_TRUE(host.get("a").has_value());
   EXPECT_EQ(to_string(host.get("a")->value), "1");
 }
@@ -85,7 +85,7 @@ TEST(TieredKvStore, WithoutHostStoreStillOverflows) {
   EXPECT_TRUE(db.write("a", to_bytes("1"), Version{}));
   EXPECT_TRUE(db.write("b", to_bytes("2"), Version{}));
   EXPECT_FALSE(db.write("c", to_bytes("3"), Version{}));
-  EXPECT_EQ(db.overflow_count(), 1u);
+  EXPECT_EQ(db.overflows(), 1u);
 }
 
 TEST(TieredKvStore, WorkingSetLargerThanCapacityStaysCorrect) {
@@ -99,7 +99,7 @@ TEST(TieredKvStore, WorkingSetLargerThanCapacityStaysCorrect) {
                          to_bytes("v" + std::to_string(i)),
                          Version{0, static_cast<std::uint32_t>(i)}));
   EXPECT_EQ(db.size(), 64u);
-  EXPECT_EQ(db.eviction_count(), 1000u - 64u);
+  EXPECT_EQ(db.evictions(), 1000u - 64u);
   for (int i = 0; i < 1000; ++i) {
     const auto value = db.read("k" + std::to_string(i));
     ASSERT_TRUE(value.has_value()) << i;

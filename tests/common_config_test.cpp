@@ -1,0 +1,272 @@
+// Unit tests for the shared scenario-config facility (common/config.hpp):
+// absent-key no-ops, ranged numerics, required readers, enums, arrays, and
+// the uniform "<file>: <path>: <message>" diagnostic contract every JSON
+// loader in the repo now relies on.
+#include "common/config.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "net/faults.hpp"
+#include "obs/slo.hpp"
+#include "serve/config.hpp"
+#include "serve/scenario.hpp"
+
+namespace {
+
+using namespace bm;
+
+TEST(ConfigRoot, RejectsInvalidJsonWithRootLabel) {
+  config::Root root = config::Root::parse("{nope", "serve");
+  EXPECT_FALSE(root.ok());
+  EXPECT_NE(root.error().find("serve"), std::string::npos);
+  EXPECT_NE(root.error().find("invalid JSON"), std::string::npos);
+  EXPECT_FALSE(root.section().present());
+}
+
+TEST(ConfigRoot, RejectsNonObjectRoot) {
+  config::Root root = config::Root::parse("[1, 2]", "slo");
+  EXPECT_FALSE(root.ok());
+  EXPECT_EQ(root.error(), "slo: expected an object");
+}
+
+TEST(ConfigRoot, FileLabelPrefixesDiagnostics) {
+  config::Root root =
+      config::Root::parse(R"({"rate": -1})", "serve", "bad.json");
+  config::Section s = root.section();
+  double rate = 5;
+  s.read_number("rate", &rate, config::positive());
+  EXPECT_FALSE(root.ok());
+  EXPECT_EQ(root.error(), "bad.json: serve.rate: expected number > 0");
+  EXPECT_EQ(rate, 5);  // failed read keeps the caller's default
+}
+
+TEST(ConfigRoot, LoadNamesMissingFile) {
+  config::Root root =
+      config::Root::load("/nonexistent/dir/x.json", "serve");
+  EXPECT_FALSE(root.ok());
+  EXPECT_EQ(root.error(), "/nonexistent/dir/x.json: cannot open file");
+}
+
+TEST(ConfigSection, AbsentReadersKeepDefaults) {
+  config::Root root = config::Root::parse(R"({})", "serve");
+  config::Section s = root.section();
+  double num = 1.5;
+  std::size_t size = 7;
+  int i = -3;
+  bool flag = true;
+  std::string text = "keep";
+  sim::Time t = 42;
+  EXPECT_TRUE(s.read_number("a", &num));
+  EXPECT_TRUE(s.read_size("b", &size));
+  EXPECT_TRUE(s.read_int("c", &i));
+  EXPECT_TRUE(s.read_bool("d", &flag));
+  EXPECT_TRUE(s.read_string("e", &text));
+  EXPECT_TRUE(s.read_time_ms("f", &t));
+  EXPECT_EQ(num, 1.5);
+  EXPECT_EQ(size, 7u);
+  EXPECT_EQ(i, -3);
+  EXPECT_TRUE(flag);
+  EXPECT_EQ(text, "keep");
+  EXPECT_EQ(t, 42);
+  // An absent object's readers are no-ops too (straight-line loaders).
+  config::Section missing = s.object("missing");
+  EXPECT_FALSE(missing.present());
+  EXPECT_TRUE(missing.read_number("x", &num));
+  EXPECT_EQ(num, 1.5);
+  EXPECT_TRUE(root.ok());
+}
+
+TEST(ConfigSection, NestedPathsInDiagnostics) {
+  config::Root root = config::Root::parse(
+      R"({"traffic": {"rates": [10, "fast"]}})", "serve");
+  config::Section rates = root.section().object("traffic").array("rates");
+  ASSERT_EQ(rates.array_size(), 2u);
+  double v = 0;
+  EXPECT_TRUE(rates.element(0).value_number(&v));
+  EXPECT_EQ(v, 10);
+  EXPECT_FALSE(rates.element(1).value_number(&v));
+  EXPECT_EQ(root.error(), "serve.traffic.rates[1]: expected a number");
+}
+
+TEST(ConfigSection, FirstErrorWins) {
+  config::Root root =
+      config::Root::parse(R"({"a": "x", "b": "y"})", "serve");
+  config::Section s = root.section();
+  double a = 0, b = 0;
+  s.read_number("a", &a);
+  s.read_number("b", &b);
+  EXPECT_EQ(root.error(), "serve.a: expected a number");
+}
+
+TEST(ConfigSection, RangesRender) {
+  EXPECT_EQ(config::positive().describe(), "> 0");
+  EXPECT_EQ(config::non_negative().describe(), ">= 0");
+  EXPECT_EQ(config::unit_interval().describe(), "in [0, 1]");
+  EXPECT_EQ(config::open_unit().describe(), "in (0, 1)");
+
+  config::Root root = config::Root::parse(R"({"p": 1.5})", "slo");
+  double p = 0;
+  root.section().read_number("p", &p, config::unit_interval());
+  EXPECT_EQ(root.error(), "slo.p: expected number in [0, 1]");
+}
+
+TEST(ConfigSection, TypeMismatchesName) {
+  config::Root root = config::Root::parse(
+      R"({"obj": 3, "arr": {"k": 1}, "str": 9})", "serve");
+  config::Section s = root.section();
+  s.object("obj");
+  EXPECT_EQ(root.error(), "serve.obj: expected an object");
+}
+
+TEST(ConfigSection, RequiredReaders) {
+  config::Root root = config::Root::parse(R"({"name": ""})", "slo");
+  std::string name;
+  root.section().require_string("name", &name);
+  EXPECT_EQ(root.error(), "slo.name: expected a non-empty string");
+
+  config::Root root2 = config::Root::parse(R"({})", "slo");
+  root2.section().require_array("rules");
+  EXPECT_EQ(root2.error(), "slo.rules: missing required array");
+
+  config::Root root3 = config::Root::parse(R"({})", "slo");
+  double v = 0;
+  root3.section().require_number("threshold", &v);
+  EXPECT_EQ(root3.error(), "slo.threshold: missing required number");
+}
+
+TEST(ConfigSection, EnumListsAcceptedSpellings) {
+  enum class Color { kRed, kBlue };
+  config::Root root = config::Root::parse(R"({"color": "green"})", "serve");
+  Color c = Color::kRed;
+  root.section().read_enum<Color>(
+      "color", &c, {{"red", Color::kRed}, {"blue", Color::kBlue}});
+  EXPECT_EQ(root.error(),
+            "serve.color: unknown value \"green\" (red | blue)");
+}
+
+TEST(ConfigSection, BoolAcceptsNumbersForBackCompat) {
+  config::Root root =
+      config::Root::parse(R"({"a": true, "b": 0, "c": 1})", "serve");
+  config::Section s = root.section();
+  bool a = false, b = true, c = false;
+  EXPECT_TRUE(s.read_bool("a", &a));
+  EXPECT_TRUE(s.read_bool("b", &b));
+  EXPECT_TRUE(s.read_bool("c", &c));
+  EXPECT_TRUE(a);
+  EXPECT_FALSE(b);
+  EXPECT_TRUE(c);
+}
+
+TEST(ConfigSection, TimeReadersConvertUnits) {
+  config::Root root =
+      config::Root::parse(R"({"ms": 2.5, "us": 150})", "serve");
+  sim::Time ms = 0, us = 0;
+  root.section().read_time_ms("ms", &ms);
+  root.section().read_time_us("us", &us);
+  EXPECT_EQ(ms, static_cast<sim::Time>(2.5 * sim::kMillisecond));
+  EXPECT_EQ(us, 150 * sim::kMicrosecond);
+}
+
+// --- migrated-loader diagnostics -------------------------------------------
+// The serve / slo / faults loaders all ride the facility now; pin the
+// file+path shape of their messages so regressions in any one loader's
+// wiring show up as a text diff here.
+
+TEST(MigratedLoaders, ServeDiagnosticNamesPath) {
+  std::string error;
+  auto options = serve::parse_serve_scenario(
+      R"({"traffic": {"rate_tps": -5}})", &error);
+  EXPECT_FALSE(options.has_value());
+  EXPECT_EQ(error, "serve.traffic.rate_tps: expected number > 0");
+}
+
+TEST(MigratedLoaders, SloDiagnosticNamesRuleIndex) {
+  std::string error;
+  auto config = obs::parse_slo_config(
+      R"({"rules": [{"name": "r", "metric": "m", "kind": "bogus"}]})",
+      &error);
+  EXPECT_FALSE(config.has_value());
+  EXPECT_EQ(error,
+            "slo.rules[0].kind: unknown value \"bogus\" (ratio | rate_above "
+            "| gauge_above | gauge_below | latency_quantile)");
+}
+
+TEST(MigratedLoaders, FaultsDiagnosticNamesDirection) {
+  std::string error;
+  auto scenario = net::parse_fault_scenario(
+      R"({"data": {"loss": {"good": 2.0}}})", &error);
+  EXPECT_FALSE(scenario.has_value());
+  EXPECT_EQ(error, "faults.data.loss.good: expected number in [0, 1]");
+}
+
+TEST(MigratedLoaders, ScenarioDiagnosticNamesSection) {
+  std::string error;
+  auto scenario = serve::parse_scenario(
+      R"({"serve": {"duration_ms": 0}})", &error);
+  EXPECT_FALSE(scenario.has_value());
+  EXPECT_EQ(error, "scenario.serve.duration_ms: expected number > 0");
+}
+
+TEST(Scenario, ComposesSections) {
+  std::string error;
+  auto scenario = serve::parse_scenario(R"({
+    "name": "combo",
+    "serve": {
+      "duration_ms": 500,
+      "traffic": {"rate_tps": 1200},
+      "sessions": {"enabled": true, "rate_classes": 2}
+    },
+    "sessions": {"rate_classes": 4, "population": 99},
+    "durability": {"ledger_path": "x.log"},
+    "slo": {"rules": [{"name": "r", "kind": "gauge_above",
+                       "metric": "m", "threshold": 3, "windows_ms": [10]}]},
+    "faults": {"seed": 9, "data": {"loss": {"good": 0.25}}}
+  })",
+                                        &error);
+  ASSERT_TRUE(scenario.has_value()) << error;
+  EXPECT_EQ(scenario->name, "combo");
+  EXPECT_EQ(scenario->serve.name, "combo");
+  EXPECT_EQ(scenario->serve.duration, 500 * sim::kMillisecond);
+  EXPECT_EQ(scenario->serve.traffic.rate_tps, 1200);
+  // Top-level "sessions" overrides the serve-nested section...
+  EXPECT_TRUE(scenario->serve.sessions.enabled);
+  EXPECT_EQ(scenario->serve.sessions.rate_classes, 4);
+  EXPECT_EQ(scenario->serve.sessions.population, 99u);
+  // ...and the admission class count is re-synced to cover every class.
+  EXPECT_GE(scenario->serve.admission.classes, 4);
+  EXPECT_EQ(scenario->serve.network.durability.ledger_path, "x.log");
+  ASSERT_TRUE(scenario->slo.has_value());
+  ASSERT_EQ(scenario->slo->rules.size(), 1u);
+  EXPECT_EQ(scenario->slo->rules[0].name, "r");
+  ASSERT_TRUE(scenario->faults.has_value());
+  EXPECT_EQ(scenario->faults->data.loss_good, 0.25);
+  EXPECT_EQ(scenario->faults->data.seed, 9u);
+  // The ack direction is decorrelated from the same top-level seed.
+  EXPECT_EQ(scenario->faults->ack.seed, 9u ^ 0x9E3779B97F4A7C15ull);
+}
+
+TEST(Scenario, SectionsAreOptional) {
+  std::string error;
+  auto scenario = serve::parse_scenario(R"({"name": "bare"})", &error);
+  ASSERT_TRUE(scenario.has_value()) << error;
+  EXPECT_FALSE(scenario->slo.has_value());
+  EXPECT_FALSE(scenario->faults.has_value());
+  EXPECT_FALSE(scenario->serve.sessions.enabled);
+}
+
+TEST(Scenario, ShippedScenarioConfigsLoad) {
+  for (const char* name :
+       {"/configs/scenario_steady.json", "/configs/scenario_burst.json"}) {
+    std::string error;
+    auto scenario =
+        serve::load_scenario(std::string(BM_REPO_ROOT) + name, &error);
+    ASSERT_TRUE(scenario.has_value()) << name << ": " << error;
+    EXPECT_TRUE(scenario->serve.sessions.enabled) << name;
+    ASSERT_TRUE(scenario->slo.has_value()) << name;
+    EXPECT_FALSE(scenario->slo->rules.empty()) << name;
+  }
+}
+
+}  // namespace

@@ -24,15 +24,22 @@
 //       full replay) and print the recovered chain position.
 //   protocol [--config FILE] [--block-size N]
 //       BMac protocol vs Gossip block sizes on real marshaled blocks.
-//   chaos --faults-config FILE [--blocks N] [--block-size N] [--tamper]
+//   chaos [--scenario FILE | --faults-config FILE] [--blocks N]
+//         [--block-size N] [--tamper]
 //       Drive the degraded-path stack (GBN + fault injection + software
-//       fallback) with a configs/faults_*.json scenario and check the
-//       committed chain against the fault-free reference (docs/FAULTS.md).
-//   serve [--serve-config FILE]
+//       fallback) with a fault schedule and check the committed chain
+//       against the fault-free reference (docs/FAULTS.md). --scenario takes
+//       a composed scenario file and reads its "faults" (and "slo")
+//       sections; --faults-config FILE (configs/faults_*.json) is the
+//       deprecated single-section alias.
+//   serve [--scenario FILE | --serve-config FILE]
 //       Run the open-loop client-serving front end (traffic -> admission ->
-//       endorse -> order -> commit, docs/SERVING.md) on a
-//       configs/serve_*.json scenario and print the SLO report. Without
-//       --serve-config, a built-in steady Poisson scenario is used.
+//       endorse -> order -> commit, docs/SERVING.md) and print the SLO
+//       report. --scenario takes a composed configs/scenario_*.json file
+//       (serve + sessions + durability + slo sections, docs/SERVING.md);
+//       --serve-config FILE (configs/serve_*.json) is the deprecated
+//       single-section alias. Without either, a built-in steady Poisson
+//       scenario is used.
 //
 // Observability (throughput and validate): --trace-out FILE writes a Chrome
 // trace-event JSON of the whole run (open in Perfetto / chrome://tracing);
@@ -52,6 +59,7 @@
 // Without --config, a built-in two-org smallbank deployment is used.
 #include <cstdio>
 #include <cstring>
+#include <optional>
 #include <string>
 
 #include "bmac/config.hpp"
@@ -68,6 +76,7 @@
 #include "obs/trace.hpp"
 #include "serve/config.hpp"
 #include "serve/pipeline.hpp"
+#include "serve/scenario.hpp"
 #include "workload/chaos.hpp"
 #include "workload/network_harness.hpp"
 #include "workload/synthetic.hpp"
@@ -101,7 +110,8 @@ struct Options {
   std::size_t comb_tables = 0;   ///< 0 = no per-identity comb-table cache
   bool parallel_commit = false;  ///< dependency-aware parallel MVCC + commit
   std::size_t db_shards = fabric::StateDb::kDefaultShards;
-  std::string serve_config;  ///< configs/serve_*.json scenario
+  std::string serve_config;    ///< deprecated: configs/serve_*.json alias
+  std::string scenario_path;   ///< composed configs/scenario_*.json
   std::string ledger_path;   ///< on-disk block log (validate writes, recover reads)
   std::size_t snapshot_interval = 0;  ///< StateDb snapshot cadence (0 = never)
   cli::CommonFlags flags;  ///< shared --trace-out/--metrics-*/--faults-config
@@ -126,8 +136,11 @@ bool parse_args(int argc, char** argv, Options& options) {
                   "dependency-aware parallel MVCC + commit");
   parser.add_size("--db-shards", &options.db_shards,
                   "software state DB shard count");
+  parser.add_string("--scenario", &options.scenario_path,
+                    "composed scenario JSON (configs/scenario_*.json)");
   parser.add_string("--serve-config", &options.serve_config,
-                    "serving scenario JSON (configs/serve_*.json)");
+                    "deprecated alias: serve-only scenario JSON "
+                    "(configs/serve_*.json); use --scenario");
   parser.add_string("--ledger", &options.ledger_path,
                     "on-disk block log (validate writes it, recover reads it)");
   parser.add_size("--snapshot-interval", &options.snapshot_interval,
@@ -259,7 +272,7 @@ int cmd_validate(const Options& options) {
       {.parallelism =
            options.parallel_commit ? static_cast<unsigned>(options.vcpus) : 0u,
        .verify_cache_capacity = options.verify_cache,
-       .comb_table_budget = options.comb_tables,
+       .comb_table_capacity = options.comb_tables,
        .parallel_commit = options.parallel_commit});
 
   sim::Simulation sim;
@@ -394,22 +407,46 @@ int cmd_recover(const Options& options) {
 }
 
 int cmd_chaos(const Options& options) {
-  if (options.flags.faults_config.empty()) {
+  net::FaultScenario fault_scenario;
+  std::optional<obs::SloConfig> inline_slo;
+  if (!options.scenario_path.empty()) {
+    std::string error;
+    const auto loaded = serve::load_scenario(options.scenario_path, &error);
+    if (!loaded) {
+      std::fprintf(stderr, "cannot load %s: %s\n",
+                   options.scenario_path.c_str(), error.c_str());
+      return 2;
+    }
+    if (!loaded->faults) {
+      std::fprintf(stderr, "%s: chaos needs a \"faults\" section\n",
+                   options.scenario_path.c_str());
+      return 2;
+    }
+    fault_scenario = *loaded->faults;
+    if (fault_scenario.name.empty()) fault_scenario.name = loaded->name;
+    inline_slo = loaded->slo;
+  } else if (!options.flags.faults_config.empty()) {
     std::fprintf(stderr,
-                 "chaos needs --faults-config FILE (see configs/faults_*.json)\n");
-    return 2;
-  }
-  std::string error;
-  const auto scenario =
-      net::load_fault_scenario(options.flags.faults_config, &error);
-  if (!scenario) {
-    std::fprintf(stderr, "cannot load %s: %s\n",
-                 options.flags.faults_config.c_str(), error.c_str());
+                 "warning: --faults-config is a deprecated alias and will be "
+                 "removed next release; use --scenario FILE with the same "
+                 "keys under a \"faults\" section\n");
+    std::string error;
+    const auto loaded =
+        net::load_fault_scenario(options.flags.faults_config, &error);
+    if (!loaded) {
+      std::fprintf(stderr, "cannot load %s: %s\n",
+                   options.flags.faults_config.c_str(), error.c_str());
+      return 2;
+    }
+    fault_scenario = *loaded;
+  } else {
+    std::fprintf(stderr,
+                 "chaos needs --scenario FILE (see configs/scenario_*.json)\n");
     return 2;
   }
 
   workload::ChaosOptions chaos;
-  chaos.scenario = *scenario;
+  chaos.scenario = fault_scenario;
   chaos.blocks = options.blocks;
   chaos.network.block_size = static_cast<std::size_t>(options.block_size);
   chaos.tamper_last_block = options.tamper;
@@ -424,13 +461,14 @@ int cmd_chaos(const Options& options) {
     std::fprintf(stderr, "%s\n", telemetry_error.c_str());
     return 2;
   }
-  if (obs_on) tracer.begin_process("chaos " + scenario->name);
+  if (inline_slo) telemetry.set_slo_config(std::move(inline_slo));
+  if (obs_on) tracer.begin_process("chaos " + fault_scenario.name);
   const workload::ChaosReport report = workload::run_chaos_scenario(
       chaos, obs_on ? &registry : nullptr, obs_on ? &tracer : nullptr,
       &telemetry);
 
   std::printf("scenario %s, %d blocks of %d txs\n%s",
-              scenario->name.c_str(), options.blocks, options.block_size,
+              fault_scenario.name.c_str(), options.blocks, options.block_size,
               report.to_text().c_str());
   std::printf("equivalence vs fault-free reference: %s\n",
               report.ok() ? "PASS" : "FAIL");
@@ -449,7 +487,30 @@ int cmd_chaos(const Options& options) {
 
 int cmd_serve(const Options& options) {
   serve::ServeOptions serve_options;  // defaults: steady 1000 tps Poisson
-  if (!options.serve_config.empty()) {
+  std::optional<obs::SloConfig> inline_slo;
+  if (!options.scenario_path.empty()) {
+    if (!options.serve_config.empty())
+      std::fprintf(stderr,
+                   "warning: --serve-config ignored because --scenario was "
+                   "given\n");
+    std::string error;
+    const auto loaded = serve::load_scenario(options.scenario_path, &error);
+    if (!loaded) {
+      std::fprintf(stderr, "cannot load %s: %s\n",
+                   options.scenario_path.c_str(), error.c_str());
+      return 2;
+    }
+    serve_options = loaded->serve;
+    inline_slo = loaded->slo;
+    if (loaded->faults && loaded->faults->data.any())
+      std::fprintf(stderr,
+                   "note: the \"faults\" section is not applied by `serve` "
+                   "(clean-network harness); use `chaos --scenario`\n");
+  } else if (!options.serve_config.empty()) {
+    std::fprintf(stderr,
+                 "warning: --serve-config is a deprecated alias and will be "
+                 "removed next release; use --scenario FILE with the same "
+                 "keys under a \"serve\" section\n");
     std::string error;
     const auto loaded =
         serve::load_serve_scenario(options.serve_config, &error);
@@ -470,6 +531,7 @@ int cmd_serve(const Options& options) {
     std::fprintf(stderr, "%s\n", telemetry_error.c_str());
     return 2;
   }
+  if (inline_slo) telemetry.set_slo_config(std::move(inline_slo));
   const serve::ServeReport report =
       serve::run_serve(serve_options, obs_on ? &registry : nullptr,
                        obs_on ? &tracer : nullptr, &telemetry);
