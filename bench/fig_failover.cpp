@@ -1,0 +1,202 @@
+// Ordering failover and lagging-peer catch-up in the cluster subsystem
+// (docs/CLUSTER.md).
+//
+// Part 1 — failover: a 2-org × 2-peer deployment with a 3-node Raft
+// ordering cluster runs under steady client load; mid-stream the bench
+// kills the current leader. The ordering stall is the widest gap between
+// consecutive block emissions across the failover (election timeout +
+// re-election + backlog drain). Gates: the stream resumes and reaches its
+// block target, the stall stays under the bound, the stream never forks or
+// skips a number, and every peer still matches the reference chain byte
+// for byte.
+//
+// Part 2 — catch-up: one peer crashes cold (state, ledger and local disk
+// gone) while the cluster keeps committing; on restart it is far enough
+// behind to state-transfer a snapshot + log tail off a healthy neighbour.
+// Gates: exactly one transfer ran, the restarted peer reaches the tip, and
+// the cluster converges.
+//
+// Emits one JSON artifact (stdout, and --out FILE when given). --quick is
+// the CI smoke: same gates, smaller block counts.
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "cluster/cluster.hpp"
+
+namespace {
+
+using namespace bm;
+
+double ms(sim::Time t) {
+  return static_cast<double>(t) / sim::kMillisecond;
+}
+
+cluster::ClusterConfig base_config(std::uint64_t seed) {
+  cluster::ClusterConfig config;
+  config.orgs = 2;
+  config.peers_per_org = 2;
+  config.orderers = 3;
+  config.block_size = 4;
+  config.seed = seed;
+  config.submit_interval = 2 * sim::kMillisecond;
+  return config;
+}
+
+/// Median inter-emission gap over [first, last) of the emission series.
+sim::Time median_gap(const std::vector<sim::Time>& times, std::size_t first,
+                     std::size_t last) {
+  std::vector<sim::Time> gaps;
+  for (std::size_t i = std::max<std::size_t>(first, 1); i < last; ++i)
+    gaps.push_back(times[i] - times[i - 1]);
+  if (gaps.empty()) return 0;
+  std::sort(gaps.begin(), gaps.end());
+  return gaps[gaps.size() / 2];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  std::string out_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--quick") quick = true;
+    else if (arg == "--out" && i + 1 < argc) out_path = argv[++i];
+  }
+
+  const std::uint64_t pre_blocks = quick ? 5 : 10;
+  const std::uint64_t target = quick ? 14 : 30;
+  const std::uint64_t crash_at = quick ? 4 : 8;
+  // Election timeout max is 300 ms; one or two failed rounds plus the
+  // backlog drain must stay comfortably inside this.
+  const sim::Time stall_bound = 3 * sim::kSecond;
+
+  bench::title("ordering failover + lagging-peer catch-up (docs/CLUSTER.md)");
+  bool ok = true;
+
+  // --- part 1: leader kill under load ----------------------------------
+  double stall_ms = 0, cadence_before_ms = 0, cadence_after_ms = 0;
+  bool failover_pass = false;
+  int killed = -1;
+  {
+    sim::Simulation sim;
+    cluster::ClusterDeployment cluster(sim, base_config(11));
+    const bool warmed = cluster.run_until_blocks(pre_blocks, 300 * sim::kSecond);
+    killed = cluster.leader();
+    cluster.kill_orderer(killed);
+    const bool reached = cluster.run_until_blocks(target, 900 * sim::kSecond);
+    cluster.settle(2 * sim::kSecond);
+
+    const std::vector<sim::Time>& times = cluster.emission_times();
+    sim::Time stall = 0;
+    for (std::size_t i = 1; i < times.size(); ++i)
+      stall = std::max(stall, times[i] - times[i - 1]);
+    stall_ms = ms(stall);
+    cadence_before_ms = ms(median_gap(times, 0, pre_blocks));
+    cadence_after_ms = ms(median_gap(times, pre_blocks, times.size()));
+
+    failover_pass = warmed && reached && stall <= stall_bound &&
+                    cluster.ordering().forks_detected() == 0 &&
+                    cluster.blocks_emitted() == target && cluster.converged();
+    std::printf(
+        "failover: killed orderer %d after %llu blocks; stall %.1f ms "
+        "(bound %.0f ms), cadence %.1f -> %.1f ms, forks %llu: %s\n",
+        killed, static_cast<unsigned long long>(pre_blocks), stall_ms,
+        ms(stall_bound), cadence_before_ms, cadence_after_ms,
+        static_cast<unsigned long long>(cluster.ordering().forks_detected()),
+        failover_pass ? "PASS" : "FAIL");
+    if (!cluster.divergence().empty())
+      std::printf("  divergence: %s\n", cluster.divergence().c_str());
+    ok = ok && failover_pass;
+  }
+
+  // --- part 2: crash a peer, catch up via state transfer ----------------
+  double transfer_kb = 0;
+  std::uint64_t caught_up = 0, transfers = 0, final_height = 0;
+  bool catchup_pass = false;
+  {
+    cluster::ClusterConfig config = base_config(23);
+    config.data_dir =
+        (std::filesystem::temp_directory_path() / "bm_fig_failover").string();
+    std::error_code ec;
+    std::filesystem::remove_all(config.data_dir, ec);
+    std::filesystem::create_directories(config.data_dir);
+    config.snapshot_interval = quick ? 2 : 4;
+    config.catch_up_threshold = 3;
+
+    sim::Simulation sim;
+    cluster::ClusterDeployment cluster(sim, config);
+    bool reached = cluster.run_until_blocks(crash_at, 300 * sim::kSecond);
+    cluster.settle(sim::kSecond);
+    cluster.crash_peer(3);
+    reached = reached && cluster.run_until_blocks(target, 900 * sim::kSecond);
+    cluster.restart_peer(3);
+    cluster.settle(10 * sim::kSecond);
+
+    transfers = cluster.state_transfers();
+    caught_up = cluster.catch_up_blocks();
+    transfer_kb = static_cast<double>(cluster.transfer_bytes()) / 1024.0;
+    final_height = cluster.peer_height(3);
+    catchup_pass = reached && transfers == 1 && cluster.last_transfer().ok &&
+                   final_height == target && cluster.converged();
+    std::printf(
+        "catch-up: peer 3 crashed at block %llu, restarted at tip %llu; "
+        "1 transfer (%.1f KiB, %llu blocks via snapshot+log), height %llu: "
+        "%s\n",
+        static_cast<unsigned long long>(crash_at),
+        static_cast<unsigned long long>(target), transfer_kb,
+        static_cast<unsigned long long>(caught_up),
+        static_cast<unsigned long long>(final_height),
+        catchup_pass ? "PASS" : "FAIL");
+    if (!cluster.last_transfer().error.empty())
+      std::printf("  transfer error: %s\n",
+                  cluster.last_transfer().error.c_str());
+    if (!cluster.divergence().empty())
+      std::printf("  divergence: %s\n", cluster.divergence().c_str());
+    ok = ok && catchup_pass;
+    std::filesystem::remove_all(config.data_dir, ec);
+  }
+
+  std::ostringstream json;
+  json << "{\n"
+       << bench::artifact_meta(
+              "fig_failover", 11,
+              "{\"pre_blocks\": " + std::to_string(pre_blocks) +
+                  ", \"target\": " + std::to_string(target) +
+                  ", \"stall_bound_ms\": " +
+                  std::to_string(static_cast<long long>(ms(stall_bound))) +
+                  ", \"quick\": " + (quick ? "true" : "false") + "}");
+  char buf[512];
+  std::snprintf(buf, sizeof(buf),
+                "  \"failover\": {\"killed_orderer\": %d, "
+                "\"stall_ms\": %.3f, \"cadence_before_ms\": %.3f, "
+                "\"cadence_after_ms\": %.3f, \"pass\": %s},\n"
+                "  \"catchup\": {\"transfers\": %llu, \"transfer_kib\": %.1f, "
+                "\"catch_up_blocks\": %llu, \"final_height\": %llu, "
+                "\"pass\": %s},\n"
+                "  \"pass\": %s\n}\n",
+                killed, stall_ms, cadence_before_ms, cadence_after_ms,
+                failover_pass ? "true" : "false",
+                static_cast<unsigned long long>(transfers), transfer_kb,
+                static_cast<unsigned long long>(caught_up),
+                static_cast<unsigned long long>(final_height),
+                catchup_pass ? "true" : "false", ok ? "true" : "false");
+  json << buf;
+
+  std::printf("\n%s", json.str().c_str());
+  if (!out_path.empty()) {
+    std::ofstream out(out_path, std::ios::binary);
+    out << json.str();
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", out_path.c_str());
+  }
+  return ok ? 0 : 1;
+}

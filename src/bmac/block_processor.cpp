@@ -162,13 +162,6 @@ void BlockProcessor::publish_metrics() {
   registry_
       ->counter("bmac_statedb_evictions_total", "entries evicted to the host")
       .set(statedb_.evictions());
-  // Deprecated alias of bmac_statedb_misses_total; kept one release.
-  registry_
-      ->counter("bmac_statedb_host_accesses_total",
-                "accesses served by the host tier (deprecated: use "
-                "bmac_statedb_misses_total)")
-      .set(statedb_.host_accesses());
-
   registry_
       ->gauge("sim_event_queue_peak", "event-queue high-water mark")
       .set(static_cast<double>(sim_.max_queue_depth()));

@@ -1,0 +1,97 @@
+#include "cluster/state_transfer.hpp"
+
+#include <algorithm>
+#include <filesystem>
+
+namespace bm::cluster {
+
+namespace {
+
+crypto::Digest digest_from(const Bytes& bytes) {
+  crypto::Digest digest{};
+  std::copy_n(bytes.begin(), std::min(bytes.size(), digest.size()),
+              digest.begin());
+  return digest;
+}
+
+std::uint64_t file_size(const std::string& path) {
+  std::error_code ec;
+  const auto size = std::filesystem::file_size(path, ec);
+  return ec ? 0 : static_cast<std::uint64_t>(size);
+}
+
+}  // namespace
+
+TransferResult transfer_state(const TransferSource& source,
+                              const std::string& scratch_dir, int dest_peer,
+                              fabric::Ledger& ledger, fabric::StateDb& state) {
+  TransferResult result;
+  if (source.ledger == nullptr || source.state == nullptr) {
+    result.error = "no transfer source";
+    return result;
+  }
+
+  // Pick the snapshot to ship: the source's newest on-disk cut when it has
+  // one, else an on-demand dump of its current tip into the scratch dir.
+  std::string snapshot_file;
+  if (source.durable != nullptr && source.durable->last_snapshot_height() > 0) {
+    snapshot_file = fabric::DurableLedger::snapshot_path(
+        source.durable->config(), source.durable->last_snapshot_height());
+    result.used_disk_snapshot = true;
+  } else if (source.ledger->height() > 0) {
+    if (scratch_dir.empty()) {
+      result.error = "source has no snapshot and no scratch dir is configured";
+      return result;
+    }
+    snapshot_file = scratch_dir + "/transfer.peer" +
+                    std::to_string(dest_peer) + ".snap";
+    fabric::StateSnapshotMeta meta;
+    meta.height = source.ledger->height();
+    const crypto::Digest& commit = source.ledger->last_commit_hash();
+    meta.commit_hash.assign(commit.begin(), commit.end());
+    const crypto::Digest header = source.ledger->last().block.block_hash();
+    meta.header_hash.assign(header.begin(), header.end());
+    if (!source.state->snapshot(snapshot_file, meta)) {
+      result.error = "on-demand snapshot failed: " + snapshot_file;
+      return result;
+    }
+  }
+
+  if (!snapshot_file.empty()) {
+    const auto meta = state.restore(snapshot_file);
+    if (!meta) {
+      state.clear();
+      result.error = "snapshot restore failed: " + snapshot_file;
+      return result;
+    }
+    if (meta->height > 0)
+      ledger.open_at(meta->height, digest_from(meta->commit_hash),
+                     digest_from(meta->header_hash));
+    result.snapshot_height = meta->height;
+    result.bytes += file_size(snapshot_file);
+  }
+
+  // Replay the source log tail past the snapshot through the same
+  // re-validation path crash recovery uses; chain breaks are fatal here.
+  if (source.durable != nullptr &&
+      source.durable->store().height() > result.snapshot_height) {
+    const auto chain = fabric::FileBlockStore::recover_from(
+        source.durable->store().path(), result.snapshot_height,
+        ledger.last_commit_hash());
+    if (!fabric::replay_chain(chain, ledger, &state)) {
+      state.clear();
+      result.error = "log-tail replay failed past height " +
+                     std::to_string(result.snapshot_height);
+      return result;
+    }
+    result.replayed = chain.blocks.size();
+    if (chain.record_offsets.size() >= 2)
+      result.bytes += chain.record_offsets.back() - chain.record_offsets.front();
+  }
+
+  result.height = ledger.height();
+  result.ok = true;
+  return result;
+}
+
+}  // namespace bm::cluster

@@ -1,0 +1,47 @@
+// Peer state-transfer protocol (docs/CLUSTER.md §catch-up).
+//
+// A lagging or freshly restarted peer that is more than a threshold behind
+// the network does not wait for gossip anti-entropy to re-push every block;
+// it fetches a StateDb snapshot from a healthy peer and replays only the
+// block-log tail past it — the cluster-scale version of the single-peer
+// crash recovery in fabric/durability.hpp, built from the same parts
+// (StateDb::snapshot/restore, Ledger::open_at, FileBlockStore::recover_from,
+// replay_chain). The caller charges simulated link time for the reported
+// byte count; this module does the data-plane work and the accounting.
+#pragma once
+
+#include <string>
+
+#include "fabric/durability.hpp"
+
+namespace bm::cluster {
+
+/// What a healthy peer exposes to a fetcher. `durable` may be null (an
+/// in-memory source can still serve an on-demand snapshot of its tip, it
+/// just has no log tail to replay past it).
+struct TransferSource {
+  const fabric::Ledger* ledger = nullptr;
+  const fabric::StateDb* state = nullptr;
+  const fabric::DurableLedger* durable = nullptr;
+};
+
+struct TransferResult {
+  bool ok = false;
+  bool used_disk_snapshot = false;  ///< served from the source's snapshot file
+  std::uint64_t snapshot_height = 0;
+  std::uint64_t replayed = 0;  ///< log-tail blocks re-validated past it
+  std::uint64_t height = 0;    ///< destination chain height afterwards
+  std::uint64_t bytes = 0;     ///< snapshot + log-tail bytes shipped
+  std::string error;           ///< when !ok
+};
+
+/// Rebuild `ledger` + `state` (both must be empty) from `source`. Prefers
+/// the source's newest on-disk snapshot + log-tail replay; an in-memory
+/// source (or one that never cut a snapshot) is dumped on demand into
+/// `scratch_dir`, which must then be non-empty. On failure the destination
+/// is left cleared — the caller falls back to gossip repair.
+TransferResult transfer_state(const TransferSource& source,
+                              const std::string& scratch_dir, int dest_peer,
+                              fabric::Ledger& ledger, fabric::StateDb& state);
+
+}  // namespace bm::cluster

@@ -100,16 +100,13 @@ std::string ArgParser::help_text() const {
   return out;
 }
 
-void CommonFlags::register_with(ArgParser& parser, bool with_faults) {
+void CommonFlags::register_with(ArgParser& parser) {
   parser.add_string("--trace-out", &trace_out,
                     "write a Chrome trace-event JSON of the run");
   parser.add_string("--metrics-out", &metrics_out,
                     "write a JSON metrics snapshot");
   parser.add_string("--metrics-text", &metrics_text,
                     "write the metrics snapshot in Prometheus text format");
-  if (with_faults)
-    parser.add_string("--faults-config", &faults_config,
-                      "fault scenario JSON (see configs/faults_*.json)");
   parser.add_double("--sample-interval", &sample_interval_ms,
                     "sample metrics every N ms of sim time");
   parser.add_string("--timeseries-out", &timeseries_out,

@@ -1,7 +1,7 @@
 // Tiny declarative command-line flag parser shared by the tool and bench
 // binaries, so every executable spells the common flags the same way
-// (--trace-out / --metrics-out / --metrics-text / --faults-config) instead
-// of growing its own ad-hoc argv scan.
+// (--trace-out / --metrics-out / --metrics-text / the telemetry outputs)
+// instead of growing its own ad-hoc argv scan.
 //
 // Deliberately minimal: long flags only ("--name VALUE" or boolean
 // "--name"), no grouping, no abbreviation — the binaries are drivers for
@@ -57,13 +57,13 @@ class ArgParser {
 };
 
 /// The flag set every experiment binary shares. Observability outputs are
-/// deterministic artifacts (Chrome trace JSON, metrics snapshots); the
-/// faults config names a configs/faults_*.json scenario.
+/// deterministic artifacts (Chrome trace JSON, metrics snapshots). Fault
+/// schedules ride in a composed scenario file's "faults" section
+/// (`--scenario`, configs/scenario_*.json).
 struct CommonFlags {
-  std::string trace_out;      ///< --trace-out FILE
-  std::string metrics_out;    ///< --metrics-out FILE (JSON snapshot)
-  std::string metrics_text;   ///< --metrics-text FILE (Prometheus text)
-  std::string faults_config;  ///< --faults-config FILE
+  std::string trace_out;     ///< --trace-out FILE
+  std::string metrics_out;   ///< --metrics-out FILE (JSON snapshot)
+  std::string metrics_text;  ///< --metrics-text FILE (Prometheus text)
 
   // Continuous telemetry (see src/obs/telemetry.hpp).
   double sample_interval_ms = 0;  ///< --sample-interval MS (0 = no sampler)
@@ -73,9 +73,8 @@ struct CommonFlags {
   std::string slo_out;            ///< --slo-out FILE (alert log JSON)
   std::string flight_out;         ///< --flight-out FILE (post-mortem dump)
 
-  /// Register the shared flags on `parser`. `with_faults` controls whether
-  /// --faults-config is accepted (benches do not take fault scenarios).
-  void register_with(ArgParser& parser, bool with_faults = false);
+  /// Register the shared flags on `parser`.
+  void register_with(ArgParser& parser);
 
   /// True when any observability output was requested.
   bool wants_obs() const {

@@ -1,5 +1,6 @@
 #include "fabric/raft.hpp"
 
+#include <algorithm>
 #include <cassert>
 
 namespace bm::fabric {
@@ -98,6 +99,7 @@ void RaftNode::become_leader() {
   }
   match_index_[static_cast<std::size_t>(id_)] = last_log_index();
   send_heartbeats();
+  if (on_leader_) on_leader_();
 }
 
 void RaftNode::send_heartbeats() {
@@ -277,8 +279,13 @@ void RaftNode::apply_committed() {
 
 RaftOrderingService::RaftOrderingService(sim::Simulation& sim, Config config,
                                          std::vector<Identity> identities)
-    : sim_(sim), config_(config), net_rng_(config.seed ^ 0xfeed) {
+    : sim_(sim),
+      config_(config),
+      net_rng_(config.seed ^ 0xfeed),
+      cut_backlog_(static_cast<std::size_t>(config.nodes)) {
   assert(static_cast<int>(identities.size()) == config_.nodes);
+  if (config_.faults.any())
+    faults_ = std::make_unique<net::FaultInjector>(config_.faults);
   for (int i = 0; i < config_.nodes; ++i) {
     nodes_.push_back(std::make_unique<RaftNode>(
         sim_, i, config_.nodes, config_.raft,
@@ -294,6 +301,10 @@ RaftOrderingService::RaftOrderingService(sim::Simulation& sim, Config config,
         [this, node_id](const RaftLogEntry& entry) {
           on_committed(node_id, entry);
         });
+    // A new leader first drains the backlog the dead leader cut but never
+    // emitted, so the block stream cannot skip numbers across elections.
+    nodes_.back()->set_leader_callback(
+        [this, node_id] { maybe_emit(node_id); });
   }
 }
 
@@ -301,9 +312,44 @@ void RaftOrderingService::start() {
   for (auto& node : nodes_) node->start();
 }
 
+bool RaftOrderingService::partitioned(int from, int to) const {
+  const sim::Time now = sim_.now();
+  for (const PartitionWindow& window : partitions_) {
+    if (now < window.start || now >= window.end) continue;
+    bool from_minority = false, to_minority = false;
+    for (const int node : window.minority) {
+      from_minority |= node == from;
+      to_minority |= node == to;
+    }
+    if (from_minority != to_minority) return true;
+  }
+  return false;
+}
+
+void RaftOrderingService::add_partition(sim::Time start, sim::Time end,
+                                        std::vector<int> minority) {
+  partitions_.push_back(PartitionWindow{start, end, std::move(minority)});
+}
+
 void RaftOrderingService::deliver(int from, int to, RaftMessage message) {
+  if (partitioned(from, to)) {
+    ++partition_drops_;
+    return;
+  }
+  sim::Time fault_delay = 0;
+  if (faults_ != nullptr) {
+    // Charge the injector a frame proportional to the message's payload, so
+    // burst-loss state machines see realistic traffic.
+    std::size_t frame_size = 64;
+    if (const auto* append = std::get_if<AppendEntries>(&message))
+      for (const RaftLogEntry& entry : append->entries)
+        frame_size += 32 + entry.payload.size();
+    const auto verdict = faults_->assess(sim_.now(), frame_size);
+    if (verdict.dropped()) return;
+    fault_delay = verdict.extra_delay;
+  }
   if (net_rng_.chance(config_.message_loss)) return;
-  sim::Time delay = config_.message_delay;
+  sim::Time delay = config_.message_delay + fault_delay;
   if (config_.message_jitter > 0)
     delay += static_cast<sim::Time>(
         net_rng_.uniform(static_cast<std::uint64_t>(config_.message_jitter)));
@@ -334,13 +380,60 @@ void RaftOrderingService::restart_node(int id) {
 }
 
 void RaftOrderingService::on_committed(int node_id, const RaftLogEntry& entry) {
-  // Every node's block cutter consumes the identical committed sequence;
-  // only the lead orderer emits (signs and sends) the block — §3.5.
+  // Every node's block cutter consumes the identical committed sequence, so
+  // block headers are deterministic; only the lead orderer emits (signs and
+  // sends) the block — §3.5. Emission goes through the canonical chain so a
+  // leader change mid-stream can neither fork nor skip block numbers.
   auto& cutter = *cutters_[static_cast<std::size_t>(node_id)];
   auto block = cutter.submit(entry.payload);
-  if (block && node_id == leader() && on_block_) {
+  if (block) enqueue_cut(node_id, std::move(*block));
+  maybe_emit(node_id);
+}
+
+void RaftOrderingService::enqueue_cut(int node_id, Block block) {
+  cut_backlog_[static_cast<std::size_t>(node_id)].push_back(std::move(block));
+}
+
+void RaftOrderingService::maybe_emit(int node_id) {
+  auto& backlog = cut_backlog_[static_cast<std::size_t>(node_id)];
+  RaftNode& node = *nodes_[static_cast<std::size_t>(node_id)];
+  for (;;) {
+    // Numbers the canonical chain already emitted are duplicates (another
+    // signer's copy won the race): verify the header matches and drop them,
+    // whatever this node's role — that is the (block_number, prev_hash)
+    // dedupe, and it also bounds follower backlog memory.
+    while (!backlog.empty() &&
+           backlog.front().header.number < emitted_hashes_.size()) {
+      const Block& duplicate = backlog.front();
+      if (duplicate.block_hash() !=
+          emitted_hashes_[duplicate.header.number])
+        ++forks_detected_;
+      ++duplicates_suppressed_;
+      backlog.pop_front();
+    }
+    if (!node.running() || node.role() != RaftRole::kLeader ||
+        backlog.empty() ||
+        backlog.front().header.number != emitted_hashes_.size())
+      return;
+
+    Block block = std::move(backlog.front());
+    backlog.pop_front();
+    // prev_hash must chain onto the canonical tail (empty at genesis). Raft
+    // safety makes a mismatch impossible; refuse to fork the stream anyway.
+    const bool chains =
+        emitted_hashes_.empty()
+            ? block.header.prev_hash.empty()
+            : std::equal(block.header.prev_hash.begin(),
+                         block.header.prev_hash.end(),
+                         emitted_hashes_.back().begin(),
+                         emitted_hashes_.back().end());
+    if (!chains) {
+      ++forks_detected_;
+      return;
+    }
+    emitted_hashes_.push_back(block.block_hash());
     ++blocks_emitted_;
-    on_block_(std::move(*block));
+    if (on_block_) on_block_(std::move(block));
   }
 }
 

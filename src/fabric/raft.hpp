@@ -11,11 +11,13 @@
 // current leader cut and sign blocks.
 #pragma once
 
+#include <deque>
 #include <functional>
 #include <variant>
 
 #include "common/rng.hpp"
 #include "fabric/orderer.hpp"
+#include "net/faults.hpp"
 #include "sim/simulation.hpp"
 
 namespace bm::fabric {
@@ -94,6 +96,13 @@ class RaftNode {
     on_commit_ = std::move(cb);
   }
 
+  /// Callback fired whenever this node wins an election (it may fire more
+  /// than once across its lifetime). The ordering service uses it to emit
+  /// the cut-but-unsent backlog after a leader change.
+  void set_leader_callback(std::function<void()> cb) {
+    on_leader_ = std::move(cb);
+  }
+
   int id() const { return id_; }
   RaftRole role() const { return role_; }
   std::uint64_t term() const { return current_term_; }
@@ -153,11 +162,22 @@ class RaftNode {
   bool heartbeat_timer_armed_ = false;
 
   std::function<void(const RaftLogEntry&)> on_commit_;
+  std::function<void()> on_leader_;
 };
 
 /// A Raft cluster wired over a simulated network, layered with Fabric's
 /// block cutter: committed envelopes flow through each node's cutter, and
 /// the current leader signs and emits the resulting blocks.
+///
+/// Emission is leader-change safe: every node's cutter consumes the same
+/// committed log, so block *headers* are deterministic, but only one byte
+/// version (one signer) may ever enter dissemination. The service keeps a
+/// canonical emitted chain and dedupes by (block_number, prev_hash): a block
+/// number already emitted is suppressed (its header must match the emitted
+/// one — forks_detected() counts violations, and a forking block is never
+/// emitted), and a freshly elected leader first emits the backlog of blocks
+/// the dead leader cut but never sent, so the stream neither forks nor
+/// skips numbers across re-elections.
 class RaftOrderingService {
  public:
   struct Config {
@@ -166,6 +186,10 @@ class RaftOrderingService {
     sim::Time message_delay = 500 * sim::kMicrosecond;
     sim::Time message_jitter = 200 * sim::kMicrosecond;
     double message_loss = 0.0;
+    /// Transport-level fault schedule (Gilbert–Elliott burst loss, extra
+    /// delay) applied to every node-to-node message, on its own RNG stream:
+    /// enabling it never reshuffles the legacy message_loss / jitter draws.
+    net::FaultConfig faults;
     RaftNode::Config raft;
     std::uint64_t seed = 1;
   };
@@ -193,19 +217,58 @@ class RaftOrderingService {
   void stop_node(int id);
   void restart_node(int id);
 
+  /// Schedule a network partition: while sim time is in [start, end), any
+  /// message between a node in `minority` and one outside it is dropped.
+  /// A leader caught on the minority side loses quorum and must step down
+  /// when the healed majority's higher term reaches it.
+  void add_partition(sim::Time start, sim::Time end, std::vector<int> minority);
+
   std::uint64_t blocks_emitted() const { return blocks_emitted_; }
+  /// Cut blocks whose number was already emitted (stale or duplicate
+  /// leaders re-cutting the same committed prefix) — suppressed, not sent.
+  std::uint64_t duplicates_suppressed() const { return duplicates_suppressed_; }
+  /// Suppressed blocks whose header did not match the canonical chain at
+  /// that number. Raft safety makes this impossible; must stay 0.
+  std::uint64_t forks_detected() const { return forks_detected_; }
+  std::uint64_t partition_drops() const { return partition_drops_; }
+  /// Transport fault counters when Config::faults is active (null otherwise).
+  const net::FaultStats* fault_stats() const {
+    return faults_ ? &faults_->stats() : nullptr;
+  }
 
  private:
+  struct PartitionWindow {
+    sim::Time start = 0;
+    sim::Time end = 0;
+    std::vector<int> minority;
+  };
+
   void deliver(int from, int to, RaftMessage message);
+  bool partitioned(int from, int to) const;
   void on_committed(int node_id, const RaftLogEntry& entry);
+  void enqueue_cut(int node_id, Block block);
+  void maybe_emit(int node_id);
 
   sim::Simulation& sim_;
   Config config_;
   Rng net_rng_;
+  std::unique_ptr<net::FaultInjector> faults_;  ///< null without Config::faults
+  std::vector<PartitionWindow> partitions_;
   std::vector<std::unique_ptr<RaftNode>> nodes_;
   std::vector<std::unique_ptr<Orderer>> cutters_;  ///< one per node
+  /// Per node: blocks its cutter cut that the canonical chain has not
+  /// consumed yet (a follower's copies wait here until it either becomes
+  /// leader or the numbers are emitted elsewhere and they drop as dupes).
+  std::vector<std::deque<Block>> cut_backlog_;
+  /// Canonical emitted chain: header hash per emitted block number. The
+  /// next emission must carry number emitted_hashes_.size() and a prev_hash
+  /// equal to the last entry.
+  std::vector<crypto::Digest> emitted_hashes_;
   BlockCallback on_block_;
   std::uint64_t blocks_emitted_ = 0;
+  std::uint64_t duplicates_suppressed_ = 0;
+  std::uint64_t forks_detected_ = 0;
+  std::uint64_t partition_drops_ = 0;
 };
 
 }  // namespace bm::fabric

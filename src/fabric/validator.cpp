@@ -338,12 +338,6 @@ void SoftwareValidator::publish_metrics(obs::Registry& registry,
         .gauge(prefix + "_comb_table_entries",
                "per-identity comb tables held")
         .set(static_cast<double>(comb_cache_->size()));
-    // Deprecated alias of <prefix>_comb_table_entries; kept one release.
-    registry
-        .gauge(prefix + "_comb_tables",
-               "per-identity comb tables held (deprecated: use "
-               "_comb_table_entries)")
-        .set(static_cast<double>(comb_cache_->size()));
   }
   if (verify_cache_ != nullptr) {
     registry

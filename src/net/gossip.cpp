@@ -1,5 +1,8 @@
 #include "net/gossip.hpp"
 
+#include <stdexcept>
+#include <string>
+
 namespace bm::net {
 
 GossipNetwork::GossipNetwork(sim::Simulation& sim, int peers, Config config)
@@ -11,9 +14,49 @@ GossipNetwork::GossipNetwork(sim::Simulation& sim, int peers, Config config)
     faults_ = std::make_unique<FaultInjector>(config_.faults);
 }
 
+GossipNetwork::PeerState& GossipNetwork::state_of(int peer, const char* what) {
+  if (peer < 0 || peer >= peer_count())
+    throw std::out_of_range(std::string("GossipNetwork::") + what + ": peer " +
+                            std::to_string(peer) + " outside [0, " +
+                            std::to_string(peer_count()) + ")");
+  return peers_[static_cast<std::size_t>(peer)];
+}
+
+const GossipNetwork::PeerState& GossipNetwork::state_of(
+    int peer, const char* what) const {
+  return const_cast<GossipNetwork*>(this)->state_of(peer, what);
+}
+
 void GossipNetwork::publish(int origin, std::uint64_t block_num,
                             std::size_t bytes) {
+  state_of(origin, "publish");  // validate before touching the mesh
   receive(origin, block_num, bytes, /*from_repair=*/false);
+}
+
+void GossipNetwork::publish(int origin, std::uint64_t block_num,
+                            Bytes payload) {
+  state_of(origin, "publish");
+  const std::size_t bytes = payload.size();
+  payloads_.emplace(block_num, std::move(payload));  // first publish wins
+  receive(origin, block_num, bytes, /*from_repair=*/false);
+}
+
+void GossipNetwork::set_peer_online(int peer, bool online) {
+  state_of(peer, "set_peer_online").online = online;
+}
+
+void GossipNetwork::reset_peer(int peer) {
+  PeerState& state = state_of(peer, "reset_peer");
+  state.known.clear();
+  state.sizes.clear();
+}
+
+void GossipNetwork::mark_known(int peer, std::uint64_t block_num) {
+  PeerState& state = state_of(peer, "mark_known");
+  if (!state.known.insert(block_num).second) return;
+  const auto payload = payloads_.find(block_num);
+  state.sizes[block_num] = payload != payloads_.end() ? payload->second.size()
+                                                      : 0;
 }
 
 void GossipNetwork::push_to(int from, int to, std::uint64_t block_num,
@@ -33,7 +76,8 @@ void GossipNetwork::push_to(int from, int to, std::uint64_t block_num,
         rng_.uniform(static_cast<std::uint64_t>(config_.hop_jitter)));
   sim_.schedule(delay, [this, to, block_num, bytes, is_repair] {
     if (is_repair &&
-        peers_[static_cast<std::size_t>(to)].known.count(block_num) == 0)
+        peers_[static_cast<std::size_t>(to)].known.count(block_num) == 0 &&
+        peers_[static_cast<std::size_t>(to)].online)
       ++repairs_;
     receive(to, block_num, bytes, is_repair);
   });
@@ -43,12 +87,21 @@ void GossipNetwork::push_to(int from, int to, std::uint64_t block_num,
 void GossipNetwork::receive(int peer, std::uint64_t block_num,
                             std::size_t bytes, bool from_repair) {
   PeerState& state = peers_[static_cast<std::size_t>(peer)];
+  if (!state.online) {
+    ++dropped_offline_;
+    return;
+  }
   if (!state.known.insert(block_num).second) {
     ++duplicates_;
     return;
   }
   state.sizes[block_num] = bytes;
   if (on_deliver_) on_deliver_(peer, block_num, bytes);
+  if (on_payload_) {
+    const auto payload = payloads_.find(block_num);
+    if (payload != payloads_.end()) on_payload_(peer, block_num,
+                                                payload->second);
+  }
   (void)from_repair;
 
   // Forward to `fanout` distinct random neighbours after local processing.
@@ -89,15 +142,19 @@ void GossipNetwork::anti_entropy_round(int peer) {
     partner = static_cast<int>(rng_.uniform(static_cast<std::uint64_t>(n)));
 
   // Digest exchange: the partner pushes everything `peer` is missing (and
-  // vice versa) — reliable repair path, smaller than re-gossiping.
+  // vice versa) — reliable repair path, smaller than re-gossiping. An
+  // offline endpoint neither serves nor pulls; its round keeps re-arming so
+  // repair resumes the moment it returns.
   const PeerState& mine = peers_[static_cast<std::size_t>(peer)];
   const PeerState& theirs = peers_[static_cast<std::size_t>(partner)];
-  for (const auto& [block_num, bytes] : theirs.sizes)
-    if (mine.known.count(block_num) == 0)
-      push_to(partner, peer, block_num, bytes, /*is_repair=*/true);
-  for (const auto& [block_num, bytes] : mine.sizes)
-    if (theirs.known.count(block_num) == 0)
-      push_to(peer, partner, block_num, bytes, /*is_repair=*/true);
+  if (mine.online && theirs.online) {
+    for (const auto& [block_num, bytes] : theirs.sizes)
+      if (mine.known.count(block_num) == 0)
+        push_to(partner, peer, block_num, bytes, /*is_repair=*/true);
+    for (const auto& [block_num, bytes] : mine.sizes)
+      if (theirs.known.count(block_num) == 0)
+        push_to(peer, partner, block_num, bytes, /*is_repair=*/true);
+  }
 
   // Re-arm.
   sim_.schedule(config_.anti_entropy_interval,

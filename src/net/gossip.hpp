@@ -8,6 +8,14 @@
 // so disseminating the 4-5x smaller BMac-protocol encoding measurably beats
 // full Gossip blocks — §5's "our protocol can also be used by the lead peer
 // to send blocks to other peers in its own organization".
+//
+// Two dissemination modes share one mesh:
+//   - metadata-only publish(origin, block_num, bytes): timing/coverage
+//     studies, where only the wire size matters;
+//   - payload publish(origin, block_num, Bytes): the cluster path, where
+//     delivered blocks carry the real marshaled bytes each peer validates
+//     and commits (src/cluster). The payload is registered once network-wide
+//     and handed to the payload callback on each peer's first delivery.
 #pragma once
 
 #include <functional>
@@ -42,27 +50,61 @@ class GossipNetwork {
   /// Fired exactly once per (peer, block): first delivery.
   using DeliverFn = std::function<void(int peer, std::uint64_t block_num,
                                        std::size_t bytes)>;
+  /// Fired exactly once per (peer, block) when the block was published with
+  /// a payload: first delivery, after the DeliverFn.
+  using PayloadFn = std::function<void(int peer, std::uint64_t block_num,
+                                       const Bytes& payload)>;
 
   GossipNetwork(sim::Simulation& sim, int peers, Config config);
 
   void set_deliver_callback(DeliverFn fn) { on_deliver_ = std::move(fn); }
+  void set_payload_callback(PayloadFn fn) { on_payload_ = std::move(fn); }
 
   /// Start the anti-entropy processes (optional; push-only without it).
   void start_anti_entropy();
   void stop_anti_entropy() { anti_entropy_running_ = false; }
 
-  /// Inject a block at `origin` (e.g. the org's lead peer).
+  /// Inject a block at `origin` (e.g. the org's lead peer), metadata only.
+  /// Throws std::out_of_range unless 0 <= origin < peer_count().
   void publish(int origin, std::uint64_t block_num, std::size_t bytes);
 
+  /// Inject a block with its marshaled bytes: the payload is registered
+  /// network-wide (first publish of a block number wins) and handed to the
+  /// payload callback on each peer's first delivery. Re-publishing the same
+  /// block number at another origin re-injects without re-registering.
+  void publish(int origin, std::uint64_t block_num, Bytes payload);
+
+  /// Throws std::out_of_range unless 0 <= peer < peer_count().
   bool peer_has(int peer, std::uint64_t block_num) const {
-    return peers_[static_cast<std::size_t>(peer)].known.count(block_num) > 0;
+    return state_of(peer, "peer_has").known.count(block_num) > 0;
   }
   int peer_count() const { return static_cast<int>(peers_.size()); }
+
+  // --- peer lifecycle (cluster crash / restart modeling) ---------------------
+
+  /// Take a peer off / back onto the mesh. Messages to an offline peer are
+  /// dropped at delivery (they never become "known", so anti-entropy repairs
+  /// them after the peer returns); an offline peer neither serves nor pulls
+  /// digests.
+  void set_peer_online(int peer, bool online);
+  bool peer_online(int peer) const {
+    return state_of(peer, "peer_online").online;
+  }
+
+  /// Forget everything a peer knows (crash with state loss). The peer's
+  /// delivery history is wiped, so a later restart re-learns via catch-up.
+  void reset_peer(int peer);
+
+  /// Seed a peer's view without a delivery (state transfer: the peer now
+  /// holds the block through the catch-up path, so gossip must not re-push
+  /// it). The advertised size comes from the payload registry when present.
+  void mark_known(int peer, std::uint64_t block_num);
 
   // --- statistics -------------------------------------------------------------
   std::uint64_t messages_sent() const { return messages_sent_; }
   std::uint64_t duplicates_received() const { return duplicates_; }
   std::uint64_t anti_entropy_repairs() const { return repairs_; }
+  std::uint64_t dropped_offline() const { return dropped_offline_; }
   /// Fault counters when Config::faults is active (null otherwise).
   const FaultStats* fault_stats() const {
     return faults_ ? &faults_->stats() : nullptr;
@@ -72,7 +114,11 @@ class GossipNetwork {
   struct PeerState {
     std::set<std::uint64_t> known;
     std::map<std::uint64_t, std::size_t> sizes;  ///< for anti-entropy pulls
+    bool online = true;
   };
+
+  PeerState& state_of(int peer, const char* what);
+  const PeerState& state_of(int peer, const char* what) const;
 
   void receive(int peer, std::uint64_t block_num, std::size_t bytes,
                bool from_repair);
@@ -85,12 +131,15 @@ class GossipNetwork {
   Rng rng_;
   std::unique_ptr<FaultInjector> faults_;  ///< null on the legacy loss path
   std::vector<PeerState> peers_;
+  std::map<std::uint64_t, Bytes> payloads_;  ///< network-wide payload registry
   DeliverFn on_deliver_;
+  PayloadFn on_payload_;
   bool anti_entropy_running_ = false;
 
   std::uint64_t messages_sent_ = 0;
   std::uint64_t duplicates_ = 0;
   std::uint64_t repairs_ = 0;
+  std::uint64_t dropped_offline_ = 0;
 };
 
 }  // namespace bm::net

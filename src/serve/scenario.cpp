@@ -52,6 +52,14 @@ std::optional<Scenario> scenario_from_root(const config::Root& root,
       scenario.faults = net::detail::parse_faults_section(faults);
   }
 
+  const config::Section cluster = s.member("cluster");
+  if (cluster.present()) {
+    if (!cluster.is_object())
+      cluster.fail("expected an object");
+    else
+      scenario.cluster = cluster::detail::parse_cluster_section(cluster);
+  }
+
   if (!root.ok()) {
     if (error != nullptr) *error = root.error();
     return std::nullopt;

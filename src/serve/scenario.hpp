@@ -9,7 +9,8 @@
 //     "sessions":   { ... },   // overrides serve.sessions when present
 //     "durability": { ... },   // overrides serve.durability when present
 //     "slo":        { ... },   // schema of configs/slo_*.json
-//     "faults":     { ... }    // schema of configs/faults_*.json
+//     "faults":     { ... },   // schema of configs/faults_*.json
+//     "cluster":    { ... }    // N-org/M-peer topology (docs/CLUSTER.md)
 //   }
 //
 // Every section reuses the exact parser of its standalone config file
@@ -27,6 +28,7 @@
 #include <string>
 #include <string_view>
 
+#include "cluster/config.hpp"
 #include "net/faults.hpp"
 #include "obs/slo.hpp"
 #include "serve/config.hpp"
@@ -43,6 +45,11 @@ struct Scenario {
   /// section; serve runs currently ignore it (the serve harness models a
   /// clean network) but `bmac_sim chaos --scenario` consumes it.
   std::optional<net::FaultScenario> faults;
+  /// Cluster topology (orgs / peers / orderers / gossip / catch-up knobs).
+  /// nullopt when the scenario has no "cluster" section; consumed by
+  /// `bmac_sim cluster --scenario` and tests/bench building a
+  /// cluster::ClusterDeployment.
+  std::optional<cluster::ClusterConfig> cluster;
 };
 
 /// Parse a composed scenario from JSON text. Returns nullopt (and sets

@@ -269,4 +269,105 @@ TEST(Scenario, ShippedScenarioConfigsLoad) {
   }
 }
 
+TEST(Scenario, ClusterSectionParses) {
+  std::string error;
+  auto scenario = serve::parse_scenario(R"({
+    "name": "cluster-combo",
+    "cluster": {
+      "orgs": 3,
+      "peers_per_org": 2,
+      "orderers": 5,
+      "block_size": 16,
+      "seed": 42,
+      "submit_interval_ms": 4,
+      "raft": {"election_timeout_min_ms": 100, "election_timeout_max_ms": 250,
+               "heartbeat_ms": 40, "message_loss": 0.01},
+      "gossip": {"fanout": 3, "gbps": 2.5, "anti_entropy_ms": 25,
+                 "loss": 0.1},
+      "snapshot_interval": 8,
+      "catch_up_threshold": 6,
+      "transfer_gbps": 10,
+      "transfer_rtt_ms": 2
+    }
+  })",
+                                        &error);
+  ASSERT_TRUE(scenario.has_value()) << error;
+  ASSERT_TRUE(scenario->cluster.has_value());
+  const cluster::ClusterConfig& c = *scenario->cluster;
+  EXPECT_EQ(c.orgs, 3);
+  EXPECT_EQ(c.peers_per_org, 2);
+  EXPECT_EQ(c.orderers, 5);
+  EXPECT_EQ(c.block_size, 16u);
+  EXPECT_EQ(c.seed, 42u);
+  EXPECT_EQ(c.submit_interval, 4 * sim::kMillisecond);
+  EXPECT_EQ(c.ordering.raft.election_timeout_min, 100 * sim::kMillisecond);
+  EXPECT_EQ(c.ordering.raft.election_timeout_max, 250 * sim::kMillisecond);
+  EXPECT_EQ(c.ordering.raft.heartbeat_interval, 40 * sim::kMillisecond);
+  EXPECT_EQ(c.ordering.message_loss, 0.01);
+  EXPECT_EQ(c.gossip.fanout, 3);
+  EXPECT_EQ(c.gossip.gbps, 2.5);
+  EXPECT_EQ(c.gossip.anti_entropy_interval, 25 * sim::kMillisecond);
+  // gossip.loss > 0 arms a uniform-loss fault schedule on its own stream,
+  // decorrelated from the topology seed.
+  EXPECT_TRUE(c.gossip.faults.any());
+  EXPECT_EQ(c.gossip.faults.loss_good, 0.1);
+  EXPECT_EQ(c.gossip.faults.seed, 42u ^ 0xC0551Full);
+  EXPECT_EQ(c.snapshot_interval, 8u);
+  EXPECT_EQ(c.catch_up_threshold, 6u);
+  EXPECT_EQ(c.transfer_gbps, 10.0);
+  EXPECT_EQ(c.transfer_rtt, 2 * sim::kMillisecond);
+  EXPECT_EQ(c.peer_count(), 6);
+}
+
+TEST(Scenario, ClusterSectionIsOptional) {
+  std::string error;
+  auto scenario = serve::parse_scenario(R"({"name": "bare"})", &error);
+  ASSERT_TRUE(scenario.has_value()) << error;
+  EXPECT_FALSE(scenario->cluster.has_value());
+}
+
+TEST(Scenario, ClusterDiagnosticsNameTheKeyPath) {
+  struct Case {
+    const char* json;
+    const char* diagnostic;
+  };
+  const Case cases[] = {
+      {R"({"cluster": {"orgs": 0}})",
+       "scenario.cluster.orgs: expected number >= 1"},
+      {R"({"cluster": {"block_size": -1}})",
+       "scenario.cluster.block_size: expected number > 0"},
+      {R"({"cluster": {"gossip": {"fanout": 0}}})",
+       "scenario.cluster.gossip.fanout: expected number >= 1"},
+      {R"({"cluster": {"gossip": {"loss": 1.5}}})",
+       "scenario.cluster.gossip.loss: expected number in [0, 1]"},
+      {R"({"cluster": {"raft": {"election_timeout_min_ms": 300,
+                                "election_timeout_max_ms": 200}}})",
+       "scenario.cluster.raft.election_timeout_max_ms: "
+       "must be >= election_timeout_min_ms"},
+      {R"({"cluster": {"catch_up_threshold": 0}})",
+       "scenario.cluster.catch_up_threshold: expected number >= 1"},
+      {R"({"cluster": []})", "scenario.cluster: expected an object"},
+  };
+  for (const Case& c : cases) {
+    std::string error;
+    auto scenario = serve::parse_scenario(c.json, &error);
+    EXPECT_FALSE(scenario.has_value()) << c.json;
+    EXPECT_EQ(error, c.diagnostic) << c.json;
+  }
+}
+
+TEST(Scenario, ShippedClusterScenarioLoads) {
+  std::string error;
+  auto scenario = serve::load_scenario(
+      std::string(BM_REPO_ROOT) + "/configs/scenario_cluster.json", &error);
+  ASSERT_TRUE(scenario.has_value()) << error;
+  ASSERT_TRUE(scenario->cluster.has_value());
+  EXPECT_EQ(scenario->cluster->orgs, 2);
+  EXPECT_EQ(scenario->cluster->peers_per_org, 2);
+  EXPECT_EQ(scenario->cluster->orderers, 3);
+  EXPECT_TRUE(scenario->cluster->gossip.faults.any());
+  EXPECT_TRUE(scenario->cluster->data_dir.empty())
+      << "shipped config must stay path-portable";
+}
+
 }  // namespace

@@ -150,5 +150,99 @@ TEST(Gossip, SinglePeerNetworkTrivial) {
   EXPECT_EQ(harness.network.messages_sent(), 0u);
 }
 
+TEST(Gossip, OutOfRangePeerThrows) {
+  // Regression: peer_has/publish (and the lifecycle calls) used to index
+  // peers_ unchecked, so a bad peer id was silent UB instead of an error.
+  GossipHarness harness(4, {});
+  EXPECT_THROW(harness.network.peer_has(-1, 0), std::out_of_range);
+  EXPECT_THROW(harness.network.peer_has(4, 0), std::out_of_range);
+  EXPECT_THROW(harness.network.publish(-1, 0, std::size_t{100}),
+               std::out_of_range);
+  EXPECT_THROW(harness.network.publish(7, 0, to_bytes("payload")),
+               std::out_of_range);
+  EXPECT_THROW(harness.network.set_peer_online(4, false), std::out_of_range);
+  EXPECT_THROW(harness.network.reset_peer(-2), std::out_of_range);
+  EXPECT_THROW(harness.network.mark_known(5, 1), std::out_of_range);
+  // In-range calls still work after the failed ones.
+  harness.publish(0, 1000);
+  harness.sim.run();
+  EXPECT_TRUE(harness.network.peer_has(3, 0));
+}
+
+TEST(Gossip, PayloadDeliveredOncePerPeer) {
+  GossipHarness harness(6, {});
+  std::map<int, std::vector<std::uint64_t>> payload_deliveries;
+  harness.network.set_payload_callback(
+      [&](int peer, std::uint64_t block, const Bytes& payload) {
+        EXPECT_EQ(to_string(payload), "block" + std::to_string(block));
+        payload_deliveries[peer].push_back(block);
+      });
+  harness.network.start_anti_entropy();
+  harness.network.publish(0, 0, to_bytes("block0"));
+  harness.network.publish(0, 1, to_bytes("block1"));
+  harness.sim.run_until(harness.sim.now() + 2 * sim::kSecond);
+  harness.network.stop_anti_entropy();
+  for (int peer = 0; peer < 6; ++peer) {
+    auto& blocks = payload_deliveries[peer];
+    std::sort(blocks.begin(), blocks.end());
+    EXPECT_EQ(blocks, (std::vector<std::uint64_t>{0, 1})) << "peer " << peer;
+  }
+}
+
+TEST(Gossip, RepublishKeepsFirstPayload) {
+  GossipHarness harness(4, {});
+  Bytes seen;
+  harness.network.set_payload_callback(
+      [&](int peer, std::uint64_t, const Bytes& payload) {
+        if (peer == 3) seen = payload;
+      });
+  harness.network.start_anti_entropy();
+  harness.network.publish(0, 0, to_bytes("canonical"));
+  harness.network.publish(1, 0, to_bytes("imposter"));  // not re-registered
+  harness.sim.run_until(harness.sim.now() + sim::kSecond);
+  harness.network.stop_anti_entropy();
+  EXPECT_EQ(to_string(seen), "canonical");
+}
+
+TEST(Gossip, OfflinePeerMissesBlocksUntilRepair) {
+  GossipNetwork::Config config;
+  config.seed = 11;
+  GossipHarness harness(6, config);
+  harness.network.set_peer_online(5, false);
+  harness.network.start_anti_entropy();
+  harness.publish(0, 40'000);
+  harness.sim.run_until(harness.sim.now() + 2 * sim::kSecond);
+
+  // Anti-entropy converged every online peer, but the offline one stayed
+  // dark — pushes and digest exchanges aimed at it were dropped.
+  EXPECT_FALSE(harness.network.peer_has(5, 0));
+  EXPECT_GT(harness.network.dropped_offline(), 0u);
+  for (int peer = 0; peer < 5; ++peer)
+    EXPECT_TRUE(harness.network.peer_has(peer, 0)) << "peer " << peer;
+
+  // Back online, anti-entropy closes the gap.
+  harness.network.set_peer_online(5, true);
+  harness.sim.run_until(harness.sim.now() + 2 * sim::kSecond);
+  harness.network.stop_anti_entropy();
+  EXPECT_TRUE(harness.network.peer_has(5, 0));
+}
+
+TEST(Gossip, MarkKnownSuppressesRedelivery) {
+  GossipHarness harness(5, {});
+  int deliveries_to_4 = 0;
+  harness.network.set_payload_callback(
+      [&](int peer, std::uint64_t, const Bytes&) {
+        if (peer == 4) ++deliveries_to_4;
+      });
+  // State transfer already handed peer 4 the block out of band.
+  harness.network.mark_known(4, 0);
+  harness.network.start_anti_entropy();
+  harness.network.publish(0, 0, to_bytes("block0"));
+  harness.sim.run_until(harness.sim.now() + sim::kSecond);
+  harness.network.stop_anti_entropy();
+  EXPECT_EQ(deliveries_to_4, 0);
+  EXPECT_TRUE(harness.network.peer_has(4, 0));
+}
+
 }  // namespace
 }  // namespace bm::net

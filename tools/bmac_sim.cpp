@@ -24,22 +24,29 @@
 //       full replay) and print the recovered chain position.
 //   protocol [--config FILE] [--block-size N]
 //       BMac protocol vs Gossip block sizes on real marshaled blocks.
-//   chaos [--scenario FILE | --faults-config FILE] [--blocks N]
-//         [--block-size N] [--tamper]
+//   chaos --scenario FILE [--blocks N] [--block-size N] [--tamper]
 //       Drive the degraded-path stack (GBN + fault injection + software
 //       fallback) with a fault schedule and check the committed chain
 //       against the fault-free reference (docs/FAULTS.md). --scenario takes
 //       a composed scenario file and reads its "faults" (and "slo")
-//       sections; --faults-config FILE (configs/faults_*.json) is the
-//       deprecated single-section alias.
-//   serve [--scenario FILE | --serve-config FILE]
+//       sections. (The pre-scenario --faults-config alias was removed; wrap
+//       a standalone faults_*.json as {"faults": {...}}.)
+//   serve [--scenario FILE]
 //       Run the open-loop client-serving front end (traffic -> admission ->
 //       endorse -> order -> commit, docs/SERVING.md) and print the SLO
 //       report. --scenario takes a composed configs/scenario_*.json file
-//       (serve + sessions + durability + slo sections, docs/SERVING.md);
-//       --serve-config FILE (configs/serve_*.json) is the deprecated
-//       single-section alias. Without either, a built-in steady Poisson
-//       scenario is used.
+//       (serve + sessions + durability + slo sections, docs/SERVING.md).
+//       Without it, a built-in steady Poisson scenario is used. (The
+//       pre-scenario --serve-config alias was removed; wrap a standalone
+//       serve_*.json as {"serve": {...}}.)
+//   cluster [--scenario FILE] [--blocks N] [--kill-leader] [--data-dir DIR]
+//       Run an N-org/M-peer deployment with a Raft ordering cluster,
+//       payload gossip and peer state transfer (docs/CLUSTER.md), checking
+//       every peer against the single-peer reference commit-hash chain.
+//       --scenario reads the "cluster" section of a composed scenario file
+//       (configs/scenario_cluster.json); --kill-leader crashes the Raft
+//       leader mid-run; --data-dir enables per-peer durable logs +
+//       snapshot-based catch-up. Exit code 0 iff the cluster converged.
 //
 // Observability (throughput and validate): --trace-out FILE writes a Chrome
 // trace-event JSON of the whole run (open in Perfetto / chrome://tracing);
@@ -65,6 +72,7 @@
 #include "bmac/config.hpp"
 #include "bmac/peer.hpp"
 #include "bmac/resource_model.hpp"
+#include "cluster/cluster.hpp"
 #include "common/cli.hpp"
 #include "common/hex.hpp"
 #include "common/log.hpp"
@@ -110,11 +118,12 @@ struct Options {
   std::size_t comb_tables = 0;   ///< 0 = no per-identity comb-table cache
   bool parallel_commit = false;  ///< dependency-aware parallel MVCC + commit
   std::size_t db_shards = fabric::StateDb::kDefaultShards;
-  std::string serve_config;    ///< deprecated: configs/serve_*.json alias
-  std::string scenario_path;   ///< composed configs/scenario_*.json
+  std::string scenario_path;  ///< composed configs/scenario_*.json
   std::string ledger_path;   ///< on-disk block log (validate writes, recover reads)
   std::size_t snapshot_interval = 0;  ///< StateDb snapshot cadence (0 = never)
-  cli::CommonFlags flags;  ///< shared --trace-out/--metrics-*/--faults-config
+  bool kill_leader = false;  ///< cluster: crash the Raft leader mid-run
+  std::string data_dir;      ///< cluster: per-peer durable logs + snapshots
+  cli::CommonFlags flags;  ///< shared --trace-out/--metrics-*/telemetry
   std::string usage;       ///< flag help lines, filled by parse_args
 };
 
@@ -138,14 +147,16 @@ bool parse_args(int argc, char** argv, Options& options) {
                   "software state DB shard count");
   parser.add_string("--scenario", &options.scenario_path,
                     "composed scenario JSON (configs/scenario_*.json)");
-  parser.add_string("--serve-config", &options.serve_config,
-                    "deprecated alias: serve-only scenario JSON "
-                    "(configs/serve_*.json); use --scenario");
   parser.add_string("--ledger", &options.ledger_path,
                     "on-disk block log (validate writes it, recover reads it)");
   parser.add_size("--snapshot-interval", &options.snapshot_interval,
                   "cut a StateDb snapshot every N blocks (0 = never)");
-  options.flags.register_with(parser, /*with_faults=*/true);
+  bool kill_leader_flag = false;
+  parser.add_flag("--kill-leader", &kill_leader_flag,
+                  "cluster: crash the Raft leader mid-run");
+  parser.add_string("--data-dir", &options.data_dir,
+                    "cluster: directory for per-peer durable logs");
+  options.flags.register_with(parser);
   options.usage = parser.help_text();
 
   if (argc < 2) return false;
@@ -165,6 +176,7 @@ bool parse_args(int argc, char** argv, Options& options) {
   options.faults = faults_flag;
   options.tamper = tamper_flag;
   options.parallel_commit = parallel_commit_flag;
+  options.kill_leader = kill_leader_flag;
   return true;
 }
 
@@ -425,20 +437,6 @@ int cmd_chaos(const Options& options) {
     fault_scenario = *loaded->faults;
     if (fault_scenario.name.empty()) fault_scenario.name = loaded->name;
     inline_slo = loaded->slo;
-  } else if (!options.flags.faults_config.empty()) {
-    std::fprintf(stderr,
-                 "warning: --faults-config is a deprecated alias and will be "
-                 "removed next release; use --scenario FILE with the same "
-                 "keys under a \"faults\" section\n");
-    std::string error;
-    const auto loaded =
-        net::load_fault_scenario(options.flags.faults_config, &error);
-    if (!loaded) {
-      std::fprintf(stderr, "cannot load %s: %s\n",
-                   options.flags.faults_config.c_str(), error.c_str());
-      return 2;
-    }
-    fault_scenario = *loaded;
   } else {
     std::fprintf(stderr,
                  "chaos needs --scenario FILE (see configs/scenario_*.json)\n");
@@ -483,16 +481,90 @@ int cmd_chaos(const Options& options) {
   return report.ok() ? 0 : 1;
 }
 
+int cmd_cluster(const Options& options) {
+  cluster::ClusterConfig config;
+  if (!options.scenario_path.empty()) {
+    std::string error;
+    const auto loaded = serve::load_scenario(options.scenario_path, &error);
+    if (!loaded) {
+      std::fprintf(stderr, "cannot load %s: %s\n",
+                   options.scenario_path.c_str(), error.c_str());
+      return 2;
+    }
+    if (!loaded->cluster) {
+      std::fprintf(stderr, "%s: cluster needs a \"cluster\" section\n",
+                   options.scenario_path.c_str());
+      return 2;
+    }
+    config = *loaded->cluster;
+  }
+  if (!options.data_dir.empty()) config.data_dir = options.data_dir;
+
+  sim::Simulation sim;
+  cluster::ClusterDeployment deployment(sim, config);
+  const std::string data_note =
+      config.data_dir.empty() ? "" : ", data dir " + config.data_dir;
+  std::printf("cluster %s: %d orgs x %d peers, %d orderers, block size %zu%s\n",
+              config.name.c_str(), config.orgs, config.peers_per_org,
+              config.orderers, config.block_size, data_note.c_str());
+
+  const auto target = static_cast<std::uint64_t>(options.blocks);
+  const sim::Time deadline = 600 * sim::kSecond;
+  bool reached = true;
+  if (options.kill_leader && target > 1) {
+    reached = deployment.run_until_blocks(target / 2, deadline);
+    const int leader = deployment.leader();
+    if (leader >= 0) {
+      std::printf("killing leader orderer %d at block %llu\n", leader,
+                  static_cast<unsigned long long>(deployment.blocks_emitted()));
+      deployment.kill_orderer(leader);
+    }
+  }
+  reached = deployment.run_until_blocks(target, deadline) && reached;
+  deployment.settle(2 * sim::kSecond);
+
+  const bool converged = deployment.converged();
+  std::printf("emitted %llu blocks (reference height %llu); "
+              "dupes suppressed %llu, forks %llu\n",
+              static_cast<unsigned long long>(deployment.blocks_emitted()),
+              static_cast<unsigned long long>(
+                  deployment.harness().reference_ledger().height()),
+              static_cast<unsigned long long>(
+                  deployment.ordering().duplicates_suppressed()),
+              static_cast<unsigned long long>(
+                  deployment.ordering().forks_detected()));
+  for (int peer = 0; peer < deployment.peer_count(); ++peer)
+    std::printf("  peer %d (org %d): height %llu%s\n", peer,
+                deployment.org_of(peer),
+                static_cast<unsigned long long>(deployment.peer_height(peer)),
+                deployment.peer_online(peer) ? "" : " [offline]");
+  if (deployment.state_transfers() > 0)
+    std::printf("state transfers: %llu (%llu bytes, %llu blocks caught up)\n",
+                static_cast<unsigned long long>(deployment.state_transfers()),
+                static_cast<unsigned long long>(deployment.transfer_bytes()),
+                static_cast<unsigned long long>(deployment.catch_up_blocks()));
+  std::printf("convergence vs single-peer reference: %s\n",
+              converged ? "PASS" : "FAIL");
+  if (!converged && !deployment.divergence().empty())
+    std::printf("divergence: %s\n", deployment.divergence().c_str());
+
+  if (options.flags.wants_obs()) {
+    obs::Registry registry;
+    obs::Tracer tracer;
+    deployment.publish_metrics(registry, "cluster");
+    const int rc =
+        obs::write_artifacts(options.flags, registry, tracer, sim.now());
+    if (rc != 0) return rc;
+  }
+  return converged && reached ? 0 : 1;
+}
+
 }  // namespace
 
 int cmd_serve(const Options& options) {
   serve::ServeOptions serve_options;  // defaults: steady 1000 tps Poisson
   std::optional<obs::SloConfig> inline_slo;
   if (!options.scenario_path.empty()) {
-    if (!options.serve_config.empty())
-      std::fprintf(stderr,
-                   "warning: --serve-config ignored because --scenario was "
-                   "given\n");
     std::string error;
     const auto loaded = serve::load_scenario(options.scenario_path, &error);
     if (!loaded) {
@@ -506,20 +578,6 @@ int cmd_serve(const Options& options) {
       std::fprintf(stderr,
                    "note: the \"faults\" section is not applied by `serve` "
                    "(clean-network harness); use `chaos --scenario`\n");
-  } else if (!options.serve_config.empty()) {
-    std::fprintf(stderr,
-                 "warning: --serve-config is a deprecated alias and will be "
-                 "removed next release; use --scenario FILE with the same "
-                 "keys under a \"serve\" section\n");
-    std::string error;
-    const auto loaded =
-        serve::load_serve_scenario(options.serve_config, &error);
-    if (!loaded) {
-      std::fprintf(stderr, "cannot load %s: %s\n",
-                   options.serve_config.c_str(), error.c_str());
-      return 2;
-    }
-    serve_options = *loaded;
   }
 
   obs::Registry registry;
@@ -562,7 +620,7 @@ int main(int argc, char** argv) {
   if (!parse_args(argc, argv, options)) {
     std::fprintf(stderr,
                  "usage: bmac_sim <throughput|resources|validate|protocol|"
-                 "chaos|serve|recover> [flags]\n%s",
+                 "chaos|serve|cluster|recover> [flags]\n%s",
                  options.usage.c_str());
     return 2;
   }
@@ -573,6 +631,7 @@ int main(int argc, char** argv) {
     if (options.command == "protocol") return cmd_protocol(options);
     if (options.command == "chaos") return cmd_chaos(options);
     if (options.command == "serve") return cmd_serve(options);
+    if (options.command == "cluster") return cmd_cluster(options);
     if (options.command == "recover") return cmd_recover(options);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());

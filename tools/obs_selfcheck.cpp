@@ -5,7 +5,7 @@
 // Prometheus — is covered by the default test run, not just the unit tests.
 //
 // Phase 2 validates the continuous-telemetry artifacts the same way: a
-// serve_burst run with --sample-interval/--slo-config/--flight-out must
+// scenario_burst run with --sample-interval/--slo-config/--flight-out must
 // produce a well-formed time series (monotone timestamps, monotone
 // counters, aligned rate columns), an SLO alert log with at least one fire
 // (the burst overloads the front end by design), a triggered flight dump —
@@ -170,8 +170,8 @@ int main(int argc, char** argv) {
   const std::string flight_path = dir + "/obs_selfcheck_flight.json";
 
   const auto telemetry_cmd = [&](const std::string& suffix) {
-    return "\"" + bmac_sim + "\" serve --serve-config \"" + repo +
-           "/configs/serve_burst.json\" --sample-interval 5"
+    return "\"" + bmac_sim + "\" serve --scenario \"" + repo +
+           "/configs/scenario_burst.json\" --sample-interval 5"
            " --timeseries-out \"" + ts_path + suffix + "\""
            " --timeseries-csv \"" + csv_path + suffix + "\""
            " --slo-config \"" + repo + "/configs/slo_default.json\""
